@@ -1,0 +1,115 @@
+// Ablation: empirical validation of the theoretical error-scaling shapes.
+//
+// Theorem 1/2: with ERM, source-accuracy estimation error should scale
+// like sqrt(|K| / |G|) — halving when |G| quadruples, growing with the
+// number of (uninformative) features unless L1-regularized.
+// Theorem 3:   with EM and no ground truth, error should fall as density
+// (p) and the accuracy margin (delta) grow.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/slimfast.h"
+#include "eval/metrics.h"
+#include "synth/synthetic.h"
+#include "util/math.h"
+#include "util/random.h"
+
+using namespace slimfast;
+
+namespace {
+
+double ErmSourceError(int32_t labeled_objects, int32_t noise_groups,
+                      double l1) {
+  SyntheticConfig config;
+  config.num_sources = 60;
+  config.num_objects = 1200;
+  config.density = 0.4;
+  config.mean_accuracy = 0.65;
+  config.accuracy_spread = 0.25;
+  config.num_feature_groups = std::max(1, noise_groups);
+  config.values_per_group = 6;
+  config.feature_effect = noise_groups > 0 ? 0.0 : 0.1;  // pure noise
+  std::vector<double> errors;
+  for (int32_t rep = 0; rep < bench::NumSeeds(); ++rep) {
+    uint64_t seed = 900 + 13ULL * static_cast<uint64_t>(rep);
+    auto synth = GenerateSynthetic(config, seed).ValueOrDie();
+    const Dataset& d = synth.dataset;
+    double fraction =
+        static_cast<double>(labeled_objects) / d.num_objects();
+    Rng rng(seed);
+    auto split = MakeSplit(d, fraction, &rng).ValueOrDie();
+    SlimFastOptions options;
+    options.algorithm = Algorithm::kErm;
+    options.erm.loss = ErmLoss::kAccuracyLogLoss;  // the Theorem 2 loss
+    options.erm.l1 = l1;
+    SlimFast method(options, "erm");
+    auto output = method.Run(d, split, seed).ValueOrDie();
+    errors.push_back(
+        WeightedSourceAccuracyError(d, output.source_accuracies)
+            .ValueOrDie());
+  }
+  return Mean(errors);
+}
+
+double EmSourceError(double density, double delta) {
+  SyntheticConfig config;
+  config.num_sources = 60;
+  config.num_objects = 800;
+  config.density = density;
+  config.mean_accuracy = 0.5 + delta + 0.05;
+  config.accuracy_spread = 0.05;
+  std::vector<double> errors;
+  for (int32_t rep = 0; rep < bench::NumSeeds(); ++rep) {
+    uint64_t seed = 1200 + 17ULL * static_cast<uint64_t>(rep);
+    auto synth = GenerateSynthetic(config, seed).ValueOrDie();
+    const Dataset& d = synth.dataset;
+    Rng rng(seed);
+    auto split = MakeSplit(d, 0.001, &rng).ValueOrDie();
+    auto output = MakeSourcesEm()->Run(d, split, seed).ValueOrDie();
+    errors.push_back(
+        WeightedSourceAccuracyError(d, output.source_accuracies)
+            .ValueOrDie());
+  }
+  return Mean(errors);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: empirical scaling of the error bounds",
+                     "Theorems 1-3 (Sec. 4.2)");
+
+  std::printf("[A] ERM error vs |G| (Theorem 2: error ~ sqrt(|K|/|G|))\n");
+  std::printf("%-18s %-12s %s\n", "labeled objects", "error",
+              "error * sqrt(|G|)");
+  for (int32_t g : {50, 200, 800}) {
+    double error = ErmSourceError(g, 1, 0.0);
+    std::printf("%-18d %-12.4f %.3f\n", g, error,
+                error * std::sqrt(static_cast<double>(g)));
+  }
+  std::printf("(The last column should stay roughly constant.)\n\n");
+
+  std::printf("[B] ERM error vs uninformative features (Theorem 2 + L1)\n");
+  std::printf("%-16s %-14s %s\n", "noise features", "error (no L1)",
+              "error (L1=0.1)");
+  for (int32_t groups : {1, 5, 15}) {
+    double plain = ErmSourceError(200, groups, 0.0);
+    double lasso = ErmSourceError(200, groups, 0.1);
+    std::printf("%-16d %-14.4f %.4f\n", groups * 6, plain, lasso);
+  }
+  std::printf("(L1 should dampen the growth with feature count.)\n\n");
+
+  std::printf("[C] EM error vs density and delta (Theorem 3)\n");
+  std::printf("%-12s %-12s %s\n", "density p", "delta", "error");
+  for (double density : {0.02, 0.1, 0.4}) {
+    for (double delta : {0.05, 0.2}) {
+      std::printf("%-12.2f %-12.2f %.4f\n", density, delta,
+                  EmSourceError(density, delta));
+    }
+  }
+  std::printf("(Error should fall toward the lower-right: dense instances "
+              "with accurate sources.)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 5: the ERM/EM tradeoff space.
+//
+// Sweeps the three instance axes — training data, average source accuracy,
+// observation density — over a grid of synthetic instances and reports
+// which algorithm wins each cell, regenerating the paper's qualitative
+// tradeoff map.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/slimfast.h"
+#include "eval/metrics.h"
+#include "synth/synthetic.h"
+#include "util/math.h"
+#include "util/random.h"
+
+using namespace slimfast;
+
+namespace {
+
+const char* Winner(double td, double accuracy, double density) {
+  SyntheticConfig config;
+  config.num_sources = 400;
+  config.num_objects = 400;
+  config.mean_accuracy = accuracy;
+  config.accuracy_spread = 0.05;
+  config.density = density;
+  std::vector<double> em_scores;
+  std::vector<double> erm_scores;
+  for (int32_t rep = 0; rep < bench::NumSeeds(); ++rep) {
+    uint64_t seed = 500 + 31ULL * static_cast<uint64_t>(rep);
+    auto synth = GenerateSynthetic(config, seed).ValueOrDie();
+    Rng rng(seed);
+    auto split = MakeSplit(synth.dataset, td, &rng).ValueOrDie();
+    auto em = MakeSourcesEm()->Run(synth.dataset, split, seed).ValueOrDie();
+    auto erm =
+        MakeSourcesErm()->Run(synth.dataset, split, seed).ValueOrDie();
+    em_scores.push_back(
+        TestAccuracy(synth.dataset, em.predicted_values, split)
+            .ValueOrDie());
+    erm_scores.push_back(
+        TestAccuracy(synth.dataset, erm.predicted_values, split)
+            .ValueOrDie());
+  }
+  double em = Mean(em_scores);
+  double erm = Mean(erm_scores);
+  if (em > erm + 0.01) return "EM";
+  if (erm > em + 0.01) return "ERM";
+  return "-";
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 5: the ERM/EM tradeoff space",
+                     "Figure 5 (Sec. 4.1)");
+  std::printf("cells: winner by >1%% absolute accuracy, '-' = tie\n\n");
+  std::printf("%-16s %-16s %-14s %s\n", "training data", "src accuracy",
+              "density low", "density high");
+  for (double td : {0.02, 0.40}) {
+    for (double accuracy : {0.5, 0.8}) {
+      const char* low = Winner(td, accuracy, 0.01);
+      const char* high = Winner(td, accuracy, 0.08);
+      std::printf("%-16s %-16s %-14s %s\n", td < 0.1 ? "low" : "high",
+                  accuracy < 0.7 ? "~0.5" : "high", low, high);
+    }
+  }
+  std::printf(
+      "\nPaper shape check (Figure 5): EM owns the high-accuracy corner "
+      "regardless of\ndensity; ERM owns the near-random-accuracy rows "
+      "(where unlabeled conflicts carry\nno information) once training "
+      "data is available. Note our Bernoulli-MLE EM is\nstronger than the "
+      "paper's, so EM's region extends further than in their Figure 5\n"
+      "(see EXPERIMENTS.md).\n");
+  return 0;
+}

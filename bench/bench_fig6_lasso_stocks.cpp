@@ -1,0 +1,61 @@
+// Figure 6: Lasso path for the features used in Stocks.
+//
+// Sweeps the L1 penalty from strong to weak on the Stocks simulator and
+// prints (a) when each feature group first activates and (b) the feature
+// weights at a few points along the path — the data behind the paper's
+// Lasso-path plot, where daily-usage statistics activate first and
+// "TotalSitesLinkingIn" (PageRank proxy) is unimportant.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/lasso.h"
+#include "synth/simulators.h"
+#include "util/random.h"
+
+using namespace slimfast;
+
+int main() {
+  bench::PrintHeader("Figure 6: Lasso path on Stocks features",
+                     "Figure 6 (Sec. 5.3.1)");
+
+  auto synth = MakeStocksSim(/*seed=*/42).ValueOrDie();
+  const Dataset& dataset = synth.dataset;
+  Rng split_rng(3);
+  auto split = MakeSplit(dataset, 0.3, &split_rng).ValueOrDie();
+
+  LassoPathOptions options;
+  options.num_penalties = 16;
+  options.max_penalty = 0.5;
+  options.min_penalty = 1e-4;
+  Rng rng(7);
+  auto path = ComputeLassoPath(dataset, split, options, &rng).ValueOrDie();
+
+  std::printf("Activation order (earlier = more important, Figure 6's "
+              "reading):\n");
+  std::printf("%-6s %-18s %-12s %s\n", "rank", "feature", "activates at",
+              "final weight");
+  auto order = path.ImportanceOrder();
+  for (size_t i = 0; i < std::min<size_t>(15, order.size()); ++i) {
+    FeatureId k = order[i];
+    int32_t idx = path.activation_index[static_cast<size_t>(k)];
+    std::printf("%-6zu %-18s lambda=%-6.4f %+.3f\n", i + 1,
+                path.feature_names[static_cast<size_t>(k)].c_str(),
+                path.points[static_cast<size_t>(idx)].penalty,
+                path.points.back().feature_weights[static_cast<size_t>(k)]);
+  }
+
+  std::printf("\nSparsity along the path (lambda, mu, #nonzero of %zu):\n",
+              path.feature_names.size());
+  for (const LassoPathPoint& point : path.points) {
+    std::printf("  lambda=%-8.4f mu=%-6.3f nonzero=%lld\n", point.penalty,
+                point.mu, static_cast<long long>(point.num_nonzero));
+  }
+  std::printf(
+      "\nPaper shape check: a small subset of feature values activates "
+      "early and grows\nin magnitude as the penalty relaxes; most features "
+      "stay at exactly zero until\nthe penalty is weak (L1 sparsity, "
+      "Sec. 4.2.1).\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 8 (Appendix D): detecting source copying on Demonstrations.
+//
+// Compares SLiMFast without domain features, with and without the
+// pairwise copying extension, over training fractions {1, 5, 10, 20}%,
+// and lists the strongest learned copying relations together with whether
+// the pair really belongs to the same simulated copy cluster.
+
+#include <cstdio>
+
+#include "baselines/accu.h"
+#include "bench_common.h"
+#include "core/copying.h"
+#include "core/slimfast.h"
+#include "eval/metrics.h"
+#include "synth/simulators.h"
+#include "util/math.h"
+#include "util/random.h"
+
+using namespace slimfast;
+
+int main() {
+  bench::PrintHeader("Figure 8: source copying on Demonstrations",
+                     "Figure 8 + copying examples (Appendix D)");
+
+  auto synth = MakeDemosSim(/*seed=*/42).ValueOrDie();
+  const Dataset& dataset = synth.dataset;
+
+  SlimFastOptions plain_options;
+  plain_options.model.use_feature_weights = false;
+  plain_options.algorithm = Algorithm::kEm;
+
+  SlimFastOptions copy_options = plain_options;
+  copy_options.model.use_copying_features = true;
+  copy_options.model.copying_min_agreements = 15;
+
+  std::printf("%-8s %-12s %-14s %s\n", "TD(%)", "ACCU", "w/o copying",
+              "w. copying");
+  for (double fraction : {0.01, 0.05, 0.10, 0.20}) {
+    std::vector<double> accu_scores;
+    std::vector<double> plain_scores;
+    std::vector<double> copy_scores;
+    for (int32_t rep = 0; rep < bench::NumSeeds(); ++rep) {
+      uint64_t seed = 42 + 53ULL * static_cast<uint64_t>(rep);
+      Rng rng(seed);
+      auto split = MakeSplit(dataset, fraction, &rng).ValueOrDie();
+      Accu accu;
+      SlimFast plain(plain_options, "plain");
+      SlimFast with_copy(copy_options, "copying");
+      auto accu_out = accu.Run(dataset, split, seed).ValueOrDie();
+      auto plain_out = plain.Run(dataset, split, seed).ValueOrDie();
+      auto copy_out = with_copy.Run(dataset, split, seed).ValueOrDie();
+      accu_scores.push_back(
+          TestAccuracy(dataset, accu_out.predicted_values, split)
+              .ValueOrDie());
+      plain_scores.push_back(
+          TestAccuracy(dataset, plain_out.predicted_values, split)
+              .ValueOrDie());
+      copy_scores.push_back(
+          TestAccuracy(dataset, copy_out.predicted_values, split)
+              .ValueOrDie());
+    }
+    std::printf("%-8.1f %-12.3f %-14.3f %.3f\n", fraction * 100,
+                Mean(accu_scores), Mean(plain_scores), Mean(copy_scores));
+  }
+
+  // Inspect the learned copying relations: fit the extended model with
+  // ERM on 20% ground truth (EM's accuracy-loss M-step does not touch the
+  // pairwise parameters, so the object-likelihood ERM fit is the one that
+  // identifies copying weights).
+  Rng rng(42);
+  auto split = MakeSplit(dataset, 0.20, &rng).ValueOrDie();
+  SlimFastOptions detect_options = copy_options;
+  detect_options.algorithm = Algorithm::kErm;
+  SlimFast with_copy(detect_options, "copying");
+  auto fit = with_copy.Fit(dataset, split, 42).ValueOrDie();
+  auto relations = TopCopyingRelations(fit.model, 10);
+  std::printf("\nStrongest learned copying relations "
+              "(same simulated cluster?):\n");
+  std::printf("%-10s %-10s %-12s %s\n", "source A", "source B", "weight",
+              "same cluster");
+  int32_t in_cluster = 0;
+  for (const CopyingRelation& r : relations) {
+    bool same =
+        synth.copy_cluster_of[static_cast<size_t>(r.source_a)] >= 0 &&
+        synth.copy_cluster_of[static_cast<size_t>(r.source_a)] ==
+            synth.copy_cluster_of[static_cast<size_t>(r.source_b)];
+    if (same) ++in_cluster;
+    std::printf("%-10d %-10d %-12.4f %s\n", r.source_a, r.source_b,
+                r.weight, same ? "yes" : "no");
+  }
+  std::printf("\n%d / %zu of the strongest relations are genuine copy "
+              "pairs.\n",
+              in_cluster, relations.size());
+  std::printf(
+      "\nPaper shape check: the generative ACCU is hurt by correlated "
+      "sources while the\ndiscriminative model is not, and the strongest "
+      "pairwise copying weights identify\ntruly correlated sources "
+      "(allafrica.com / itnewsafrica.com in Appendix D).\nIn our "
+      "reproduction the per-source discriminative weights already absorb "
+      "most of\nthe copying correction, so the explicit pairwise factors "
+      "add interpretability\n(the table above) more than accuracy — see "
+      "EXPERIMENTS.md.\n");
+  return 0;
+}

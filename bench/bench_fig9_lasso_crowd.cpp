@@ -1,0 +1,65 @@
+// Figure 9 (Appendix E): Lasso path for the features used in Crowd.
+//
+// Same analysis as Figure 6 but on the Crowd simulator, where the paper
+// observes that the labor channel a worker was hired through activates
+// first — i.e. is the most predictive of worker accuracy. Our simulator
+// plants exactly that structure (the "channel" group has the largest
+// accuracy effect), so the channel features should dominate the early
+// activations.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/lasso.h"
+#include "synth/simulators.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+using namespace slimfast;
+
+int main() {
+  bench::PrintHeader("Figure 9: Lasso path on Crowd features",
+                     "Figure 9 (Appendix E)");
+
+  auto synth = MakeCrowdSim(/*seed=*/42).ValueOrDie();
+  const Dataset& dataset = synth.dataset;
+  Rng split_rng(3);
+  auto split = MakeSplit(dataset, 0.3, &split_rng).ValueOrDie();
+
+  LassoPathOptions options;
+  options.num_penalties = 16;
+  options.max_penalty = 0.5;
+  options.min_penalty = 1e-4;
+  Rng rng(7);
+  auto path = ComputeLassoPath(dataset, split, options, &rng).ValueOrDie();
+
+  // Group g0 = channel, g1 = country, g2 = city, g3 = coverage (see
+  // MakeCrowdSim).
+  const char* group_names[] = {"channel", "country", "city", "coverage"};
+  auto group_of = [&](FeatureId k) {
+    const std::string& name = path.feature_names[static_cast<size_t>(k)];
+    return name[1] - '0';  // "g<d>=v<d>"
+  };
+
+  std::printf("First 12 activations along the path:\n");
+  std::printf("%-6s %-12s %-14s %s\n", "rank", "group", "feature",
+              "final weight");
+  auto order = path.ImportanceOrder();
+  int32_t channel_in_top = 0;
+  for (size_t i = 0; i < std::min<size_t>(12, order.size()); ++i) {
+    FeatureId k = order[i];
+    int group = group_of(k);
+    if (i < 6 && group == 0) ++channel_in_top;
+    std::printf("%-6zu %-12s %-14s %+.3f\n", i + 1, group_names[group],
+                path.feature_names[static_cast<size_t>(k)].c_str(),
+                path.points.back().feature_weights[static_cast<size_t>(k)]);
+  }
+  std::printf("\nChannel features among the first 6 activations: %d\n",
+              channel_in_top);
+  std::printf(
+      "\nPaper shape check: the labor-channel group (largest planted "
+      "effect)\nactivates before country/city noise features, mirroring "
+      "the 'clixsense'\nobservation of Appendix E.\n");
+  return 0;
+}

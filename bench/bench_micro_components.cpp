@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark) of the library's hot components:
+// model compilation, posterior evaluation, ERM epochs, EM iterations,
+// agreement-matrix construction, and Gibbs sweeps. These back the runtime
+// claims of Tables 5/6 with per-component numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/em.h"
+#include "core/erm.h"
+#include "core/factor_graph_compile.h"
+#include "core/model.h"
+#include "factorgraph/gibbs.h"
+#include "opt/matrix_completion.h"
+#include "synth/synthetic.h"
+#include "util/random.h"
+
+namespace slimfast {
+namespace {
+
+SyntheticDataset MakeBenchInstance(int32_t sources, int32_t objects,
+                                   double density) {
+  SyntheticConfig config;
+  config.num_sources = sources;
+  config.num_objects = objects;
+  config.density = density;
+  config.mean_accuracy = 0.7;
+  config.accuracy_spread = 0.1;
+  config.num_feature_groups = 4;
+  config.values_per_group = 8;
+  config.feature_effect = 0.1;
+  return GenerateSynthetic(config, 42).ValueOrDie();
+}
+
+void BM_Compile(benchmark::State& state) {
+  auto synth = MakeBenchInstance(static_cast<int32_t>(state.range(0)),
+                                 1000, 0.02);
+  for (auto _ : state) {
+    auto compiled = Compile(synth.dataset, ModelConfig{}).ValueOrDie();
+    benchmark::DoNotOptimize(compiled.objects.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          synth.dataset.num_observations());
+}
+BENCHMARK(BM_Compile)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_PosteriorAllObjects(benchmark::State& state) {
+  auto synth = MakeBenchInstance(500, 1000, 0.02);
+  SlimFastModel model(Compile(synth.dataset, ModelConfig{}).ValueOrDie());
+  std::vector<double> probs;
+  for (auto _ : state) {
+    for (const CompiledObject& row : model.compiled().objects) {
+      model.Posterior(row, &probs);
+      benchmark::DoNotOptimize(probs.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(model.compiled().objects.size()));
+}
+BENCHMARK(BM_PosteriorAllObjects);
+
+void BM_ErmEpoch(benchmark::State& state) {
+  auto synth = MakeBenchInstance(500, 1000, 0.02);
+  const Dataset& d = synth.dataset;
+  SlimFastModel model(Compile(d, ModelConfig{}).ValueOrDie());
+  auto examples = ErmLearner::ObjectExamples(d, model.compiled(),
+                                             d.ObjectsWithTruth());
+  ErmOptions options;
+  options.epochs = 1;
+  ErmLearner learner(options);
+  Rng rng(1);
+  for (auto _ : state) {
+    auto stats = learner.FitObjectLoss(examples, &model, &rng);
+    benchmark::DoNotOptimize(stats.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(examples.size()));
+}
+BENCHMARK(BM_ErmEpoch);
+
+void BM_EmIteration(benchmark::State& state) {
+  auto synth = MakeBenchInstance(500, 1000, 0.02);
+  const Dataset& d = synth.dataset;
+  ModelConfig config;
+  EmOptions options;
+  options.max_iterations = 1;
+  EmLearner learner(options);
+  for (auto _ : state) {
+    SlimFastModel model(Compile(d, config).ValueOrDie());
+    Rng rng(1);
+    auto stats = learner.Fit(d, {}, &model, &rng);
+    benchmark::DoNotOptimize(stats.ok());
+  }
+}
+BENCHMARK(BM_EmIteration);
+
+void BM_AgreementMatrix(benchmark::State& state) {
+  auto synth = MakeBenchInstance(static_cast<int32_t>(state.range(0)),
+                                 1000, 0.02);
+  for (auto _ : state) {
+    AgreementMatrix matrix(synth.dataset);
+    benchmark::DoNotOptimize(matrix.NumObservedPairs());
+  }
+}
+BENCHMARK(BM_AgreementMatrix)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_GibbsSweep(benchmark::State& state) {
+  auto synth = MakeBenchInstance(200, 500, 0.05);
+  SlimFastModel model(Compile(synth.dataset, ModelConfig{}).ValueOrDie());
+  auto compilation =
+      CompileToFactorGraph(model, synth.dataset, nullptr).ValueOrDie();
+  GibbsOptions options;
+  options.burn_in = 0;
+  options.samples = 1;
+  Rng rng(1);
+  for (auto _ : state) {
+    GibbsSampler sampler(&compilation.graph, options);
+    auto marginals = sampler.EstimateMarginals(&rng);
+    benchmark::DoNotOptimize(marginals.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          compilation.graph.num_variables());
+}
+BENCHMARK(BM_GibbsSweep);
+
+}  // namespace
+}  // namespace slimfast

@@ -1,0 +1,84 @@
+// Table 2: accuracy for predicting the true object values.
+//
+// Panel A: every method (SLiMFast with optimizer, Sources-ERM, Sources-EM,
+// Counts, ACCU, CATD, SSTF) on every simulated dataset at training
+// fractions {0.1, 1, 5, 10, 20}%. Panel B: relative difference (%) of each
+// method's average accuracy across datasets vs SLiMFast.
+
+#include <cstdio>
+#include <map>
+
+#include "baselines/registry.h"
+#include "bench_common.h"
+#include "eval/harness.h"
+#include "synth/simulators.h"
+#include "util/strings.h"
+
+using namespace slimfast;
+
+int main() {
+  bench::PrintHeader("Table 2: object-value accuracy",
+                     "Table 2 Panels A and B (Sec. 5.2.1)");
+
+  auto methods_owned = MakeTable2Methods();
+  std::vector<FusionMethod*> methods;
+  for (auto& m : methods_owned) methods.push_back(m.get());
+
+  SweepSpec spec;
+  spec.train_fractions = bench::PaperFractions();
+  spec.num_seeds = bench::NumSeeds();
+
+  // method -> fraction -> accuracies across datasets (for Panel B).
+  std::map<std::string, std::map<double, std::vector<double>>> panel_b;
+
+  for (const std::string& name : SimulatorNames()) {
+    auto synth = MakeSimulatorByName(name, /*seed=*/42).ValueOrDie();
+    auto cells = SweepMethods(synth.dataset, methods, spec).ValueOrDie();
+    std::printf("%s", RenderSweep("Panel A — " + name, cells,
+                                  SweepMetric::kAccuracy)
+                          .c_str());
+    std::printf("\n");
+    for (const CellResult& cell : cells) {
+      panel_b[cell.method][cell.train_fraction].push_back(
+          cell.mean_accuracy);
+    }
+  }
+
+  // Panel B: average accuracy across datasets, relative to SLiMFast.
+  std::printf("Panel B — relative difference (%%) vs SLiMFast, averaged "
+              "across datasets\n");
+  std::printf("%-8s %-10s", "TD(%)", "SLiMFast");
+  std::vector<std::string> others;
+  for (auto& m : methods_owned) {
+    if (m->name() != "SLiMFast") {
+      others.push_back(m->name());
+      std::printf("%-13s", m->name().c_str());
+    }
+  }
+  std::printf("\n");
+  for (double fraction : spec.train_fractions) {
+    double slimfast_avg = 0.0;
+    {
+      const auto& xs = panel_b["SLiMFast"][fraction];
+      for (double x : xs) slimfast_avg += x;
+      slimfast_avg /= static_cast<double>(xs.size());
+    }
+    std::printf("%-8s %-10s", FormatDouble(fraction * 100, 1).c_str(),
+                FormatDouble(slimfast_avg, 3).c_str());
+    for (const std::string& method : others) {
+      const auto& xs = panel_b[method][fraction];
+      double avg = 0.0;
+      for (double x : xs) avg += x;
+      avg /= static_cast<double>(xs.size());
+      double rel = (avg - slimfast_avg) / slimfast_avg * 100.0;
+      std::printf("%-13s", (FormatDouble(rel, 2) + "%").c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape check: SLiMFast leads on average at every TD level "
+      "(all Panel B\nentries negative), with the largest gaps on "
+      "correlated (demos) and sparse\n(genomics) instances; ACCU is "
+      "competitive only on the independent crowd data.\n");
+  return 0;
+}

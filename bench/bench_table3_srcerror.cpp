@@ -1,0 +1,44 @@
+// Table 3: error for estimated source accuracies.
+//
+// Probabilistic methods only (SLiMFast, Sources-ERM, Sources-EM, Counts,
+// ACCU) on Stocks, Demos, and Crowd. Genomics is excluded exactly as in
+// the paper: with ~1 observation per source its per-source "true"
+// accuracies cannot be estimated reliably.
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "bench_common.h"
+#include "eval/harness.h"
+#include "synth/simulators.h"
+
+using namespace slimfast;
+
+int main() {
+  bench::PrintHeader("Table 3: source-accuracy estimation error",
+                     "Table 3 (Sec. 5.2.2)");
+
+  auto methods_owned = MakeTable3Methods();
+  std::vector<FusionMethod*> methods;
+  for (auto& m : methods_owned) methods.push_back(m.get());
+
+  SweepSpec spec;
+  spec.train_fractions = bench::PaperFractions();
+  spec.num_seeds = bench::NumSeeds();
+
+  for (const std::string name : {"stocks", "demos", "crowd"}) {
+    auto synth = MakeSimulatorByName(name, /*seed=*/42).ValueOrDie();
+    auto cells = SweepMethods(synth.dataset, methods, spec).ValueOrDie();
+    std::printf("%s", RenderSweep(std::string("Weighted accuracy error — ") +
+                                      name,
+                                  cells, SweepMetric::kSourceError)
+                          .c_str());
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape check: the discriminative methods sit well below the "
+      "generative\nones at small TD (Counts needs labels per source; ACCU "
+      "suffers when its\nindependence assumption fails), with errors "
+      "shrinking as TD grows.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 5: wall-clock runtimes of the fusion methods on every dataset.
+//
+// End-to-end timing (dataset compilation + learning + inference) at the
+// paper's training fractions. Absolute numbers differ from the paper —
+// their DeepDive stack paid database/compilation overheads our in-memory
+// engine does not — but the relationships the paper highlights should
+// hold: EM-based runs cost more than ERM-based runs, and incorporating
+// features costs little over Sources-only variants.
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "bench_common.h"
+#include "eval/harness.h"
+#include "synth/simulators.h"
+
+using namespace slimfast;
+
+int main() {
+  bench::PrintHeader("Table 5: end-to-end wall-clock runtime (seconds)",
+                     "Table 5 (Appendix C)");
+
+  std::vector<std::unique_ptr<FusionMethod>> methods_owned;
+  for (const char* name : {"SLiMFast", "Sources-ERM", "Sources-EM",
+                           "Counts", "ACCU", "CATD", "SSTF"}) {
+    methods_owned.push_back(MakeMethodByName(name).ValueOrDie());
+  }
+  std::vector<FusionMethod*> methods;
+  for (auto& m : methods_owned) methods.push_back(m.get());
+
+  SweepSpec spec;
+  spec.train_fractions = {0.001, 0.05, 0.20};
+  spec.num_seeds = 1;  // timing runs; single split per fraction
+
+  for (const std::string& name : SimulatorNames()) {
+    auto synth = MakeSimulatorByName(name, /*seed=*/42).ValueOrDie();
+    auto cells = SweepMethods(synth.dataset, methods, spec).ValueOrDie();
+    std::printf("%s", RenderSweep("Runtime (s) — " + name, cells,
+                                  SweepMetric::kTotalSeconds)
+                          .c_str());
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape check: EM-based configurations are the most expensive; "
+      "the\nfeature-augmented SLiMFast costs little over Sources-ERM/EM; "
+      "Counts is\nnear-free. (Absolute values are smaller than the "
+      "paper's DeepDive stack.)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Genomics fusion: the paper's motivating application (Sec. 1).
+//
+// 2750 articles each contribute ~1 claim about gene-disease associations —
+// far too little to estimate per-article accuracy from conflicts alone.
+// This example shows how PubMed-style metadata features rescue fusion:
+// we run SLiMFast with and without domain features at several amounts of
+// curated ground truth and print the accuracy gap, then inspect which
+// feature weights the model found most informative.
+//
+// Build & run:  ./build/examples/genomics_fusion
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/slimfast.h"
+#include "eval/metrics.h"
+#include "synth/simulators.h"
+#include "util/random.h"
+
+using namespace slimfast;
+
+int main() {
+  auto synth = MakeGenomicsSim(/*seed=*/2024).ValueOrDie();
+  const Dataset& dataset = synth.dataset;
+  std::printf("Simulated GAD-style dataset: %d articles, %d gene-disease "
+              "pairs, %lld claims\n\n",
+              dataset.num_sources(), dataset.num_objects(),
+              static_cast<long long>(dataset.num_observations()));
+
+  std::printf("%-8s %-18s %-18s %s\n", "TD(%)", "SLiMFast(features)",
+              "Sources only", "feature gain");
+  for (double fraction : {0.01, 0.05, 0.10, 0.20}) {
+    Rng rng(7);
+    auto split = MakeSplit(dataset, fraction, &rng).ValueOrDie();
+    auto with_features =
+        MakeSlimFast()->Run(dataset, split, 3).ValueOrDie();
+    auto sources_only =
+        MakeSourcesEm()->Run(dataset, split, 3).ValueOrDie();
+    double acc_with =
+        TestAccuracy(dataset, with_features.predicted_values, split)
+            .ValueOrDie();
+    double acc_without =
+        TestAccuracy(dataset, sources_only.predicted_values, split)
+            .ValueOrDie();
+    std::printf("%-8.1f %-18.3f %-18.3f %+.3f\n", fraction * 100, acc_with,
+                acc_without, acc_with - acc_without);
+  }
+
+  // Which metadata features drive article accuracy?
+  Rng rng(7);
+  auto split = MakeSplit(dataset, 0.20, &rng).ValueOrDie();
+  auto fit = MakeSlimFast()->Fit(dataset, split, 3).ValueOrDie();
+  const ParamLayout& layout = fit.model.layout();
+  std::vector<std::pair<double, FeatureId>> ranked;
+  for (int32_t k = 0; k < layout.num_feature_params; ++k) {
+    double w =
+        fit.model.weights()[static_cast<size_t>(layout.feature_offset + k)];
+    ranked.emplace_back(w, k);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              return std::abs(a.first) > std::abs(b.first);
+            });
+  std::printf("\nTop-10 most informative metadata features:\n");
+  std::printf("%-14s %s\n", "weight", "feature");
+  for (size_t i = 0; i < std::min<size_t>(10, ranked.size()); ++i) {
+    std::printf("%+-14.4f %s\n", ranked[i].first,
+                dataset.features().FeatureName(ranked[i].second).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+#ifndef SLIMFAST_BASELINES_ACCU_H_
+#define SLIMFAST_BASELINES_ACCU_H_
+
+#include <string>
+
+#include "data/fusion.h"
+
+namespace slimfast {
+
+/// Options for the ACCU baseline.
+struct AccuOptions {
+  /// Initial accuracy for sources without labeled claims.
+  double init_accuracy = 0.8;
+  int32_t max_iterations = 50;
+  /// Convergence threshold on the max absolute accuracy change.
+  double tolerance = 1e-4;
+  /// Accuracy estimates are clamped into [eps, 1 - eps].
+  double clamp_eps = 1e-3;
+};
+
+/// ACCU — the Bayesian fusion model of Dong et al. [9] without source
+/// copying, as configured in Sec. 5.1.
+///
+/// Iterates between (a) Bayesian truth inference, where a source claiming
+/// value v contributes vote ln(n · A_s / (1 - A_s)) with n = |D_o| - 1
+/// false values assumed uniform, and (b) accuracy re-estimation, where
+/// A_s is the mean posterior probability of the values the source claims.
+/// Revealed ground truth initializes the accuracies (as suggested in [9])
+/// and stays clamped as evidence during the iterations.
+class Accu : public FusionMethod {
+ public:
+  explicit Accu(AccuOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "ACCU"; }
+
+  Result<FusionOutput> Run(const Dataset& dataset,
+                           const TrainTestSplit& split,
+                           uint64_t seed) override;
+
+ private:
+  AccuOptions options_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_BASELINES_ACCU_H_

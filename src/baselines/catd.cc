@@ -1,0 +1,112 @@
+#include "baselines/catd.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "util/math.h"
+#include "util/stopwatch.h"
+
+namespace slimfast {
+
+Result<FusionOutput> Catd::Run(const Dataset& dataset,
+                               const TrainTestSplit& split, uint64_t seed) {
+  (void)seed;
+  Stopwatch learn_watch;
+  FusionOutput output;
+  output.method_name = name();
+
+  const size_t num_objects = static_cast<size_t>(dataset.num_objects());
+  const size_t num_sources = static_cast<size_t>(dataset.num_sources());
+
+  // Truth estimates: initialize with majority vote; clamp training labels.
+  std::vector<ValueId> truth_est(num_objects, kNoValue);
+  {
+    std::unordered_map<ValueId, int64_t> counts;
+    for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+      const auto& claims = dataset.ClaimsOnObject(o);
+      if (claims.empty()) continue;
+      if (split.IsTrain(o) && dataset.HasTruth(o)) {
+        truth_est[static_cast<size_t>(o)] = dataset.Truth(o);
+        continue;
+      }
+      counts.clear();
+      for (const SourceClaim& claim : claims) ++counts[claim.value];
+      ValueId best = kNoValue;
+      int64_t best_count = -1;
+      for (const auto& [value, count] : counts) {
+        if (count > best_count || (count == best_count && value < best)) {
+          best = value;
+          best_count = count;
+        }
+      }
+      truth_est[static_cast<size_t>(o)] = best;
+    }
+  }
+
+  std::vector<double> weight(num_sources, 1.0);
+  std::vector<double> vote;
+  for (int32_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // --- Weight update: chi-squared-shrunk inverse error. ---
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+      const auto& claims = dataset.ClaimsBySource(s);
+      if (claims.empty()) {
+        weight[static_cast<size_t>(s)] = 0.0;
+        continue;
+      }
+      double error_sum = 0.0;
+      for (const ObjectClaim& claim : claims) {
+        if (truth_est[static_cast<size_t>(claim.object)] != claim.value) {
+          error_sum += 1.0;
+        }
+      }
+      // 0.5 pseudo-error keeps perfect sources finite (standard CATD
+      // smoothing for categorical data).
+      error_sum = std::max(error_sum, 0.5);
+      double chi = ChiSquaredQuantile(
+          options_.alpha / 2.0, static_cast<double>(claims.size()));
+      weight[static_cast<size_t>(s)] = chi / error_sum;
+    }
+
+    // --- Truth update: weighted vote per object. ---
+    int64_t changed = 0;
+    int64_t considered = 0;
+    for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+      const auto& domain = dataset.DomainOf(o);
+      if (domain.empty()) continue;
+      if (split.IsTrain(o) && dataset.HasTruth(o)) continue;  // clamped
+      const auto& claims = dataset.ClaimsOnObject(o);
+      vote.assign(domain.size(), 0.0);
+      for (size_t di = 0; di < domain.size(); ++di) {
+        for (const SourceClaim& claim : claims) {
+          if (claim.value == domain[di]) {
+            vote[di] += weight[static_cast<size_t>(claim.source)];
+          }
+        }
+      }
+      size_t best = 0;
+      for (size_t di = 1; di < domain.size(); ++di) {
+        if (vote[di] > vote[best]) best = di;
+      }
+      ++considered;
+      size_t oi = static_cast<size_t>(o);
+      if (truth_est[oi] != domain[best]) {
+        truth_est[oi] = domain[best];
+        ++changed;
+      }
+    }
+    if (considered == 0 ||
+        static_cast<double>(changed) / static_cast<double>(considered) <=
+            options_.tolerance) {
+      break;
+    }
+  }
+  output.learn_seconds = learn_watch.ElapsedSeconds();
+  output.predicted_values = std::move(truth_est);
+  // CATD's weights are not probabilistic accuracies; per the paper's
+  // Table 3 note, no accuracy estimates are reported.
+  output.source_accuracies.clear();
+  return output;
+}
+
+}  // namespace slimfast

@@ -1,0 +1,73 @@
+#include "baselines/counts.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.h"
+#include "util/stopwatch.h"
+
+namespace slimfast {
+
+Result<FusionOutput> Counts::Run(const Dataset& dataset,
+                                 const TrainTestSplit& split,
+                                 uint64_t seed) {
+  (void)seed;
+  Stopwatch learn_watch;
+  FusionOutput output;
+  output.method_name = name();
+
+  // Supervised accuracy estimation from the revealed training labels.
+  std::vector<int64_t> labeled(static_cast<size_t>(dataset.num_sources()), 0);
+  std::vector<int64_t> correct(static_cast<size_t>(dataset.num_sources()), 0);
+  for (ObjectId o : split.train_objects) {
+    if (!dataset.HasTruth(o)) continue;
+    ValueId truth = dataset.Truth(o);
+    for (const SourceClaim& claim : dataset.ClaimsOnObject(o)) {
+      ++labeled[static_cast<size_t>(claim.source)];
+      if (claim.value == truth) ++correct[static_cast<size_t>(claim.source)];
+    }
+  }
+  output.source_accuracies.assign(
+      static_cast<size_t>(dataset.num_sources()), options_.default_accuracy);
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    size_t si = static_cast<size_t>(s);
+    if (labeled[si] == 0) continue;
+    output.source_accuracies[si] =
+        (static_cast<double>(correct[si]) + options_.smoothing) /
+        (static_cast<double>(labeled[si]) + 2.0 * options_.smoothing);
+  }
+  output.learn_seconds = learn_watch.ElapsedSeconds();
+
+  // Naive Bayes inference.
+  Stopwatch infer_watch;
+  output.predicted_values.assign(static_cast<size_t>(dataset.num_objects()),
+                                 kNoValue);
+  std::vector<double> scores;
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    const auto& domain = dataset.DomainOf(o);
+    if (domain.empty()) continue;
+    const auto& claims = dataset.ClaimsOnObject(o);
+    scores.assign(domain.size(), 0.0);
+    double wrong_spread =
+        domain.size() > 1 ? static_cast<double>(domain.size() - 1) : 1.0;
+    for (size_t di = 0; di < domain.size(); ++di) {
+      for (const SourceClaim& claim : claims) {
+        double a = Clamp(
+            output.source_accuracies[static_cast<size_t>(claim.source)],
+            1e-6, 1.0 - 1e-6);
+        scores[di] += claim.value == domain[di]
+                          ? std::log(a)
+                          : std::log((1.0 - a) / wrong_spread);
+      }
+    }
+    size_t best = 0;
+    for (size_t di = 1; di < domain.size(); ++di) {
+      if (scores[di] > scores[best]) best = di;
+    }
+    output.predicted_values[static_cast<size_t>(o)] = domain[best];
+  }
+  output.infer_seconds = infer_watch.ElapsedSeconds();
+  return output;
+}
+
+}  // namespace slimfast

@@ -1,0 +1,42 @@
+#ifndef SLIMFAST_BASELINES_COUNTS_H_
+#define SLIMFAST_BASELINES_COUNTS_H_
+
+#include <string>
+
+#include "data/fusion.h"
+
+namespace slimfast {
+
+/// Options for the Counts baseline.
+struct CountsOptions {
+  /// Laplace smoothing pseudo-counts for the empirical accuracy estimate:
+  /// A_s = (correct + alpha) / (labeled + 2 * alpha).
+  double smoothing = 1.0;
+  /// Accuracy assigned to sources with no claims on labeled objects.
+  double default_accuracy = 0.5;
+};
+
+/// "Counts" baseline of Sec. 5.1 — Naive Bayes with supervised accuracies.
+///
+/// Source accuracies are the (smoothed) fraction of each source's claims
+/// on training objects that are correct; truth is inferred with Naive
+/// Bayes under conditional independence: claiming sources vote
+/// log(A_s) for their value and log((1 - A_s) / (|D_o| - 1)) against the
+/// others (wrong values assumed uniform).
+class Counts : public FusionMethod {
+ public:
+  explicit Counts(CountsOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "Counts"; }
+
+  Result<FusionOutput> Run(const Dataset& dataset,
+                           const TrainTestSplit& split,
+                           uint64_t seed) override;
+
+ private:
+  CountsOptions options_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_BASELINES_COUNTS_H_

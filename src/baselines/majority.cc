@@ -1,0 +1,56 @@
+#include "baselines/majority.h"
+
+#include <unordered_map>
+
+#include "util/stopwatch.h"
+
+namespace slimfast {
+
+Result<FusionOutput> MajorityVote::Run(const Dataset& dataset,
+                                       const TrainTestSplit& split,
+                                       uint64_t seed) {
+  (void)split;
+  (void)seed;
+  Stopwatch watch;
+  FusionOutput output;
+  output.method_name = name();
+  output.predicted_values.assign(static_cast<size_t>(dataset.num_objects()),
+                                 kNoValue);
+
+  std::unordered_map<ValueId, int64_t> counts;
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    const auto& claims = dataset.ClaimsOnObject(o);
+    if (claims.empty()) continue;
+    counts.clear();
+    for (const SourceClaim& claim : claims) ++counts[claim.value];
+    ValueId best = kNoValue;
+    int64_t best_count = -1;
+    for (const auto& [value, count] : counts) {
+      if (count > best_count || (count == best_count && value < best)) {
+        best = value;
+        best_count = count;
+      }
+    }
+    output.predicted_values[static_cast<size_t>(o)] = best;
+  }
+
+  output.source_accuracies.assign(
+      static_cast<size_t>(dataset.num_sources()), 0.5);
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    const auto& claims = dataset.ClaimsBySource(s);
+    if (claims.empty()) continue;
+    int64_t agree = 0;
+    for (const ObjectClaim& claim : claims) {
+      if (output.predicted_values[static_cast<size_t>(claim.object)] ==
+          claim.value) {
+        ++agree;
+      }
+    }
+    output.source_accuracies[static_cast<size_t>(s)] =
+        static_cast<double>(agree) / static_cast<double>(claims.size());
+  }
+  output.infer_seconds = watch.ElapsedSeconds();
+  return output;
+}
+
+}  // namespace slimfast

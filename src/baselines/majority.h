@@ -1,0 +1,26 @@
+#ifndef SLIMFAST_BASELINES_MAJORITY_H_
+#define SLIMFAST_BASELINES_MAJORITY_H_
+
+#include <string>
+
+#include "data/fusion.h"
+
+namespace slimfast {
+
+/// Unweighted majority vote — the simplest fusion strategy (Sec. 2).
+///
+/// Every object takes its most frequently claimed value (smallest value id
+/// on ties). Source accuracies are reported as each source's agreement
+/// rate with the majority outcome, the natural non-probabilistic proxy.
+class MajorityVote : public FusionMethod {
+ public:
+  std::string name() const override { return "MajorityVote"; }
+
+  Result<FusionOutput> Run(const Dataset& dataset,
+                           const TrainTestSplit& split,
+                           uint64_t seed) override;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_BASELINES_MAJORITY_H_

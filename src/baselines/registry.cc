@@ -1,0 +1,53 @@
+#include "baselines/registry.h"
+
+#include "baselines/accu.h"
+#include "baselines/catd.h"
+#include "baselines/counts.h"
+#include "baselines/majority.h"
+#include "baselines/sstf.h"
+#include "baselines/truthfinder.h"
+#include "core/slimfast.h"
+
+namespace slimfast {
+
+std::vector<std::unique_ptr<FusionMethod>> MakeTable2Methods() {
+  std::vector<std::unique_ptr<FusionMethod>> methods;
+  methods.push_back(MakeSlimFast());
+  methods.push_back(MakeSourcesErm());
+  methods.push_back(MakeSourcesEm());
+  methods.push_back(std::make_unique<Counts>());
+  methods.push_back(std::make_unique<Accu>());
+  methods.push_back(std::make_unique<Catd>());
+  methods.push_back(std::make_unique<Sstf>());
+  return methods;
+}
+
+std::vector<std::unique_ptr<FusionMethod>> MakeTable3Methods() {
+  std::vector<std::unique_ptr<FusionMethod>> methods;
+  methods.push_back(MakeSlimFast());
+  methods.push_back(MakeSourcesErm());
+  methods.push_back(MakeSourcesEm());
+  methods.push_back(std::make_unique<Counts>());
+  methods.push_back(std::make_unique<Accu>());
+  return methods;
+}
+
+Result<std::unique_ptr<FusionMethod>> MakeMethodByName(
+    const std::string& name) {
+  if (name == "SLiMFast") return {MakeSlimFast()};
+  if (name == "SLiMFast-ERM") return {MakeSlimFastErm()};
+  if (name == "SLiMFast-EM") return {MakeSlimFastEm()};
+  if (name == "Sources-ERM") return {MakeSourcesErm()};
+  if (name == "Sources-EM") return {MakeSourcesEm()};
+  if (name == "MajorityVote") {
+    return {std::make_unique<MajorityVote>()};
+  }
+  if (name == "Counts") return {std::make_unique<Counts>()};
+  if (name == "ACCU") return {std::make_unique<Accu>()};
+  if (name == "CATD") return {std::make_unique<Catd>()};
+  if (name == "SSTF") return {std::make_unique<Sstf>()};
+  if (name == "TruthFinder") return {std::make_unique<TruthFinder>()};
+  return Status::NotFound("no fusion method named '" + name + "'");
+}
+
+}  // namespace slimfast

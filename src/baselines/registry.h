@@ -1,0 +1,28 @@
+#ifndef SLIMFAST_BASELINES_REGISTRY_H_
+#define SLIMFAST_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/fusion.h"
+
+namespace slimfast {
+
+/// Builds the full method lineup of Table 2: SLiMFast (optimizer),
+/// Sources-ERM, Sources-EM, Counts, ACCU, CATD, SSTF.
+std::vector<std::unique_ptr<FusionMethod>> MakeTable2Methods();
+
+/// The probabilistic subset compared in Table 3: SLiMFast, Sources-ERM,
+/// Sources-EM, Counts, ACCU.
+std::vector<std::unique_ptr<FusionMethod>> MakeTable3Methods();
+
+/// Constructs one method by display name ("SLiMFast", "SLiMFast-ERM",
+/// "SLiMFast-EM", "Sources-ERM", "Sources-EM", "MajorityVote", "Counts",
+/// "ACCU", "CATD", "SSTF", "TruthFinder"); NotFound for anything else.
+Result<std::unique_ptr<FusionMethod>> MakeMethodByName(
+    const std::string& name);
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_BASELINES_REGISTRY_H_

@@ -1,0 +1,47 @@
+#ifndef SLIMFAST_BASELINES_SSTF_H_
+#define SLIMFAST_BASELINES_SSTF_H_
+
+#include <string>
+
+#include "data/fusion.h"
+
+namespace slimfast {
+
+/// Options for the SSTF baseline.
+struct SstfOptions {
+  int32_t max_iterations = 30;
+  /// Damping of the fact-confidence logistic squash.
+  double gamma = 0.5;
+  /// Initial source trustworthiness.
+  double init_trust = 0.7;
+  /// Convergence threshold on the max trust change.
+  double tolerance = 1e-4;
+};
+
+/// SSTF — semi-supervised truth finding (Yin & Tan [40]).
+///
+/// Graph-based propagation over the bipartite source/fact graph: facts are
+/// (object, value) pairs with confidence scores, sources have
+/// trustworthiness equal to the mean confidence of their claimed facts,
+/// and fact confidence is the squashed sum of claiming sources' trust
+/// scores (−ln(1 − t)), penalized by the mass of conflicting facts on the
+/// same object. Labeled facts are clamped to confidence 1 (the true value)
+/// and 0 (every other claimed value); their information propagates to
+/// unlabeled objects through shared sources.
+class Sstf : public FusionMethod {
+ public:
+  explicit Sstf(SstfOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "SSTF"; }
+
+  Result<FusionOutput> Run(const Dataset& dataset,
+                           const TrainTestSplit& split,
+                           uint64_t seed) override;
+
+ private:
+  SstfOptions options_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_BASELINES_SSTF_H_

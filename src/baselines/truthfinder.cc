@@ -1,0 +1,111 @@
+#include "baselines/truthfinder.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.h"
+#include "util/stopwatch.h"
+
+namespace slimfast {
+
+Result<FusionOutput> TruthFinder::Run(const Dataset& dataset,
+                                      const TrainTestSplit& split,
+                                      uint64_t seed) {
+  (void)seed;
+  Stopwatch learn_watch;
+  FusionOutput output;
+  output.method_name = name();
+
+  const size_t num_objects = static_cast<size_t>(dataset.num_objects());
+  const size_t num_sources = static_cast<size_t>(dataset.num_sources());
+
+  std::vector<std::vector<double>> confidence(num_objects);
+  std::vector<uint8_t> clamped(num_objects, 0);
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    const auto& domain = dataset.DomainOf(o);
+    auto& conf = confidence[static_cast<size_t>(o)];
+    conf.assign(domain.size(), 0.5);
+    if (split.IsTrain(o) && dataset.HasTruth(o)) {
+      clamped[static_cast<size_t>(o)] = 1;
+      for (size_t di = 0; di < domain.size(); ++di) {
+        conf[di] = domain[di] == dataset.Truth(o) ? 1.0 : 0.0;
+      }
+    }
+  }
+
+  std::vector<double> trust(num_sources, options_.init_trust);
+  std::vector<double> raw;
+  for (int32_t iter = 0; iter < options_.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    // --- Source trust: mean confidence of claimed facts. ---
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+      const auto& claims = dataset.ClaimsBySource(s);
+      if (claims.empty()) continue;
+      double sum = 0.0;
+      for (const ObjectClaim& claim : claims) {
+        const auto& domain = dataset.DomainOf(claim.object);
+        const auto& conf = confidence[static_cast<size_t>(claim.object)];
+        for (size_t di = 0; di < domain.size(); ++di) {
+          if (domain[di] == claim.value) {
+            sum += conf[di];
+            break;
+          }
+        }
+      }
+      double updated = Clamp(sum / static_cast<double>(claims.size()),
+                             1e-4, 1.0 - 1e-4);
+      max_delta = std::max(
+          max_delta, std::fabs(updated - trust[static_cast<size_t>(s)]));
+      trust[static_cast<size_t>(s)] = updated;
+    }
+
+    // --- Fact confidence with conflicting-fact penalty. ---
+    for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+      size_t oi = static_cast<size_t>(o);
+      if (clamped[oi]) continue;
+      const auto& domain = dataset.DomainOf(o);
+      if (domain.empty()) continue;
+      const auto& claims = dataset.ClaimsOnObject(o);
+      // Raw trust-score mass per candidate: σ(f) = Σ −ln(1 − t_s).
+      raw.assign(domain.size(), 0.0);
+      for (size_t di = 0; di < domain.size(); ++di) {
+        for (const SourceClaim& claim : claims) {
+          if (claim.value == domain[di]) {
+            raw[di] +=
+                -std::log(1.0 - trust[static_cast<size_t>(claim.source)]);
+          }
+        }
+      }
+      double total = 0.0;
+      for (double r : raw) total += r;
+      for (size_t di = 0; di < domain.size(); ++di) {
+        // Conflicting facts subtract rho times their mass (the mutual-
+        // exclusion implication of the original model); the dampened
+        // sigmoid squash 1/(1+e^{-γs*}) of Yin et al. keeps confidences
+        // centered at 0.5 so trust cannot collapse to zero.
+        double adjusted = raw[di] - options_.rho * (total - raw[di]);
+        confidence[oi][di] = Sigmoid(options_.gamma * adjusted);
+      }
+    }
+    if (max_delta < options_.tolerance) break;
+  }
+  output.learn_seconds = learn_watch.ElapsedSeconds();
+
+  Stopwatch infer_watch;
+  output.predicted_values.assign(num_objects, kNoValue);
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    const auto& domain = dataset.DomainOf(o);
+    if (domain.empty()) continue;
+    const auto& conf = confidence[static_cast<size_t>(o)];
+    size_t best = 0;
+    for (size_t di = 1; di < domain.size(); ++di) {
+      if (conf[di] > conf[best]) best = di;
+    }
+    output.predicted_values[static_cast<size_t>(o)] = domain[best];
+  }
+  output.source_accuracies = std::move(trust);
+  output.infer_seconds = infer_watch.ElapsedSeconds();
+  return output;
+}
+
+}  // namespace slimfast

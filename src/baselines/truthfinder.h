@@ -1,0 +1,44 @@
+#ifndef SLIMFAST_BASELINES_TRUTHFINDER_H_
+#define SLIMFAST_BASELINES_TRUTHFINDER_H_
+
+#include <string>
+
+#include "data/fusion.h"
+
+namespace slimfast {
+
+/// Options for the TruthFinder baseline.
+struct TruthFinderOptions {
+  int32_t max_iterations = 30;
+  /// Dampening factor of the confidence squash (0.3 in the original paper).
+  double gamma = 0.3;
+  /// Weight of the conflicting-fact penalty (rho in the original paper).
+  double rho = 0.5;
+  double init_trust = 0.9;
+  double tolerance = 1e-4;
+};
+
+/// TruthFinder — the iterative fusion model of Yin et al. [39], included as
+/// the unsupervised representative of the "iterative" method family.
+///
+/// Alternates between source trustworthiness (mean confidence of claimed
+/// facts) and fact confidence (1 - Π (1 - t_s) over claiming sources,
+/// dampened and penalized by conflicting facts on the same object).
+/// Ground truth, when revealed, is clamped the same way as in SSTF.
+class TruthFinder : public FusionMethod {
+ public:
+  explicit TruthFinder(TruthFinderOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "TruthFinder"; }
+
+  Result<FusionOutput> Run(const Dataset& dataset,
+                           const TrainTestSplit& split,
+                           uint64_t seed) override;
+
+ private:
+  TruthFinderOptions options_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_BASELINES_TRUTHFINDER_H_

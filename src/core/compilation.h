@@ -1,0 +1,104 @@
+#ifndef SLIMFAST_CORE_COMPILATION_H_
+#define SLIMFAST_CORE_COMPILATION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/options.h"
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace slimfast {
+
+/// Dense parameter index into the model's weight vector.
+using ParamId = int32_t;
+
+/// One linear term: coefficient applied to a parameter.
+struct ParamTerm {
+  ParamId param;
+  double coeff;
+  bool operator==(const ParamTerm&) const = default;
+};
+
+/// The compiled form of one object: for each candidate value d in its
+/// domain, the sparse linear expression Σ coeff_p · w_p whose softmax over
+/// candidates gives P(To = d | Ω; w) (Eq. 4).
+struct CompiledObject {
+  ObjectId object;
+  /// Candidate values (a copy of the dataset domain D_o, ascending).
+  std::vector<ValueId> domain;
+  /// terms[di] = sparse linear expression for domain[di], merged by param.
+  std::vector<std::vector<ParamTerm>> terms;
+  /// Constant score offset per candidate (no gradient): the multiclass
+  /// correction count(d) * log(|D_o| - 1). Equation 2 defines σ_s as the
+  /// binary log-odds; with |D_o| > 2 candidates and wrong values spread
+  /// uniformly, each claim's correct Naive-Bayes vote is
+  /// log(A_s / ((1 - A_s) / (n - 1))) = σ_s + log(n - 1) — the same n
+  /// factor ACCU uses. Zero for binary domains, so the base model is
+  /// exactly Eq. 4 there.
+  std::vector<double> offsets;
+
+  /// Index of `value` within `domain`, or -1 if absent.
+  int32_t DomainIndex(ValueId value) const;
+};
+
+/// Layout of the flat parameter vector:
+///   [0, num_sources)                      per-source indicator weights w_s
+///   [feature_offset, feature_offset+K)    feature weights w_k
+///   [copy_offset, copy_offset+C)          copying pair weights (App. D)
+/// Disabled groups have zero width.
+struct ParamLayout {
+  int32_t num_params = 0;
+  int32_t source_offset = 0;
+  int32_t num_source_params = 0;
+  int32_t feature_offset = 0;
+  int32_t num_feature_params = 0;
+  int32_t copy_offset = 0;
+  int32_t num_copy_params = 0;
+
+  bool IsSourceParam(ParamId p) const {
+    return p >= source_offset && p < source_offset + num_source_params;
+  }
+  bool IsFeatureParam(ParamId p) const {
+    return p >= feature_offset && p < feature_offset + num_feature_params;
+  }
+  bool IsCopyParam(ParamId p) const {
+    return p >= copy_offset && p < copy_offset + num_copy_params;
+  }
+};
+
+/// The model structure compiled from a dataset (the "Compilation" step of
+/// Figure 3): parameter layout, per-source trust-score expressions, and
+/// per-object posterior expressions. Learning and inference run over this
+/// structure without touching the raw dataset again.
+struct CompiledModel {
+  ModelConfig config;
+  ParamLayout layout;
+  /// sigma_terms[s] = sparse expression of the trust score
+  /// σ_s = w_s + Σ_k w_k f_{s,k}.
+  std::vector<std::vector<ParamTerm>> sigma_terms;
+  /// One entry per object that has at least one observation.
+  std::vector<CompiledObject> objects;
+  /// Row index into `objects` per ObjectId; -1 if the object is unobserved.
+  std::vector<int32_t> object_row;
+  /// Copying extension: copy_pairs[c] is the source pair of copy parameter
+  /// layout.copy_offset + c.
+  std::vector<std::pair<SourceId, SourceId>> copy_pairs;
+
+  int32_t num_sources = 0;
+  int32_t num_features = 0;
+
+  /// Compiled row of `object`, or nullptr if it has no observations.
+  const CompiledObject* RowOf(ObjectId object) const;
+};
+
+/// Compiles `dataset` into the log-linear structure of Eq. 4 under
+/// `config`. Fails if the config enables features but the dataset has none
+/// of the structure required (e.g. copying with < 2 sources).
+Result<CompiledModel> Compile(const Dataset& dataset,
+                              const ModelConfig& config);
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_CORE_COMPILATION_H_

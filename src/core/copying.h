@@ -1,0 +1,33 @@
+#ifndef SLIMFAST_CORE_COPYING_H_
+#define SLIMFAST_CORE_COPYING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace slimfast {
+
+/// One learned copying relation (Appendix D): a source pair and the weight
+/// of its pairwise "agree on a rejected value" feature. Large positive
+/// weights indicate the model treats the pair's agreement as correlated
+/// error — the copying signature of Dong et al. [9].
+struct CopyingRelation {
+  SourceId source_a;
+  SourceId source_b;
+  double weight;
+};
+
+/// Extracts the `top_k` strongest copying relations from a model compiled
+/// with ModelConfig::use_copying_features (descending by weight). Returns
+/// an empty vector for models without copying parameters.
+std::vector<CopyingRelation> TopCopyingRelations(const SlimFastModel& model,
+                                                 int32_t top_k);
+
+/// Renders relations as a small table (for the Figure 8 companion listing).
+std::string CopyingRelationsToString(
+    const std::vector<CopyingRelation>& relations);
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_CORE_COPYING_H_

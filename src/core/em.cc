@@ -1,0 +1,172 @@
+#include "core/em.h"
+
+#include <cmath>
+
+#include "opt/convergence.h"
+#include "util/math.h"
+
+namespace slimfast {
+
+void EmLearner::Initialize(const Dataset& dataset,
+                           const std::vector<LabeledExample>& labeled,
+                           const std::vector<ObjectId>& train_objects,
+                           SlimFastModel* model, Rng* rng) const {
+  const ParamLayout& layout = model->layout();
+  if (layout.num_source_params > 0) {
+    double w0 = Logit(options_.init_accuracy);
+    std::vector<double>& w = *model->mutable_weights();
+    for (int32_t i = 0; i < layout.num_source_params; ++i) {
+      w[static_cast<size_t>(layout.source_offset + i)] = w0;
+    }
+  }
+  if (!labeled.empty()) {
+    // Seed from the available ground truth (accuracy log-loss, matching
+    // the M-step); errors here are non-fatal — EM proceeds from the prior.
+    ErmLearner erm(options_.m_step);
+    auto examples = ErmLearner::ObservationExamples(dataset, train_objects);
+    auto st = erm.FitAccuracyLoss(examples, model, rng);
+    (void)st;
+  }
+}
+
+Result<EmStats> EmLearner::Fit(const Dataset& dataset,
+                               const std::vector<ObjectId>& train_objects,
+                               SlimFastModel* model, Rng* rng) const {
+  SLIMFAST_ASSIGN_OR_RETURN(
+      EmStats stats, FitOnce(dataset, train_objects, model, rng,
+                             /*seed_from_labels=*/true));
+  // Inversion guard: EM has a symmetric fixed point where most trust
+  // scores flip sign (every label is anti-predicted). The ground-truth
+  // objects are clamped during the E-step, so a healthy run predicts them
+  // correctly; if the converged model gets fewer than half of its own
+  // training labels right, restart from the prior initialization without
+  // the label-seeded fit and keep the better of the two runs.
+  if (!train_objects.empty()) {
+    double accuracy = TrainAccuracy(dataset, train_objects, *model);
+    if (accuracy < 0.5) {
+      SlimFastModel retry(model->compiled());
+      SLIMFAST_ASSIGN_OR_RETURN(
+          EmStats retry_stats, FitOnce(dataset, train_objects, &retry, rng,
+                                       /*seed_from_labels=*/false));
+      if (TrainAccuracy(dataset, train_objects, retry) > accuracy) {
+        model->SetWeights(retry.weights());
+        return retry_stats;
+      }
+    }
+  }
+  return stats;
+}
+
+double EmLearner::TrainAccuracy(const Dataset& dataset,
+                                const std::vector<ObjectId>& train_objects,
+                                const SlimFastModel& model) {
+  int64_t evaluated = 0;
+  int64_t correct = 0;
+  for (ObjectId o : train_objects) {
+    if (!dataset.HasTruth(o)) continue;
+    const CompiledObject* row = model.compiled().RowOf(o);
+    if (row == nullptr) continue;
+    ++evaluated;
+    int32_t map_index = model.MapIndex(*row);
+    if (row->domain[static_cast<size_t>(map_index)] == dataset.Truth(o)) {
+      ++correct;
+    }
+  }
+  if (evaluated == 0) return 1.0;
+  return static_cast<double>(correct) / static_cast<double>(evaluated);
+}
+
+Result<EmStats> EmLearner::FitOnce(const Dataset& dataset,
+                                   const std::vector<ObjectId>& train_objects,
+                                   SlimFastModel* model, Rng* rng,
+                                   bool seed_from_labels) const {
+  const CompiledModel& compiled = model->compiled();
+  if (compiled.objects.empty()) {
+    return Status::FailedPrecondition("EM requires at least one observation");
+  }
+
+  std::vector<LabeledExample> labeled =
+      ErmLearner::ObjectExamples(dataset, compiled, train_objects);
+  // Rows clamped to ground truth (never re-imputed by the E-step).
+  std::vector<uint8_t> clamped(compiled.objects.size(), 0);
+  for (const LabeledExample& ex : labeled) {
+    clamped[static_cast<size_t>(ex.row)] = 1;
+  }
+
+  Initialize(dataset, seed_from_labels ? labeled : std::vector<LabeledExample>{},
+             train_objects, model, rng);
+
+  // Observation examples for clamped objects are fixed across iterations.
+  std::vector<ObservationExample> clamped_examples =
+      ErmLearner::ObservationExamples(dataset, train_objects);
+
+  ErmLearner m_step(options_.m_step);
+  ConvergenceTracker tracker(options_.tolerance, options_.patience);
+
+  EmStats stats;
+  std::vector<double> probs;
+  std::vector<ObservationExample> examples;
+  for (int32_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // ---- E-step: impute value posteriors for unclamped rows and turn
+    // them into per-claim correctness targets. Given an assignment (or
+    // posterior) for To, the likelihood of the observations factors per
+    // claim as Bernoulli(A_s), so the M-step below is exactly the
+    // "maximum likelihood values given v_o" of Sec. 3.2 — and, unlike
+    // refitting the object posterior on its own MAP labels, it cannot
+    // merely re-confirm the current predictions.
+    examples = clamped_examples;
+    double expected_nll = 0.0;
+    for (size_t r = 0; r < compiled.objects.size(); ++r) {
+      const CompiledObject& row = compiled.objects[r];
+      if (clamped[r]) continue;
+      model->Posterior(row, &probs);
+      if (options_.soft) {
+        // Soft target per claim: q = P(To = claimed value).
+        for (const SourceClaim& claim :
+             dataset.ClaimsOnObject(row.object)) {
+          int32_t di = row.DomainIndex(claim.value);
+          double q = di >= 0 ? probs[static_cast<size_t>(di)] : 0.0;
+          examples.push_back(ObservationExample{claim.source, q, 1.0});
+        }
+        for (double p : probs) {
+          if (p > 1e-12) expected_nll += -p * std::log(p);
+        }
+      } else {
+        int32_t map_index = 0;
+        for (size_t di = 1; di < probs.size(); ++di) {
+          if (probs[di] > probs[static_cast<size_t>(map_index)]) {
+            map_index = static_cast<int32_t>(di);
+          }
+        }
+        ValueId map_value = row.domain[static_cast<size_t>(map_index)];
+        for (const SourceClaim& claim :
+             dataset.ClaimsOnObject(row.object)) {
+          examples.push_back(ObservationExample{
+              claim.source, claim.value == map_value ? 1.0 : 0.0, 1.0});
+        }
+        expected_nll +=
+            -std::log(std::max(probs[static_cast<size_t>(map_index)],
+                               1e-300));
+      }
+    }
+    for (const LabeledExample& ex : labeled) {
+      expected_nll += model->ObjectNll(
+          compiled.objects[static_cast<size_t>(ex.row)], ex.target_index);
+    }
+
+    // ---- M-step: warm-started accuracy-loss fit on all claim targets. ----
+    SLIMFAST_ASSIGN_OR_RETURN(FitStats m_stats,
+                              m_step.FitAccuracyLoss(examples, model, rng));
+    (void)m_stats;
+
+    stats.iterations = iter + 1;
+    stats.final_expected_nll = expected_nll;
+    if (tracker.Update(expected_nll)) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace slimfast

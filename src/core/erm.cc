@@ -1,0 +1,276 @@
+#include "core/erm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/adagrad.h"
+#include "opt/convergence.h"
+#include "opt/proximal.h"
+#include "opt/schedule.h"
+#include "util/math.h"
+
+namespace slimfast {
+
+std::vector<LabeledExample> ErmLearner::ObjectExamples(
+    const Dataset& dataset, const CompiledModel& compiled,
+    const std::vector<ObjectId>& train_objects) {
+  std::vector<LabeledExample> examples;
+  examples.reserve(train_objects.size());
+  for (ObjectId o : train_objects) {
+    if (!dataset.HasTruth(o)) continue;
+    const CompiledObject* row = compiled.RowOf(o);
+    if (row == nullptr) continue;
+    int32_t target = row->DomainIndex(dataset.Truth(o));
+    if (target < 0) continue;  // truth never claimed; unusable for ERM
+    examples.push_back(LabeledExample{
+        compiled.object_row[static_cast<size_t>(o)], target, 1.0});
+  }
+  return examples;
+}
+
+std::vector<ObservationExample> ErmLearner::ObservationExamples(
+    const Dataset& dataset, const std::vector<ObjectId>& train_objects) {
+  std::vector<ObservationExample> examples;
+  for (ObjectId o : train_objects) {
+    if (!dataset.HasTruth(o)) continue;
+    ValueId truth = dataset.Truth(o);
+    for (const SourceClaim& claim : dataset.ClaimsOnObject(o)) {
+      examples.push_back(ObservationExample{
+          claim.source, claim.value == truth ? 1.0 : 0.0, 1.0});
+    }
+  }
+  return examples;
+}
+
+namespace {
+
+/// Applies `grad_coeff * coeff` to the sparse gradient scratch, tracking
+/// which params were touched this example.
+inline void AccumulateTerms(const std::vector<ParamTerm>& terms,
+                            double grad_coeff, std::vector<double>* scratch,
+                            std::vector<ParamId>* touched) {
+  for (const ParamTerm& t : terms) {
+    double& slot = (*scratch)[static_cast<size_t>(t.param)];
+    if (slot == 0.0) touched->push_back(t.param);
+    slot += grad_coeff * t.coeff;
+  }
+}
+
+}  // namespace
+
+Result<FitStats> ErmLearner::FitObjectLoss(
+    const std::vector<LabeledExample>& examples, SlimFastModel* model,
+    Rng* rng) const {
+  if (examples.empty()) {
+    return Status::FailedPrecondition(
+        "ERM requires at least one labeled example");
+  }
+  if (options_.batch) return FitObjectLossBatch(examples, model);
+  return FitObjectLossSgd(examples, model, rng);
+}
+
+Result<FitStats> ErmLearner::FitObjectLossSgd(
+    const std::vector<LabeledExample>& examples, SlimFastModel* model,
+    Rng* rng) const {
+  const CompiledModel& compiled = model->compiled();
+  std::vector<double>& w = *model->mutable_weights();
+  const ParamLayout& layout = compiled.layout;
+
+  LearningRateSchedule schedule(options_.learning_rate, options_.decay);
+  ConvergenceTracker tracker(options_.tolerance, options_.patience);
+  AdaGrad adagrad(layout.num_params);
+
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<double> scratch(static_cast<size_t>(layout.num_params), 0.0);
+  std::vector<ParamId> touched;
+  std::vector<double> probs;
+
+  double total_weight = 0.0;
+  for (const LabeledExample& ex : examples) total_weight += ex.weight;
+
+  FitStats stats;
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double eta = schedule.At(epoch);
+    double loss_sum = 0.0;
+    for (size_t idx : order) {
+      const LabeledExample& ex = examples[static_cast<size_t>(idx)];
+      const CompiledObject& row =
+          compiled.objects[static_cast<size_t>(ex.row)];
+
+      model->Posterior(row, &probs);
+      double p_target =
+          std::max(probs[static_cast<size_t>(ex.target_index)], 1e-300);
+      loss_sum += -ex.weight * std::log(p_target);
+
+      // d(-log p_target)/dw = Σ_d p_d * x_d - x_target.
+      touched.clear();
+      AccumulateTerms(row.terms[static_cast<size_t>(ex.target_index)],
+                      -ex.weight, &scratch, &touched);
+      for (size_t di = 0; di < row.domain.size(); ++di) {
+        AccumulateTerms(row.terms[di], ex.weight * probs[di], &scratch,
+                        &touched);
+      }
+      for (ParamId p : touched) {
+        size_t pi = static_cast<size_t>(p);
+        double g = scratch[pi] + options_.l2 * w[pi];
+        double step = eta;
+        if (options_.use_adagrad) step *= adagrad.Step(p, g);
+        w[pi] -= step * g;
+        if (options_.l1 > 0.0 &&
+            (layout.IsFeatureParam(p) || layout.IsCopyParam(p))) {
+          w[pi] = SoftThreshold(w[pi], step * options_.l1);
+        }
+        scratch[pi] = 0.0;
+      }
+    }
+    stats.epochs = epoch + 1;
+    stats.final_loss = loss_sum / total_weight;
+    if (tracker.Update(stats.final_loss)) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+Result<FitStats> ErmLearner::FitObjectLossBatch(
+    const std::vector<LabeledExample>& examples,
+    SlimFastModel* model) const {
+  const CompiledModel& compiled = model->compiled();
+  std::vector<double>& w = *model->mutable_weights();
+  const ParamLayout& layout = compiled.layout;
+
+  LearningRateSchedule schedule(options_.learning_rate, options_.decay);
+  ConvergenceTracker tracker(options_.tolerance, options_.patience);
+  std::vector<double> grad(static_cast<size_t>(layout.num_params), 0.0);
+  std::vector<double> probs;
+
+  double total_weight = 0.0;
+  for (const LabeledExample& ex : examples) total_weight += ex.weight;
+
+  FitStats stats;
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double loss_sum = 0.0;
+    for (const LabeledExample& ex : examples) {
+      const CompiledObject& row =
+          compiled.objects[static_cast<size_t>(ex.row)];
+      model->Posterior(row, &probs);
+      double p_target =
+          std::max(probs[static_cast<size_t>(ex.target_index)], 1e-300);
+      loss_sum += -ex.weight * std::log(p_target);
+      for (const ParamTerm& t :
+           row.terms[static_cast<size_t>(ex.target_index)]) {
+        grad[static_cast<size_t>(t.param)] -= ex.weight * t.coeff;
+      }
+      for (size_t di = 0; di < row.domain.size(); ++di) {
+        for (const ParamTerm& t : row.terms[di]) {
+          grad[static_cast<size_t>(t.param)] += ex.weight * probs[di] * t.coeff;
+        }
+      }
+    }
+    // Normalize to mean loss so step sizes are dataset-size independent.
+    double inv = 1.0 / total_weight;
+    double eta = schedule.At(epoch);
+    for (size_t pi = 0; pi < w.size(); ++pi) {
+      double g = grad[pi] * inv + options_.l2 * w[pi];
+      w[pi] -= eta * g;
+      ParamId p = static_cast<ParamId>(pi);
+      if (options_.l1 > 0.0 &&
+          (layout.IsFeatureParam(p) || layout.IsCopyParam(p))) {
+        w[pi] = SoftThreshold(w[pi], eta * options_.l1);
+      }
+    }
+    stats.epochs = epoch + 1;
+    stats.final_loss = loss_sum * inv;
+    if (tracker.Update(stats.final_loss)) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+Result<FitStats> ErmLearner::FitAccuracyLoss(
+    const std::vector<ObservationExample>& examples, SlimFastModel* model,
+    Rng* rng) const {
+  if (examples.empty()) {
+    return Status::FailedPrecondition(
+        "accuracy-loss ERM requires at least one labeled observation");
+  }
+  const CompiledModel& compiled = model->compiled();
+  std::vector<double>& w = *model->mutable_weights();
+  const ParamLayout& layout = compiled.layout;
+
+  LearningRateSchedule schedule(options_.learning_rate, options_.decay);
+  ConvergenceTracker tracker(options_.tolerance, options_.patience);
+  AdaGrad adagrad(layout.num_params);
+
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double total_weight = 0.0;
+  for (const ObservationExample& ex : examples) total_weight += ex.weight;
+
+  FitStats stats;
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double eta = schedule.At(epoch);
+    double loss_sum = 0.0;
+    for (size_t idx : order) {
+      const ObservationExample& ex = examples[static_cast<size_t>(idx)];
+      const auto& terms =
+          compiled.sigma_terms[static_cast<size_t>(ex.source)];
+      double sigma = 0.0;
+      for (const ParamTerm& t : terms) {
+        sigma += t.coeff * w[static_cast<size_t>(t.param)];
+      }
+      double a = Sigmoid(sigma);
+      // Binary cross-entropy with (possibly fractional) label; d/dσ = a - y.
+      loss_sum += -ex.weight *
+                  (ex.label * std::log(std::max(a, 1e-300)) +
+                   (1.0 - ex.label) * std::log(std::max(1.0 - a, 1e-300)));
+      double g_sigma = ex.weight * (a - ex.label);
+      for (const ParamTerm& t : terms) {
+        size_t pi = static_cast<size_t>(t.param);
+        double g = g_sigma * t.coeff + options_.l2 * w[pi];
+        double step = eta;
+        if (options_.use_adagrad) step *= adagrad.Step(t.param, g);
+        w[pi] -= step * g;
+        if (options_.l1 > 0.0 && (layout.IsFeatureParam(t.param) ||
+                                  layout.IsCopyParam(t.param))) {
+          w[pi] = SoftThreshold(w[pi], step * options_.l1);
+        }
+      }
+    }
+    stats.epochs = epoch + 1;
+    stats.final_loss = loss_sum / total_weight;
+    if (tracker.Update(stats.final_loss)) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+Result<FitStats> ErmLearner::Fit(const Dataset& dataset,
+                                 const std::vector<ObjectId>& train_objects,
+                                 SlimFastModel* model, Rng* rng) const {
+  switch (options_.loss) {
+    case ErmLoss::kObjectPosterior: {
+      auto examples =
+          ObjectExamples(dataset, model->compiled(), train_objects);
+      return FitObjectLoss(examples, model, rng);
+    }
+    case ErmLoss::kAccuracyLogLoss: {
+      auto examples = ObservationExamples(dataset, train_objects);
+      return FitAccuracyLoss(examples, model, rng);
+    }
+  }
+  return Status::Internal("unknown ERM loss");
+}
+
+}  // namespace slimfast

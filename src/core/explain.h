@@ -1,0 +1,72 @@
+#ifndef SLIMFAST_CORE_EXPLAIN_H_
+#define SLIMFAST_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace slimfast {
+
+/// One claim's contribution to a fusion decision.
+struct ClaimContribution {
+  SourceId source;
+  ValueId value;
+  /// The source's trust score σ_s — its additive vote for `value`.
+  double trust_score;
+  /// The corresponding accuracy estimate sigmoid(σ_s).
+  double accuracy;
+  /// Portions of σ_s attributable to the source indicator and to each
+  /// active domain feature (parallel to `feature_names`).
+  double source_weight;
+  std::vector<std::string> feature_names;
+  std::vector<double> feature_weights;
+};
+
+/// A human-readable account of why SLiMFast chose a value for one object —
+/// the model-side counterpart of the fusion-explanation line of work the
+/// paper cites (Dong & Srivastava [13]): instead of tracing an algorithm,
+/// we expose the exact additive decomposition of the log-linear decision.
+struct ObjectExplanation {
+  ObjectId object;
+  /// Candidate values and their posterior probabilities (Eq. 4).
+  std::vector<ValueId> candidates;
+  std::vector<double> posterior;
+  /// Chosen value and runner-up, with the log-odds margin between them.
+  ValueId predicted;
+  ValueId runner_up;
+  double log_odds_margin;
+  /// Every claim on the object with its decomposed vote.
+  std::vector<ClaimContribution> claims;
+
+  /// Multi-line rendering for terminals/reports.
+  std::string ToString() const;
+};
+
+/// Explains the model's decision on `object`. Fails if the object has no
+/// observations (nothing to explain).
+Result<ObjectExplanation> ExplainObject(const SlimFastModel& model,
+                                        const Dataset& dataset,
+                                        ObjectId object);
+
+/// Explains the accuracy estimate of one source: the indicator weight and
+/// each feature's contribution, sorted by absolute impact.
+struct SourceExplanation {
+  SourceId source;
+  double accuracy;
+  double trust_score;
+  double source_weight;
+  std::vector<std::string> feature_names;
+  std::vector<double> feature_weights;
+
+  std::string ToString() const;
+};
+
+SourceExplanation ExplainSource(const SlimFastModel& model,
+                                const Dataset& dataset, SourceId source);
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_CORE_EXPLAIN_H_

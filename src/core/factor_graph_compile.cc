@@ -1,0 +1,77 @@
+#include "core/factor_graph_compile.h"
+
+#include <cmath>
+
+namespace slimfast {
+
+Result<FactorGraphCompilation> CompileToFactorGraph(
+    const SlimFastModel& model, const Dataset& dataset,
+    const TrainTestSplit* split) {
+  const CompiledModel& compiled = model.compiled();
+  FactorGraphCompilation out;
+
+  out.param_weights.reserve(
+      static_cast<size_t>(compiled.layout.num_params));
+  for (int32_t p = 0; p < compiled.layout.num_params; ++p) {
+    out.param_weights.push_back(
+        out.graph.AddWeight(model.weights()[static_cast<size_t>(p)]));
+  }
+
+  out.row_vars.reserve(compiled.objects.size());
+  for (const CompiledObject& row : compiled.objects) {
+    VarId var =
+        out.graph.AddVariable(static_cast<int32_t>(row.domain.size()));
+    out.row_vars.push_back(var);
+
+    for (size_t di = 0; di < row.domain.size(); ++di) {
+      // Constant multiclass offsets become fixed (non-synced) weights.
+      if (row.offsets[di] != 0.0) {
+        WeightId offset_weight = out.graph.AddWeight(row.offsets[di]);
+        SLIMFAST_ASSIGN_OR_RETURN(
+            FactorId fid,
+            out.graph.AddIndicatorFactor(var, static_cast<int32_t>(di),
+                                         {offset_weight}));
+        (void)fid;
+      }
+      for (const ParamTerm& term : row.terms[di]) {
+        // The factor engine sums unit weights; encode an integer
+        // coefficient c as c repeated weight references. Our models only
+        // produce small positive integer coefficients (claim counts).
+        double c = term.coeff;
+        int32_t reps = static_cast<int32_t>(std::llround(c));
+        if (reps <= 0 || std::fabs(c - reps) > 1e-9) {
+          return Status::NotImplemented(
+              "factor-graph lowering requires positive integer "
+              "coefficients");
+        }
+        std::vector<WeightId> weights(
+            static_cast<size_t>(reps),
+            out.param_weights[static_cast<size_t>(term.param)]);
+        SLIMFAST_ASSIGN_OR_RETURN(
+            FactorId fid,
+            out.graph.AddIndicatorFactor(var, static_cast<int32_t>(di),
+                                         std::move(weights)));
+        (void)fid;
+      }
+    }
+
+    if (split != nullptr && dataset.HasTruth(row.object) &&
+        split->IsTrain(row.object)) {
+      int32_t target = row.DomainIndex(dataset.Truth(row.object));
+      if (target >= 0) {
+        SLIMFAST_RETURN_NOT_OK(out.graph.Observe(var, target));
+      }
+    }
+  }
+  return out;
+}
+
+void SyncWeightsToGraph(const SlimFastModel& model,
+                        FactorGraphCompilation* compilation) {
+  for (size_t p = 0; p < compilation->param_weights.size(); ++p) {
+    compilation->graph.set_weight(compilation->param_weights[p],
+                                  model.weights()[p]);
+  }
+}
+
+}  // namespace slimfast

@@ -1,0 +1,44 @@
+#ifndef SLIMFAST_CORE_FACTOR_GRAPH_COMPILE_H_
+#define SLIMFAST_CORE_FACTOR_GRAPH_COMPILE_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "factorgraph/factor_graph.h"
+#include "util/result.h"
+
+namespace slimfast {
+
+/// Mapping produced by compiling a SlimFastModel to a FactorGraph.
+struct FactorGraphCompilation {
+  FactorGraph graph;
+  /// graph variable per compiled-object row (same order as
+  /// CompiledModel::objects). Variable d-th value == domain[d].
+  std::vector<VarId> row_vars;
+  /// graph weight per model parameter.
+  std::vector<WeightId> param_weights;
+};
+
+/// Lowers the compiled log-linear model to the factor-graph engine
+/// (the DeepDive-style representation of Sec. 3.2): one categorical
+/// variable per observed object over its candidate domain, one indicator
+/// factor per (object, candidate) sparse term. Training objects in `split`
+/// (with truth inside the domain) become observed evidence variables.
+///
+/// Exact inference on the compiled graph matches
+/// SlimFastModel::Posterior — validated in tests — and the Gibbs sampler
+/// provides approximate inference for extensions.
+Result<FactorGraphCompilation> CompileToFactorGraph(
+    const SlimFastModel& model, const Dataset& dataset,
+    const TrainTestSplit* split);
+
+/// Copies the model's current parameter values into the graph weights
+/// (e.g. after a learning step updated the model).
+void SyncWeightsToGraph(const SlimFastModel& model,
+                        FactorGraphCompilation* compilation);
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_CORE_FACTOR_GRAPH_COMPILE_H_

@@ -1,0 +1,104 @@
+#include "core/model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace slimfast {
+
+SlimFastModel::SlimFastModel(CompiledModel compiled)
+    : compiled_(std::move(compiled)),
+      weights_(static_cast<size_t>(compiled_.layout.num_params), 0.0) {}
+
+void SlimFastModel::SetWeights(std::vector<double> weights) {
+  SLIMFAST_DCHECK(
+      weights.size() == static_cast<size_t>(compiled_.layout.num_params),
+      "weight vector size mismatch");
+  weights_ = std::move(weights);
+}
+
+double SlimFastModel::SourceScore(SourceId source) const {
+  SLIMFAST_DCHECK(source >= 0 && source < compiled_.num_sources,
+                  "source id out of range");
+  double score = 0.0;
+  for (const ParamTerm& t :
+       compiled_.sigma_terms[static_cast<size_t>(source)]) {
+    score += t.coeff * weights_[static_cast<size_t>(t.param)];
+  }
+  return score;
+}
+
+double SlimFastModel::SourceAccuracy(SourceId source) const {
+  return Sigmoid(SourceScore(source));
+}
+
+std::vector<double> SlimFastModel::AllSourceAccuracies() const {
+  std::vector<double> accuracies(static_cast<size_t>(compiled_.num_sources));
+  for (SourceId s = 0; s < compiled_.num_sources; ++s) {
+    accuracies[static_cast<size_t>(s)] = SourceAccuracy(s);
+  }
+  return accuracies;
+}
+
+double SlimFastModel::ValueScore(const CompiledObject& row, size_t di) const {
+  double score = row.offsets[di];
+  for (const ParamTerm& t : row.terms[di]) {
+    score += t.coeff * weights_[static_cast<size_t>(t.param)];
+  }
+  return score;
+}
+
+void SlimFastModel::Posterior(const CompiledObject& row,
+                              std::vector<double>* probs) const {
+  probs->resize(row.domain.size());
+  for (size_t di = 0; di < row.domain.size(); ++di) {
+    (*probs)[di] = ValueScore(row, di);
+  }
+  SoftmaxInPlace(probs);
+}
+
+bool SlimFastModel::PosteriorOf(ObjectId object,
+                                std::vector<double>* probs) const {
+  const CompiledObject* row = compiled_.RowOf(object);
+  if (row == nullptr) return false;
+  Posterior(*row, probs);
+  return true;
+}
+
+int32_t SlimFastModel::MapIndex(const CompiledObject& row) const {
+  int32_t best = 0;
+  double best_score = ValueScore(row, 0);
+  for (size_t di = 1; di < row.domain.size(); ++di) {
+    double score = ValueScore(row, di);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int32_t>(di);
+    }
+  }
+  return best;
+}
+
+std::vector<ValueId> SlimFastModel::PredictAll() const {
+  std::vector<ValueId> predictions(compiled_.object_row.size(), kNoValue);
+  for (const CompiledObject& row : compiled_.objects) {
+    predictions[static_cast<size_t>(row.object)] =
+        row.domain[static_cast<size_t>(MapIndex(row))];
+  }
+  return predictions;
+}
+
+double SlimFastModel::ObjectNll(const CompiledObject& row,
+                                int32_t target_index) const {
+  SLIMFAST_DCHECK(
+      target_index >= 0 &&
+          target_index < static_cast<int32_t>(row.domain.size()),
+      "target index out of range");
+  std::vector<double> scores(row.domain.size());
+  for (size_t di = 0; di < row.domain.size(); ++di) {
+    scores[di] = ValueScore(row, di);
+  }
+  return LogSumExp(scores) - scores[static_cast<size_t>(target_index)];
+}
+
+}  // namespace slimfast

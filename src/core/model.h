@@ -1,0 +1,68 @@
+#ifndef SLIMFAST_CORE_MODEL_H_
+#define SLIMFAST_CORE_MODEL_H_
+
+#include <vector>
+
+#include "core/compilation.h"
+#include "data/types.h"
+
+namespace slimfast {
+
+/// SLiMFast's parameterized model: a compiled structure plus the flat
+/// weight vector w = (⟨w_s⟩, ⟨w_k⟩, ⟨w_copy⟩).
+///
+/// The model answers the two questions of Sec. 3.2: the posterior
+/// P(To = d | Ω; w) per object (Eq. 4) and the estimated source accuracy
+/// A_s = sigmoid(σ_s) (Eq. 3). It is cheap to copy the weights in and out,
+/// which the learners use for warm starts.
+class SlimFastModel {
+ public:
+  /// Takes ownership of `compiled`; weights start at zero
+  /// (A_s = 0.5 for featureless sources).
+  explicit SlimFastModel(CompiledModel compiled);
+
+  const CompiledModel& compiled() const { return compiled_; }
+  const ParamLayout& layout() const { return compiled_.layout; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  std::vector<double>* mutable_weights() { return &weights_; }
+  void SetWeights(std::vector<double> weights);
+
+  /// Trust score σ_s = w_s + Σ_k w_k f_{s,k} of a source.
+  double SourceScore(SourceId source) const;
+
+  /// Estimated accuracy A_s = sigmoid(σ_s) (Eq. 3).
+  double SourceAccuracy(SourceId source) const;
+
+  /// All per-source accuracy estimates.
+  std::vector<double> AllSourceAccuracies() const;
+
+  /// Linear score of compiled-object row `row`, candidate index `di`.
+  double ValueScore(const CompiledObject& row, size_t di) const;
+
+  /// Posterior over the candidate domain of a compiled object (softmax of
+  /// ValueScore). `probs` is resized to the domain size.
+  void Posterior(const CompiledObject& row, std::vector<double>* probs) const;
+
+  /// Posterior of object `object`; returns false if it has no observations.
+  bool PosteriorOf(ObjectId object, std::vector<double>* probs) const;
+
+  /// MAP candidate index of a compiled object.
+  int32_t MapIndex(const CompiledObject& row) const;
+
+  /// MAP value per object for the whole dataset shape the model was
+  /// compiled from; unobserved objects get kNoValue.
+  std::vector<ValueId> PredictAll() const;
+
+  /// Negative log-likelihood −log P(To = domain[target] | Ω; w) for one
+  /// compiled object.
+  double ObjectNll(const CompiledObject& row, int32_t target_index) const;
+
+ private:
+  CompiledModel compiled_;
+  std::vector<double> weights_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_CORE_MODEL_H_

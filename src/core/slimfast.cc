@@ -1,0 +1,147 @@
+#include "core/slimfast.h"
+
+#include "core/em.h"
+#include "core/erm.h"
+#include "core/factor_graph_compile.h"
+#include "factorgraph/gibbs.h"
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace slimfast {
+
+Result<SlimFastFit> SlimFast::Fit(const Dataset& dataset,
+                                  const TrainTestSplit& split,
+                                  uint64_t seed) const {
+  Stopwatch compile_watch;
+  SLIMFAST_ASSIGN_OR_RETURN(CompiledModel compiled,
+                            Compile(dataset, options_.model));
+  OptimizerDecision decision;
+  Algorithm algorithm = options_.algorithm;
+  if (algorithm == Algorithm::kAuto) {
+    decision = DecideAlgorithm(dataset, split, compiled.layout.num_params,
+                               options_.optimizer);
+    algorithm = decision.algorithm;
+  } else {
+    decision.algorithm = algorithm;
+  }
+  double compile_seconds = compile_watch.ElapsedSeconds();
+
+  Stopwatch learn_watch;
+  SlimFastModel model(std::move(compiled));
+  Rng rng(seed);
+  if (algorithm == Algorithm::kErm) {
+    ErmLearner learner(options_.erm);
+    auto stats = learner.Fit(dataset, split.train_objects, &model, &rng);
+    if (!stats.ok()) {
+      // No usable ground truth for ERM (e.g. 0% training data with a
+      // forced-ERM preset): fall back to EM rather than failing the run.
+      EmLearner em(options_.em);
+      SLIMFAST_ASSIGN_OR_RETURN(EmStats em_stats,
+                                em.Fit(dataset, split.train_objects, &model,
+                                       &rng));
+      (void)em_stats;
+      algorithm = Algorithm::kEm;
+    }
+  } else {
+    EmLearner learner(options_.em);
+    SLIMFAST_ASSIGN_OR_RETURN(
+        EmStats em_stats,
+        learner.Fit(dataset, split.train_objects, &model, &rng));
+    (void)em_stats;
+  }
+
+  SlimFastFit fit{std::move(model), decision, algorithm, compile_seconds,
+                  learn_watch.ElapsedSeconds()};
+  return fit;
+}
+
+Result<FusionOutput> SlimFast::Run(const Dataset& dataset,
+                                   const TrainTestSplit& split,
+                                   uint64_t seed) {
+  SLIMFAST_ASSIGN_OR_RETURN(SlimFastFit fit, Fit(dataset, split, seed));
+
+  Stopwatch infer_watch;
+  FusionOutput output;
+  output.method_name = name_;
+  output.detail = fit.decision.ToString();
+
+  if (options_.inference == InferenceEngine::kExact) {
+    output.predicted_values = fit.model.PredictAll();
+  } else {
+    SLIMFAST_ASSIGN_OR_RETURN(
+        FactorGraphCompilation graph_compilation,
+        CompileToFactorGraph(fit.model, dataset, &split));
+    GibbsOptions gibbs_options;
+    gibbs_options.burn_in = options_.gibbs_burn_in;
+    gibbs_options.samples = options_.gibbs_samples;
+    GibbsSampler sampler(&graph_compilation.graph, gibbs_options);
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    auto marginals = sampler.EstimateMarginals(&rng);
+    auto map = graph_compilation.graph.MapFromMarginals(marginals);
+
+    const CompiledModel& compiled = fit.model.compiled();
+    output.predicted_values.assign(
+        static_cast<size_t>(dataset.num_objects()), kNoValue);
+    for (size_t r = 0; r < compiled.objects.size(); ++r) {
+      const CompiledObject& row = compiled.objects[r];
+      int32_t di = map[static_cast<size_t>(graph_compilation.row_vars[r])];
+      output.predicted_values[static_cast<size_t>(row.object)] =
+          row.domain[static_cast<size_t>(di)];
+    }
+  }
+  output.source_accuracies = fit.model.AllSourceAccuracies();
+  if (options_.calibrate_accuracies &&
+      fit.algorithm_used == Algorithm::kErm &&
+      !split.train_objects.empty()) {
+    // Definition 7 calibration pass: warm-start a copy of the model and
+    // fit the accuracy log-loss on the labeled claims. Only the reported
+    // accuracies change; predictions keep the discriminative optimum.
+    SlimFastModel calibrated(fit.model.compiled());
+    calibrated.SetWeights(fit.model.weights());
+    ErmOptions calibration = options_.erm;
+    calibration.loss = ErmLoss::kAccuracyLogLoss;
+    calibration.batch = false;
+    calibration.epochs = std::max<int32_t>(30, calibration.epochs / 2);
+    ErmLearner learner(calibration);
+    auto examples =
+        ErmLearner::ObservationExamples(dataset, split.train_objects);
+    Rng rng(seed ^ 0xc2b2ae3d27d4eb4fULL);
+    auto stats = learner.FitAccuracyLoss(examples, &calibrated, &rng);
+    if (stats.ok()) {
+      output.source_accuracies = calibrated.AllSourceAccuracies();
+    }
+  }
+  output.compile_seconds = fit.compile_seconds;
+  output.learn_seconds = fit.learn_seconds;
+  output.infer_seconds = infer_watch.ElapsedSeconds();
+  return output;
+}
+
+namespace {
+std::unique_ptr<SlimFast> MakeVariant(SlimFastOptions options,
+                                      bool features, Algorithm algorithm,
+                                      const char* name) {
+  options.model.use_feature_weights = features;
+  options.algorithm = algorithm;
+  return std::make_unique<SlimFast>(options, name);
+}
+}  // namespace
+
+std::unique_ptr<SlimFast> MakeSlimFast(SlimFastOptions options) {
+  return MakeVariant(options, true, Algorithm::kAuto, "SLiMFast");
+}
+std::unique_ptr<SlimFast> MakeSlimFastErm(SlimFastOptions options) {
+  return MakeVariant(options, true, Algorithm::kErm, "SLiMFast-ERM");
+}
+std::unique_ptr<SlimFast> MakeSlimFastEm(SlimFastOptions options) {
+  return MakeVariant(options, true, Algorithm::kEm, "SLiMFast-EM");
+}
+std::unique_ptr<SlimFast> MakeSourcesErm(SlimFastOptions options) {
+  return MakeVariant(options, false, Algorithm::kErm, "Sources-ERM");
+}
+std::unique_ptr<SlimFast> MakeSourcesEm(SlimFastOptions options) {
+  return MakeVariant(options, false, Algorithm::kEm, "Sources-EM");
+}
+
+}  // namespace slimfast

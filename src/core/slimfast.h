@@ -1,0 +1,66 @@
+#ifndef SLIMFAST_CORE_SLIMFAST_H_
+#define SLIMFAST_CORE_SLIMFAST_H_
+
+#include <memory>
+#include <string>
+
+#include "core/model.h"
+#include "core/optimizer.h"
+#include "core/options.h"
+#include "data/fusion.h"
+
+namespace slimfast {
+
+/// Result of SlimFast::Fit — the trained model plus run metadata, for
+/// callers that need more than the FusionOutput (Lasso analysis, source
+/// quality prediction, copying inspection).
+struct SlimFastFit {
+  SlimFastModel model;
+  OptimizerDecision decision;
+  Algorithm algorithm_used = Algorithm::kErm;
+  double compile_seconds = 0.0;
+  double learn_seconds = 0.0;
+};
+
+/// The SLiMFast framework facade (Figure 3): compilation → optimizer →
+/// learning (ERM or EM) → inference.
+///
+/// Different option presets recover the paper's method variants:
+///   MakeSlimFast()      features + optimizer        ("SLiMFast")
+///   MakeSlimFastErm()   features, forced ERM        ("SLiMFast-ERM")
+///   MakeSlimFastEm()    features, forced EM         ("SLiMFast-EM")
+///   MakeSourcesErm()    no features, forced ERM     ("Sources-ERM")
+///   MakeSourcesEm()     no features, forced EM      ("Sources-EM")
+class SlimFast : public FusionMethod {
+ public:
+  explicit SlimFast(SlimFastOptions options, std::string name = "SLiMFast")
+      : options_(options), name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  const SlimFastOptions& options() const { return options_; }
+
+  /// Compiles, decides the algorithm, and learns; returns the trained
+  /// model with metadata.
+  Result<SlimFastFit> Fit(const Dataset& dataset, const TrainTestSplit& split,
+                          uint64_t seed) const;
+
+  /// Full fusion run: Fit + inference, packaged as FusionOutput.
+  Result<FusionOutput> Run(const Dataset& dataset,
+                           const TrainTestSplit& split,
+                           uint64_t seed) override;
+
+ private:
+  SlimFastOptions options_;
+  std::string name_;
+};
+
+/// Preset factories for the method variants evaluated in the paper.
+std::unique_ptr<SlimFast> MakeSlimFast(SlimFastOptions options = {});
+std::unique_ptr<SlimFast> MakeSlimFastErm(SlimFastOptions options = {});
+std::unique_ptr<SlimFast> MakeSlimFastEm(SlimFastOptions options = {});
+std::unique_ptr<SlimFast> MakeSourcesErm(SlimFastOptions options = {});
+std::unique_ptr<SlimFast> MakeSourcesEm(SlimFastOptions options = {});
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_CORE_SLIMFAST_H_

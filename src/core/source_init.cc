@@ -1,0 +1,46 @@
+#include "core/source_init.h"
+
+#include "util/math.h"
+
+namespace slimfast {
+
+Result<SourceQualityPredictor> SourceQualityPredictor::FromModel(
+    const SlimFastModel& model) {
+  const ParamLayout& layout = model.layout();
+  if (layout.num_feature_params == 0) {
+    return Status::FailedPrecondition(
+        "source-quality prediction requires a model with feature weights");
+  }
+  std::vector<double> feature_weights(
+      static_cast<size_t>(layout.num_feature_params));
+  for (int32_t k = 0; k < layout.num_feature_params; ++k) {
+    feature_weights[static_cast<size_t>(k)] =
+        model.weights()[static_cast<size_t>(layout.feature_offset + k)];
+  }
+  double base = 0.0;
+  if (layout.num_source_params > 0) {
+    for (int32_t s = 0; s < layout.num_source_params; ++s) {
+      base += model.weights()[static_cast<size_t>(layout.source_offset + s)];
+    }
+    base /= static_cast<double>(layout.num_source_params);
+  }
+  return SourceQualityPredictor(base, std::move(feature_weights));
+}
+
+double SourceQualityPredictor::PredictAccuracy(
+    const std::vector<FeatureId>& active_features) const {
+  double score = base_weight_;
+  for (FeatureId k : active_features) {
+    if (k >= 0 && k < static_cast<FeatureId>(feature_weights_.size())) {
+      score += feature_weights_[static_cast<size_t>(k)];
+    }
+  }
+  return Sigmoid(score);
+}
+
+double SourceQualityPredictor::PredictAccuracyOf(const Dataset& dataset,
+                                                 SourceId source) const {
+  return PredictAccuracy(dataset.features().FeaturesOf(source));
+}
+
+}  // namespace slimfast

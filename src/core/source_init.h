@@ -1,0 +1,51 @@
+#ifndef SLIMFAST_CORE_SOURCE_INIT_H_
+#define SLIMFAST_CORE_SOURCE_INIT_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace slimfast {
+
+/// Source-quality initialization (Sec. 5.3.2): predicting the accuracy of a
+/// *new* source from its domain features alone, before it has contributed
+/// any observations.
+///
+/// The predictor reuses the feature weights ⟨w_k⟩ of a trained model and
+/// replaces the unavailable source-indicator weight with the mean indicator
+/// weight of the training sources (the model's base trust level):
+///   Â_new = sigmoid( w̄_s + Σ_k w_k f_{new,k} ).
+class SourceQualityPredictor {
+ public:
+  /// Extracts feature weights and the mean source weight from a trained
+  /// model. Fails if the model has no feature weights.
+  static Result<SourceQualityPredictor> FromModel(const SlimFastModel& model);
+
+  /// Predicted accuracy of a source described by active features
+  /// (ascending FeatureIds into the original feature space).
+  double PredictAccuracy(const std::vector<FeatureId>& active_features) const;
+
+  /// Predicted accuracy of source `source` of `dataset` using its feature
+  /// row (works for sources the model never saw).
+  double PredictAccuracyOf(const Dataset& dataset, SourceId source) const;
+
+  double base_weight() const { return base_weight_; }
+  const std::vector<double>& feature_weights() const {
+    return feature_weights_;
+  }
+
+ private:
+  SourceQualityPredictor(double base_weight,
+                         std::vector<double> feature_weights)
+      : base_weight_(base_weight),
+        feature_weights_(std::move(feature_weights)) {}
+
+  double base_weight_;
+  std::vector<double> feature_weights_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_CORE_SOURCE_INIT_H_

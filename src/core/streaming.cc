@@ -1,0 +1,113 @@
+#include "core/streaming.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace slimfast {
+
+double StreamingFusion::AccuracyOf(const SourceState& state) const {
+  double accuracy =
+      (state.correct + options_.smoothing * options_.default_accuracy) /
+      (state.total + options_.smoothing);
+  return Clamp(accuracy, options_.clamp_eps, 1.0 - options_.clamp_eps);
+}
+
+double StreamingFusion::VoteWeight(SourceId source) const {
+  auto it = sources_.find(source);
+  double accuracy = it == sources_.end()
+                        ? options_.default_accuracy
+                        : AccuracyOf(it->second);
+  double offset = options_.domain_size_hint > 2.0
+                      ? std::log(options_.domain_size_hint - 1.0)
+                      : 0.0;
+  return Logit(accuracy) + offset;
+}
+
+void StreamingFusion::Recompute(ObjectState* object) const {
+  if (object->truth != kNoValue) {
+    object->estimate = object->truth;
+    return;
+  }
+  ValueId best = kNoValue;
+  double best_votes = -std::numeric_limits<double>::infinity();
+  for (const auto& [value, votes] : object->votes) {
+    if (votes > best_votes ||
+        (votes == best_votes && value < best)) {
+      best = value;
+      best_votes = votes;
+    }
+  }
+  object->estimate = best;
+}
+
+Status StreamingFusion::Observe(ObjectId object, SourceId source,
+                                ValueId value) {
+  if (object < 0 || source < 0 || value < 0) {
+    return Status::InvalidArgument(
+        "streaming ids and values must be non-negative");
+  }
+  ObjectState& obj = objects_[object];
+  SourceState& src = sources_[source];
+  ++num_observations_;
+
+  // Decay the source's history before it absorbs new evidence.
+  if (options_.decay < 1.0) {
+    src.correct *= options_.decay;
+    src.total *= options_.decay;
+  }
+
+  obj.claims.emplace_back(source, value);
+  obj.votes[value] += VoteWeight(source);
+  Recompute(&obj);
+
+  // Provisional credit: agreement with the current estimate (replaced by
+  // truth-based credit if ground truth arrives later).
+  double credit = obj.truth != kNoValue
+                      ? (value == obj.truth ? 1.0 : 0.0)
+                      : (value == obj.estimate ? 1.0 : 0.0);
+  src.correct += credit;
+  src.total += 1.0;
+  return Status::OK();
+}
+
+Status StreamingFusion::ProvideTruth(ObjectId object, ValueId value) {
+  if (object < 0 || value < 0) {
+    return Status::InvalidArgument(
+        "streaming ids and values must be non-negative");
+  }
+  ObjectState& obj = objects_[object];
+  bool had_truth = obj.truth != kNoValue;
+  ValueId previous_reference =
+      had_truth ? obj.truth : obj.estimate;
+  obj.truth = value;
+  obj.estimate = value;
+
+  // Re-credit the sources that claimed on this object: remove the
+  // provisional estimate-based credit, add the truth-based one.
+  for (const auto& [source, claimed] : obj.claims) {
+    auto it = sources_.find(source);
+    if (it == sources_.end()) continue;
+    double old_credit =
+        previous_reference != kNoValue && claimed == previous_reference
+            ? 1.0
+            : 0.0;
+    double new_credit = claimed == value ? 1.0 : 0.0;
+    it->second.correct += new_credit - old_credit;
+    if (it->second.correct < 0.0) it->second.correct = 0.0;
+  }
+  return Status::OK();
+}
+
+ValueId StreamingFusion::CurrentEstimate(ObjectId object) const {
+  auto it = objects_.find(object);
+  return it == objects_.end() ? kNoValue : it->second.estimate;
+}
+
+double StreamingFusion::SourceAccuracy(SourceId source) const {
+  auto it = sources_.find(source);
+  return it == sources_.end() ? options_.default_accuracy
+                              : AccuracyOf(it->second);
+}
+
+}  // namespace slimfast

@@ -1,0 +1,106 @@
+#ifndef SLIMFAST_CORE_STREAMING_H_
+#define SLIMFAST_CORE_STREAMING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace slimfast {
+
+/// Options for the streaming fusion engine.
+struct StreamingOptions {
+  /// Laplace smoothing pseudo-counts on the per-source correctness tally.
+  double smoothing = 2.0;
+  /// Exponential decay applied to a source's tally per *its own* new
+  /// observation (1 = no decay; <1 adapts to drifting source quality).
+  double decay = 1.0;
+  /// Accuracy assumed for sources before any evidence accumulates.
+  double default_accuracy = 0.6;
+  /// Accuracy estimates are clamped into [eps, 1 - eps] for finite votes.
+  double clamp_eps = 1e-3;
+  /// Expected number of candidate values per object. Votes carry weight
+  /// logit(A) + log(domain_size_hint - 1) — the same multiclass
+  /// Naive-Bayes correction as the batch model's compiled offsets
+  /// (see ModelConfig::multiclass_offset); without it, >2-value streams
+  /// read above-chance sources as anti-informative. 2 = plain binary
+  /// log-odds.
+  double domain_size_hint = 2.0;
+};
+
+/// Single-pass streaming data fusion, the direction the paper cites as
+/// related work (Zhao et al. [44], CIKM'14): observations arrive one at a
+/// time, each is processed in O(|D_o|), and current truth estimates plus
+/// source accuracies are queryable at any point.
+///
+/// Mechanics: every object keeps running log-odds vote mass per claimed
+/// value; every source keeps a (decayed, smoothed) correct/total tally
+/// against the object estimates at the time its claims were scored. When
+/// ground truth arrives for an object it overrides the estimate and
+/// re-credits the sources that claimed on it. This matches the
+/// semi-supervised spirit of SLiMFast — labels are scarce, late, and must
+/// be absorbed without a re-pass — while trading the batch model's joint
+/// optimization for O(1)-per-observation updates.
+class StreamingFusion {
+ public:
+  explicit StreamingFusion(StreamingOptions options = {})
+      : options_(options) {}
+
+  /// Processes one observation. Objects and sources are created on first
+  /// contact; ids only need to be non-negative.
+  Status Observe(ObjectId object, SourceId source, ValueId value);
+
+  /// Supplies ground truth for an object: the estimate is pinned and every
+  /// source that claimed on the object is re-credited against the truth
+  /// (its provisional credit from the running estimate is replaced).
+  Status ProvideTruth(ObjectId object, ValueId value);
+
+  /// Current truth estimate for an object (kNoValue if never observed).
+  ValueId CurrentEstimate(ObjectId object) const;
+
+  /// Current accuracy estimate of a source (default_accuracy if unseen).
+  double SourceAccuracy(SourceId source) const;
+
+  /// Number of observations processed.
+  int64_t num_observations() const { return num_observations_; }
+
+  /// Objects with at least one observation.
+  int64_t num_objects_seen() const {
+    return static_cast<int64_t>(objects_.size());
+  }
+
+  /// Sources with at least one observation.
+  int64_t num_sources_seen() const {
+    return static_cast<int64_t>(sources_.size());
+  }
+
+ private:
+  struct SourceState {
+    double correct = 0.0;
+    double total = 0.0;
+  };
+  struct ObjectState {
+    /// Claims in arrival order (needed for truth re-crediting).
+    std::vector<std::pair<SourceId, ValueId>> claims;
+    /// Running vote mass per claimed value.
+    std::unordered_map<ValueId, double> votes;
+    ValueId estimate = kNoValue;
+    ValueId truth = kNoValue;
+  };
+
+  double AccuracyOf(const SourceState& state) const;
+  double VoteWeight(SourceId source) const;
+  void Recompute(ObjectState* object) const;
+
+  StreamingOptions options_;
+  std::unordered_map<ObjectId, ObjectState> objects_;
+  std::unordered_map<SourceId, SourceState> sources_;
+  int64_t num_observations_ = 0;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_CORE_STREAMING_H_

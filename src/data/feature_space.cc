@@ -1,0 +1,70 @@
+#include "data/feature_space.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace slimfast {
+
+FeatureId FeatureSpace::RegisterFeature(const std::string& name) {
+  auto it = name_to_id_.find(name);
+  if (it != name_to_id_.end()) return it->second;
+  FeatureId id = static_cast<FeatureId>(feature_names_.size());
+  feature_names_.push_back(name);
+  name_to_id_.emplace(name, id);
+  return id;
+}
+
+Result<FeatureId> FeatureSpace::FindFeature(const std::string& name) const {
+  auto it = name_to_id_.find(name);
+  if (it == name_to_id_.end()) {
+    return Status::NotFound("no feature named '" + name + "'");
+  }
+  return it->second;
+}
+
+const std::string& FeatureSpace::FeatureName(FeatureId id) const {
+  SLIMFAST_DCHECK(id >= 0 && id < num_features(), "feature id out of range");
+  return feature_names_[static_cast<size_t>(id)];
+}
+
+Status FeatureSpace::SetFeature(SourceId source, FeatureId feature) {
+  if (source < 0 || source >= num_sources()) {
+    return Status::OutOfRange("source id " + std::to_string(source) +
+                              " out of range [0, " +
+                              std::to_string(num_sources()) + ")");
+  }
+  if (feature < 0 || feature >= num_features()) {
+    return Status::OutOfRange("feature id " + std::to_string(feature) +
+                              " out of range [0, " +
+                              std::to_string(num_features()) + ")");
+  }
+  auto& feats = source_features_[static_cast<size_t>(source)];
+  auto it = std::lower_bound(feats.begin(), feats.end(), feature);
+  if (it == feats.end() || *it != feature) {
+    feats.insert(it, feature);
+  }
+  return Status::OK();
+}
+
+const std::vector<FeatureId>& FeatureSpace::FeaturesOf(
+    SourceId source) const {
+  SLIMFAST_DCHECK(source >= 0 && source < num_sources(),
+                  "source id out of range");
+  return source_features_[static_cast<size_t>(source)];
+}
+
+bool FeatureSpace::HasFeature(SourceId source, FeatureId feature) const {
+  const auto& feats = FeaturesOf(source);
+  return std::binary_search(feats.begin(), feats.end(), feature);
+}
+
+int64_t FeatureSpace::TotalActiveFeatures() const {
+  int64_t total = 0;
+  for (const auto& feats : source_features_) {
+    total += static_cast<int64_t>(feats.size());
+  }
+  return total;
+}
+
+}  // namespace slimfast

@@ -1,0 +1,67 @@
+#ifndef SLIMFAST_DATA_FEATURE_SPACE_H_
+#define SLIMFAST_DATA_FEATURE_SPACE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace slimfast {
+
+/// Registry of boolean domain-specific features and the per-source sets of
+/// active features (the f_{s,k} values of the paper, Sec. 3.1).
+///
+/// Following the paper's setup, numeric metadata (citation counts, traffic
+/// statistics, ...) is discretized into boolean indicator features before it
+/// reaches the model, so a source is described by the sparse set of features
+/// that are "on" for it. Feature values are grouped by a human-readable
+/// name such as "citations=high".
+class FeatureSpace {
+ public:
+  FeatureSpace() = default;
+
+  /// Creates a feature space for `num_sources` sources.
+  explicit FeatureSpace(int32_t num_sources)
+      : source_features_(static_cast<size_t>(num_sources)) {}
+
+  int32_t num_sources() const {
+    return static_cast<int32_t>(source_features_.size());
+  }
+  int32_t num_features() const {
+    return static_cast<int32_t>(feature_names_.size());
+  }
+
+  /// Registers (or looks up) a feature by name and returns its id.
+  FeatureId RegisterFeature(const std::string& name);
+
+  /// Returns the id of an already-registered feature, or NotFound.
+  Result<FeatureId> FindFeature(const std::string& name) const;
+
+  /// Name of a feature id. Requires a valid id.
+  const std::string& FeatureName(FeatureId id) const;
+
+  /// Turns feature `feature` on for source `source`. Idempotent.
+  Status SetFeature(SourceId source, FeatureId feature);
+
+  /// Active features of a source, sorted ascending.
+  const std::vector<FeatureId>& FeaturesOf(SourceId source) const;
+
+  /// True if `feature` is active for `source`.
+  bool HasFeature(SourceId source, FeatureId feature) const;
+
+  /// Number of (source, feature) active pairs across all sources.
+  int64_t TotalActiveFeatures() const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::unordered_map<std::string, FeatureId> name_to_id_;
+  // Sorted sparse representation per source.
+  std::vector<std::vector<FeatureId>> source_features_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_DATA_FEATURE_SPACE_H_

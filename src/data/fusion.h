@@ -1,0 +1,58 @@
+#ifndef SLIMFAST_DATA_FUSION_H_
+#define SLIMFAST_DATA_FUSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "util/result.h"
+
+namespace slimfast {
+
+/// Output of a data fusion run: the traditional truth-discovery output
+/// (estimated object values) plus the source-accuracy estimates, mirroring
+/// Figure 1 of the paper.
+struct FusionOutput {
+  /// Estimated value per object (kNoValue for objects with no observations).
+  std::vector<ValueId> predicted_values;
+  /// Estimated accuracy per source, in [0, 1]. Methods without probabilistic
+  /// semantics (e.g. CATD) leave this empty.
+  std::vector<double> source_accuracies;
+  /// Name of the method that produced this output.
+  std::string method_name;
+  /// Free-form detail such as the optimizer's chosen algorithm.
+  std::string detail;
+  /// Wall-clock seconds spent in learning and in inference (Tables 5/6).
+  double learn_seconds = 0.0;
+  double infer_seconds = 0.0;
+  /// Wall-clock seconds for model compilation / setup.
+  double compile_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return compile_seconds + learn_seconds + infer_seconds;
+  }
+};
+
+/// Common interface of all fusion methods (SLiMFast variants and baselines).
+///
+/// `split.train_objects` is the revealed ground truth G; methods must not
+/// look at the truth of any other object. `seed` drives all stochasticity
+/// so runs are reproducible.
+class FusionMethod {
+ public:
+  virtual ~FusionMethod() = default;
+
+  /// Stable display name ("SLiMFast", "ACCU", ...).
+  virtual std::string name() const = 0;
+
+  /// Runs fusion on `dataset` with training labels `split.train_objects`.
+  virtual Result<FusionOutput> Run(const Dataset& dataset,
+                                   const TrainTestSplit& split,
+                                   uint64_t seed) = 0;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_DATA_FUSION_H_

@@ -1,0 +1,29 @@
+#ifndef SLIMFAST_DATA_IO_H_
+#define SLIMFAST_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace slimfast {
+
+/// Persists a dataset as a directory of CSV files so that generated fusion
+/// instances can be inspected, versioned, and re-loaded:
+///
+///   <dir>/meta.csv          name,num_sources,num_objects,num_values
+///   <dir>/observations.csv  object,source,value
+///   <dir>/truth.csv         object,value
+///   <dir>/features.csv      feature_id,name
+///   <dir>/source_features.csv  source,feature_id
+///
+/// The directory must already exist.
+Status SaveDataset(const Dataset& dataset, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset.
+Result<Dataset> LoadDataset(const std::string& dir);
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_DATA_IO_H_

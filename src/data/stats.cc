@@ -1,0 +1,97 @@
+#include "data/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace slimfast {
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.name = dataset.name();
+  stats.num_sources = dataset.num_sources();
+  stats.num_objects = dataset.num_objects();
+  stats.num_observations = dataset.num_observations();
+  stats.num_feature_values = dataset.features().num_features();
+  stats.active_feature_pairs = dataset.features().TotalActiveFeatures();
+  stats.truth_coverage =
+      dataset.num_objects() > 0
+          ? static_cast<double>(dataset.ObjectsWithTruth().size()) /
+                static_cast<double>(dataset.num_objects())
+          : 0.0;
+  if (dataset.num_sources() > 0 && dataset.num_objects() > 0) {
+    stats.density = static_cast<double>(dataset.num_observations()) /
+                    (static_cast<double>(dataset.num_sources()) *
+                     static_cast<double>(dataset.num_objects()));
+  }
+  if (dataset.num_objects() > 0) {
+    stats.avg_obs_per_object =
+        static_cast<double>(dataset.num_observations()) /
+        static_cast<double>(dataset.num_objects());
+  }
+  if (dataset.num_sources() > 0) {
+    stats.avg_obs_per_source =
+        static_cast<double>(dataset.num_observations()) /
+        static_cast<double>(dataset.num_sources());
+  }
+
+  int64_t observed_objects = 0;
+  int64_t domain_total = 0;
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    const auto& domain = dataset.DomainOf(o);
+    if (domain.empty()) continue;
+    ++observed_objects;
+    domain_total += static_cast<int64_t>(domain.size());
+  }
+  if (observed_objects > 0) {
+    stats.avg_domain_size = static_cast<double>(domain_total) /
+                            static_cast<double>(observed_objects);
+  }
+
+  double acc_sum = 0.0;
+  int64_t acc_count = 0;
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    auto acc = dataset.EmpiricalSourceAccuracy(s);
+    if (!acc.ok()) continue;
+    acc_sum += acc.ValueOrDie();
+    ++acc_count;
+  }
+  if (acc_count > 0) {
+    stats.avg_source_accuracy = acc_sum / static_cast<double>(acc_count);
+    // Mirror the paper: with around one observation per source (Genomics),
+    // per-source accuracy estimates are meaningless.
+    stats.avg_source_accuracy_reliable = stats.avg_obs_per_source >= 2.0;
+  } else {
+    stats.avg_source_accuracy = std::nan("");
+    stats.avg_source_accuracy_reliable = false;
+  }
+  return stats;
+}
+
+std::string DatasetStats::ToString() const {
+  std::ostringstream out;
+  out << "Dataset: " << name << "\n"
+      << "  # Sources:             " << num_sources << "\n"
+      << "  # Objects:             " << num_objects << "\n"
+      << "  # Observations:        " << num_observations << "\n"
+      << "  # Feature values:      " << num_feature_values << "\n"
+      << "  Active (s,k) pairs:    " << active_feature_pairs << "\n"
+      << "  Truth coverage:        " << FormatDouble(truth_coverage * 100, 1)
+      << "%\n"
+      << "  Density p:             " << FormatDouble(density, 4) << "\n"
+      << "  Avg obs per object:    " << FormatDouble(avg_obs_per_object, 2)
+      << "\n"
+      << "  Avg obs per source:    " << FormatDouble(avg_obs_per_source, 2)
+      << "\n"
+      << "  Avg domain size |D_o|: " << FormatDouble(avg_domain_size, 2)
+      << "\n"
+      << "  Avg source accuracy:   "
+      << (avg_source_accuracy_reliable
+              ? FormatDouble(avg_source_accuracy, 3)
+              : std::string("- (unreliable)"))
+      << "\n";
+  return out.str();
+}
+
+}  // namespace slimfast

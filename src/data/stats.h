@@ -1,0 +1,40 @@
+#ifndef SLIMFAST_DATA_STATS_H_
+#define SLIMFAST_DATA_STATS_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace slimfast {
+
+/// Summary statistics of a fusion instance — the quantities reported in
+/// Table 1 of the paper plus the instance properties that drive the
+/// EM-vs-ERM tradeoff (density, average source accuracy).
+struct DatasetStats {
+  std::string name;
+  int32_t num_sources = 0;
+  int32_t num_objects = 0;
+  int64_t num_observations = 0;
+  int32_t num_feature_values = 0;     ///< distinct boolean features |K|
+  int64_t active_feature_pairs = 0;   ///< Σ_s |features(s)|
+  double truth_coverage = 0.0;        ///< fraction of objects with truth
+  double density = 0.0;               ///< obs / (|S| * |O|), the paper's p
+  double avg_obs_per_object = 0.0;
+  double avg_obs_per_source = 0.0;
+  double avg_domain_size = 0.0;       ///< mean |D_o| over observed objects
+  /// Mean empirical source accuracy against ground truth, over sources with
+  /// at least one labeled claim; NaN if no source qualifies (paper marks
+  /// Genomics "-" for the same reason).
+  double avg_source_accuracy = 0.0;
+  bool avg_source_accuracy_reliable = false;
+
+  /// Multi-line human-readable rendering (Table 1-style).
+  std::string ToString() const;
+};
+
+/// Computes statistics for a dataset using all available ground truth.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_DATA_STATS_H_

@@ -1,0 +1,37 @@
+#ifndef SLIMFAST_DATA_TYPES_H_
+#define SLIMFAST_DATA_TYPES_H_
+
+#include <cstdint>
+
+namespace slimfast {
+
+/// Dense 0-based identifier of a data source (article, web domain, worker...).
+using SourceId = int32_t;
+
+/// Dense 0-based identifier of an object (gene-disease pair, stock-day, ...).
+using ObjectId = int32_t;
+
+/// Dense 0-based identifier of a claimed value within the dataset's value
+/// dictionary. Binary datasets use {0, 1}.
+using ValueId = int32_t;
+
+/// Dense 0-based identifier of a boolean domain-specific feature
+/// ("citations=high", "channel=clixsense", ...).
+using FeatureId = int32_t;
+
+/// Sentinel for "no value": objects without ground truth use this.
+inline constexpr ValueId kNoValue = -1;
+
+/// One source observation: source `source` claims that object `object` has
+/// value `value` (the triple (o, s, v_{o,s}) of the paper).
+struct Observation {
+  ObjectId object;
+  SourceId source;
+  ValueId value;
+
+  bool operator==(const Observation& other) const = default;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_DATA_TYPES_H_

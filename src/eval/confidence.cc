@@ -1,0 +1,88 @@
+#include "eval/confidence.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace slimfast {
+
+AccuracyInterval WilsonInterval(double successes, int64_t trials,
+                                double z) {
+  AccuracyInterval interval;
+  interval.support = trials;
+  if (trials <= 0) {
+    interval.accuracy = 0.5;
+    interval.lower = 0.0;
+    interval.upper = 1.0;
+    return interval;
+  }
+  double n = static_cast<double>(trials);
+  double p = Clamp(successes / n, 0.0, 1.0);
+  interval.accuracy = p;
+  double z2 = z * z;
+  double denom = 1.0 + z2 / n;
+  double center = (p + z2 / (2.0 * n)) / denom;
+  double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  interval.lower = Clamp(center - half, 0.0, 1.0);
+  interval.upper = Clamp(center + half, 0.0, 1.0);
+  return interval;
+}
+
+std::vector<AccuracyInterval> SourceAccuracyIntervals(
+    const Dataset& dataset, const std::vector<ObjectId>& labeled_objects,
+    double z) {
+  // Membership lookup for the labeled set (empty = all labeled objects).
+  std::vector<uint8_t> in_set;
+  if (!labeled_objects.empty()) {
+    in_set.assign(static_cast<size_t>(dataset.num_objects()), 0);
+    for (ObjectId o : labeled_objects) {
+      if (o >= 0 && o < dataset.num_objects()) {
+        in_set[static_cast<size_t>(o)] = 1;
+      }
+    }
+  }
+
+  std::vector<AccuracyInterval> intervals;
+  intervals.reserve(static_cast<size_t>(dataset.num_sources()));
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    double correct = 0.0;
+    int64_t trials = 0;
+    for (const ObjectClaim& claim : dataset.ClaimsBySource(s)) {
+      if (!dataset.HasTruth(claim.object)) continue;
+      if (!in_set.empty() && !in_set[static_cast<size_t>(claim.object)]) {
+        continue;
+      }
+      ++trials;
+      if (claim.value == dataset.Truth(claim.object)) correct += 1.0;
+    }
+    AccuracyInterval interval = WilsonInterval(correct, trials, z);
+    interval.source = s;
+    intervals.push_back(interval);
+  }
+  return intervals;
+}
+
+Result<double> IntervalCoverage(
+    const std::vector<AccuracyInterval>& intervals,
+    const std::vector<double>& reference) {
+  if (intervals.empty()) {
+    return Status::InvalidArgument("no intervals to evaluate");
+  }
+  int64_t evaluated = 0;
+  int64_t covered = 0;
+  for (const AccuracyInterval& interval : intervals) {
+    SourceId s = interval.source;
+    if (s < 0 || static_cast<size_t>(s) >= reference.size()) continue;
+    if (interval.support == 0) continue;  // uninformative by construction
+    ++evaluated;
+    if (interval.Contains(reference[static_cast<size_t>(s)])) ++covered;
+  }
+  if (evaluated == 0) {
+    return Status::FailedPrecondition(
+        "no interval has support and a reference value");
+  }
+  return static_cast<double>(covered) / static_cast<double>(evaluated);
+}
+
+}  // namespace slimfast

@@ -1,0 +1,52 @@
+#ifndef SLIMFAST_EVAL_CONFIDENCE_H_
+#define SLIMFAST_EVAL_CONFIDENCE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace slimfast {
+
+/// A two-sided confidence interval for one source's accuracy.
+struct AccuracyInterval {
+  SourceId source;
+  /// Point estimate (empirical or model accuracy).
+  double accuracy = 0.5;
+  double lower = 0.0;
+  double upper = 1.0;
+  /// Number of labeled claims backing the estimate.
+  int64_t support = 0;
+
+  double Width() const { return upper - lower; }
+  bool Contains(double value) const {
+    return value >= lower && value <= upper;
+  }
+};
+
+/// Wilson score interval for a Bernoulli proportion: `successes` out of
+/// `trials` at confidence level `1 - alpha` (z is the standard-normal
+/// quantile of 1 - alpha/2, e.g. 1.96 for 95%). Well-behaved at small
+/// trial counts — the long-tail regime CATD handles with chi-squared
+/// shrinkage and the paper flags for Genomics.
+AccuracyInterval WilsonInterval(double successes, int64_t trials,
+                                double z = 1.96);
+
+/// Per-source Wilson intervals from ground-truth labels: each source's
+/// successes are its correct claims on `labeled_objects` (all labeled
+/// objects if empty). Sources without labeled claims get the maximally
+/// uninformative [0, 1] interval with support 0.
+std::vector<AccuracyInterval> SourceAccuracyIntervals(
+    const Dataset& dataset, const std::vector<ObjectId>& labeled_objects,
+    double z = 1.96);
+
+/// Fraction of sources whose interval contains `reference[s]` — a
+/// calibration check for interval-producing estimators (should approach
+/// the nominal level for valid intervals).
+Result<double> IntervalCoverage(
+    const std::vector<AccuracyInterval>& intervals,
+    const std::vector<double>& reference);
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_EVAL_CONFIDENCE_H_

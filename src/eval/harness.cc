@@ -1,0 +1,138 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace slimfast {
+
+Result<std::vector<CellResult>> SweepMethods(
+    const Dataset& dataset, const std::vector<FusionMethod*>& methods,
+    const SweepSpec& spec) {
+  if (methods.empty()) {
+    return Status::InvalidArgument("no methods to evaluate");
+  }
+  if (spec.num_seeds < 1) {
+    return Status::InvalidArgument("num_seeds must be >= 1");
+  }
+
+  std::vector<CellResult> cells;
+  for (double fraction : spec.train_fractions) {
+    // One aggregate per method for this fraction.
+    std::vector<std::vector<double>> accuracies(methods.size());
+    std::vector<std::vector<double>> source_errors(methods.size());
+    std::vector<double> total_s(methods.size(), 0.0);
+    std::vector<double> learn_s(methods.size(), 0.0);
+    std::vector<double> infer_s(methods.size(), 0.0);
+    std::vector<double> compile_s(methods.size(), 0.0);
+
+    for (int32_t rep = 0; rep < spec.num_seeds; ++rep) {
+      uint64_t seed = spec.base_seed + 1000003ULL * static_cast<uint64_t>(rep);
+      Rng split_rng(seed);
+      SLIMFAST_ASSIGN_OR_RETURN(TrainTestSplit split,
+                                MakeSplit(dataset, fraction, &split_rng));
+      for (size_t m = 0; m < methods.size(); ++m) {
+        SLIMFAST_ASSIGN_OR_RETURN(FusionOutput output,
+                                  methods[m]->Run(dataset, split, seed));
+        SLIMFAST_ASSIGN_OR_RETURN(
+            double accuracy,
+            TestAccuracy(dataset, output.predicted_values, split));
+        accuracies[m].push_back(accuracy);
+        auto err = WeightedSourceAccuracyError(dataset,
+                                               output.source_accuracies);
+        if (err.ok()) source_errors[m].push_back(err.ValueOrDie());
+        total_s[m] += output.TotalSeconds();
+        learn_s[m] += output.learn_seconds;
+        infer_s[m] += output.infer_seconds;
+        compile_s[m] += output.compile_seconds;
+      }
+    }
+
+    for (size_t m = 0; m < methods.size(); ++m) {
+      CellResult cell;
+      cell.method = methods[m]->name();
+      cell.train_fraction = fraction;
+      cell.num_runs = spec.num_seeds;
+      cell.mean_accuracy = Mean(accuracies[m]);
+      cell.stddev_accuracy = StdDev(accuracies[m]);
+      if (!source_errors[m].empty()) {
+        cell.mean_source_error = Mean(source_errors[m]);
+        cell.source_error_valid = true;
+      }
+      double inv = 1.0 / static_cast<double>(spec.num_seeds);
+      cell.mean_total_seconds = total_s[m] * inv;
+      cell.mean_learn_seconds = learn_s[m] * inv;
+      cell.mean_infer_seconds = infer_s[m] * inv;
+      cell.mean_compile_seconds = compile_s[m] * inv;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+std::string RenderSweep(const std::string& title,
+                        const std::vector<CellResult>& results,
+                        SweepMetric metric) {
+  // Collect orderings.
+  std::vector<double> fractions;
+  std::vector<std::string> method_names;
+  for (const CellResult& cell : results) {
+    if (std::find(fractions.begin(), fractions.end(), cell.train_fraction) ==
+        fractions.end()) {
+      fractions.push_back(cell.train_fraction);
+    }
+    if (std::find(method_names.begin(), method_names.end(), cell.method) ==
+        method_names.end()) {
+      method_names.push_back(cell.method);
+    }
+  }
+
+  std::vector<std::string> header = {"TD (%)"};
+  for (const std::string& name : method_names) header.push_back(name);
+  TablePrinter table(std::move(header));
+  table.SetTitle(title);
+  for (double fraction : fractions) {
+    std::vector<std::string> row = {FormatDouble(fraction * 100.0, 1)};
+    for (const std::string& name : method_names) {
+      auto cell = FindCell(results, name, fraction);
+      if (!cell.ok()) {
+        row.push_back("-");
+        continue;
+      }
+      const CellResult& c = cell.ValueOrDie();
+      switch (metric) {
+        case SweepMetric::kAccuracy:
+          row.push_back(FormatDouble(c.mean_accuracy, 3));
+          break;
+        case SweepMetric::kSourceError:
+          row.push_back(c.source_error_valid
+                            ? FormatDouble(c.mean_source_error, 3)
+                            : "-");
+          break;
+        case SweepMetric::kTotalSeconds:
+          row.push_back(FormatDouble(c.mean_total_seconds, 3));
+          break;
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+Result<CellResult> FindCell(const std::vector<CellResult>& results,
+                            const std::string& method, double fraction) {
+  for (const CellResult& cell : results) {
+    if (cell.method == method &&
+        std::fabs(cell.train_fraction - fraction) < 1e-12) {
+      return cell;
+    }
+  }
+  return Status::NotFound("no cell for method '" + method + "'");
+}
+
+}  // namespace slimfast

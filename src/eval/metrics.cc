@@ -1,0 +1,121 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace slimfast {
+
+Result<double> ObjectValueAccuracy(const Dataset& dataset,
+                                   const std::vector<ValueId>& predictions,
+                                   const std::vector<ObjectId>& objects) {
+  if (predictions.size() != static_cast<size_t>(dataset.num_objects())) {
+    return Status::InvalidArgument(
+        "prediction vector size does not match object count");
+  }
+  int64_t evaluated = 0;
+  int64_t correct = 0;
+  for (ObjectId o : objects) {
+    if (o < 0 || o >= dataset.num_objects()) {
+      return Status::OutOfRange("object id out of range in evaluation set");
+    }
+    if (!dataset.HasTruth(o)) continue;
+    ++evaluated;
+    if (predictions[static_cast<size_t>(o)] == dataset.Truth(o)) ++correct;
+  }
+  if (evaluated == 0) {
+    return Status::FailedPrecondition(
+        "no ground-truth objects in the evaluation set");
+  }
+  return static_cast<double>(correct) / static_cast<double>(evaluated);
+}
+
+Result<double> TestAccuracy(const Dataset& dataset,
+                            const std::vector<ValueId>& predictions,
+                            const TrainTestSplit& split) {
+  return ObjectValueAccuracy(dataset, predictions, split.test_objects);
+}
+
+Result<double> WeightedSourceAccuracyError(
+    const Dataset& dataset, const std::vector<double>& estimated) {
+  if (estimated.empty()) {
+    return Status::FailedPrecondition(
+        "method reports no source accuracy estimates");
+  }
+  if (estimated.size() != static_cast<size_t>(dataset.num_sources())) {
+    return Status::InvalidArgument(
+        "estimate vector size does not match source count");
+  }
+  double weighted_error = 0.0;
+  double total_weight = 0.0;
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    auto truth = dataset.EmpiricalSourceAccuracy(s);
+    if (!truth.ok()) continue;
+    double weight =
+        static_cast<double>(dataset.ClaimsBySource(s).size());
+    weighted_error +=
+        weight * std::fabs(estimated[static_cast<size_t>(s)] -
+                           truth.ValueOrDie());
+    total_weight += weight;
+  }
+  if (total_weight == 0.0) {
+    return Status::FailedPrecondition(
+        "no source has claims on labeled objects");
+  }
+  return weighted_error / total_weight;
+}
+
+Result<double> WeightedSourceAccuracyErrorAgainst(
+    const Dataset& dataset, const std::vector<double>& estimated,
+    const std::vector<double>& reference,
+    const std::vector<SourceId>& sources) {
+  if (estimated.size() != reference.size() ||
+      estimated.size() != static_cast<size_t>(dataset.num_sources())) {
+    return Status::InvalidArgument("vector size mismatch");
+  }
+  double weighted_error = 0.0;
+  double total_weight = 0.0;
+  auto add = [&](SourceId s) {
+    double weight = std::max<double>(
+        1.0, static_cast<double>(dataset.ClaimsBySource(s).size()));
+    weighted_error += weight * std::fabs(estimated[static_cast<size_t>(s)] -
+                                         reference[static_cast<size_t>(s)]);
+    total_weight += weight;
+  };
+  if (sources.empty()) {
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) add(s);
+  } else {
+    for (SourceId s : sources) {
+      if (s < 0 || s >= dataset.num_sources()) continue;
+      add(s);
+    }
+  }
+  if (total_weight == 0.0) {
+    return Status::FailedPrecondition("no sources to evaluate");
+  }
+  return weighted_error / total_weight;
+}
+
+Result<double> MeanSourceKl(const Dataset& dataset,
+                            const std::vector<double>& estimated) {
+  if (estimated.size() != static_cast<size_t>(dataset.num_sources())) {
+    return Status::InvalidArgument(
+        "estimate vector size does not match source count");
+  }
+  double kl_sum = 0.0;
+  int64_t count = 0;
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    auto truth = dataset.EmpiricalSourceAccuracy(s);
+    if (!truth.ok()) continue;
+    kl_sum += KlBernoulli(estimated[static_cast<size_t>(s)],
+                          truth.ValueOrDie());
+    ++count;
+  }
+  if (count == 0) {
+    return Status::FailedPrecondition(
+        "no source has claims on labeled objects");
+  }
+  return kl_sum / static_cast<double>(count);
+}
+
+}  // namespace slimfast

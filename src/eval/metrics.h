@@ -1,0 +1,49 @@
+#ifndef SLIMFAST_EVAL_METRICS_H_
+#define SLIMFAST_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "util/result.h"
+
+namespace slimfast {
+
+/// Accuracy for true object values (Sec. 5.1): the fraction of `objects`
+/// whose predicted value equals the ground truth. Objects without truth
+/// are skipped; a kNoValue prediction counts as wrong. Fails if no object
+/// is evaluable.
+Result<double> ObjectValueAccuracy(const Dataset& dataset,
+                                   const std::vector<ValueId>& predictions,
+                                   const std::vector<ObjectId>& objects);
+
+/// Accuracy over the test objects of a split.
+Result<double> TestAccuracy(const Dataset& dataset,
+                            const std::vector<ValueId>& predictions,
+                            const TrainTestSplit& split);
+
+/// Error for estimated source accuracies (Sec. 5.1): the observation-count-
+/// weighted mean absolute error between `estimated` and each source's
+/// "true" accuracy computed from all ground truth (the paper's
+/// methodology). Sources without labeled claims are skipped. Fails if
+/// `estimated` is empty (non-probabilistic method) or no source is
+/// evaluable.
+Result<double> WeightedSourceAccuracyError(
+    const Dataset& dataset, const std::vector<double>& estimated);
+
+/// Same error against explicitly provided reference accuracies (used with
+/// the synthetic generator's hidden A*_s), restricted to `sources` if
+/// non-empty.
+Result<double> WeightedSourceAccuracyErrorAgainst(
+    const Dataset& dataset, const std::vector<double>& estimated,
+    const std::vector<double>& reference,
+    const std::vector<SourceId>& sources);
+
+/// Mean Kullback-Leibler divergence (1/|S|) Σ KL(Â_s || A*_s) over sources
+/// with labeled claims — the quantity bounded by Theorem 3.
+Result<double> MeanSourceKl(const Dataset& dataset,
+                            const std::vector<double>& estimated);
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_EVAL_METRICS_H_

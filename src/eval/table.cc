@@ -1,0 +1,51 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace slimfast {
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { separators_.push_back(rows_.size()); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  auto rule = [&] { out << std::string(total, '-') << "\n"; };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << PadRight(row[c], widths[c]) << "  ";
+    }
+    out << "\n";
+  };
+  rule();
+  emit(header_);
+  rule();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) !=
+        separators_.end()) {
+      rule();
+    }
+    emit(rows_[r]);
+  }
+  rule();
+  return out.str();
+}
+
+}  // namespace slimfast

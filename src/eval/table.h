@@ -1,0 +1,40 @@
+#ifndef SLIMFAST_EVAL_TABLE_H_
+#define SLIMFAST_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace slimfast {
+
+/// Fixed-width ASCII table renderer used by the benchmark binaries to print
+/// paper-style tables (Tables 1-6) to stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Optional title printed above the table.
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /// Appends a row; short rows are padded with empty cells, long rows are
+  /// truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator after the current last row.
+  void AddSeparator();
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with column alignment and a header rule.
+  std::string ToString() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> separators_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_EVAL_TABLE_H_

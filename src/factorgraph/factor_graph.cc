@@ -1,0 +1,304 @@
+#include "factorgraph/factor_graph.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace slimfast {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+VarId FactorGraph::AddVariable(int32_t cardinality) {
+  SLIMFAST_DCHECK(cardinality >= 1, "variable cardinality must be >= 1");
+  VarId id = static_cast<VarId>(variables_.size());
+  variables_.push_back(Variable{cardinality, false, 0});
+  adjacency_.emplace_back();
+  return id;
+}
+
+Status FactorGraph::Observe(VarId var, int32_t value) {
+  SLIMFAST_RETURN_NOT_OK(ValidateVar(var));
+  Variable& v = variables_[static_cast<size_t>(var)];
+  if (value < 0 || value >= v.cardinality) {
+    return Status::OutOfRange("observed value " + std::to_string(value) +
+                              " out of range for cardinality " +
+                              std::to_string(v.cardinality));
+  }
+  v.observed = true;
+  v.observed_value = value;
+  return Status::OK();
+}
+
+Status FactorGraph::Unobserve(VarId var) {
+  SLIMFAST_RETURN_NOT_OK(ValidateVar(var));
+  variables_[static_cast<size_t>(var)].observed = false;
+  return Status::OK();
+}
+
+WeightId FactorGraph::AddWeight(double value) {
+  WeightId id = static_cast<WeightId>(weights_.size());
+  weights_.push_back(value);
+  return id;
+}
+
+double FactorGraph::weight(WeightId id) const {
+  SLIMFAST_DCHECK(id >= 0 && id < num_weights(), "weight id out of range");
+  return weights_[static_cast<size_t>(id)];
+}
+
+void FactorGraph::set_weight(WeightId id, double value) {
+  SLIMFAST_DCHECK(id >= 0 && id < num_weights(), "weight id out of range");
+  weights_[static_cast<size_t>(id)] = value;
+}
+
+Result<FactorId> FactorGraph::AddIndicatorFactor(
+    VarId var, int32_t match_value, std::vector<WeightId> weights,
+    bool negated) {
+  SLIMFAST_RETURN_NOT_OK(ValidateVar(var));
+  const Variable& v = variables_[static_cast<size_t>(var)];
+  if (match_value < 0 || match_value >= v.cardinality) {
+    return Status::OutOfRange("match_value out of range");
+  }
+  for (WeightId w : weights) {
+    if (w < 0 || w >= num_weights()) {
+      return Status::OutOfRange("weight id out of range");
+    }
+  }
+  Factor f;
+  f.kind = FactorKind::kIndicator;
+  f.negated = negated;
+  f.var_a = var;
+  f.match_value = match_value;
+  f.weights = std::move(weights);
+  FactorId id = static_cast<FactorId>(factors_.size());
+  factors_.push_back(std::move(f));
+  adjacency_[static_cast<size_t>(var)].push_back(id);
+  return id;
+}
+
+Result<FactorId> FactorGraph::AddEqualityFactor(
+    VarId a, VarId b, std::vector<WeightId> weights) {
+  SLIMFAST_RETURN_NOT_OK(ValidateVar(a));
+  SLIMFAST_RETURN_NOT_OK(ValidateVar(b));
+  if (a == b) {
+    return Status::InvalidArgument("equality factor requires distinct vars");
+  }
+  if (variables_[static_cast<size_t>(a)].cardinality !=
+      variables_[static_cast<size_t>(b)].cardinality) {
+    return Status::InvalidArgument(
+        "equality factor requires equal cardinalities");
+  }
+  for (WeightId w : weights) {
+    if (w < 0 || w >= num_weights()) {
+      return Status::OutOfRange("weight id out of range");
+    }
+  }
+  Factor f;
+  f.kind = FactorKind::kEquality;
+  f.var_a = a;
+  f.var_b = b;
+  f.weights = std::move(weights);
+  FactorId id = static_cast<FactorId>(factors_.size());
+  factors_.push_back(std::move(f));
+  adjacency_[static_cast<size_t>(a)].push_back(id);
+  adjacency_[static_cast<size_t>(b)].push_back(id);
+  return id;
+}
+
+const Variable& FactorGraph::variable(VarId id) const {
+  SLIMFAST_DCHECK(id >= 0 && id < num_variables(), "var id out of range");
+  return variables_[static_cast<size_t>(id)];
+}
+
+const Factor& FactorGraph::factor(FactorId id) const {
+  SLIMFAST_DCHECK(id >= 0 && id < num_factors(), "factor id out of range");
+  return factors_[static_cast<size_t>(id)];
+}
+
+const std::vector<FactorId>& FactorGraph::FactorsOf(VarId var) const {
+  SLIMFAST_DCHECK(var >= 0 && var < num_variables(), "var id out of range");
+  return adjacency_[static_cast<size_t>(var)];
+}
+
+double FactorGraph::AssignmentLogScore(
+    const std::vector<int32_t>& assignment) const {
+  SLIMFAST_DCHECK(assignment.size() == variables_.size(),
+                  "assignment size mismatch");
+  double score = 0.0;
+  for (const Factor& f : factors_) {
+    double wsum = 0.0;
+    for (WeightId w : f.weights) wsum += weights_[static_cast<size_t>(w)];
+    switch (f.kind) {
+      case FactorKind::kIndicator: {
+        bool match =
+            assignment[static_cast<size_t>(f.var_a)] == f.match_value;
+        if (match != f.negated) score += wsum;
+        break;
+      }
+      case FactorKind::kEquality: {
+        if (assignment[static_cast<size_t>(f.var_a)] ==
+            assignment[static_cast<size_t>(f.var_b)]) {
+          score += wsum;
+        }
+        break;
+      }
+    }
+  }
+  return score;
+}
+
+void FactorGraph::ConditionalLogScores(VarId var,
+                                       const std::vector<int32_t>& assignment,
+                                       std::vector<double>* out) const {
+  const Variable& v = variable(var);
+  out->assign(static_cast<size_t>(v.cardinality), 0.0);
+  if (v.observed) {
+    for (int32_t d = 0; d < v.cardinality; ++d) {
+      (*out)[static_cast<size_t>(d)] =
+          d == v.observed_value ? 0.0 : kNegInf;
+    }
+    return;
+  }
+  for (FactorId fid : FactorsOf(var)) {
+    const Factor& f = factors_[static_cast<size_t>(fid)];
+    double wsum = 0.0;
+    for (WeightId w : f.weights) wsum += weights_[static_cast<size_t>(w)];
+    switch (f.kind) {
+      case FactorKind::kIndicator: {
+        if (!f.negated) {
+          (*out)[static_cast<size_t>(f.match_value)] += wsum;
+        } else {
+          for (int32_t d = 0; d < v.cardinality; ++d) {
+            if (d != f.match_value) (*out)[static_cast<size_t>(d)] += wsum;
+          }
+        }
+        break;
+      }
+      case FactorKind::kEquality: {
+        VarId other = f.var_a == var ? f.var_b : f.var_a;
+        int32_t other_value = assignment[static_cast<size_t>(other)];
+        if (other_value >= 0 && other_value < v.cardinality) {
+          (*out)[static_cast<size_t>(other_value)] += wsum;
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool FactorGraph::IsFullyFactorized() const {
+  for (const Factor& f : factors_) {
+    if (f.kind != FactorKind::kIndicator) return false;
+  }
+  return true;
+}
+
+Result<std::vector<std::vector<double>>> FactorGraph::ExactMarginals(
+    int64_t max_joint_states) const {
+  std::vector<std::vector<double>> marginals(variables_.size());
+  if (IsFullyFactorized()) {
+    // Each variable's marginal is an independent softmax of its factor
+    // scores; the assignment argument is unused for unary factors.
+    std::vector<int32_t> dummy(variables_.size(), 0);
+    for (VarId v = 0; v < num_variables(); ++v) {
+      std::vector<double> scores;
+      ConditionalLogScores(v, dummy, &scores);
+      SoftmaxInPlace(&scores);
+      marginals[static_cast<size_t>(v)] = std::move(scores);
+    }
+    return marginals;
+  }
+
+  // Brute-force joint enumeration over unobserved variables.
+  int64_t joint = 1;
+  for (const Variable& v : variables_) {
+    if (v.observed) continue;
+    joint *= v.cardinality;
+    if (joint > max_joint_states) {
+      return Status::FailedPrecondition(
+          "joint state space too large for exact inference; use Gibbs");
+    }
+  }
+
+  std::vector<int32_t> assignment(variables_.size(), 0);
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].observed) {
+      assignment[i] = variables_[i].observed_value;
+    }
+  }
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    marginals[i].assign(static_cast<size_t>(variables_[i].cardinality), 0.0);
+  }
+
+  // Iterate all joint assignments; accumulate exp(score - max) per state.
+  // First pass: find max score for stability.
+  std::vector<size_t> free_vars;
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (!variables_[i].observed) free_vars.push_back(i);
+  }
+  auto for_each_assignment = [&](auto&& fn) {
+    while (true) {
+      fn();
+      // Odometer increment over free variables.
+      size_t k = 0;
+      for (; k < free_vars.size(); ++k) {
+        size_t vi = free_vars[k];
+        if (++assignment[vi] < variables_[vi].cardinality) break;
+        assignment[vi] = 0;
+      }
+      if (k == free_vars.size()) break;
+      if (free_vars.empty()) break;
+    }
+  };
+
+  double max_score = kNegInf;
+  for_each_assignment([&] {
+    max_score = std::max(max_score, AssignmentLogScore(assignment));
+  });
+  double total = 0.0;
+  for_each_assignment([&] {
+    double p = std::exp(AssignmentLogScore(assignment) - max_score);
+    total += p;
+    for (size_t i = 0; i < variables_.size(); ++i) {
+      marginals[i][static_cast<size_t>(assignment[i])] += p;
+    }
+  });
+  for (auto& m : marginals) {
+    for (double& p : m) p /= total;
+  }
+  return marginals;
+}
+
+std::vector<int32_t> FactorGraph::MapFromMarginals(
+    const std::vector<std::vector<double>>& marginals) const {
+  SLIMFAST_DCHECK(marginals.size() == variables_.size(),
+                  "marginal table size mismatch");
+  std::vector<int32_t> map(variables_.size(), 0);
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].observed) {
+      map[i] = variables_[i].observed_value;
+      continue;
+    }
+    const auto& m = marginals[i];
+    int32_t best = 0;
+    for (int32_t d = 1; d < static_cast<int32_t>(m.size()); ++d) {
+      if (m[static_cast<size_t>(d)] > m[static_cast<size_t>(best)]) best = d;
+    }
+    map[i] = best;
+  }
+  return map;
+}
+
+Status FactorGraph::ValidateVar(VarId var) const {
+  if (var < 0 || var >= num_variables()) {
+    return Status::OutOfRange("variable id " + std::to_string(var) +
+                              " out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace slimfast

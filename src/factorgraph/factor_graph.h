@@ -1,0 +1,135 @@
+#ifndef SLIMFAST_FACTORGRAPH_FACTOR_GRAPH_H_
+#define SLIMFAST_FACTORGRAPH_FACTOR_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace slimfast {
+
+using VarId = int32_t;
+using WeightId = int32_t;
+using FactorId = int32_t;
+
+/// Supported factor families. SLiMFast's compiled model only needs
+/// indicator factors over single variables (the logistic-regression factors
+/// of Eq. 4, including the copying extension's negated indicators), but the
+/// engine also supports pairwise equality factors so that correlated-variable
+/// models can be expressed and the Gibbs sampler exercised on non-factorized
+/// graphs.
+enum class FactorKind : uint8_t {
+  /// Contributes Σ weights when var == match_value (or != if negated).
+  kIndicator,
+  /// Contributes Σ weights when var_a == var_b.
+  kEquality,
+};
+
+/// A log-linear factor with tied weights, DeepDive-style: the factor's
+/// log-potential is the sum of the referenced shared weights whenever the
+/// factor's predicate holds, and 0 otherwise.
+struct Factor {
+  FactorKind kind;
+  bool negated = false;     ///< for kIndicator: fire when var != match_value
+  VarId var_a = -1;
+  VarId var_b = -1;         ///< only for kEquality
+  int32_t match_value = 0;  ///< only for kIndicator
+  std::vector<WeightId> weights;
+};
+
+/// A categorical random variable with a fixed cardinality; may be observed
+/// (clamped to a value, e.g. ground-truth objects during semi-supervised EM).
+struct Variable {
+  int32_t cardinality = 0;
+  bool observed = false;
+  int32_t observed_value = 0;
+};
+
+/// Log-linear factor graph over categorical variables with shared (tied)
+/// weights.
+///
+/// This is the compilation target for SLiMFast's probabilistic model
+/// (Sec. 3.2): the graph stores the structure, a weight vector, and answers
+/// inference queries (exact where tractable, Gibbs otherwise). Learning
+/// happens outside the graph — learners read structure and write weights.
+class FactorGraph {
+ public:
+  FactorGraph() = default;
+
+  /// Adds an unobserved variable with `cardinality` values; returns its id.
+  VarId AddVariable(int32_t cardinality);
+
+  /// Clamps a variable to `value` (evidence).
+  Status Observe(VarId var, int32_t value);
+
+  /// Removes evidence from a variable.
+  Status Unobserve(VarId var);
+
+  /// Registers a shared weight initialized to `value`; returns its id.
+  WeightId AddWeight(double value);
+
+  double weight(WeightId id) const;
+  void set_weight(WeightId id, double value);
+  int32_t num_weights() const { return static_cast<int32_t>(weights_.size()); }
+
+  /// Adds an indicator factor: fires (contributing the sum of `weights`)
+  /// when `var == match_value`, or when `var != match_value` if `negated`.
+  Result<FactorId> AddIndicatorFactor(VarId var, int32_t match_value,
+                                      std::vector<WeightId> weights,
+                                      bool negated = false);
+
+  /// Adds an equality factor firing when `a == b` (requires equal
+  /// cardinalities).
+  Result<FactorId> AddEqualityFactor(VarId a, VarId b,
+                                     std::vector<WeightId> weights);
+
+  int32_t num_variables() const {
+    return static_cast<int32_t>(variables_.size());
+  }
+  int32_t num_factors() const { return static_cast<int32_t>(factors_.size()); }
+  const Variable& variable(VarId id) const;
+  const Factor& factor(FactorId id) const;
+
+  /// Factors adjacent to a variable.
+  const std::vector<FactorId>& FactorsOf(VarId var) const;
+
+  /// Unnormalized log-score of a full assignment (one value per variable).
+  double AssignmentLogScore(const std::vector<int32_t>& assignment) const;
+
+  /// Log-potentials of each value of `var` conditioned on `assignment`
+  /// (values of all other variables). Written to `out`, sized to
+  /// cardinality. Observed variables get -inf on all but the clamped value.
+  void ConditionalLogScores(VarId var, const std::vector<int32_t>& assignment,
+                            std::vector<double>* out) const;
+
+  /// True if every factor touches exactly one variable, i.e. the joint
+  /// factorizes per variable and exact inference is linear.
+  bool IsFullyFactorized() const;
+
+  /// Exact per-variable marginals.
+  ///
+  /// Works in two regimes: (a) fully factorized graphs (any size) and
+  /// (b) general graphs whose joint state space is at most
+  /// `max_joint_states` (brute-force enumeration, for tests and tiny
+  /// models). Otherwise returns FailedPrecondition — use Gibbs.
+  Result<std::vector<std::vector<double>>> ExactMarginals(
+      int64_t max_joint_states = 1 << 20) const;
+
+  /// MAP value per variable from a marginal table (argmax; observed
+  /// variables keep their clamped value).
+  std::vector<int32_t> MapFromMarginals(
+      const std::vector<std::vector<double>>& marginals) const;
+
+ private:
+  Status ValidateVar(VarId var) const;
+
+  std::vector<Variable> variables_;
+  std::vector<Factor> factors_;
+  std::vector<double> weights_;
+  std::vector<std::vector<FactorId>> adjacency_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_FACTORGRAPH_FACTOR_GRAPH_H_

@@ -1,0 +1,72 @@
+#include "factorgraph/gibbs.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace slimfast {
+
+std::vector<int32_t> GibbsSampler::InitState(Rng* rng) const {
+  std::vector<int32_t> state(static_cast<size_t>(graph_->num_variables()));
+  for (VarId v = 0; v < graph_->num_variables(); ++v) {
+    const Variable& var = graph_->variable(v);
+    state[static_cast<size_t>(v)] =
+        var.observed ? var.observed_value
+                     : static_cast<int32_t>(rng->UniformInt(var.cardinality));
+  }
+  return state;
+}
+
+void GibbsSampler::Sweep(std::vector<int32_t>* state, Rng* rng) const {
+  std::vector<double> scores;
+  std::vector<double> probs;
+  int32_t n = graph_->num_variables();
+  for (int32_t i = 0; i < n; ++i) {
+    VarId v = options_.random_scan ? static_cast<VarId>(rng->UniformInt(n))
+                                   : static_cast<VarId>(i);
+    const Variable& var = graph_->variable(v);
+    if (var.observed) continue;
+    graph_->ConditionalLogScores(v, *state, &scores);
+    probs = scores;
+    SoftmaxInPlace(&probs);
+    (*state)[static_cast<size_t>(v)] =
+        static_cast<int32_t>(rng->Categorical(probs));
+  }
+}
+
+std::vector<std::vector<double>> GibbsSampler::EstimateMarginals(Rng* rng) {
+  std::vector<int32_t> state = InitState(rng);
+  for (int32_t s = 0; s < options_.burn_in; ++s) Sweep(&state, rng);
+
+  std::vector<std::vector<double>> counts(
+      static_cast<size_t>(graph_->num_variables()));
+  for (VarId v = 0; v < graph_->num_variables(); ++v) {
+    counts[static_cast<size_t>(v)].assign(
+        static_cast<size_t>(graph_->variable(v).cardinality), 0.0);
+  }
+  int32_t collected = 0;
+  for (int32_t s = 0; s < options_.samples; ++s) {
+    Sweep(&state, rng);
+    ++collected;
+    for (VarId v = 0; v < graph_->num_variables(); ++v) {
+      counts[static_cast<size_t>(v)]
+            [static_cast<size_t>(state[static_cast<size_t>(v)])] += 1.0;
+    }
+  }
+  if (collected > 0) {
+    for (auto& c : counts) {
+      for (double& x : c) x /= static_cast<double>(collected);
+    }
+  }
+  return counts;
+}
+
+std::vector<int32_t> GibbsSampler::SampleState(Rng* rng) {
+  std::vector<int32_t> state = InitState(rng);
+  for (int32_t s = 0; s < options_.burn_in + options_.samples; ++s) {
+    Sweep(&state, rng);
+  }
+  return state;
+}
+
+}  // namespace slimfast

@@ -1,0 +1,53 @@
+#ifndef SLIMFAST_FACTORGRAPH_GIBBS_H_
+#define SLIMFAST_FACTORGRAPH_GIBBS_H_
+
+#include <vector>
+
+#include "factorgraph/factor_graph.h"
+#include "util/random.h"
+
+namespace slimfast {
+
+/// Configuration of the Gibbs sampler.
+struct GibbsOptions {
+  /// Sweeps discarded before collecting statistics.
+  int32_t burn_in = 100;
+  /// Sweeps whose states are averaged into the marginal estimates.
+  int32_t samples = 400;
+  /// Random-scan (true) or systematic-scan (false) variable order.
+  bool random_scan = false;
+};
+
+/// Gibbs sampler over a FactorGraph — the inference engine the paper runs
+/// via DeepPive's sampler [41].
+///
+/// Each sweep resamples every unobserved variable from its full conditional
+/// (softmax of FactorGraph::ConditionalLogScores). Marginals are empirical
+/// frequencies over post-burn-in sweeps. Deterministic given the Rng seed.
+class GibbsSampler {
+ public:
+  GibbsSampler(const FactorGraph* graph, GibbsOptions options)
+      : graph_(graph), options_(options) {}
+
+  /// Runs the chain and returns estimated marginals, one probability vector
+  /// per variable (observed variables get a point mass).
+  std::vector<std::vector<double>> EstimateMarginals(Rng* rng);
+
+  /// Runs the chain and returns the last visited state (a draw from the
+  /// approximate posterior).
+  std::vector<int32_t> SampleState(Rng* rng);
+
+ private:
+  /// Initializes the state: observed values clamped, others uniform-random.
+  std::vector<int32_t> InitState(Rng* rng) const;
+
+  /// One full sweep, resampling every unobserved variable in place.
+  void Sweep(std::vector<int32_t>* state, Rng* rng) const;
+
+  const FactorGraph* graph_;
+  GibbsOptions options_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_FACTORGRAPH_GIBBS_H_

@@ -1,0 +1,45 @@
+#ifndef SLIMFAST_OPT_ADAGRAD_H_
+#define SLIMFAST_OPT_ADAGRAD_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace slimfast {
+
+/// Per-coordinate AdaGrad step-size adaptation.
+///
+/// The SLiMFast learners use sparse gradients (each observation touches one
+/// source weight and a handful of feature weights); AdaGrad keeps step sizes
+/// balanced between the frequently updated source-indicator weights of dense
+/// sources and the rarely updated ones of sparse sources.
+class AdaGrad {
+ public:
+  /// `dim` coordinates; `epsilon` guards the denominator.
+  explicit AdaGrad(int64_t dim, double epsilon = 1e-8)
+      : accum_(static_cast<size_t>(dim), 0.0), epsilon_(epsilon) {}
+
+  int64_t dim() const { return static_cast<int64_t>(accum_.size()); }
+
+  /// Records gradient `g` at coordinate `i` and returns the effective step
+  /// size multiplier 1 / sqrt(accum + eps) to apply to the base rate.
+  double Step(int64_t i, double g) {
+    SLIMFAST_DCHECK(i >= 0 && i < dim(), "AdaGrad coordinate out of range");
+    double& a = accum_[static_cast<size_t>(i)];
+    a += g * g;
+    return 1.0 / std::sqrt(a + epsilon_);
+  }
+
+  /// Resets accumulated curvature.
+  void Reset() { accum_.assign(accum_.size(), 0.0); }
+
+ private:
+  std::vector<double> accum_;
+  double epsilon_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_OPT_ADAGRAD_H_

@@ -1,0 +1,51 @@
+#ifndef SLIMFAST_OPT_CONVERGENCE_H_
+#define SLIMFAST_OPT_CONVERGENCE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace slimfast {
+
+/// Tracks an optimization loss across iterations and decides convergence.
+///
+/// Converged when the relative improvement stays below `tolerance` for
+/// `patience` consecutive iterations (EM and the iterative baselines all
+/// use this so that "executed until convergence" means the same thing
+/// everywhere in the library).
+class ConvergenceTracker {
+ public:
+  ConvergenceTracker(double tolerance, int32_t patience)
+      : tolerance_(tolerance), patience_(patience) {}
+
+  /// Records the loss of the current iteration; returns true once converged.
+  bool Update(double loss) {
+    ++iterations_;
+    if (std::isfinite(last_loss_)) {
+      double denom = std::max(1.0, std::fabs(last_loss_));
+      double rel_change = std::fabs(loss - last_loss_) / denom;
+      if (rel_change < tolerance_) {
+        ++stable_;
+      } else {
+        stable_ = 0;
+      }
+    }
+    last_loss_ = loss;
+    return converged();
+  }
+
+  bool converged() const { return stable_ >= patience_; }
+  int32_t iterations() const { return iterations_; }
+  double last_loss() const { return last_loss_; }
+
+ private:
+  double tolerance_;
+  int32_t patience_;
+  int32_t stable_ = 0;
+  int32_t iterations_ = 0;
+  double last_loss_ = std::numeric_limits<double>::quiet_NaN();
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_OPT_CONVERGENCE_H_

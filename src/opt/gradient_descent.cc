@@ -1,0 +1,60 @@
+#include "opt/gradient_descent.h"
+
+#include <cmath>
+
+#include "opt/convergence.h"
+#include "opt/proximal.h"
+
+namespace slimfast {
+
+Result<GradientDescentResult> MinimizeBatch(
+    const ValueAndGradientFn& objective, std::vector<double> init,
+    const GradientDescentOptions& options) {
+  if (init.empty()) {
+    return Status::InvalidArgument("initial point must be non-empty");
+  }
+  if (options.learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (options.l1 < 0.0 || options.l2 < 0.0) {
+    return Status::InvalidArgument("penalties must be non-negative");
+  }
+
+  LearningRateSchedule schedule(options.learning_rate, options.decay);
+  ConvergenceTracker tracker(options.tolerance, options.patience);
+  std::vector<double> w = std::move(init);
+  std::vector<double> grad(w.size(), 0.0);
+
+  GradientDescentResult result;
+  double loss = 0.0;
+  for (int32_t iter = 0; iter < options.max_iterations; ++iter) {
+    loss = objective(w, &grad);
+    if (!std::isfinite(loss)) {
+      return Status::Internal("objective produced non-finite loss");
+    }
+    // Add the L2 penalty (the L1 part is handled by the proximal step).
+    if (options.l2 > 0.0) {
+      for (size_t i = 0; i < w.size(); ++i) {
+        loss += 0.5 * options.l2 * w[i] * w[i];
+        grad[i] += options.l2 * w[i];
+      }
+    }
+    double eta = schedule.At(iter);
+    for (size_t i = 0; i < w.size(); ++i) {
+      w[i] -= eta * grad[i];
+    }
+    if (options.l1 > 0.0) {
+      SoftThresholdInPlace(&w, eta * options.l1);
+    }
+    result.iterations = iter + 1;
+    if (tracker.Update(loss)) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.weights = std::move(w);
+  result.final_loss = loss;
+  return result;
+}
+
+}  // namespace slimfast

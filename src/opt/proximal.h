@@ -1,0 +1,38 @@
+#ifndef SLIMFAST_OPT_PROXIMAL_H_
+#define SLIMFAST_OPT_PROXIMAL_H_
+
+#include <cmath>
+#include <vector>
+
+namespace slimfast {
+
+/// Soft-thresholding operator, the proximal map of t*|x|:
+/// returns sign(x) * max(|x| - t, 0).
+///
+/// This is the primitive behind the L1-regularized (Lasso) learners used
+/// for the feature-importance analysis (Sec. 5.3.1, Figures 6 and 9): after
+/// each gradient step, feature weights are shrunk toward zero, producing
+/// exactly-sparse solutions.
+inline double SoftThreshold(double x, double t) {
+  if (x > t) return x - t;
+  if (x < -t) return x + t;
+  return 0.0;
+}
+
+/// Applies soft-thresholding elementwise to `xs` in place.
+inline void SoftThresholdInPlace(std::vector<double>* xs, double t) {
+  for (double& x : *xs) x = SoftThreshold(x, t);
+}
+
+/// Number of exactly-zero coordinates (sparsity diagnostic for Lasso).
+inline int64_t CountZeros(const std::vector<double>& xs) {
+  int64_t zeros = 0;
+  for (double x : xs) {
+    if (x == 0.0) ++zeros;
+  }
+  return zeros;
+}
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_OPT_PROXIMAL_H_

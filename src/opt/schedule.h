@@ -1,0 +1,44 @@
+#ifndef SLIMFAST_OPT_SCHEDULE_H_
+#define SLIMFAST_OPT_SCHEDULE_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace slimfast {
+
+/// Learning-rate decay families used by the SGD learners.
+enum class LrDecay {
+  kConstant,   ///< eta_t = eta0
+  kInvSqrt,    ///< eta_t = eta0 / sqrt(1 + t)
+  kInvLinear,  ///< eta_t = eta0 / (1 + t)
+};
+
+/// Step-size schedule: maps an epoch (or step) index to a learning rate.
+class LearningRateSchedule {
+ public:
+  LearningRateSchedule(double eta0, LrDecay decay)
+      : eta0_(eta0), decay_(decay) {}
+
+  double At(int64_t t) const {
+    switch (decay_) {
+      case LrDecay::kConstant:
+        return eta0_;
+      case LrDecay::kInvSqrt:
+        return eta0_ / std::sqrt(1.0 + static_cast<double>(t));
+      case LrDecay::kInvLinear:
+        return eta0_ / (1.0 + static_cast<double>(t));
+    }
+    return eta0_;
+  }
+
+  double eta0() const { return eta0_; }
+  LrDecay decay() const { return decay_; }
+
+ private:
+  double eta0_;
+  LrDecay decay_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_OPT_SCHEDULE_H_

@@ -1,0 +1,79 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace slimfast {
+
+Status CsvTable::AppendRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(row.size()) +
+        " does not match header width " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<size_t> CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+std::string CsvTable::ToString() const {
+  std::ostringstream out;
+  out << Join(header_, ",") << "\n";
+  for (const auto& row : rows_) {
+    out << Join(row, ",") << "\n";
+  }
+  return out.str();
+}
+
+Status CsvTable::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  file << ToString();
+  if (!file) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<CsvTable> CsvTable::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  CsvTable table(Split(Trim(line), ','));
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    Status st = table.AppendRow(Split(trimmed, ','));
+    if (!st.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + st.message());
+    }
+  }
+  return table;
+}
+
+Result<CsvTable> CsvTable::ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Parse(buffer.str());
+}
+
+}  // namespace slimfast

@@ -1,0 +1,57 @@
+#ifndef SLIMFAST_UTIL_CSV_H_
+#define SLIMFAST_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace slimfast {
+
+/// In-memory CSV table: a header row plus data rows of equal width.
+///
+/// Used by the dataset simulators to optionally persist generated fusion
+/// instances (observations, ground truth, features) and by the benchmark
+/// harness to emit machine-readable experiment output next to the printed
+/// tables. Only simple unquoted CSV is supported — the library never needs
+/// embedded delimiters.
+class CsvTable {
+ public:
+  CsvTable() = default;
+
+  /// Creates a table with the given column names.
+  explicit CsvTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return header_.size(); }
+
+  /// Appends a row; returns InvalidArgument if the width mismatches.
+  Status AppendRow(std::vector<std::string> row);
+
+  /// Returns the index of a named column, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Serializes header + rows to CSV text.
+  std::string ToString() const;
+
+  /// Writes the table to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  /// Parses CSV text (first line is the header).
+  static Result<CsvTable> Parse(const std::string& text);
+
+  /// Reads and parses a CSV file.
+  static Result<CsvTable> ReadFile(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_UTIL_CSV_H_

@@ -1,0 +1,63 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace slimfast {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::GetLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) <
+      g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  (void)file;
+  (void)line;
+}
+
+LogMessage::~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+void FatalCheck(const char* expr, const char* msg, const char* file,
+                int line) {
+  std::fprintf(stderr, "CHECK failed %s:%d: (%s) %s\n", file, line, expr,
+               msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace slimfast

@@ -1,0 +1,72 @@
+#ifndef SLIMFAST_UTIL_LOGGING_H_
+#define SLIMFAST_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace slimfast {
+
+/// Severity levels for the library logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Minimal stream-style logger.
+///
+/// The benchmarks and examples run with kInfo; tests typically raise the
+/// threshold to kWarning to keep output clean. The logger is process-global
+/// and not synchronized across threads beyond line-at-a-time writes.
+class Logger {
+ public:
+  /// Sets the global minimum level that will be emitted.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Emits one formatted line at `level` (no-op below threshold).
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// RAII line builder used by the SLIMFAST_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: SLIMFAST_LOG(kInfo) << "epoch " << epoch << " loss " << loss;
+#define SLIMFAST_LOG(severity)                                       \
+  ::slimfast::internal::LogMessage(::slimfast::LogLevel::severity,   \
+                                   __FILE__, __LINE__)               \
+      .stream()
+
+/// Assertion macro for internal invariants; aborts with a message.
+#define SLIMFAST_DCHECK(condition, msg)                                   \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::slimfast::internal::FatalCheck(#condition, msg, __FILE__,         \
+                                       __LINE__);                         \
+    }                                                                     \
+  } while (0)
+
+namespace internal {
+[[noreturn]] void FatalCheck(const char* expr, const char* msg,
+                             const char* file, int line);
+}  // namespace internal
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_UTIL_LOGGING_H_

@@ -1,0 +1,35 @@
+#include "util/random.h"
+
+namespace slimfast {
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  SLIMFAST_DCHECK(!weights.empty(), "Categorical requires weights");
+  double total = 0.0;
+  for (double w : weights) {
+    SLIMFAST_DCHECK(w >= 0.0, "Categorical weights must be non-negative");
+    total += w;
+  }
+  SLIMFAST_DCHECK(total > 0.0, "Categorical weights must sum to > 0");
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  SLIMFAST_DCHECK(k >= 0 && k <= n, "Sample size out of range");
+  std::vector<int64_t> indices(n);
+  for (int64_t i = 0; i < n; ++i) indices[i] = i;
+  // Partial Fisher-Yates: only the first k slots need to be randomized.
+  for (int64_t i = 0; i < k; ++i) {
+    int64_t j = i + UniformInt(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace slimfast

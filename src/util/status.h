@@ -1,0 +1,133 @@
+#ifndef SLIMFAST_UTIL_STATUS_H_
+#define SLIMFAST_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace slimfast {
+
+/// Machine-readable classification of an error. Mirrors the conventions used
+/// by Arrow / RocksDB style database code: every fallible public API returns a
+/// Status (or Result<T>) instead of throwing.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kNotImplemented = 7,
+  kIOError = 8,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight error container: a code plus a human-readable message.
+///
+/// The OK status carries no allocation. Use the static factory functions
+/// (Status::InvalidArgument(...) etc.) to construct errors, and the
+/// SLIMFAST_RETURN_NOT_OK macro to propagate them.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK.
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define SLIMFAST_RETURN_NOT_OK(expr)              \
+  do {                                            \
+    ::slimfast::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Aborts the process if `expr` is not OK. For use in tests and examples
+/// where an error is a programming bug.
+#define SLIMFAST_CHECK_OK(expr)                                        \
+  do {                                                                 \
+    ::slimfast::Status _st = (expr);                                   \
+    if (!_st.ok()) {                                                   \
+      ::slimfast::internal::FatalStatus(_st, __FILE__, __LINE__);      \
+    }                                                                  \
+  } while (0)
+
+namespace internal {
+/// Prints the status and aborts. Out-of-line to keep the macro small.
+[[noreturn]] void FatalStatus(const Status& status, const char* file,
+                              int line);
+}  // namespace internal
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_UTIL_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef SLIMFAST_UTIL_STOPWATCH_H_
+#define SLIMFAST_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace slimfast {
+
+/// Wall-clock stopwatch used by the runtime benchmarks (Tables 5/6).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_UTIL_STOPWATCH_H_

@@ -1,0 +1,33 @@
+#ifndef SLIMFAST_UTIL_STRINGS_H_
+#define SLIMFAST_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slimfast {
+
+/// Splits `input` on every occurrence of `delim`. Keeps empty fields, so
+/// Split("a,,b", ',') == {"a", "", "b"}.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view input);
+
+/// True if `input` begins with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// Left- or right-pads `input` with spaces to at least `width` characters.
+std::string PadLeft(std::string_view input, size_t width);
+std::string PadRight(std::string_view input, size_t width);
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_UTIL_STRINGS_H_

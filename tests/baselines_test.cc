@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "baselines/accu.h"
+#include "baselines/catd.h"
+#include "baselines/counts.h"
+#include "baselines/majority.h"
+#include "baselines/registry.h"
+#include "baselines/sstf.h"
+#include "baselines/truthfinder.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace slimfast {
+namespace {
+
+/// All baselines should nail an easy instance: 10 sources of accuracy 0.85,
+/// full density, binary values.
+class EasyInstanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = testutil::MakePlantedDataset(std::vector<double>(10, 0.85),
+                                            300, 1.0, 404);
+    split_ = testutil::MakePrefixSplit(dataset_, 60);
+  }
+  Dataset dataset_;
+  TrainTestSplit split_;
+};
+
+TEST_F(EasyInstanceTest, MajorityVote) {
+  MajorityVote method;
+  auto output = method.Run(dataset_, split_, 1).ValueOrDie();
+  EXPECT_GT(TestAccuracy(dataset_, output.predicted_values, split_)
+                .ValueOrDie(),
+            0.95);
+}
+
+TEST_F(EasyInstanceTest, Counts) {
+  Counts method;
+  auto output = method.Run(dataset_, split_, 1).ValueOrDie();
+  EXPECT_GT(TestAccuracy(dataset_, output.predicted_values, split_)
+                .ValueOrDie(),
+            0.95);
+}
+
+TEST_F(EasyInstanceTest, Accu) {
+  Accu method;
+  auto output = method.Run(dataset_, split_, 1).ValueOrDie();
+  EXPECT_GT(TestAccuracy(dataset_, output.predicted_values, split_)
+                .ValueOrDie(),
+            0.95);
+}
+
+TEST_F(EasyInstanceTest, Catd) {
+  Catd method;
+  auto output = method.Run(dataset_, split_, 1).ValueOrDie();
+  EXPECT_GT(TestAccuracy(dataset_, output.predicted_values, split_)
+                .ValueOrDie(),
+            0.95);
+}
+
+TEST_F(EasyInstanceTest, Sstf) {
+  Sstf method;
+  auto output = method.Run(dataset_, split_, 1).ValueOrDie();
+  EXPECT_GT(TestAccuracy(dataset_, output.predicted_values, split_)
+                .ValueOrDie(),
+            0.9);
+}
+
+TEST_F(EasyInstanceTest, TruthFinder) {
+  TruthFinder method;
+  auto output = method.Run(dataset_, split_, 1).ValueOrDie();
+  EXPECT_GT(TestAccuracy(dataset_, output.predicted_values, split_)
+                .ValueOrDie(),
+            0.9);
+}
+
+TEST(MajorityTest, PicksMostFrequentValue) {
+  DatasetBuilder builder("m", 5, 1, 3);
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 2));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 1, 2));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 2, 1));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 3, 2));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 4, 0));
+  Dataset d = std::move(builder).Build().ValueOrDie();
+  MajorityVote method;
+  TrainTestSplit split;
+  split.is_train.assign(1, 0);
+  auto output = method.Run(d, split, 1).ValueOrDie();
+  EXPECT_EQ(output.predicted_values[0], 2);
+}
+
+TEST(MajorityTest, TieBreaksToSmallestValue) {
+  DatasetBuilder builder("tie", 2, 1, 3);
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 2));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 1, 1));
+  Dataset d = std::move(builder).Build().ValueOrDie();
+  MajorityVote method;
+  TrainTestSplit split;
+  split.is_train.assign(1, 0);
+  auto output = method.Run(d, split, 1).ValueOrDie();
+  EXPECT_EQ(output.predicted_values[0], 1);
+}
+
+TEST(MajorityTest, UnobservedObjectGetsNoValue) {
+  DatasetBuilder builder("gap", 1, 2, 2);
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 1));
+  Dataset d = std::move(builder).Build().ValueOrDie();
+  MajorityVote method;
+  TrainTestSplit split;
+  split.is_train.assign(2, 0);
+  auto output = method.Run(d, split, 1).ValueOrDie();
+  EXPECT_EQ(output.predicted_values[1], kNoValue);
+}
+
+TEST(CountsTest, SupervisedAccuraciesMatchEmpiricalRates) {
+  std::vector<double> accuracies = {0.9, 0.5, 0.2};
+  Dataset d = testutil::MakePlantedDataset(accuracies, 400, 1.0, 405);
+  auto split = testutil::MakePrefixSplit(d, 300);
+  Counts method;
+  auto output = method.Run(d, split, 1).ValueOrDie();
+  for (SourceId s = 0; s < 3; ++s) {
+    EXPECT_NEAR(output.source_accuracies[static_cast<size_t>(s)],
+                accuracies[static_cast<size_t>(s)], 0.08)
+        << s;
+  }
+}
+
+TEST(CountsTest, UnlabeledSourceGetsDefault) {
+  DatasetBuilder builder("c", 2, 2, 2);
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 0));
+  SLIMFAST_CHECK_OK(builder.AddObservation(1, 1, 0));
+  SLIMFAST_CHECK_OK(builder.SetTruth(0, 0));
+  SLIMFAST_CHECK_OK(builder.SetTruth(1, 0));
+  Dataset d = std::move(builder).Build().ValueOrDie();
+  auto split = testutil::MakePrefixSplit(d, 1);  // only object 0 labeled
+  CountsOptions options;
+  options.default_accuracy = 0.5;
+  Counts method(options);
+  auto output = method.Run(d, split, 1).ValueOrDie();
+  // Source 1 has no claims on train objects.
+  EXPECT_DOUBLE_EQ(output.source_accuracies[1], 0.5);
+  EXPECT_GT(output.source_accuracies[0], 0.5);  // smoothed 2/3
+}
+
+TEST(AccuTest, FailsGracefullyNowhere_UnsupervisedStillWorks) {
+  Dataset d = testutil::MakePlantedDataset(std::vector<double>(8, 0.8),
+                                           200, 1.0, 406);
+  auto split = testutil::MakePrefixSplit(d, 0);
+  Accu method;
+  auto output = method.Run(d, split, 1).ValueOrDie();
+  EXPECT_GT(
+      ObjectValueAccuracy(d, output.predicted_values, d.ObjectsWithTruth())
+          .ValueOrDie(),
+      0.95);
+}
+
+TEST(AccuTest, AccuraciesTrackEmpiricalUnderIndependence) {
+  std::vector<double> accuracies = {0.9, 0.85, 0.8, 0.75, 0.7, 0.65};
+  Dataset d = testutil::MakePlantedDataset(accuracies, 500, 1.0, 407);
+  auto split = testutil::MakePrefixSplit(d, 50);
+  Accu method;
+  auto output = method.Run(d, split, 1).ValueOrDie();
+  double error =
+      WeightedSourceAccuracyError(d, output.source_accuracies).ValueOrDie();
+  EXPECT_LT(error, 0.1);
+}
+
+TEST(AccuTest, GroundTruthClampedInPosterior) {
+  // Give ACCU labels that contradict the (wrong) majority; the labeled
+  // objects must be predicted at their clamped truth.
+  std::vector<double> accuracies(9, 0.3);
+  Dataset d = testutil::MakePlantedDataset(accuracies, 100, 1.0, 408);
+  auto split = testutil::MakePrefixSplit(d, 50);
+  Accu method;
+  auto output = method.Run(d, split, 1).ValueOrDie();
+  double train_accuracy =
+      ObjectValueAccuracy(d, output.predicted_values, split.train_objects)
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(train_accuracy, 1.0);
+}
+
+TEST(CatdTest, NoProbabilisticAccuracies) {
+  Dataset d = testutil::MakePlantedDataset(std::vector<double>(5, 0.8), 100,
+                                           1.0, 409);
+  auto split = testutil::MakePrefixSplit(d, 10);
+  Catd method;
+  auto output = method.Run(d, split, 1).ValueOrDie();
+  EXPECT_TRUE(output.source_accuracies.empty());
+}
+
+TEST(CatdTest, LongTailSourcesGetShrunkWeight) {
+  // A source with a single (correct) claim should not outvote several
+  // consistent sources — the chi-squared numerator shrinks its weight.
+  // Construct: object 0 disputed; abundant sources say 0, one-shot source
+  // says 1.
+  DatasetBuilder builder("tail", 6, 50, 2);
+  Rng rng(11);
+  for (ObjectId o = 0; o < 50; ++o) {
+    for (SourceId s = 0; s < 5; ++s) {
+      SLIMFAST_CHECK_OK(
+          builder.AddObservation(o, s, rng.Bernoulli(0.8) ? 0 : 1));
+    }
+    SLIMFAST_CHECK_OK(builder.SetTruth(o, 0));
+  }
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 5, 1));  // one-shot dissent
+  Dataset d = std::move(builder).Build().ValueOrDie();
+  auto split = testutil::MakePrefixSplit(d, 0);
+  Catd method;
+  auto output = method.Run(d, split, 1).ValueOrDie();
+  EXPECT_EQ(output.predicted_values[0], 0);
+}
+
+TEST(SstfTest, LabelsPropagateThroughSharedSources) {
+  // Without labels the 0.45-accuracy regime is hopeless; with half the
+  // objects labeled, SSTF should beat chance on the rest.
+  std::vector<double> accuracies(8, 0.45);
+  accuracies[0] = accuracies[1] = 0.9;
+  Dataset d = testutil::MakePlantedDataset(accuracies, 300, 1.0, 411);
+  Sstf method;
+  auto split_labeled = testutil::MakePrefixSplit(d, 150);
+  auto with_labels = method.Run(d, split_labeled, 1).ValueOrDie();
+  double labeled_accuracy =
+      TestAccuracy(d, with_labels.predicted_values, split_labeled)
+          .ValueOrDie();
+  EXPECT_GT(labeled_accuracy, 0.6);
+}
+
+TEST(TruthFinderTest, TrustScoresOrderSources) {
+  std::vector<double> accuracies = {0.95, 0.7, 0.4};
+  Dataset d = testutil::MakePlantedDataset(accuracies, 400, 1.0, 412);
+  auto split = testutil::MakePrefixSplit(d, 0);
+  TruthFinder method;
+  auto output = method.Run(d, split, 1).ValueOrDie();
+  ASSERT_EQ(output.source_accuracies.size(), 3u);
+  EXPECT_GT(output.source_accuracies[0], output.source_accuracies[2]);
+}
+
+TEST(RegistryTest, Table2LineupMatchesPaper) {
+  auto methods = MakeTable2Methods();
+  ASSERT_EQ(methods.size(), 7u);
+  EXPECT_EQ(methods[0]->name(), "SLiMFast");
+  EXPECT_EQ(methods[1]->name(), "Sources-ERM");
+  EXPECT_EQ(methods[2]->name(), "Sources-EM");
+  EXPECT_EQ(methods[3]->name(), "Counts");
+  EXPECT_EQ(methods[4]->name(), "ACCU");
+  EXPECT_EQ(methods[5]->name(), "CATD");
+  EXPECT_EQ(methods[6]->name(), "SSTF");
+}
+
+TEST(RegistryTest, Table3LineupIsProbabilisticSubset) {
+  auto methods = MakeTable3Methods();
+  ASSERT_EQ(methods.size(), 5u);
+  EXPECT_EQ(methods.back()->name(), "ACCU");
+}
+
+TEST(RegistryTest, MakeMethodByName) {
+  for (const char* name :
+       {"SLiMFast", "SLiMFast-ERM", "SLiMFast-EM", "Sources-ERM",
+        "Sources-EM", "MajorityVote", "Counts", "ACCU", "CATD", "SSTF",
+        "TruthFinder"}) {
+    auto method = MakeMethodByName(name);
+    ASSERT_TRUE(method.ok()) << name;
+    EXPECT_EQ(method.ValueOrDie()->name(), name);
+  }
+  EXPECT_TRUE(MakeMethodByName("Nope").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace slimfast

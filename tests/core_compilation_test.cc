@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "core/compilation.h"
+#include "test_util.h"
+
+namespace slimfast {
+namespace {
+
+Dataset MakeFeatureDataset() {
+  DatasetBuilder builder("feat", 3, 2, 2);
+  FeatureSpace* fs = builder.mutable_features();
+  FeatureId k0 = fs->RegisterFeature("k0");
+  FeatureId k1 = fs->RegisterFeature("k1");
+  SLIMFAST_CHECK_OK(fs->SetFeature(0, k0));
+  SLIMFAST_CHECK_OK(fs->SetFeature(0, k1));
+  SLIMFAST_CHECK_OK(fs->SetFeature(1, k1));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 1));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 1, 1));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 2, 0));
+  SLIMFAST_CHECK_OK(builder.AddObservation(1, 1, 0));
+  SLIMFAST_CHECK_OK(builder.SetTruth(0, 1));
+  return std::move(builder).Build().ValueOrDie();
+}
+
+TEST(CompilationTest, LayoutDefaultConfig) {
+  Dataset d = MakeFeatureDataset();
+  auto model = Compile(d, ModelConfig{}).ValueOrDie();
+  EXPECT_EQ(model.layout.num_source_params, 3);
+  EXPECT_EQ(model.layout.num_feature_params, 2);
+  EXPECT_EQ(model.layout.num_copy_params, 0);
+  EXPECT_EQ(model.layout.num_params, 5);
+  EXPECT_EQ(model.layout.source_offset, 0);
+  EXPECT_EQ(model.layout.feature_offset, 3);
+}
+
+TEST(CompilationTest, LayoutPredicates) {
+  Dataset d = MakeFeatureDataset();
+  auto model = Compile(d, ModelConfig{}).ValueOrDie();
+  EXPECT_TRUE(model.layout.IsSourceParam(0));
+  EXPECT_TRUE(model.layout.IsSourceParam(2));
+  EXPECT_FALSE(model.layout.IsSourceParam(3));
+  EXPECT_TRUE(model.layout.IsFeatureParam(3));
+  EXPECT_TRUE(model.layout.IsFeatureParam(4));
+  EXPECT_FALSE(model.layout.IsFeatureParam(2));
+  EXPECT_FALSE(model.layout.IsCopyParam(4));
+}
+
+TEST(CompilationTest, SigmaTermsContainSourceAndFeatures) {
+  Dataset d = MakeFeatureDataset();
+  auto model = Compile(d, ModelConfig{}).ValueOrDie();
+  // Source 0: own weight + features k0, k1.
+  const auto& terms0 = model.sigma_terms[0];
+  ASSERT_EQ(terms0.size(), 3u);
+  EXPECT_EQ(terms0[0], (ParamTerm{0, 1.0}));
+  EXPECT_EQ(terms0[1], (ParamTerm{3, 1.0}));
+  EXPECT_EQ(terms0[2], (ParamTerm{4, 1.0}));
+  // Source 2: no features.
+  EXPECT_EQ(model.sigma_terms[2].size(), 1u);
+}
+
+TEST(CompilationTest, SourcesOnlyConfig) {
+  Dataset d = MakeFeatureDataset();
+  ModelConfig config;
+  config.use_feature_weights = false;
+  auto model = Compile(d, config).ValueOrDie();
+  EXPECT_EQ(model.layout.num_params, 3);
+  EXPECT_EQ(model.layout.num_feature_params, 0);
+  for (const auto& terms : model.sigma_terms) {
+    EXPECT_EQ(terms.size(), 1u);
+  }
+}
+
+TEST(CompilationTest, FeatureOnlyConfig) {
+  Dataset d = MakeFeatureDataset();
+  ModelConfig config;
+  config.use_source_weights = false;
+  auto model = Compile(d, config).ValueOrDie();
+  EXPECT_EQ(model.layout.num_params, 2);
+  // Source 2 has no features, so its sigma expression is empty (score 0).
+  EXPECT_TRUE(model.sigma_terms[2].empty());
+}
+
+TEST(CompilationTest, RejectsNoParameterGroups) {
+  Dataset d = MakeFeatureDataset();
+  ModelConfig config;
+  config.use_source_weights = false;
+  config.use_feature_weights = false;
+  EXPECT_TRUE(Compile(d, config).status().IsInvalidArgument());
+}
+
+TEST(CompilationTest, RejectsFeatureOnlyWithoutFeatures) {
+  Dataset d = testutil::MakeFigure1Dataset();  // no features
+  ModelConfig config;
+  config.use_source_weights = false;
+  EXPECT_TRUE(Compile(d, config).status().IsFailedPrecondition());
+}
+
+TEST(CompilationTest, ObjectTermsAggregateClaimingSigmas) {
+  Dataset d = MakeFeatureDataset();
+  auto model = Compile(d, ModelConfig{}).ValueOrDie();
+  const CompiledObject* row = model.RowOf(0);
+  ASSERT_NE(row, nullptr);
+  ASSERT_EQ(row->domain, (std::vector<ValueId>{0, 1}));
+  // Value 0 claimed only by source 2: term = {w_s2: 1}.
+  ASSERT_EQ(row->terms[0].size(), 1u);
+  EXPECT_EQ(row->terms[0][0], (ParamTerm{2, 1.0}));
+  // Value 1 claimed by sources 0 and 1: w_s0 + w_s1 + k0 + 2*k1.
+  const auto& t1 = row->terms[1];
+  ASSERT_EQ(t1.size(), 4u);
+  EXPECT_EQ(t1[0], (ParamTerm{0, 1.0}));
+  EXPECT_EQ(t1[1], (ParamTerm{1, 1.0}));
+  EXPECT_EQ(t1[2], (ParamTerm{3, 1.0}));  // k0 from source 0
+  EXPECT_EQ(t1[3], (ParamTerm{4, 2.0}));  // k1 from sources 0 and 1
+}
+
+TEST(CompilationTest, UnobservedObjectsHaveNoRow) {
+  DatasetBuilder builder("gap", 2, 3, 2);
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 1));
+  SLIMFAST_CHECK_OK(builder.AddObservation(2, 1, 0));
+  Dataset d = std::move(builder).Build().ValueOrDie();
+  auto model = Compile(d, ModelConfig{}).ValueOrDie();
+  EXPECT_NE(model.RowOf(0), nullptr);
+  EXPECT_EQ(model.RowOf(1), nullptr);
+  EXPECT_NE(model.RowOf(2), nullptr);
+  EXPECT_EQ(model.objects.size(), 2u);
+}
+
+TEST(CompilationTest, DomainIndexLookup) {
+  Dataset d = MakeFeatureDataset();
+  auto model = Compile(d, ModelConfig{}).ValueOrDie();
+  const CompiledObject* row = model.RowOf(0);
+  EXPECT_EQ(row->DomainIndex(0), 0);
+  EXPECT_EQ(row->DomainIndex(1), 1);
+  EXPECT_EQ(row->DomainIndex(7), -1);
+}
+
+Dataset MakeCopyingDataset() {
+  // Sources 0 and 1 agree on the wrong value for three objects; source 2
+  // is independent.
+  DatasetBuilder builder("copy", 3, 4, 2);
+  for (ObjectId o = 0; o < 3; ++o) {
+    SLIMFAST_CHECK_OK(builder.AddObservation(o, 0, 1));
+    SLIMFAST_CHECK_OK(builder.AddObservation(o, 1, 1));
+    SLIMFAST_CHECK_OK(builder.AddObservation(o, 2, 0));
+    SLIMFAST_CHECK_OK(builder.SetTruth(o, 0));
+  }
+  SLIMFAST_CHECK_OK(builder.AddObservation(3, 0, 0));
+  SLIMFAST_CHECK_OK(builder.AddObservation(3, 2, 0));
+  SLIMFAST_CHECK_OK(builder.SetTruth(3, 0));
+  return std::move(builder).Build().ValueOrDie();
+}
+
+TEST(CompilationTest, CopyingPairsRegisteredByAgreementCount) {
+  Dataset d = MakeCopyingDataset();
+  ModelConfig config;
+  config.use_copying_features = true;
+  config.copying_min_agreements = 2;
+  auto model = Compile(d, config).ValueOrDie();
+  // Agreements: (0,1) on objects 0-2 = 3 times; (0,2) only on object 3 =
+  // once; (1,2) never. With min_agreements = 2 only (0,1) qualifies.
+  ASSERT_EQ(model.copy_pairs.size(), 1u);
+  EXPECT_EQ(model.copy_pairs[0], (std::pair<SourceId, SourceId>(0, 1)));
+}
+
+TEST(CompilationTest, CopyingMaxPairsCap) {
+  Dataset d = MakeCopyingDataset();
+  ModelConfig config;
+  config.use_copying_features = true;
+  config.copying_min_agreements = 1;
+  config.copying_max_pairs = 1;
+  auto model = Compile(d, config).ValueOrDie();
+  ASSERT_EQ(model.copy_pairs.size(), 1u);
+  // Highest-agreement pair wins the cap.
+  EXPECT_EQ(model.copy_pairs[0], (std::pair<SourceId, SourceId>(0, 1)));
+}
+
+TEST(CompilationTest, CopyingTermsPenalizeAgreedValue) {
+  Dataset d = MakeCopyingDataset();
+  ModelConfig config;
+  config.use_copying_features = true;
+  config.copying_min_agreements = 2;
+  auto model = Compile(d, config).ValueOrDie();
+  ASSERT_GE(model.layout.num_copy_params, 1);
+  ParamId copy_param = model.layout.copy_offset;
+  // On object 0 the pair (0,1) agreed on value 1, so the copy parameter
+  // appears on candidate 0 (the value they did NOT claim).
+  const CompiledObject* row = model.RowOf(0);
+  bool on_candidate0 = false;
+  bool on_candidate1 = false;
+  for (const ParamTerm& t : row->terms[0]) {
+    if (t.param == copy_param) on_candidate0 = true;
+  }
+  for (const ParamTerm& t : row->terms[1]) {
+    if (t.param == copy_param) on_candidate1 = true;
+  }
+  EXPECT_TRUE(on_candidate0);
+  EXPECT_FALSE(on_candidate1);
+}
+
+TEST(CompilationTest, CopyingRequiresTwoSources) {
+  DatasetBuilder builder("solo", 1, 1, 2);
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 0));
+  Dataset d = std::move(builder).Build().ValueOrDie();
+  ModelConfig config;
+  config.use_copying_features = true;
+  EXPECT_TRUE(Compile(d, config).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace slimfast

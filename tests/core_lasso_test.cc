@@ -1,0 +1,162 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/lasso.h"
+#include "test_util.h"
+
+namespace slimfast {
+namespace {
+
+/// A dataset where feature "good" marks accurate sources, feature "bad"
+/// marks inaccurate ones, and feature "noise" is uncorrelated.
+Dataset MakeLassoDataset(uint64_t seed) {
+  const int32_t kSources = 30;
+  const int32_t kObjects = 400;
+  DatasetBuilder builder("lasso", kSources, kObjects, 2);
+  FeatureSpace* fs = builder.mutable_features();
+  FeatureId good = fs->RegisterFeature("good");
+  FeatureId bad = fs->RegisterFeature("bad");
+  FeatureId noise = fs->RegisterFeature("noise");
+  Rng rng(seed);
+  std::vector<double> accuracy(kSources);
+  for (SourceId s = 0; s < kSources; ++s) {
+    if (s % 2 == 0) {
+      SLIMFAST_CHECK_OK(fs->SetFeature(s, good));
+      accuracy[static_cast<size_t>(s)] = 0.9;
+    } else {
+      SLIMFAST_CHECK_OK(fs->SetFeature(s, bad));
+      accuracy[static_cast<size_t>(s)] = 0.3;
+    }
+    if (rng.Bernoulli(0.5)) SLIMFAST_CHECK_OK(fs->SetFeature(s, noise));
+  }
+  for (ObjectId o = 0; o < kObjects; ++o) {
+    for (SourceId s = 0; s < kSources; ++s) {
+      SLIMFAST_CHECK_OK(builder.AddObservation(
+          o, s,
+          rng.Bernoulli(accuracy[static_cast<size_t>(s)]) ? 0 : 1));
+    }
+    SLIMFAST_CHECK_OK(builder.SetTruth(o, 0));
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+TEST(LassoTest, RequiresFeatures) {
+  Dataset d = testutil::MakeFigure1Dataset();
+  auto split = testutil::MakePrefixSplit(d, 1);
+  Rng rng(1);
+  EXPECT_TRUE(ComputeLassoPath(d, split, LassoPathOptions{}, &rng)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(LassoTest, RequiresTrainingLabels) {
+  Dataset d = MakeLassoDataset(1);
+  auto split = testutil::MakePrefixSplit(d, 0);
+  Rng rng(1);
+  EXPECT_TRUE(ComputeLassoPath(d, split, LassoPathOptions{}, &rng)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(LassoTest, InvalidGridRejected) {
+  Dataset d = MakeLassoDataset(1);
+  auto split = testutil::MakePrefixSplit(d, 100);
+  LassoPathOptions options;
+  options.num_penalties = 1;
+  Rng rng(1);
+  EXPECT_TRUE(ComputeLassoPath(d, split, options, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(LassoTest, PathStructure) {
+  Dataset d = MakeLassoDataset(2);
+  auto split = testutil::MakePrefixSplit(d, 200);
+  LassoPathOptions options;
+  options.num_penalties = 10;
+  options.max_penalty = 2.0;
+  options.min_penalty = 1e-3;
+  Rng rng(2);
+  auto path = ComputeLassoPath(d, split, options, &rng).ValueOrDie();
+  ASSERT_EQ(path.points.size(), 10u);
+  ASSERT_EQ(path.feature_names.size(), 3u);
+  // Penalties strictly decreasing.
+  for (size_t i = 1; i < path.points.size(); ++i) {
+    EXPECT_LT(path.points[i].penalty, path.points[i - 1].penalty);
+  }
+  // mu in [0, 1], weakest penalty should reach mu = 1.
+  for (const auto& point : path.points) {
+    EXPECT_GE(point.mu, 0.0);
+    EXPECT_LE(point.mu, 1.0 + 1e-12);
+  }
+  EXPECT_NEAR(path.points.back().mu, 1.0, 1e-9);
+}
+
+TEST(LassoTest, InformativeFeaturesActivateBeforeNoise) {
+  Dataset d = MakeLassoDataset(3);
+  auto split = testutil::MakePrefixSplit(d, 300);
+  LassoPathOptions options;
+  options.num_penalties = 16;
+  options.max_penalty = 1.0;
+  options.min_penalty = 1e-4;
+  Rng rng(3);
+  auto path = ComputeLassoPath(d, split, options, &rng).ValueOrDie();
+
+  int32_t good_idx = path.activation_index[0];
+  int32_t bad_idx = path.activation_index[1];
+  int32_t noise_idx = path.activation_index[2];
+  ASSERT_GE(good_idx, 0);
+  ASSERT_GE(bad_idx, 0);
+  // Informative features activate at stronger penalties (earlier indices)
+  // than the uncorrelated one.
+  if (noise_idx >= 0) {
+    EXPECT_LE(good_idx, noise_idx);
+    EXPECT_LE(bad_idx, noise_idx);
+  }
+  // Signs: "good" positive, "bad" negative at the weakest penalty.
+  const auto& final_weights = path.points.back().feature_weights;
+  EXPECT_GT(final_weights[0], 0.0);
+  EXPECT_LT(final_weights[1], 0.0);
+}
+
+TEST(LassoTest, StrongestPenaltyZeroesEverything) {
+  Dataset d = MakeLassoDataset(4);
+  auto split = testutil::MakePrefixSplit(d, 200);
+  LassoPathOptions options;
+  options.penalties = {50.0};
+  Rng rng(4);
+  auto path = ComputeLassoPath(d, split, options, &rng).ValueOrDie();
+  ASSERT_EQ(path.points.size(), 1u);
+  EXPECT_EQ(path.points[0].num_nonzero, 0);
+}
+
+TEST(LassoTest, ImportanceOrderSortsByActivation) {
+  Dataset d = MakeLassoDataset(5);
+  auto split = testutil::MakePrefixSplit(d, 300);
+  LassoPathOptions options;
+  options.num_penalties = 12;
+  Rng rng(5);
+  auto path = ComputeLassoPath(d, split, options, &rng).ValueOrDie();
+  auto order = path.ImportanceOrder();
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(path.activation_index[static_cast<size_t>(order[i - 1])],
+              path.activation_index[static_cast<size_t>(order[i])]);
+  }
+}
+
+TEST(LassoTest, CsvHasHeaderAndRows) {
+  Dataset d = MakeLassoDataset(6);
+  auto split = testutil::MakePrefixSplit(d, 100);
+  LassoPathOptions options;
+  options.num_penalties = 4;
+  Rng rng(6);
+  auto path = ComputeLassoPath(d, split, options, &rng).ValueOrDie();
+  std::string csv = path.ToCsv();
+  EXPECT_NE(csv.find("penalty,mu,good,bad,noise"), std::string::npos);
+  // Header + 4 data lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+}  // namespace
+}  // namespace slimfast

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "core/streaming.h"
+#include "eval/metrics.h"
+#include "synth/synthetic.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace slimfast {
+namespace {
+
+TEST(StreamingTest, UnseenEntitiesHaveDefaults) {
+  StreamingFusion fusion;
+  EXPECT_EQ(fusion.CurrentEstimate(5), kNoValue);
+  EXPECT_DOUBLE_EQ(fusion.SourceAccuracy(5), 0.6);
+  EXPECT_EQ(fusion.num_observations(), 0);
+}
+
+TEST(StreamingTest, ValidatesIds) {
+  StreamingFusion fusion;
+  EXPECT_TRUE(fusion.Observe(-1, 0, 0).IsInvalidArgument());
+  EXPECT_TRUE(fusion.Observe(0, -1, 0).IsInvalidArgument());
+  EXPECT_TRUE(fusion.Observe(0, 0, -1).IsInvalidArgument());
+  EXPECT_TRUE(fusion.ProvideTruth(-1, 0).IsInvalidArgument());
+}
+
+TEST(StreamingTest, SingleClaimSetsEstimate) {
+  StreamingFusion fusion;
+  ASSERT_TRUE(fusion.Observe(0, 0, 3).ok());
+  EXPECT_EQ(fusion.CurrentEstimate(0), 3);
+  EXPECT_EQ(fusion.num_objects_seen(), 1);
+  EXPECT_EQ(fusion.num_sources_seen(), 1);
+}
+
+TEST(StreamingTest, MajorityWinsWithEqualSources) {
+  StreamingFusion fusion;
+  ASSERT_TRUE(fusion.Observe(0, 0, 1).ok());
+  ASSERT_TRUE(fusion.Observe(0, 1, 2).ok());
+  ASSERT_TRUE(fusion.Observe(0, 2, 2).ok());
+  EXPECT_EQ(fusion.CurrentEstimate(0), 2);
+}
+
+TEST(StreamingTest, TruthPinsEstimate) {
+  StreamingFusion fusion;
+  ASSERT_TRUE(fusion.Observe(0, 0, 1).ok());
+  ASSERT_TRUE(fusion.Observe(0, 1, 1).ok());
+  ASSERT_TRUE(fusion.ProvideTruth(0, 0).ok());
+  EXPECT_EQ(fusion.CurrentEstimate(0), 0);
+  // Later contradicting claims cannot flip a labeled object.
+  ASSERT_TRUE(fusion.Observe(0, 2, 1).ok());
+  EXPECT_EQ(fusion.CurrentEstimate(0), 0);
+}
+
+TEST(StreamingTest, TruthReCreditsSources) {
+  StreamingFusion fusion;
+  // Sources 0 and 1 agree (wrongly), source 2 dissents (correctly).
+  ASSERT_TRUE(fusion.Observe(0, 0, 1).ok());
+  ASSERT_TRUE(fusion.Observe(0, 1, 1).ok());
+  ASSERT_TRUE(fusion.Observe(0, 2, 0).ok());
+  double dissenter_before = fusion.SourceAccuracy(2);
+  ASSERT_TRUE(fusion.ProvideTruth(0, 0).ok());
+  // After the truth arrives, the dissenter's accuracy rises and the
+  // majority pair's falls.
+  EXPECT_GT(fusion.SourceAccuracy(2), dissenter_before);
+  EXPECT_GT(fusion.SourceAccuracy(2), fusion.SourceAccuracy(0));
+}
+
+TEST(StreamingTest, AccuracyTracksAgreementHistory) {
+  StreamingFusion fusion;
+  // Source 0 and source 1 co-claim 40 objects; source 0 always matches the
+  // truth, source 1 never does.
+  for (ObjectId o = 0; o < 40; ++o) {
+    ASSERT_TRUE(fusion.Observe(o, 0, 0).ok());
+    ASSERT_TRUE(fusion.Observe(o, 1, 1).ok());
+    ASSERT_TRUE(fusion.ProvideTruth(o, 0).ok());
+  }
+  EXPECT_GT(fusion.SourceAccuracy(0), 0.9);
+  EXPECT_LT(fusion.SourceAccuracy(1), 0.1);
+}
+
+TEST(StreamingTest, ReliableSourcesOutvoteMajority) {
+  StreamingFusion fusion;
+  // Establish track records: source 0 accurate, sources 1-2 inaccurate.
+  for (ObjectId o = 0; o < 60; ++o) {
+    ASSERT_TRUE(fusion.Observe(o, 0, 0).ok());
+    ASSERT_TRUE(fusion.Observe(o, 1, 1).ok());
+    ASSERT_TRUE(fusion.Observe(o, 2, 1).ok());
+    ASSERT_TRUE(fusion.ProvideTruth(o, 0).ok());
+  }
+  // New object: the trusted source disagrees with the distrusted pair.
+  ObjectId fresh = 1000;
+  ASSERT_TRUE(fusion.Observe(fresh, 0, 7).ok());
+  ASSERT_TRUE(fusion.Observe(fresh, 1, 8).ok());
+  ASSERT_TRUE(fusion.Observe(fresh, 2, 8).ok());
+  // Distrusted sources carry negative vote weight, so 7 wins despite 2:1.
+  EXPECT_EQ(fusion.CurrentEstimate(fresh), 7);
+}
+
+TEST(StreamingTest, DecayForgetsOldBehavior) {
+  StreamingOptions options;
+  options.decay = 0.7;
+  StreamingFusion fusion(options);
+  // A long bad history...
+  for (ObjectId o = 0; o < 50; ++o) {
+    ASSERT_TRUE(fusion.Observe(o, 0, 1).ok());
+    ASSERT_TRUE(fusion.ProvideTruth(o, 0).ok());
+  }
+  EXPECT_LT(fusion.SourceAccuracy(0), 0.4);
+  // ...is forgiven after a run of correct claims under decay.
+  for (ObjectId o = 50; o < 70; ++o) {
+    ASSERT_TRUE(fusion.Observe(o, 0, 0).ok());
+    ASSERT_TRUE(fusion.ProvideTruth(o, 0).ok());
+  }
+  EXPECT_GT(fusion.SourceAccuracy(0), 0.8);
+}
+
+TEST(StreamingTest, EndToEndBeatsChanceOnSyntheticStream) {
+  SyntheticConfig config;
+  config.num_sources = 40;
+  config.num_objects = 600;
+  config.density = 0.2;
+  config.mean_accuracy = 0.75;
+  config.accuracy_spread = 0.15;
+  auto synth = GenerateSynthetic(config, 31).ValueOrDie();
+  const Dataset& d = synth.dataset;
+
+  StreamingFusion fusion;
+  // Stream all observations in dataset order, revealing truth for every
+  // 10th object as delayed feedback.
+  for (const Observation& obs : d.observations()) {
+    SLIMFAST_CHECK_OK(fusion.Observe(obs.object, obs.source, obs.value));
+  }
+  for (ObjectId o = 0; o < d.num_objects(); o += 10) {
+    if (d.HasTruth(o)) {
+      SLIMFAST_CHECK_OK(fusion.ProvideTruth(o, d.Truth(o)));
+    }
+  }
+
+  int64_t evaluated = 0;
+  int64_t correct = 0;
+  for (ObjectId o = 0; o < d.num_objects(); ++o) {
+    if (o % 10 == 0) continue;  // skip labeled
+    if (d.ClaimsOnObject(o).empty()) continue;
+    ++evaluated;
+    if (fusion.CurrentEstimate(o) == d.Truth(o)) ++correct;
+  }
+  ASSERT_GT(evaluated, 100);
+  double accuracy =
+      static_cast<double>(correct) / static_cast<double>(evaluated);
+  EXPECT_GT(accuracy, 0.9);
+
+  // Source accuracies correlate with the planted ones.
+  double error = 0.0;
+  for (SourceId s = 0; s < d.num_sources(); ++s) {
+    error += std::fabs(fusion.SourceAccuracy(s) -
+                       synth.true_accuracies[static_cast<size_t>(s)]);
+  }
+  EXPECT_LT(error / d.num_sources(), 0.15);
+}
+
+TEST(StreamingTest, ObservationCountTracks) {
+  StreamingFusion fusion;
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(fusion.Observe(i, 0, 0).ok());
+  }
+  EXPECT_EQ(fusion.num_observations(), 7);
+  EXPECT_EQ(fusion.num_objects_seen(), 7);
+  EXPECT_EQ(fusion.num_sources_seen(), 1);
+}
+
+}  // namespace
+}  // namespace slimfast

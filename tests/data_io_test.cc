@@ -1,0 +1,102 @@
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "data/io.h"
+
+namespace slimfast {
+namespace {
+
+class DataIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("slimfast_io_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed())))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+Dataset MakeRichDataset() {
+  DatasetBuilder builder("rich", /*num_sources=*/4, /*num_objects=*/3,
+                         /*num_values=*/3);
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 2));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 1, 1));
+  SLIMFAST_CHECK_OK(builder.AddObservation(1, 2, 0));
+  SLIMFAST_CHECK_OK(builder.AddObservation(2, 3, 2));
+  SLIMFAST_CHECK_OK(builder.SetTruth(0, 2));
+  SLIMFAST_CHECK_OK(builder.SetTruth(1, 0));
+  FeatureSpace* fs = builder.mutable_features();
+  FeatureId year = fs->RegisterFeature("year=2009");
+  FeatureId cite = fs->RegisterFeature("citations=high");
+  SLIMFAST_CHECK_OK(fs->SetFeature(0, year));
+  SLIMFAST_CHECK_OK(fs->SetFeature(0, cite));
+  SLIMFAST_CHECK_OK(fs->SetFeature(3, cite));
+  return std::move(builder).Build().ValueOrDie();
+}
+
+TEST_F(DataIoTest, RoundTripPreservesEverything) {
+  Dataset original = MakeRichDataset();
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  auto loaded_result = LoadDataset(dir_);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status();
+  const Dataset& loaded = loaded_result.ValueOrDie();
+
+  EXPECT_EQ(loaded.name(), original.name());
+  EXPECT_EQ(loaded.num_sources(), original.num_sources());
+  EXPECT_EQ(loaded.num_objects(), original.num_objects());
+  EXPECT_EQ(loaded.num_values(), original.num_values());
+  EXPECT_EQ(loaded.observations(), original.observations());
+  for (ObjectId o = 0; o < original.num_objects(); ++o) {
+    EXPECT_EQ(loaded.HasTruth(o), original.HasTruth(o));
+    EXPECT_EQ(loaded.Truth(o), original.Truth(o));
+    EXPECT_EQ(loaded.DomainOf(o), original.DomainOf(o));
+  }
+  EXPECT_EQ(loaded.features().num_features(),
+            original.features().num_features());
+  for (FeatureId k = 0; k < original.features().num_features(); ++k) {
+    EXPECT_EQ(loaded.features().FeatureName(k),
+              original.features().FeatureName(k));
+  }
+  for (SourceId s = 0; s < original.num_sources(); ++s) {
+    EXPECT_EQ(loaded.features().FeaturesOf(s),
+              original.features().FeaturesOf(s));
+  }
+}
+
+TEST_F(DataIoTest, FilesAreCreated) {
+  ASSERT_TRUE(SaveDataset(MakeRichDataset(), dir_).ok());
+  for (const char* file :
+       {"meta.csv", "observations.csv", "truth.csv", "features.csv",
+        "source_features.csv"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir_ + "/" + file)) << file;
+  }
+}
+
+TEST_F(DataIoTest, LoadFromMissingDirFails) {
+  EXPECT_FALSE(LoadDataset(dir_ + "/does_not_exist").ok());
+}
+
+TEST_F(DataIoTest, SaveToMissingDirFails) {
+  EXPECT_TRUE(SaveDataset(MakeRichDataset(), dir_ + "/nope").IsIOError());
+}
+
+TEST_F(DataIoTest, EmptyFeatureSpaceRoundTrips) {
+  DatasetBuilder builder("nofeat", 2, 2, 2);
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 1));
+  SLIMFAST_CHECK_OK(builder.SetTruth(0, 1));
+  Dataset original = std::move(builder).Build().ValueOrDie();
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  auto loaded = LoadDataset(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->features().num_features(), 0);
+  EXPECT_EQ(loaded->num_observations(), 1);
+}
+
+}  // namespace
+}  // namespace slimfast

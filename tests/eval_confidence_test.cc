@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "eval/confidence.h"
+#include "synth/synthetic.h"
+#include "test_util.h"
+
+namespace slimfast {
+namespace {
+
+TEST(WilsonTest, ZeroTrialsIsUninformative) {
+  AccuracyInterval interval = WilsonInterval(0, 0);
+  EXPECT_DOUBLE_EQ(interval.lower, 0.0);
+  EXPECT_DOUBLE_EQ(interval.upper, 1.0);
+  EXPECT_EQ(interval.support, 0);
+}
+
+TEST(WilsonTest, MatchesKnownValue) {
+  // Classic check: 8/10 successes at 95% gives roughly [0.49, 0.94].
+  AccuracyInterval interval = WilsonInterval(8, 10);
+  EXPECT_NEAR(interval.accuracy, 0.8, 1e-12);
+  EXPECT_NEAR(interval.lower, 0.49, 0.02);
+  EXPECT_NEAR(interval.upper, 0.94, 0.02);
+}
+
+TEST(WilsonTest, ShrinksWithSupport) {
+  AccuracyInterval small = WilsonInterval(7, 10);
+  AccuracyInterval large = WilsonInterval(700, 1000);
+  EXPECT_LT(large.Width(), small.Width());
+  EXPECT_NEAR(large.accuracy, 0.7, 1e-12);
+}
+
+TEST(WilsonTest, ExtremesStayInsideUnitInterval) {
+  AccuracyInterval all = WilsonInterval(10, 10);
+  EXPECT_LE(all.upper, 1.0);
+  EXPECT_GT(all.lower, 0.5);  // 10/10 is strong but not certain
+  AccuracyInterval none = WilsonInterval(0, 10);
+  EXPECT_GE(none.lower, 0.0);
+  EXPECT_LT(none.upper, 0.5);
+}
+
+TEST(WilsonTest, WiderAtHigherConfidence) {
+  AccuracyInterval z95 = WilsonInterval(15, 20, 1.96);
+  AccuracyInterval z99 = WilsonInterval(15, 20, 2.576);
+  EXPECT_GT(z99.Width(), z95.Width());
+}
+
+TEST(SourceIntervalsTest, ComputedFromLabeledClaims) {
+  Dataset d = testutil::MakeFigure1Dataset();
+  auto intervals = SourceAccuracyIntervals(d, {});
+  ASSERT_EQ(intervals.size(), 3u);
+  // Source 0: 2/2 correct; source 1: 0/1; source 2: 2/2.
+  EXPECT_DOUBLE_EQ(intervals[0].accuracy, 1.0);
+  EXPECT_EQ(intervals[0].support, 2);
+  EXPECT_DOUBLE_EQ(intervals[1].accuracy, 0.0);
+  EXPECT_EQ(intervals[1].support, 1);
+  // All intervals are wide at this tiny support.
+  EXPECT_GT(intervals[0].Width(), 0.5);
+}
+
+TEST(SourceIntervalsTest, RestrictsToGivenObjects) {
+  Dataset d = testutil::MakeFigure1Dataset();
+  // Only object 0 labeled: source 0 has 1 claim there.
+  auto intervals = SourceAccuracyIntervals(d, {0});
+  EXPECT_EQ(intervals[0].support, 1);
+  EXPECT_EQ(intervals[2].support, 1);
+}
+
+TEST(SourceIntervalsTest, UnlabeledSourceGetsFullInterval) {
+  DatasetBuilder builder("u", 2, 2, 2);
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 1));
+  SLIMFAST_CHECK_OK(builder.SetTruth(0, 1));
+  Dataset d = std::move(builder).Build().ValueOrDie();
+  auto intervals = SourceAccuracyIntervals(d, {});
+  EXPECT_EQ(intervals[1].support, 0);
+  EXPECT_DOUBLE_EQ(intervals[1].lower, 0.0);
+  EXPECT_DOUBLE_EQ(intervals[1].upper, 1.0);
+}
+
+TEST(CoverageTest, ValidatesInput) {
+  EXPECT_TRUE(IntervalCoverage({}, {}).status().IsInvalidArgument());
+  std::vector<AccuracyInterval> intervals(1);
+  intervals[0].source = 0;
+  intervals[0].support = 0;
+  EXPECT_TRUE(IntervalCoverage(intervals, {0.5})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(CoverageTest, NominalCoverageOnSyntheticData) {
+  // 95% Wilson intervals computed from a 30%-labeled subset should cover
+  // the generator's true accuracies at roughly the nominal rate.
+  SyntheticConfig config;
+  config.num_sources = 120;
+  config.num_objects = 600;
+  config.density = 0.25;
+  config.mean_accuracy = 0.7;
+  config.accuracy_spread = 0.2;
+  config.ensure_truth_claimed = false;  // keep claims unbiased
+  auto synth = GenerateSynthetic(config, 4242).ValueOrDie();
+  const Dataset& d = synth.dataset;
+  // Use 30% of objects as the labeled subset.
+  std::vector<ObjectId> labeled;
+  for (ObjectId o = 0; o < d.num_objects(); o += 3) labeled.push_back(o);
+  auto intervals = SourceAccuracyIntervals(d, labeled);
+  double coverage =
+      IntervalCoverage(intervals, synth.true_accuracies).ValueOrDie();
+  EXPECT_GT(coverage, 0.88);
+  EXPECT_LE(coverage, 1.0);
+}
+
+}  // namespace
+}  // namespace slimfast

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "baselines/counts.h"
+#include "baselines/majority.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "test_util.h"
+
+namespace slimfast {
+namespace {
+
+TEST(MetricsTest, ObjectValueAccuracyCountsCorrectly) {
+  Dataset d = testutil::MakeFigure1Dataset();
+  std::vector<ValueId> predictions = {0, 0};  // obj0 right, obj1 wrong
+  EXPECT_DOUBLE_EQ(
+      ObjectValueAccuracy(d, predictions, {0, 1}).ValueOrDie(), 0.5);
+  predictions[1] = 1;
+  EXPECT_DOUBLE_EQ(
+      ObjectValueAccuracy(d, predictions, {0, 1}).ValueOrDie(), 1.0);
+}
+
+TEST(MetricsTest, NoValuePredictionCountsAsWrong) {
+  Dataset d = testutil::MakeFigure1Dataset();
+  std::vector<ValueId> predictions = {kNoValue, 1};
+  EXPECT_DOUBLE_EQ(
+      ObjectValueAccuracy(d, predictions, {0, 1}).ValueOrDie(), 0.5);
+}
+
+TEST(MetricsTest, AccuracyValidatesInput) {
+  Dataset d = testutil::MakeFigure1Dataset();
+  EXPECT_TRUE(ObjectValueAccuracy(d, {0}, {0})
+                  .status()
+                  .IsInvalidArgument());  // wrong size
+  EXPECT_TRUE(ObjectValueAccuracy(d, {0, 1}, {5})
+                  .status()
+                  .IsOutOfRange());
+  EXPECT_TRUE(ObjectValueAccuracy(d, {0, 1}, {})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(MetricsTest, TestAccuracyUsesTestObjects) {
+  Dataset d = testutil::MakeFigure1Dataset();
+  auto split = testutil::MakePrefixSplit(d, 1);  // train {0}, test {1}
+  std::vector<ValueId> predictions = {1, 1};     // obj0 wrong, obj1 right
+  EXPECT_DOUBLE_EQ(TestAccuracy(d, predictions, split).ValueOrDie(), 1.0);
+}
+
+TEST(MetricsTest, WeightedSourceErrorWeighsByClaims) {
+  Dataset d = testutil::MakeFigure1Dataset();
+  // True accuracies: s0 = 1.0 (2 claims), s1 = 0.0 (1 claim),
+  // s2 = 1.0 (2 claims).
+  std::vector<double> estimates = {1.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(
+      WeightedSourceAccuracyError(d, estimates).ValueOrDie(), 0.0);
+  // Off-by-0.5 on s1 only: weight 1 of total 5.
+  estimates[1] = 0.5;
+  EXPECT_NEAR(WeightedSourceAccuracyError(d, estimates).ValueOrDie(),
+              0.5 / 5.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyEstimatesRejected) {
+  Dataset d = testutil::MakeFigure1Dataset();
+  EXPECT_TRUE(WeightedSourceAccuracyError(d, {})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(MetricsTest, ErrorAgainstReferenceRestrictsToSources) {
+  Dataset d = testutil::MakeFigure1Dataset();
+  std::vector<double> estimated = {0.8, 0.5, 0.4};
+  std::vector<double> reference = {1.0, 0.5, 0.4};
+  // Only source 0 differs (by 0.2).
+  double all =
+      WeightedSourceAccuracyErrorAgainst(d, estimated, reference, {})
+          .ValueOrDie();
+  EXPECT_GT(all, 0.0);
+  double only_s1 =
+      WeightedSourceAccuracyErrorAgainst(d, estimated, reference, {1})
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(only_s1, 0.0);
+}
+
+TEST(MetricsTest, MeanSourceKlZeroForPerfectEstimates) {
+  Dataset d = testutil::MakeFigure1Dataset();
+  std::vector<double> perfect = {1.0, 0.0, 1.0};
+  EXPECT_NEAR(MeanSourceKl(d, perfect).ValueOrDie(), 0.0, 1e-6);
+  std::vector<double> wrong = {0.5, 0.5, 0.5};
+  EXPECT_GT(MeanSourceKl(d, wrong).ValueOrDie(), 0.1);
+}
+
+TEST(TableTest, RendersHeaderAndRows) {
+  TablePrinter table({"method", "accuracy"});
+  table.SetTitle("Demo");
+  table.AddRow({"SLiMFast", "0.92"});
+  table.AddRow({"ACCU", "0.76"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("SLiMFast"), std::string::npos);
+  EXPECT_NE(out.find("0.76"), std::string::npos);
+}
+
+TEST(TableTest, PadsShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_NE(table.ToString().find("only"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorInsertsRule) {
+  TablePrinter table({"x"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::string out = table.ToString();
+  // Expect at least 4 horizontal rules (top, header, separator, bottom).
+  int rules = 0;
+  size_t pos = 0;
+  while ((pos = out.find("---", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_GE(rules, 4);
+}
+
+TEST(HarnessTest, SweepProducesCellPerMethodPerFraction) {
+  Dataset d = testutil::MakePlantedDataset(std::vector<double>(6, 0.8), 120,
+                                           1.0, 500);
+  MajorityVote majority;
+  Counts counts;
+  std::vector<FusionMethod*> methods = {&majority, &counts};
+  SweepSpec spec;
+  spec.train_fractions = {0.1, 0.3};
+  spec.num_seeds = 2;
+  auto cells = SweepMethods(d, methods, spec).ValueOrDie();
+  EXPECT_EQ(cells.size(), 4u);
+  for (const CellResult& cell : cells) {
+    EXPECT_EQ(cell.num_runs, 2);
+    EXPECT_GT(cell.mean_accuracy, 0.5);
+    EXPECT_GE(cell.mean_total_seconds, 0.0);
+  }
+}
+
+TEST(HarnessTest, FindCellLocatesResults) {
+  Dataset d = testutil::MakePlantedDataset(std::vector<double>(5, 0.8), 60,
+                                           1.0, 501);
+  MajorityVote majority;
+  std::vector<FusionMethod*> methods = {&majority};
+  SweepSpec spec;
+  spec.train_fractions = {0.2};
+  spec.num_seeds = 1;
+  auto cells = SweepMethods(d, methods, spec).ValueOrDie();
+  EXPECT_TRUE(FindCell(cells, "MajorityVote", 0.2).ok());
+  EXPECT_TRUE(FindCell(cells, "MajorityVote", 0.5).status().IsNotFound());
+  EXPECT_TRUE(FindCell(cells, "Nope", 0.2).status().IsNotFound());
+}
+
+TEST(HarnessTest, RenderSweepContainsAllMethods) {
+  Dataset d = testutil::MakePlantedDataset(std::vector<double>(5, 0.8), 60,
+                                           1.0, 502);
+  MajorityVote majority;
+  Counts counts;
+  std::vector<FusionMethod*> methods = {&majority, &counts};
+  SweepSpec spec;
+  spec.train_fractions = {0.1, 0.2};
+  spec.num_seeds = 1;
+  auto cells = SweepMethods(d, methods, spec).ValueOrDie();
+  std::string table = RenderSweep("Panel A", cells, SweepMetric::kAccuracy);
+  EXPECT_NE(table.find("Panel A"), std::string::npos);
+  EXPECT_NE(table.find("MajorityVote"), std::string::npos);
+  EXPECT_NE(table.find("Counts"), std::string::npos);
+  EXPECT_NE(table.find("10.0"), std::string::npos);  // TD row label
+  EXPECT_NE(table.find("20.0"), std::string::npos);
+}
+
+TEST(HarnessTest, ValidatesSpec) {
+  Dataset d = testutil::MakePlantedDataset(std::vector<double>(5, 0.8), 60,
+                                           1.0, 503);
+  SweepSpec spec;
+  spec.num_seeds = 0;
+  MajorityVote majority;
+  std::vector<FusionMethod*> methods = {&majority};
+  EXPECT_TRUE(SweepMethods(d, methods, spec).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      SweepMethods(d, {}, SweepSpec{}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace slimfast

@@ -1,0 +1,299 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "factorgraph/factor_graph.h"
+#include "factorgraph/gibbs.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace slimfast {
+namespace {
+
+TEST(FactorGraphTest, VariablesAndWeights) {
+  FactorGraph g;
+  VarId v = g.AddVariable(3);
+  EXPECT_EQ(g.num_variables(), 1);
+  EXPECT_EQ(g.variable(v).cardinality, 3);
+  WeightId w = g.AddWeight(1.5);
+  EXPECT_DOUBLE_EQ(g.weight(w), 1.5);
+  g.set_weight(w, -0.5);
+  EXPECT_DOUBLE_EQ(g.weight(w), -0.5);
+}
+
+TEST(FactorGraphTest, ObserveValidates) {
+  FactorGraph g;
+  VarId v = g.AddVariable(2);
+  EXPECT_TRUE(g.Observe(v, 1).ok());
+  EXPECT_TRUE(g.variable(v).observed);
+  EXPECT_EQ(g.variable(v).observed_value, 1);
+  EXPECT_TRUE(g.Observe(v, 2).IsOutOfRange());
+  EXPECT_TRUE(g.Observe(99, 0).IsOutOfRange());
+  EXPECT_TRUE(g.Unobserve(v).ok());
+  EXPECT_FALSE(g.variable(v).observed);
+}
+
+TEST(FactorGraphTest, IndicatorFactorValidation) {
+  FactorGraph g;
+  VarId v = g.AddVariable(2);
+  WeightId w = g.AddWeight(1.0);
+  EXPECT_TRUE(g.AddIndicatorFactor(v, 0, {w}).ok());
+  EXPECT_TRUE(g.AddIndicatorFactor(v, 5, {w}).status().IsOutOfRange());
+  EXPECT_TRUE(g.AddIndicatorFactor(v, 0, {99}).status().IsOutOfRange());
+  EXPECT_TRUE(g.AddIndicatorFactor(99, 0, {w}).status().IsOutOfRange());
+}
+
+TEST(FactorGraphTest, EqualityFactorValidation) {
+  FactorGraph g;
+  VarId a = g.AddVariable(2);
+  VarId b = g.AddVariable(2);
+  VarId c = g.AddVariable(3);
+  WeightId w = g.AddWeight(1.0);
+  EXPECT_TRUE(g.AddEqualityFactor(a, b, {w}).ok());
+  EXPECT_TRUE(g.AddEqualityFactor(a, a, {w}).status().IsInvalidArgument());
+  EXPECT_TRUE(g.AddEqualityFactor(a, c, {w}).status().IsInvalidArgument());
+}
+
+TEST(FactorGraphTest, AssignmentLogScore) {
+  FactorGraph g;
+  VarId a = g.AddVariable(2);
+  VarId b = g.AddVariable(2);
+  WeightId w1 = g.AddWeight(2.0);
+  WeightId w2 = g.AddWeight(0.5);
+  SLIMFAST_CHECK_OK(g.AddIndicatorFactor(a, 1, {w1}).status());
+  SLIMFAST_CHECK_OK(g.AddEqualityFactor(a, b, {w2}).status());
+
+  EXPECT_DOUBLE_EQ(g.AssignmentLogScore({1, 1}), 2.5);
+  EXPECT_DOUBLE_EQ(g.AssignmentLogScore({1, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(g.AssignmentLogScore({0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(g.AssignmentLogScore({0, 1}), 0.0);
+}
+
+TEST(FactorGraphTest, NegatedIndicatorFiresOnMismatch) {
+  FactorGraph g;
+  VarId v = g.AddVariable(3);
+  WeightId w = g.AddWeight(1.0);
+  SLIMFAST_CHECK_OK(
+      g.AddIndicatorFactor(v, 0, {w}, /*negated=*/true).status());
+  EXPECT_DOUBLE_EQ(g.AssignmentLogScore({0}), 0.0);
+  EXPECT_DOUBLE_EQ(g.AssignmentLogScore({1}), 1.0);
+  EXPECT_DOUBLE_EQ(g.AssignmentLogScore({2}), 1.0);
+}
+
+TEST(FactorGraphTest, ExactMarginalsFactorizedMatchSoftmax) {
+  // Single variable, cardinality 3, scores {1, 2, 0}.
+  FactorGraph g;
+  VarId v = g.AddVariable(3);
+  WeightId w1 = g.AddWeight(1.0);
+  WeightId w2 = g.AddWeight(2.0);
+  SLIMFAST_CHECK_OK(g.AddIndicatorFactor(v, 0, {w1}).status());
+  SLIMFAST_CHECK_OK(g.AddIndicatorFactor(v, 1, {w2}).status());
+  auto marginals = g.ExactMarginals().ValueOrDie();
+  std::vector<double> expected = {1.0, 2.0, 0.0};
+  SoftmaxInPlace(&expected);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_NEAR(marginals[0][static_cast<size_t>(d)],
+                expected[static_cast<size_t>(d)], 1e-12);
+  }
+}
+
+TEST(FactorGraphTest, TiedWeightsSumInFactor) {
+  FactorGraph g;
+  VarId v = g.AddVariable(2);
+  WeightId w = g.AddWeight(0.7);
+  // A factor referencing the same weight twice contributes 1.4.
+  SLIMFAST_CHECK_OK(g.AddIndicatorFactor(v, 1, {w, w}).status());
+  EXPECT_DOUBLE_EQ(g.AssignmentLogScore({1}), 1.4);
+}
+
+TEST(FactorGraphTest, ExactMarginalsRespectEvidence) {
+  FactorGraph g;
+  VarId v = g.AddVariable(3);
+  WeightId w = g.AddWeight(5.0);
+  SLIMFAST_CHECK_OK(g.AddIndicatorFactor(v, 0, {w}).status());
+  SLIMFAST_CHECK_OK(g.Observe(v, 2));
+  auto marginals = g.ExactMarginals().ValueOrDie();
+  EXPECT_NEAR(marginals[0][2], 1.0, 1e-12);
+  EXPECT_NEAR(marginals[0][0], 0.0, 1e-12);
+}
+
+TEST(FactorGraphTest, BruteForceMatchesHandComputedIsingPair) {
+  // Two binary variables with an equality factor of weight w: the joint is
+  // P(a, b) ∝ exp(w * 1[a == b]).
+  FactorGraph g;
+  VarId a = g.AddVariable(2);
+  VarId b = g.AddVariable(2);
+  WeightId w = g.AddWeight(1.0);
+  SLIMFAST_CHECK_OK(g.AddEqualityFactor(a, b, {w}).status());
+  EXPECT_FALSE(g.IsFullyFactorized());
+
+  auto marginals = g.ExactMarginals().ValueOrDie();
+  // By symmetry each marginal is uniform.
+  EXPECT_NEAR(marginals[0][0], 0.5, 1e-12);
+  EXPECT_NEAR(marginals[1][1], 0.5, 1e-12);
+}
+
+TEST(FactorGraphTest, BruteForceAsymmetricPair) {
+  // a has a unary preference for 1; b is tied to a by equality.
+  FactorGraph g;
+  VarId a = g.AddVariable(2);
+  VarId b = g.AddVariable(2);
+  WeightId wu = g.AddWeight(1.0);
+  WeightId we = g.AddWeight(2.0);
+  SLIMFAST_CHECK_OK(g.AddIndicatorFactor(a, 1, {wu}).status());
+  SLIMFAST_CHECK_OK(g.AddEqualityFactor(a, b, {we}).status());
+
+  auto marginals = g.ExactMarginals().ValueOrDie();
+  // Hand computation: states (a,b) scores: (0,0)=2, (0,1)=0, (1,0)=1,
+  // (1,1)=3. Z = e^2 + 1 + e + e^3.
+  double z = std::exp(2.0) + 1.0 + std::exp(1.0) + std::exp(3.0);
+  EXPECT_NEAR(marginals[0][1], (std::exp(1.0) + std::exp(3.0)) / z, 1e-12);
+  EXPECT_NEAR(marginals[1][0], (std::exp(2.0) + std::exp(1.0)) / z, 1e-12);
+}
+
+TEST(FactorGraphTest, BruteForceRefusesHugeGraphs) {
+  FactorGraph g;
+  std::vector<VarId> vars;
+  for (int i = 0; i < 40; ++i) vars.push_back(g.AddVariable(2));
+  WeightId w = g.AddWeight(0.1);
+  for (int i = 0; i + 1 < 40; ++i) {
+    SLIMFAST_CHECK_OK(g.AddEqualityFactor(vars[i], vars[i + 1], {w}).status());
+  }
+  EXPECT_TRUE(g.ExactMarginals(/*max_joint_states=*/1 << 10)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(FactorGraphTest, MapFromMarginals) {
+  FactorGraph g;
+  VarId a = g.AddVariable(3);
+  VarId b = g.AddVariable(2);
+  SLIMFAST_CHECK_OK(g.Observe(b, 0));
+  std::vector<std::vector<double>> marginals = {{0.2, 0.5, 0.3},
+                                                {0.1, 0.9}};
+  auto map = g.MapFromMarginals(marginals);
+  EXPECT_EQ(map[static_cast<size_t>(a)], 1);
+  // Observed variable keeps its clamped value regardless of the table.
+  EXPECT_EQ(map[static_cast<size_t>(b)], 0);
+}
+
+TEST(GibbsTest, MatchesExactOnFactorizedGraph) {
+  FactorGraph g;
+  VarId v = g.AddVariable(2);
+  WeightId w = g.AddWeight(1.2);
+  SLIMFAST_CHECK_OK(g.AddIndicatorFactor(v, 1, {w}).status());
+
+  GibbsOptions options;
+  options.burn_in = 200;
+  options.samples = 4000;
+  GibbsSampler sampler(&g, options);
+  Rng rng(99);
+  auto gibbs = sampler.EstimateMarginals(&rng);
+  auto exact = g.ExactMarginals().ValueOrDie();
+  EXPECT_NEAR(gibbs[0][1], exact[0][1], 0.03);
+}
+
+TEST(GibbsTest, MatchesBruteForceOnCoupledGraph) {
+  FactorGraph g;
+  VarId a = g.AddVariable(2);
+  VarId b = g.AddVariable(2);
+  VarId c = g.AddVariable(2);
+  WeightId wu = g.AddWeight(0.8);
+  WeightId we = g.AddWeight(1.0);
+  SLIMFAST_CHECK_OK(g.AddIndicatorFactor(a, 1, {wu}).status());
+  SLIMFAST_CHECK_OK(g.AddEqualityFactor(a, b, {we}).status());
+  SLIMFAST_CHECK_OK(g.AddEqualityFactor(b, c, {we}).status());
+
+  GibbsOptions options;
+  options.burn_in = 500;
+  options.samples = 8000;
+  GibbsSampler sampler(&g, options);
+  Rng rng(7);
+  auto gibbs = sampler.EstimateMarginals(&rng);
+  auto exact = g.ExactMarginals().ValueOrDie();
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_NEAR(gibbs[static_cast<size_t>(v)][1],
+                exact[static_cast<size_t>(v)][1], 0.04)
+        << "variable " << v;
+  }
+}
+
+TEST(GibbsTest, EvidenceIsNeverResampled) {
+  FactorGraph g;
+  VarId a = g.AddVariable(2);
+  VarId b = g.AddVariable(2);
+  WeightId we = g.AddWeight(2.0);
+  SLIMFAST_CHECK_OK(g.AddEqualityFactor(a, b, {we}).status());
+  SLIMFAST_CHECK_OK(g.Observe(a, 1));
+
+  GibbsOptions options;
+  options.burn_in = 100;
+  options.samples = 2000;
+  GibbsSampler sampler(&g, options);
+  Rng rng(5);
+  auto marginals = sampler.EstimateMarginals(&rng);
+  EXPECT_DOUBLE_EQ(marginals[0][1], 1.0);
+  // b should strongly favor 1 due to the equality coupling.
+  EXPECT_GT(marginals[1][1], 0.8);
+}
+
+TEST(GibbsTest, DeterministicGivenSeed) {
+  FactorGraph g;
+  VarId v = g.AddVariable(4);
+  WeightId w = g.AddWeight(0.3);
+  SLIMFAST_CHECK_OK(g.AddIndicatorFactor(v, 2, {w}).status());
+  GibbsOptions options;
+  options.burn_in = 10;
+  options.samples = 100;
+  GibbsSampler sampler(&g, options);
+  Rng rng_a(123);
+  Rng rng_b(123);
+  EXPECT_EQ(GibbsSampler(&g, options).EstimateMarginals(&rng_a),
+            GibbsSampler(&g, options).EstimateMarginals(&rng_b));
+}
+
+TEST(GibbsTest, SampleStateHasValidValues) {
+  FactorGraph g;
+  VarId a = g.AddVariable(3);
+  VarId b = g.AddVariable(5);
+  (void)a;
+  (void)b;
+  GibbsOptions options;
+  options.burn_in = 5;
+  options.samples = 5;
+  GibbsSampler sampler(&g, options);
+  Rng rng(1);
+  auto state = sampler.SampleState(&rng);
+  ASSERT_EQ(state.size(), 2u);
+  EXPECT_GE(state[0], 0);
+  EXPECT_LT(state[0], 3);
+  EXPECT_GE(state[1], 0);
+  EXPECT_LT(state[1], 5);
+}
+
+/// Random-scan Gibbs should converge to the same marginals as systematic.
+TEST(GibbsTest, RandomScanAgrees) {
+  FactorGraph g;
+  VarId a = g.AddVariable(2);
+  VarId b = g.AddVariable(2);
+  WeightId wu = g.AddWeight(0.5);
+  WeightId we = g.AddWeight(0.7);
+  SLIMFAST_CHECK_OK(g.AddIndicatorFactor(a, 0, {wu}).status());
+  SLIMFAST_CHECK_OK(g.AddEqualityFactor(a, b, {we}).status());
+
+  GibbsOptions systematic;
+  systematic.burn_in = 500;
+  systematic.samples = 8000;
+  GibbsOptions random_scan = systematic;
+  random_scan.random_scan = true;
+
+  Rng rng_a(3);
+  Rng rng_b(4);
+  auto m_sys = GibbsSampler(&g, systematic).EstimateMarginals(&rng_a);
+  auto m_rand = GibbsSampler(&g, random_scan).EstimateMarginals(&rng_b);
+  EXPECT_NEAR(m_sys[0][0], m_rand[0][0], 0.05);
+  EXPECT_NEAR(m_sys[1][0], m_rand[1][0], 0.05);
+}
+
+}  // namespace
+}  // namespace slimfast

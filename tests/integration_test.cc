@@ -1,0 +1,202 @@
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "data/io.h"
+#include "core/slimfast.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "synth/simulators.h"
+#include "synth/synthetic.h"
+#include "test_util.h"
+
+namespace slimfast {
+namespace {
+
+/// End-to-end: SLiMFast with features beats the featureless variants on a
+/// feature-predictive instance with little ground truth — the paper's
+/// headline claim (Sec. 5.2.1).
+TEST(IntegrationTest, FeaturesHelpWithScarceGroundTruth) {
+  SyntheticConfig config;
+  config.num_sources = 100;
+  config.num_objects = 500;
+  config.density = 0.08;
+  config.mean_accuracy = 0.55;
+  config.accuracy_spread = 0.05;
+  config.num_feature_groups = 3;
+  config.values_per_group = 5;
+  config.feature_effect = 0.2;
+  auto synth = GenerateSynthetic(config, 1234).ValueOrDie();
+  const Dataset& d = synth.dataset;
+
+  Rng split_rng(7);
+  auto split = MakeSplit(d, 0.05, &split_rng).ValueOrDie();
+
+  auto with_features = MakeSlimFastErm()->Run(d, split, 11).ValueOrDie();
+  auto without_features = MakeSourcesErm()->Run(d, split, 11).ValueOrDie();
+
+  double acc_with =
+      TestAccuracy(d, with_features.predicted_values, split).ValueOrDie();
+  double acc_without =
+      TestAccuracy(d, without_features.predicted_values, split)
+          .ValueOrDie();
+  EXPECT_GT(acc_with, acc_without + 0.03);
+}
+
+/// Figure 4(a) shape: ERM improves with training data and eventually beats
+/// EM on a moderate instance.
+TEST(IntegrationTest, ErmImprovesWithTrainingData) {
+  SyntheticConfig config;
+  config.num_sources = 200;
+  config.num_objects = 400;
+  config.density = 0.05;
+  config.mean_accuracy = 0.62;
+  config.accuracy_spread = 0.15;
+  auto synth = GenerateSynthetic(config, 99).ValueOrDie();
+  const Dataset& d = synth.dataset;
+
+  auto run_erm = [&](double fraction) {
+    Rng rng(3);
+    auto split = MakeSplit(d, fraction, &rng).ValueOrDie();
+    auto output = MakeSourcesErm()->Run(d, split, 5).ValueOrDie();
+    return TestAccuracy(d, output.predicted_values, split).ValueOrDie();
+  };
+  double low = run_erm(0.01);
+  double high = run_erm(0.5);
+  EXPECT_GT(high, low - 0.02);
+  EXPECT_GT(high, 0.6);
+}
+
+/// Figure 4(c) shape: EM quality rises with the average source accuracy.
+TEST(IntegrationTest, EmImprovesWithSourceAccuracy) {
+  auto run_em = [&](double accuracy) {
+    SyntheticConfig config;
+    config.num_sources = 150;
+    config.num_objects = 300;
+    config.density = 0.1;
+    config.mean_accuracy = accuracy;
+    config.accuracy_spread = 0.05;
+    auto synth = GenerateSynthetic(config, 77).ValueOrDie();
+    const Dataset& d = synth.dataset;
+    Rng rng(3);
+    auto split = MakeSplit(d, 0.01, &rng).ValueOrDie();
+    auto output = MakeSourcesEm()->Run(d, split, 5).ValueOrDie();
+    return TestAccuracy(d, output.predicted_values, split).ValueOrDie();
+  };
+  double weak = run_em(0.55);
+  double strong = run_em(0.8);
+  EXPECT_GT(strong, weak + 0.05);
+  EXPECT_GT(strong, 0.9);
+}
+
+/// The full Table 2 method lineup completes on a miniature instance.
+TEST(IntegrationTest, AllMethodsRunOnMiniatureInstance) {
+  SyntheticConfig config;
+  config.num_sources = 25;
+  config.num_objects = 120;
+  config.density = 0.4;
+  config.mean_accuracy = 0.7;
+  config.num_feature_groups = 2;
+  config.values_per_group = 3;
+  config.feature_effect = 0.1;
+  auto synth = GenerateSynthetic(config, 55).ValueOrDie();
+  const Dataset& d = synth.dataset;
+  Rng rng(5);
+  auto split = MakeSplit(d, 0.1, &rng).ValueOrDie();
+
+  auto methods = MakeTable2Methods();
+  for (auto& method : methods) {
+    auto output = method->Run(d, split, 9);
+    ASSERT_TRUE(output.ok()) << method->name() << ": " << output.status();
+    double accuracy =
+        TestAccuracy(d, output->predicted_values, split).ValueOrDie();
+    EXPECT_GT(accuracy, 0.55) << method->name();
+  }
+}
+
+/// SLiMFast's auto mode must match whichever of ERM/EM its optimizer
+/// picked (the optimizer evaluation protocol of Table 4).
+TEST(IntegrationTest, AutoModeMatchesChosenAlgorithm) {
+  auto synth = MakeCrowdSim(21).ValueOrDie();
+  const Dataset& d = synth.dataset;
+  Rng rng(5);
+  auto split = MakeSplit(d, 0.05, &rng).ValueOrDie();
+
+  auto auto_method = MakeSlimFast();
+  auto fit = auto_method->Fit(d, split, 13).ValueOrDie();
+  auto auto_output = auto_method->Run(d, split, 13).ValueOrDie();
+
+  std::unique_ptr<SlimFast> forced =
+      fit.algorithm_used == Algorithm::kErm ? MakeSlimFastErm()
+                                            : MakeSlimFastEm();
+  auto forced_output = forced->Run(d, split, 13).ValueOrDie();
+  double auto_acc =
+      TestAccuracy(d, auto_output.predicted_values, split).ValueOrDie();
+  double forced_acc =
+      TestAccuracy(d, forced_output.predicted_values, split).ValueOrDie();
+  EXPECT_NEAR(auto_acc, forced_acc, 1e-9);
+}
+
+/// Genomics regime: featureless methods flounder at ~1 claim per source,
+/// features rescue accuracy (the 25% improvement story of Sec. 5.2.1).
+TEST(IntegrationTest, GenomicsLikeSparsityNeedsFeatures) {
+  auto synth = MakeGenomicsSim(31).ValueOrDie();
+  const Dataset& d = synth.dataset;
+  Rng rng(5);
+  auto split = MakeSplit(d, 0.2, &rng).ValueOrDie();
+
+  auto with_features = MakeSlimFastEm()->Run(d, split, 3).ValueOrDie();
+  auto without = MakeSourcesEm()->Run(d, split, 3).ValueOrDie();
+  double acc_with =
+      TestAccuracy(d, with_features.predicted_values, split).ValueOrDie();
+  double acc_without =
+      TestAccuracy(d, without.predicted_values, split).ValueOrDie();
+  EXPECT_GT(acc_with, acc_without);
+}
+
+/// Sweep harness end-to-end on a simulator with the real method lineup
+/// (smoke test for the Table 2 bench).
+TEST(IntegrationTest, SweepOnCrowdSimulator) {
+  auto synth = MakeCrowdSim(11).ValueOrDie();
+  auto slimfast = MakeSlimFast();
+  auto accu = MakeMethodByName("ACCU").ValueOrDie();
+  std::vector<FusionMethod*> methods = {slimfast.get(), accu.get()};
+  SweepSpec spec;
+  spec.train_fractions = {0.01, 0.1};
+  spec.num_seeds = 1;
+  auto cells = SweepMethods(synth.dataset, methods, spec).ValueOrDie();
+  ASSERT_EQ(cells.size(), 4u);
+  for (const CellResult& cell : cells) {
+    EXPECT_GT(cell.mean_accuracy, 0.4) << cell.method;
+  }
+}
+
+/// Dataset save/load does not change fusion results (I/O fidelity).
+TEST(IntegrationTest, FusionIdenticalAfterRoundTrip) {
+  namespace fs = std::filesystem;
+  SyntheticConfig config;
+  config.num_sources = 15;
+  config.num_objects = 80;
+  config.density = 0.5;
+  config.num_feature_groups = 1;
+  config.values_per_group = 3;
+  config.feature_effect = 0.1;
+  auto synth = GenerateSynthetic(config, 66).ValueOrDie();
+  const Dataset& original = synth.dataset;
+
+  std::string dir =
+      (fs::temp_directory_path() / "slimfast_integration_io").string();
+  fs::create_directories(dir);
+  SLIMFAST_CHECK_OK(SaveDataset(original, dir));
+  Dataset loaded = LoadDataset(dir).ValueOrDie();
+  fs::remove_all(dir);
+
+  auto split = testutil::MakePrefixSplit(original, 20);
+  auto out_a = MakeSlimFastErm()->Run(original, split, 4).ValueOrDie();
+  auto out_b = MakeSlimFastErm()->Run(loaded, split, 4).ValueOrDie();
+  EXPECT_EQ(out_a.predicted_values, out_b.predicted_values);
+}
+
+}  // namespace
+}  // namespace slimfast

@@ -1,0 +1,257 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "opt/adagrad.h"
+#include "opt/convergence.h"
+#include "opt/gradient_descent.h"
+#include "opt/matrix_completion.h"
+#include "opt/proximal.h"
+#include "opt/schedule.h"
+#include "util/random.h"
+
+namespace slimfast {
+namespace {
+
+TEST(ScheduleTest, ConstantDecay) {
+  LearningRateSchedule s(0.5, LrDecay::kConstant);
+  EXPECT_DOUBLE_EQ(s.At(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.At(100), 0.5);
+}
+
+TEST(ScheduleTest, InvSqrtDecay) {
+  LearningRateSchedule s(1.0, LrDecay::kInvSqrt);
+  EXPECT_DOUBLE_EQ(s.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.At(3), 0.5);
+  EXPECT_GT(s.At(10), s.At(100));
+}
+
+TEST(ScheduleTest, InvLinearDecay) {
+  LearningRateSchedule s(1.0, LrDecay::kInvLinear);
+  EXPECT_DOUBLE_EQ(s.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.At(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.At(9), 0.1);
+}
+
+TEST(ProximalTest, SoftThreshold) {
+  EXPECT_DOUBLE_EQ(SoftThreshold(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-3.0, 1.0), -2.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(1.0, 1.0), 0.0);
+}
+
+TEST(ProximalTest, InPlaceAndCountZeros) {
+  std::vector<double> xs = {2.0, -0.3, 0.0, -5.0, 0.7};
+  SoftThresholdInPlace(&xs, 1.0);
+  EXPECT_EQ(xs, (std::vector<double>{1.0, 0.0, 0.0, -4.0, 0.0}));
+  EXPECT_EQ(CountZeros(xs), 3);
+}
+
+TEST(AdaGradTest, StepShrinksWithAccumulatedGradient) {
+  AdaGrad ag(1);
+  double s1 = ag.Step(0, 1.0);
+  double s2 = ag.Step(0, 1.0);
+  double s3 = ag.Step(0, 1.0);
+  EXPECT_GT(s1, s2);
+  EXPECT_GT(s2, s3);
+  EXPECT_NEAR(s1, 1.0, 1e-3);           // 1/sqrt(1)
+  EXPECT_NEAR(s2, 1.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(AdaGradTest, CoordinatesAreIndependent) {
+  AdaGrad ag(2);
+  ag.Step(0, 10.0);
+  // Coordinate 1 still has full step size.
+  EXPECT_NEAR(ag.Step(1, 1.0), 1.0, 1e-3);
+}
+
+TEST(AdaGradTest, ResetRestoresStepSize) {
+  AdaGrad ag(1);
+  ag.Step(0, 5.0);
+  ag.Reset();
+  EXPECT_NEAR(ag.Step(0, 1.0), 1.0, 1e-3);
+}
+
+TEST(ConvergenceTest, ConvergesAfterStableIterations) {
+  ConvergenceTracker tracker(1e-3, 2);
+  EXPECT_FALSE(tracker.Update(10.0));
+  EXPECT_FALSE(tracker.Update(5.0));     // big change
+  EXPECT_FALSE(tracker.Update(5.0001));  // 1st stable
+  EXPECT_TRUE(tracker.Update(5.0001));   // 2nd stable -> converged
+  EXPECT_TRUE(tracker.converged());
+  EXPECT_EQ(tracker.iterations(), 4);
+}
+
+TEST(ConvergenceTest, ResetsOnLargeChange) {
+  ConvergenceTracker tracker(1e-3, 2);
+  tracker.Update(1.0);
+  tracker.Update(1.0);      // stable 1
+  tracker.Update(100.0);    // resets
+  EXPECT_FALSE(tracker.Update(100.0));  // stable 1 again
+  EXPECT_TRUE(tracker.Update(100.0));   // stable 2
+}
+
+TEST(GradientDescentTest, MinimizesQuadratic) {
+  // f(w) = (w0 - 3)^2 + (w1 + 1)^2.
+  auto objective = [](const std::vector<double>& w,
+                      std::vector<double>* grad) {
+    (*grad)[0] = 2.0 * (w[0] - 3.0);
+    (*grad)[1] = 2.0 * (w[1] + 1.0);
+    return (w[0] - 3.0) * (w[0] - 3.0) + (w[1] + 1.0) * (w[1] + 1.0);
+  };
+  GradientDescentOptions options;
+  options.learning_rate = 0.1;
+  options.max_iterations = 2000;
+  auto result = MinimizeBatch(objective, {0.0, 0.0}, options).ValueOrDie();
+  EXPECT_NEAR(result.weights[0], 3.0, 1e-4);
+  EXPECT_NEAR(result.weights[1], -1.0, 1e-4);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(GradientDescentTest, L2PullsTowardZero) {
+  auto objective = [](const std::vector<double>& w,
+                      std::vector<double>* grad) {
+    (*grad)[0] = 2.0 * (w[0] - 10.0);
+    return (w[0] - 10.0) * (w[0] - 10.0);
+  };
+  GradientDescentOptions options;
+  options.learning_rate = 0.05;
+  options.max_iterations = 5000;
+  options.l2 = 2.0;
+  auto result = MinimizeBatch(objective, {0.0}, options).ValueOrDie();
+  // Analytic optimum of (w-10)^2 + w^2: w = 10 * 2 / (2 + 2) = 5.
+  EXPECT_NEAR(result.weights[0], 5.0, 1e-3);
+}
+
+TEST(GradientDescentTest, L1ProducesExactZero) {
+  // f(w) = 0.5 (w - 0.3)^2 with l1 = 1.0: optimum is exactly 0.
+  auto objective = [](const std::vector<double>& w,
+                      std::vector<double>* grad) {
+    (*grad)[0] = w[0] - 0.3;
+    return 0.5 * (w[0] - 0.3) * (w[0] - 0.3);
+  };
+  GradientDescentOptions options;
+  options.learning_rate = 0.1;
+  options.max_iterations = 1000;
+  options.l1 = 1.0;
+  auto result = MinimizeBatch(objective, {2.0}, options).ValueOrDie();
+  EXPECT_DOUBLE_EQ(result.weights[0], 0.0);
+}
+
+TEST(GradientDescentTest, ValidatesOptions) {
+  auto objective = [](const std::vector<double>& w,
+                      std::vector<double>* grad) {
+    (*grad)[0] = w[0];
+    return 0.5 * w[0] * w[0];
+  };
+  GradientDescentOptions bad_lr;
+  bad_lr.learning_rate = 0.0;
+  EXPECT_TRUE(
+      MinimizeBatch(objective, {1.0}, bad_lr).status().IsInvalidArgument());
+  GradientDescentOptions options;
+  EXPECT_TRUE(MinimizeBatch(objective, {}, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// --- Agreement matrix & matrix completion (Sec. 4.3). ---
+
+Dataset MakeAgreementDataset() {
+  // Three sources over 4 objects; sources 0 and 1 always agree, source 2
+  // always disagrees with both.
+  DatasetBuilder builder("agree", 3, 4, 2);
+  for (ObjectId o = 0; o < 4; ++o) {
+    SLIMFAST_CHECK_OK(builder.AddObservation(o, 0, 0));
+    SLIMFAST_CHECK_OK(builder.AddObservation(o, 1, 0));
+    SLIMFAST_CHECK_OK(builder.AddObservation(o, 2, 1));
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+TEST(AgreementMatrixTest, ComputesAgreementRates) {
+  Dataset d = MakeAgreementDataset();
+  AgreementMatrix m(d);
+  EXPECT_EQ(m.num_sources(), 3);
+  EXPECT_TRUE(m.HasOverlap(0, 1));
+  EXPECT_DOUBLE_EQ(m.Agreement(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.Agreement(0, 2), -1.0);
+  EXPECT_DOUBLE_EQ(m.Agreement(1, 2), -1.0);
+  EXPECT_EQ(m.OverlapCount(0, 1), 4);
+  EXPECT_EQ(m.NumObservedPairs(), 3);
+}
+
+TEST(AgreementMatrixTest, SymmetricAccess) {
+  Dataset d = MakeAgreementDataset();
+  AgreementMatrix m(d);
+  EXPECT_DOUBLE_EQ(m.Agreement(1, 0), m.Agreement(0, 1));
+  EXPECT_EQ(m.OverlapCount(2, 0), m.OverlapCount(0, 2));
+}
+
+TEST(AgreementMatrixTest, NoOverlap) {
+  DatasetBuilder builder("disjoint", 2, 2, 2);
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 0));
+  SLIMFAST_CHECK_OK(builder.AddObservation(1, 1, 0));
+  Dataset d = std::move(builder).Build().ValueOrDie();
+  AgreementMatrix m(d);
+  EXPECT_FALSE(m.HasOverlap(0, 1));
+  EXPECT_EQ(m.NumObservedPairs(), 0);
+  EXPECT_TRUE(EstimateAverageAccuracy(m).status().IsFailedPrecondition());
+}
+
+TEST(AverageAccuracyTest, RecoversPlantedAccuracy) {
+  // Generate many sources with identical accuracy A on binary objects; the
+  // expected pairwise agreement is (2A-1)^2, so the estimator should
+  // recover A.
+  const double kTrueAccuracy = 0.8;
+  Rng rng(77);
+  const int32_t kSources = 30;
+  const int32_t kObjects = 400;
+  DatasetBuilder builder("planted", kSources, kObjects, 2);
+  for (ObjectId o = 0; o < kObjects; ++o) {
+    for (SourceId s = 0; s < kSources; ++s) {
+      ValueId v = rng.Bernoulli(kTrueAccuracy) ? 0 : 1;  // truth := 0
+      SLIMFAST_CHECK_OK(builder.AddObservation(o, s, v));
+    }
+  }
+  Dataset d = std::move(builder).Build().ValueOrDie();
+  double estimate = EstimateAverageAccuracy(d).ValueOrDie();
+  EXPECT_NEAR(estimate, kTrueAccuracy, 0.03);
+}
+
+TEST(AverageAccuracyTest, AdversarialAgreementClampsToHalf) {
+  Dataset d = MakeAgreementDataset();
+  // Mean agreement is (1 - 1 - 1)/3 < 0 -> mu clamps to 0 -> A = 0.5.
+  double estimate = EstimateAverageAccuracy(d).ValueOrDie();
+  EXPECT_DOUBLE_EQ(estimate, 0.5);
+}
+
+TEST(PerSourceAccuracyTest, SeparatesGoodFromBadSources) {
+  // 10 good sources (A=0.9) and 5 bad ones (A=0.55) on binary objects.
+  Rng rng(11);
+  const int32_t kGood = 10;
+  const int32_t kBad = 5;
+  const int32_t kObjects = 500;
+  DatasetBuilder builder("mixed", kGood + kBad, kObjects, 2);
+  for (ObjectId o = 0; o < kObjects; ++o) {
+    for (SourceId s = 0; s < kGood + kBad; ++s) {
+      double a = s < kGood ? 0.9 : 0.55;
+      SLIMFAST_CHECK_OK(
+          builder.AddObservation(o, s, rng.Bernoulli(a) ? 0 : 1));
+    }
+  }
+  Dataset d = std::move(builder).Build().ValueOrDie();
+  AgreementMatrix m(d);
+  Rank1CompletionOptions options;
+  auto accuracies = EstimatePerSourceAccuracy(m, options).ValueOrDie();
+  ASSERT_EQ(accuracies.size(), static_cast<size_t>(kGood + kBad));
+  for (SourceId s = 0; s < kGood; ++s) {
+    EXPECT_NEAR(accuracies[static_cast<size_t>(s)], 0.9, 0.08) << s;
+  }
+  for (SourceId s = kGood; s < kGood + kBad; ++s) {
+    EXPECT_LT(accuracies[static_cast<size_t>(s)], 0.75) << s;
+  }
+}
+
+}  // namespace
+}  // namespace slimfast

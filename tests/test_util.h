@@ -1,0 +1,72 @@
+#ifndef SLIMFAST_TESTS_TEST_UTIL_H_
+#define SLIMFAST_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "util/random.h"
+
+namespace slimfast {
+namespace testutil {
+
+/// The paper's Figure 1 instance: 3 articles, 2 gene-disease objects.
+/// Object 0 truth = 0 (not associated), object 1 truth = 1.
+inline Dataset MakeFigure1Dataset() {
+  DatasetBuilder builder("figure1", 3, 2, 2);
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 0));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 1, 1));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 2, 0));
+  SLIMFAST_CHECK_OK(builder.AddObservation(1, 0, 1));
+  SLIMFAST_CHECK_OK(builder.AddObservation(1, 2, 1));
+  SLIMFAST_CHECK_OK(builder.SetTruth(0, 0));
+  SLIMFAST_CHECK_OK(builder.SetTruth(1, 1));
+  return std::move(builder).Build().ValueOrDie();
+}
+
+/// A planted binary instance: each source s has accuracy `accuracies[s]`,
+/// every source observes every object with probability `density`, truth is
+/// always value 0, full ground truth attached.
+inline Dataset MakePlantedDataset(const std::vector<double>& accuracies,
+                                  int32_t num_objects, double density,
+                                  uint64_t seed,
+                                  int32_t num_values = 2) {
+  Rng rng(seed);
+  DatasetBuilder builder("planted", static_cast<int32_t>(accuracies.size()),
+                         num_objects, num_values);
+  for (ObjectId o = 0; o < num_objects; ++o) {
+    for (SourceId s = 0; s < static_cast<int32_t>(accuracies.size()); ++s) {
+      if (!rng.Bernoulli(density)) continue;
+      ValueId v = 0;
+      if (!rng.Bernoulli(accuracies[static_cast<size_t>(s)])) {
+        v = 1 + static_cast<ValueId>(rng.UniformInt(num_values - 1));
+      }
+      SLIMFAST_CHECK_OK(builder.AddObservation(o, s, v));
+    }
+    SLIMFAST_CHECK_OK(builder.SetTruth(o, 0));
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+/// A split revealing the first `k` labeled objects as training data
+/// (deterministic, for tests that need a specific split).
+inline TrainTestSplit MakePrefixSplit(const Dataset& dataset, int32_t k) {
+  TrainTestSplit split;
+  split.is_train.assign(static_cast<size_t>(dataset.num_objects()), 0);
+  int32_t taken = 0;
+  for (ObjectId o : dataset.ObjectsWithTruth()) {
+    if (taken < k) {
+      split.train_objects.push_back(o);
+      split.is_train[static_cast<size_t>(o)] = 1;
+      ++taken;
+    } else {
+      split.test_objects.push_back(o);
+    }
+  }
+  return split;
+}
+
+}  // namespace testutil
+}  // namespace slimfast
+
+#endif  // SLIMFAST_TESTS_TEST_UTIL_H_

@@ -1,0 +1,115 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace slimfast {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a", ','), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-ws"), "no-ws");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("slimfast", "slim"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("slim", "slimfast"));
+  EXPECT_FALSE(StartsWith("abc", "b"));
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(0.5, 0), "0");  // rounds half to even per printf
+  EXPECT_EQ(FormatDouble(-1.005, 1), "-1.0");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+}
+
+TEST(StringsTest, Padding) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+}
+
+TEST(CsvTest, AppendValidatesWidth) {
+  CsvTable table({"a", "b"});
+  EXPECT_TRUE(table.AppendRow({"1", "2"}).ok());
+  EXPECT_TRUE(table.AppendRow({"1"}).IsInvalidArgument());
+  EXPECT_TRUE(table.AppendRow({"1", "2", "3"}).IsInvalidArgument());
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(CsvTest, ColumnIndex) {
+  CsvTable table({"x", "y", "z"});
+  EXPECT_EQ(table.ColumnIndex("y").ValueOrDie(), 1u);
+  EXPECT_TRUE(table.ColumnIndex("missing").status().IsNotFound());
+}
+
+TEST(CsvTest, RoundTripThroughString) {
+  CsvTable table({"object", "source", "value"});
+  ASSERT_TRUE(table.AppendRow({"0", "1", "2"}).ok());
+  ASSERT_TRUE(table.AppendRow({"3", "4", "5"}).ok());
+  auto parsed = CsvTable::Parse(table.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header(), table.header());
+  EXPECT_EQ(parsed->rows(), table.rows());
+}
+
+TEST(CsvTest, ParseRejectsEmptyAndRagged) {
+  EXPECT_TRUE(CsvTable::Parse("").status().IsInvalidArgument());
+  EXPECT_TRUE(CsvTable::Parse("a,b\n1\n").status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ParseSkipsBlankLines) {
+  auto parsed = CsvTable::Parse("a,b\n1,2\n\n3,4\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "slimfast_csv_test.csv")
+          .string();
+  CsvTable table({"k", "v"});
+  ASSERT_TRUE(table.AppendRow({"alpha", "1"}).ok());
+  ASSERT_TRUE(table.WriteFile(path).ok());
+  auto loaded = CsvTable::ReadFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows()[0][0], "alpha");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileIsIOError) {
+  EXPECT_TRUE(CsvTable::ReadFile("/nonexistent/dir/file.csv")
+                  .status()
+                  .IsIOError());
+}
+
+}  // namespace
+}  // namespace slimfast

@@ -1,0 +1,236 @@
+// slimfast_cli — run data fusion on a dataset directory from the shell.
+//
+// Usage:
+//   slimfast_cli <dataset_dir> [options]
+//   slimfast_cli --demo <stocks|demos|crowd|genomics> [options]
+//
+// The dataset directory uses the CSV layout of data/io.h (meta.csv,
+// observations.csv, truth.csv, features.csv, source_features.csv) — the
+// same format SaveDataset writes.
+//
+// Options:
+//   --method NAME         fusion method (default SLiMFast); one of
+//                         SLiMFast, SLiMFast-ERM, SLiMFast-EM, Sources-ERM,
+//                         Sources-EM, MajorityVote, Counts, ACCU, CATD,
+//                         SSTF, TruthFinder
+//   --train-fraction F    fraction of labeled objects revealed (default 0.1)
+//   --seed N              random seed (default 42)
+//   --explain K           print explanations for the K least-confident
+//                         objects (SLiMFast methods only)
+//   --out FILE            write per-object predictions as CSV
+//   --stats               print dataset statistics and exit
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/registry.h"
+#include "core/explain.h"
+#include "core/slimfast.h"
+#include "data/io.h"
+#include "data/stats.h"
+#include "eval/metrics.h"
+#include "synth/simulators.h"
+#include "util/csv.h"
+#include "util/random.h"
+
+using namespace slimfast;
+
+namespace {
+
+struct CliOptions {
+  std::string dataset_dir;
+  std::string demo;
+  std::string method = "SLiMFast";
+  double train_fraction = 0.1;
+  uint64_t seed = 42;
+  int32_t explain = 0;
+  std::string out_file;
+  bool stats_only = false;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: slimfast_cli <dataset_dir> [--method NAME] "
+               "[--train-fraction F]\n"
+               "                    [--seed N] [--explain K] [--out FILE] "
+               "[--stats]\n"
+               "       slimfast_cli --demo <stocks|demos|crowd|genomics> "
+               "[options]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--method") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->method = v;
+    } else if (arg == "--train-fraction") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->train_fraction = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--explain") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->explain = std::atoi(v);
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->out_file = v;
+    } else if (arg == "--demo") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->demo = v;
+    } else if (arg == "--stats") {
+      options->stats_only = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else {
+      options->dataset_dir = arg;
+    }
+  }
+  return !options->dataset_dir.empty() || !options->demo.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+
+  // --- Load or generate the dataset. ---
+  Dataset dataset;
+  if (!options.demo.empty()) {
+    auto synth = MakeSimulatorByName(options.demo, options.seed);
+    if (!synth.ok()) {
+      std::fprintf(stderr, "%s\n", synth.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(synth.ValueOrDie().dataset);
+  } else {
+    auto loaded = LoadDataset(options.dataset_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load dataset: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(loaded).ValueOrDie();
+  }
+
+  DatasetStats stats = ComputeStats(dataset);
+  std::printf("%s", stats.ToString().c_str());
+  if (options.stats_only) return 0;
+
+  // --- Split and run. ---
+  auto method = MakeMethodByName(options.method);
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(options.seed);
+  auto split_result = MakeSplit(dataset, options.train_fraction, &rng);
+  if (!split_result.ok()) {
+    std::fprintf(stderr, "cannot split: %s\n",
+                 split_result.status().ToString().c_str());
+    return 1;
+  }
+  TrainTestSplit split = std::move(split_result).ValueOrDie();
+
+  auto output_result =
+      method.ValueOrDie()->Run(dataset, split, options.seed);
+  if (!output_result.ok()) {
+    std::fprintf(stderr, "fusion failed: %s\n",
+                 output_result.status().ToString().c_str());
+    return 1;
+  }
+  const FusionOutput& output = output_result.ValueOrDie();
+
+  std::printf("\nMethod: %s\n", output.method_name.c_str());
+  if (!output.detail.empty()) {
+    std::printf("Detail: %s\n", output.detail.c_str());
+  }
+  std::printf("Runtime: %.3fs (learn %.3fs, infer %.3fs)\n",
+              output.TotalSeconds(), output.learn_seconds,
+              output.infer_seconds);
+  auto accuracy = TestAccuracy(dataset, output.predicted_values, split);
+  if (accuracy.ok()) {
+    std::printf("Held-out object-value accuracy: %.4f (on %zu objects)\n",
+                accuracy.ValueOrDie(), split.test_objects.size());
+  }
+  auto src_error =
+      WeightedSourceAccuracyError(dataset, output.source_accuracies);
+  if (src_error.ok()) {
+    std::printf("Weighted source-accuracy error: %.4f\n",
+                src_error.ValueOrDie());
+  }
+
+  // --- Optional CSV dump. ---
+  if (!options.out_file.empty()) {
+    CsvTable table({"object", "predicted_value"});
+    for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+      ValueId v = output.predicted_values[static_cast<size_t>(o)];
+      if (v == kNoValue) continue;
+      SLIMFAST_CHECK_OK(
+          table.AppendRow({std::to_string(o), std::to_string(v)}));
+    }
+    Status st = table.WriteFile(options.out_file);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n",
+                   options.out_file.c_str(), st.ToString().c_str());
+      return 1;
+    }
+    std::printf("Predictions written to %s (%zu rows)\n",
+                options.out_file.c_str(), table.num_rows());
+  }
+
+  // --- Optional explanations for the least-confident objects. ---
+  if (options.explain > 0) {
+    SlimFastOptions sf_options;
+    if (options.method == "Sources-ERM" ||
+        options.method == "Sources-EM") {
+      sf_options.model.use_feature_weights = false;
+    }
+    SlimFast slimfast(sf_options, "explainer");
+    auto fit = slimfast.Fit(dataset, split, options.seed);
+    if (fit.ok()) {
+      const SlimFastModel& model = fit.ValueOrDie().model;
+      // Rank observed objects by posterior confidence, ascending.
+      std::vector<std::pair<double, ObjectId>> ranked;
+      std::vector<double> probs;
+      for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+        if (!model.PosteriorOf(o, &probs)) continue;
+        double top = 0.0;
+        for (double p : probs) top = std::max(top, p);
+        ranked.emplace_back(top, o);
+      }
+      std::sort(ranked.begin(), ranked.end());
+      std::printf("\n%d least-confident fusion decisions:\n",
+                  options.explain);
+      for (int32_t i = 0;
+           i < options.explain && i < static_cast<int32_t>(ranked.size());
+           ++i) {
+        auto explanation =
+            ExplainObject(model, dataset, ranked[static_cast<size_t>(i)].second);
+        if (explanation.ok()) {
+          std::printf("%s\n", explanation.ValueOrDie().ToString().c_str());
+        }
+      }
+    }
+  }
+  return 0;
+}
