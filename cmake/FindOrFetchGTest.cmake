@@ -1,0 +1,18 @@
+# Provides GTest::gtest_main. Prefers the GoogleTest sources shipped with the
+# system (Debian's libgtest-dev puts them under /usr/src/googletest) so that
+# configuring works offline; falls back to downloading a pinned release when
+# they are absent.
+
+include(FetchContent)
+
+if(EXISTS /usr/src/googletest/CMakeLists.txt)
+  FetchContent_Declare(googletest SOURCE_DIR /usr/src/googletest)
+else()
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+endif()
+
+set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Include-hygiene check: every header under src/ must compile standalone
+# (no reliance on transitive includes). Keeps refactors from breaking
+# consumers that include a header directly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+failed=0
+for header in $(find src -name '*.h' | sort); do
+  echo "#include \"${header#src/}\"" > "$tmp/check.cc"
+  if ! g++ -std=c++20 -fsyntax-only -Isrc "$tmp/check.cc" 2> "$tmp/err.txt"; then
+    echo "NOT SELF-CONTAINED: $header"
+    cat "$tmp/err.txt"
+    failed=1
+  fi
+done
+
+if [ "$failed" -eq 0 ]; then
+  echo "all $(find src -name '*.h' | wc -l) headers are self-contained"
+fi
+exit "$failed"

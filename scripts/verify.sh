@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything, run the full ctest suite.
+# This is the exact command CI runs on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"

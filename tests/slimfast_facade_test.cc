@@ -1,0 +1,127 @@
+// Facade coverage for the five preset factories of core/slimfast.h
+// (SLiMFast, SLiMFast-ERM, SLiMFast-EM, Sources-ERM, Sources-EM): golden
+// behavior on the paper's Figure 1 instance and accuracy/recovery checks on
+// planted instances.
+
+#include <gtest/gtest.h>
+
+#include "core/slimfast.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace slimfast {
+namespace {
+
+using testutil::AllSlimFastPresets;
+using testutil::Figure1TruthValues;
+using testutil::MakeFigure1Dataset;
+using testutil::MakePlantedDataset;
+using testutil::MakePrefixSplit;
+
+/// Every preset constructs with its paper name and the options its factory
+/// promises: the Sources-* variants drop feature weights, the forced
+/// variants pin the algorithm, and plain SLiMFast keeps the optimizer.
+TEST(SlimFastFacadeTest, PresetNamesAndOptions) {
+  auto presets = AllSlimFastPresets();
+  ASSERT_EQ(presets.size(), 5u);
+  for (const auto& preset : presets) {
+    auto method = preset.make();
+    EXPECT_EQ(method->name(), preset.name);
+    const SlimFastOptions& options = method->options();
+    bool featureless = preset.name.rfind("Sources", 0) == 0;
+    EXPECT_EQ(options.model.use_feature_weights, !featureless) << preset.name;
+    if (preset.name == "SLiMFast") {
+      EXPECT_EQ(options.algorithm, Algorithm::kAuto);
+    } else if (preset.name.find("ERM") != std::string::npos) {
+      EXPECT_EQ(options.algorithm, Algorithm::kErm) << preset.name;
+    } else {
+      EXPECT_EQ(options.algorithm, Algorithm::kEm) << preset.name;
+    }
+  }
+}
+
+/// Golden Figure 1 behavior: with object 0's label revealed, every preset
+/// recovers the truth of the held-out object 1 — sources 0 and 2 agree on
+/// value 1 there and are the accurate sources of the instance.
+TEST(SlimFastFacadeTest, Figure1GoldenPredictions) {
+  Dataset dataset = MakeFigure1Dataset();
+  TrainTestSplit split = MakePrefixSplit(dataset, 1);
+  std::vector<ValueId> truth = Figure1TruthValues();
+  for (const auto& preset : AllSlimFastPresets()) {
+    SCOPED_TRACE(preset.name);
+    auto output = preset.make()->Run(dataset, split, 42).ValueOrDie();
+    ASSERT_EQ(output.predicted_values.size(), truth.size());
+    EXPECT_EQ(output.predicted_values[1], truth[1]);
+    ASSERT_EQ(output.source_accuracies.size(), 3u);
+    // The two sources that match the truth everywhere must not be ranked
+    // below the source that is wrong on its only claim.
+    EXPECT_GE(output.source_accuracies[0], output.source_accuracies[1]);
+    EXPECT_GE(output.source_accuracies[2], output.source_accuracies[1]);
+  }
+}
+
+/// Planted binary instance with clearly separated source accuracies: every
+/// preset reaches high held-out accuracy and recovers the planted source
+/// accuracies to within a loose tolerance.
+TEST(SlimFastFacadeTest, PlantedRecoveryAllPresets) {
+  const std::vector<double> planted = {0.9, 0.85, 0.8, 0.75, 0.7,
+                                       0.9, 0.85, 0.8, 0.75, 0.7};
+  Dataset dataset = MakePlantedDataset(planted, 300, 0.8, 17);
+  Rng rng(5);
+  TrainTestSplit split = MakeSplit(dataset, 0.2, &rng).ValueOrDie();
+  for (const auto& preset : AllSlimFastPresets()) {
+    SCOPED_TRACE(preset.name);
+    auto output = preset.make()->Run(dataset, split, 23).ValueOrDie();
+    double accuracy =
+        TestAccuracy(dataset, output.predicted_values, split).ValueOrDie();
+    EXPECT_GT(accuracy, 0.95);
+    double source_error =
+        testutil::PlantedSourceAccuracyError(dataset, planted, output);
+    EXPECT_LT(source_error, 0.15);
+  }
+}
+
+/// EM works from unlabeled data alone: with an empty training split the EM
+/// presets still beat the 0.5 coin-flip floor by a wide margin on a planted
+/// instance of mostly-good sources (Theorem 3's regime), while ERM with
+/// labels recovers the planted accuracies more tightly (Figure 4 shape).
+TEST(SlimFastFacadeTest, PlantedEmVersusErm) {
+  const std::vector<double> planted = {0.85, 0.8, 0.8, 0.75, 0.75,
+                                       0.85, 0.8, 0.8, 0.75, 0.75};
+  Dataset dataset = MakePlantedDataset(planted, 400, 0.4, 31);
+
+  TrainTestSplit unlabeled = MakePrefixSplit(dataset, 0);
+  auto em_output =
+      MakeSlimFastEm()->Run(dataset, unlabeled, 7).ValueOrDie();
+  double em_accuracy =
+      TestAccuracy(dataset, em_output.predicted_values, unlabeled)
+          .ValueOrDie();
+  EXPECT_GT(em_accuracy, 0.9);
+
+  Rng rng(3);
+  TrainTestSplit labeled = MakeSplit(dataset, 0.25, &rng).ValueOrDie();
+  auto erm_output =
+      MakeSlimFastErm()->Run(dataset, labeled, 7).ValueOrDie();
+  double erm_error =
+      testutil::PlantedSourceAccuracyError(dataset, planted, erm_output);
+  EXPECT_LT(erm_error, 0.1);
+}
+
+/// The kAuto optimizer preset always lands on one of the two concrete
+/// learners and reports its pick in the output detail.
+TEST(SlimFastFacadeTest, AutoPresetReportsDecision) {
+  const std::vector<double> planted = {0.85, 0.8, 0.75, 0.85, 0.8, 0.75};
+  Dataset dataset = MakePlantedDataset(planted, 200, 0.5, 11);
+  Rng rng(9);
+  TrainTestSplit split = MakeSplit(dataset, 0.1, &rng).ValueOrDie();
+  auto output = MakeSlimFast()->Run(dataset, split, 13).ValueOrDie();
+  EXPECT_EQ(output.method_name, "SLiMFast");
+  EXPECT_TRUE(output.detail.find("ERM") != std::string::npos ||
+              output.detail.find("EM") != std::string::npos)
+      << "detail: " << output.detail;
+}
+
+}  // namespace
+}  // namespace slimfast

@@ -1,10 +1,18 @@
 #ifndef SLIMFAST_TESTS_TEST_UTIL_H_
 #define SLIMFAST_TESTS_TEST_UTIL_H_
 
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include <gtest/gtest.h>
+
+#include "core/slimfast.h"
 #include "data/dataset.h"
+#include "data/fusion.h"
 #include "data/split.h"
+#include "eval/metrics.h"
 #include "util/random.h"
 
 namespace slimfast {
@@ -23,6 +31,9 @@ inline Dataset MakeFigure1Dataset() {
   SLIMFAST_CHECK_OK(builder.SetTruth(1, 1));
   return std::move(builder).Build().ValueOrDie();
 }
+
+/// Golden truth assignment of the Figure 1 instance, indexed by object.
+inline std::vector<ValueId> Figure1TruthValues() { return {0, 1}; }
 
 /// A planted binary instance: each source s has accuracy `accuracies[s]`,
 /// every source observes every object with probability `density`, truth is
@@ -64,6 +75,53 @@ inline TrainTestSplit MakePrefixSplit(const Dataset& dataset, int32_t k) {
     }
   }
   return split;
+}
+
+/// A named SLiMFast preset plus the factory that builds it, so tests can
+/// iterate over all five method variants of core/slimfast.h.
+struct SlimFastPreset {
+  std::string name;
+  std::function<std::unique_ptr<SlimFast>()> make;
+};
+
+/// All five preset factories evaluated in the paper, in a stable order.
+inline std::vector<SlimFastPreset> AllSlimFastPresets() {
+  return {
+      {"SLiMFast", [] { return MakeSlimFast(); }},
+      {"SLiMFast-ERM", [] { return MakeSlimFastErm(); }},
+      {"SLiMFast-EM", [] { return MakeSlimFastEm(); }},
+      {"Sources-ERM", [] { return MakeSourcesErm(); }},
+      {"Sources-EM", [] { return MakeSourcesEm(); }},
+  };
+}
+
+/// Asserts that two fusion outputs describe the same result: identical
+/// predictions, source-accuracy estimates, method name, and detail string.
+/// Wall-clock fields are deliberately ignored — they are the one
+/// legitimately nondeterministic part of a run.
+inline void ExpectSameFusionOutput(const FusionOutput& a,
+                                   const FusionOutput& b) {
+  EXPECT_EQ(a.method_name, b.method_name);
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_EQ(a.predicted_values, b.predicted_values);
+  EXPECT_EQ(a.source_accuracies, b.source_accuracies);
+}
+
+/// Runs `method` on `dataset` and returns its held-out accuracy.
+inline double RunHeldOutAccuracy(FusionMethod* method, const Dataset& dataset,
+                                 const TrainTestSplit& split, uint64_t seed) {
+  auto output = method->Run(dataset, split, seed).ValueOrDie();
+  return TestAccuracy(dataset, output.predicted_values, split).ValueOrDie();
+}
+
+/// Observation-weighted error of estimated source accuracies against the
+/// planted accuracies used to generate the dataset.
+inline double PlantedSourceAccuracyError(
+    const Dataset& dataset, const std::vector<double>& planted,
+    const FusionOutput& output) {
+  return WeightedSourceAccuracyErrorAgainst(dataset, output.source_accuracies,
+                                            planted, {})
+      .ValueOrDie();
 }
 
 }  // namespace testutil

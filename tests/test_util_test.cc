@@ -1,0 +1,84 @@
+// The test harness in test_util.h is load-bearing for every regression net
+// in this suite, so its fixtures get golden tests of their own: the Figure 1
+// instance must match the paper exactly, and the planted generator and
+// prefix split must be seed-deterministic.
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "test_util.h"
+
+namespace slimfast {
+namespace {
+
+using testutil::Figure1TruthValues;
+using testutil::MakeFigure1Dataset;
+using testutil::MakePlantedDataset;
+using testutil::MakePrefixSplit;
+
+/// Golden shape of the Figure 1 instance: 3 sources, 2 objects, binary
+/// domain, 5 claims, both truths attached.
+TEST(TestUtilTest, Figure1GoldenShape) {
+  Dataset dataset = MakeFigure1Dataset();
+  EXPECT_EQ(dataset.num_sources(), 3);
+  EXPECT_EQ(dataset.num_objects(), 2);
+  EXPECT_EQ(dataset.num_values(), 2);
+  EXPECT_EQ(dataset.num_observations(), 5);
+  ASSERT_EQ(dataset.ObjectsWithTruth().size(), 2u);
+  std::vector<ValueId> truth = Figure1TruthValues();
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    ASSERT_TRUE(dataset.HasTruth(o));
+    EXPECT_EQ(dataset.Truth(o), truth[static_cast<size_t>(o)]);
+  }
+}
+
+/// Golden per-source claims of Figure 1: source 1 claims only object 0
+/// (wrongly); sources 0 and 2 claim both objects correctly.
+TEST(TestUtilTest, Figure1GoldenSourceAccuracies) {
+  Dataset dataset = MakeFigure1Dataset();
+  EXPECT_DOUBLE_EQ(dataset.EmpiricalSourceAccuracy(0).ValueOrDie(), 1.0);
+  EXPECT_DOUBLE_EQ(dataset.EmpiricalSourceAccuracy(1).ValueOrDie(), 0.0);
+  EXPECT_DOUBLE_EQ(dataset.EmpiricalSourceAccuracy(2).ValueOrDie(), 1.0);
+}
+
+/// The planted generator is a pure function of its arguments.
+TEST(TestUtilTest, PlantedDatasetIsSeedDeterministic) {
+  const std::vector<double> accuracies = {0.9, 0.7, 0.6};
+  Dataset a = MakePlantedDataset(accuracies, 50, 0.4, 13);
+  Dataset b = MakePlantedDataset(accuracies, 50, 0.4, 13);
+  EXPECT_EQ(a.observations(), b.observations());
+  Dataset c = MakePlantedDataset(accuracies, 50, 0.4, 14);
+  EXPECT_NE(a.observations(), c.observations())
+      << "seed is ignored by the planted generator";
+}
+
+/// Planted truth is always value 0 and every object is labeled, so test
+/// accuracy on a planted instance is exactly the fraction of 0-predictions.
+TEST(TestUtilTest, PlantedDatasetTruthIsAlwaysZero) {
+  Dataset dataset = MakePlantedDataset({0.8, 0.8}, 30, 0.5, 3);
+  ASSERT_EQ(dataset.ObjectsWithTruth().size(), 30u);
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    EXPECT_EQ(dataset.Truth(o), 0);
+  }
+}
+
+/// MakePrefixSplit(k) reveals exactly the first k labeled objects and
+/// partitions: every labeled object is in train xor test.
+TEST(TestUtilTest, PrefixSplitPartitionsLabeledObjects) {
+  Dataset dataset = MakePlantedDataset({0.9, 0.8, 0.7}, 20, 0.5, 9);
+  for (int32_t k : {0, 5, 20}) {
+    TrainTestSplit split = MakePrefixSplit(dataset, k);
+    EXPECT_EQ(static_cast<int32_t>(split.train_objects.size()), k);
+    EXPECT_EQ(split.train_objects.size() + split.test_objects.size(),
+              dataset.ObjectsWithTruth().size());
+    for (ObjectId o : split.train_objects) {
+      EXPECT_TRUE(split.is_train[static_cast<size_t>(o)]);
+    }
+    for (ObjectId o : split.test_objects) {
+      EXPECT_FALSE(split.is_train[static_cast<size_t>(o)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slimfast

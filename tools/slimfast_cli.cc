@@ -50,16 +50,33 @@ struct CliOptions {
   int32_t explain = 0;
   std::string out_file;
   bool stats_only = false;
+  bool help = false;
 };
 
-void PrintUsage() {
-  std::fprintf(stderr,
+void PrintUsage(std::FILE* stream) {
+  std::fprintf(stream,
                "usage: slimfast_cli <dataset_dir> [--method NAME] "
                "[--train-fraction F]\n"
                "                    [--seed N] [--explain K] [--out FILE] "
                "[--stats]\n"
                "       slimfast_cli --demo <stocks|demos|crowd|genomics> "
-               "[options]\n");
+               "[options]\n"
+               "\n"
+               "options:\n"
+               "  --method NAME        fusion method (default SLiMFast); one "
+               "of SLiMFast,\n"
+               "                       SLiMFast-ERM, SLiMFast-EM, Sources-ERM, "
+               "Sources-EM,\n"
+               "                       MajorityVote, Counts, ACCU, CATD, SSTF, "
+               "TruthFinder\n"
+               "  --train-fraction F   fraction of labeled objects revealed "
+               "(default 0.1)\n"
+               "  --seed N             random seed (default 42)\n"
+               "  --explain K          print explanations for the K "
+               "least-confident objects\n"
+               "  --out FILE           write per-object predictions as CSV\n"
+               "  --stats              print dataset statistics and exit\n"
+               "  --help, -h           show this message and exit\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -94,6 +111,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->demo = v;
     } else if (arg == "--stats") {
       options->stats_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      options->help = true;
+      return true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -109,8 +129,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 int main(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, &options)) {
-    PrintUsage();
+    PrintUsage(stderr);
     return 2;
+  }
+  if (options.help) {
+    PrintUsage(stdout);
+    return 0;
   }
 
   // --- Load or generate the dataset. ---
