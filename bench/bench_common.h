@@ -1,10 +1,15 @@
 #ifndef SLIMFAST_BENCH_BENCH_COMMON_H_
 #define SLIMFAST_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/stopwatch.h"
 
 namespace slimfast {
 namespace bench {
@@ -37,6 +42,148 @@ inline void PrintHeader(const std::string& title,
               NumSeeds());
   std::printf("==========================================================\n\n");
 }
+
+/// Wall-clock of one call, in seconds.
+template <typename Fn>
+inline double TimeSeconds(Fn&& fn) {
+  Stopwatch watch;
+  fn();
+  return watch.ElapsedSeconds();
+}
+
+/// Collects per-phase timings and emits the machine-readable JSON schema
+/// shared by `slimfast_cli bench` (BENCH_runtime.json) and the bench
+/// binaries — one schema, one writer, so the bench trajectory stays
+/// comparable across emitters:
+///
+///   {
+///     "bench": "<name>",
+///     "threads": N,              // thread budget of the run
+///     "cores": C,                // hardware cores (caps real speedup)
+///     "git": "<git describe>",
+///     "phases": [{"name": "...", "seconds": S, "threads": N}, ...],
+///     "speedups": [{"phase": "...", "baseline_threads": 1,
+///                   "threads": N, "speedup": X}, ...]
+///   }
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)), git_(GitDescribe()) {}
+
+  void set_threads(int32_t threads) { threads_ = threads; }
+  int32_t threads() const { return threads_; }
+
+  /// Records one timed phase. `threads` is the thread budget the phase ran
+  /// with; the same phase may be recorded at several thread counts.
+  void AddPhase(const std::string& name, double seconds, int32_t threads) {
+    phases_.push_back(Phase{name, seconds, threads});
+  }
+
+  /// Records a measured parallel speedup for a phase.
+  void AddSpeedup(const std::string& phase, int32_t baseline_threads,
+                  int32_t threads, double speedup) {
+    speedups_.push_back(Speedup{phase, baseline_threads, threads, speedup});
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n";
+    out += "  \"bench\": \"" + JsonEscape(bench_name_) + "\",\n";
+    out += "  \"threads\": " + std::to_string(threads_) + ",\n";
+    out += "  \"cores\": " + std::to_string(HardwareCores()) + ",\n";
+    out += "  \"git\": \"" + JsonEscape(git_) + "\",\n";
+    out += "  \"phases\": [";
+    for (size_t i = 0; i < phases_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\n    {\"name\": \"" + JsonEscape(phases_[i].name) +
+             "\", \"seconds\": " + FormatSeconds(phases_[i].seconds) +
+             ", \"threads\": " + std::to_string(phases_[i].threads) + "}";
+    }
+    out += phases_.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"speedups\": [";
+    for (size_t i = 0; i < speedups_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\n    {\"phase\": \"" + JsonEscape(speedups_[i].phase) +
+             "\", \"baseline_threads\": " +
+             std::to_string(speedups_[i].baseline_threads) +
+             ", \"threads\": " + std::to_string(speedups_[i].threads) +
+             ", \"speedup\": " + FormatSeconds(speedups_[i].speedup) + "}";
+    }
+    out += speedups_.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes ToJson() to `path`; returns false (with a note on stderr) on
+  /// I/O failure.
+  bool WriteJson(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+  /// Hardware concurrency visible to this process (at least 1). Real
+  /// wall-clock speedup is capped by this, whatever the thread budget.
+  static int32_t HardwareCores() {
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int32_t>(n);
+  }
+
+  /// `git describe --always --dirty` of the working tree, or "unknown".
+  static std::string GitDescribe() {
+    std::FILE* pipe =
+        ::popen("git describe --always --dirty 2>/dev/null", "r");
+    if (pipe == nullptr) return "unknown";
+    char buffer[128];
+    std::string out;
+    while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) out += buffer;
+    ::pclose(pipe);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+    return out.empty() ? "unknown" : out;
+  }
+
+ private:
+  struct Phase {
+    std::string name;
+    double seconds;
+    int32_t threads;
+  };
+  struct Speedup {
+    std::string phase;
+    int32_t baseline_threads;
+    int32_t threads;
+    double speedup;
+  };
+
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  static std::string FormatSeconds(double v) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6f", v);
+    return buffer;
+  }
+
+  std::string bench_name_;
+  std::string git_;
+  int32_t threads_ = 1;
+  std::vector<Phase> phases_;
+  std::vector<Speedup> speedups_;
+};
 
 }  // namespace bench
 }  // namespace slimfast

@@ -6,12 +6,18 @@
 // engine does not — but the relationships the paper highlights should
 // hold: EM-based runs cost more than ERM-based runs, and incorporating
 // features costs little over Sources-only variants.
+//
+// Thread budget: SLIMFAST_THREADS (default 1) parallelizes the sweep grid.
+// Per-phase timings are also written as BENCH_table5_runtime.json — the
+// same schema `slimfast_cli bench` emits — so runtime trajectories are
+// machine-comparable across commits.
 
 #include <cstdio>
 
 #include "baselines/registry.h"
 #include "bench_common.h"
 #include "eval/harness.h"
+#include "exec/parallel.h"
 #include "synth/simulators.h"
 
 using namespace slimfast;
@@ -21,9 +27,14 @@ int main() {
                      "Table 5 (Appendix C)");
 
   std::vector<std::unique_ptr<FusionMethod>> methods_owned;
+  // Grid parallelism lives in the harness; per-run learners stay serial so
+  // concurrent cells don't each spawn a nested SLIMFAST_THREADS-sized pool.
+  SlimFastOptions method_options;
+  method_options.exec.threads = 1;
   for (const char* name : {"SLiMFast", "Sources-ERM", "Sources-EM",
                            "Counts", "ACCU", "CATD", "SSTF"}) {
-    methods_owned.push_back(MakeMethodByName(name).ValueOrDie());
+    methods_owned.push_back(
+        MakeMethodByName(name, method_options).ValueOrDie());
   }
   std::vector<FusionMethod*> methods;
   for (auto& m : methods_owned) methods.push_back(m.get());
@@ -32,14 +43,26 @@ int main() {
   spec.train_fractions = {0.001, 0.05, 0.20};
   spec.num_seeds = 1;  // timing runs; single split per fraction
 
+  Executor exec{ExecOptions{}};  // SLIMFAST_THREADS, default serial
+  bench::BenchReporter reporter("table5_runtime");
+  reporter.set_threads(exec.threads());
+
   for (const std::string& name : SimulatorNames()) {
     auto synth = MakeSimulatorByName(name, /*seed=*/42).ValueOrDie();
-    auto cells = SweepMethods(synth.dataset, methods, spec).ValueOrDie();
+    std::vector<CellResult> cells;
+    double seconds = bench::TimeSeconds([&] {
+      cells = SweepMethods(synth.dataset, methods, spec, &exec).ValueOrDie();
+    });
+    reporter.AddPhase("sweep_" + name, seconds, exec.threads());
     std::printf("%s", RenderSweep("Runtime (s) — " + name, cells,
                                   SweepMetric::kTotalSeconds)
                           .c_str());
     std::printf("\n");
   }
+  reporter.WriteJson("BENCH_table5_runtime.json");
+  std::printf("Per-phase JSON written to BENCH_table5_runtime.json "
+              "(threads=%d)\n\n",
+              exec.threads());
   std::printf(
       "Paper shape check: EM-based configurations are the most expensive; "
       "the\nfeature-augmented SLiMFast costs little over Sources-ERM/EM; "

@@ -9,9 +9,10 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 failed=0
-for header in $(find src -name '*.h' | sort); do
-  echo "#include \"${header#src/}\"" > "$tmp/check.cc"
-  if ! g++ -std=c++20 -fsyntax-only -Isrc "$tmp/check.cc" 2> "$tmp/err.txt"; then
+for header in $(find src bench -name '*.h' | sort); do
+  echo "#include \"${header#*/}\"" > "$tmp/check.cc"
+  if ! g++ -std=c++20 -fsyntax-only -Isrc -Ibench "$tmp/check.cc" \
+      2> "$tmp/err.txt"; then
     echo "NOT SELF-CONTAINED: $header"
     cat "$tmp/err.txt"
     failed=1
@@ -19,6 +20,6 @@ for header in $(find src -name '*.h' | sort); do
 done
 
 if [ "$failed" -eq 0 ]; then
-  echo "all $(find src -name '*.h' | wc -l) headers are self-contained"
+  echo "all $(find src bench -name '*.h' | wc -l) headers are self-contained"
 fi
 exit "$failed"

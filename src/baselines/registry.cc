@@ -34,11 +34,16 @@ std::vector<std::unique_ptr<FusionMethod>> MakeTable3Methods() {
 
 Result<std::unique_ptr<FusionMethod>> MakeMethodByName(
     const std::string& name) {
-  if (name == "SLiMFast") return {MakeSlimFast()};
-  if (name == "SLiMFast-ERM") return {MakeSlimFastErm()};
-  if (name == "SLiMFast-EM") return {MakeSlimFastEm()};
-  if (name == "Sources-ERM") return {MakeSourcesErm()};
-  if (name == "Sources-EM") return {MakeSourcesEm()};
+  return MakeMethodByName(name, SlimFastOptions{});
+}
+
+Result<std::unique_ptr<FusionMethod>> MakeMethodByName(
+    const std::string& name, const SlimFastOptions& options) {
+  if (name == "SLiMFast") return {MakeSlimFast(options)};
+  if (name == "SLiMFast-ERM") return {MakeSlimFastErm(options)};
+  if (name == "SLiMFast-EM") return {MakeSlimFastEm(options)};
+  if (name == "Sources-ERM") return {MakeSourcesErm(options)};
+  if (name == "Sources-EM") return {MakeSourcesEm(options)};
   if (name == "MajorityVote") {
     return {std::make_unique<MajorityVote>()};
   }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/options.h"
 #include "data/fusion.h"
 
 namespace slimfast {
@@ -22,6 +23,11 @@ std::vector<std::unique_ptr<FusionMethod>> MakeTable3Methods();
 /// "ACCU", "CATD", "SSTF", "TruthFinder"); NotFound for anything else.
 Result<std::unique_ptr<FusionMethod>> MakeMethodByName(
     const std::string& name);
+
+/// Same, but the SLiMFast variants are built on `options` (thread count,
+/// inference engine, ...). Baselines have no options and ignore it.
+Result<std::unique_ptr<FusionMethod>> MakeMethodByName(
+    const std::string& name, const SlimFastOptions& options);
 
 }  // namespace slimfast
 

@@ -2,10 +2,22 @@
 
 #include <cmath>
 
+#include "exec/parallel.h"
 #include "opt/convergence.h"
 #include "util/math.h"
 
 namespace slimfast {
+
+namespace {
+
+/// Per-shard accumulator of the E-step: imputed per-claim correctness
+/// targets plus the shard's expected negative log-likelihood contribution.
+struct EStepAcc {
+  std::vector<ObservationExample> examples;
+  double nll = 0.0;
+};
+
+}  // namespace
 
 void EmLearner::Initialize(const Dataset& dataset,
                            const std::vector<LabeledExample>& labeled,
@@ -31,10 +43,11 @@ void EmLearner::Initialize(const Dataset& dataset,
 
 Result<EmStats> EmLearner::Fit(const Dataset& dataset,
                                const std::vector<ObjectId>& train_objects,
-                               SlimFastModel* model, Rng* rng) const {
+                               SlimFastModel* model, Rng* rng,
+                               Executor* exec) const {
   SLIMFAST_ASSIGN_OR_RETURN(
       EmStats stats, FitOnce(dataset, train_objects, model, rng,
-                             /*seed_from_labels=*/true));
+                             /*seed_from_labels=*/true, exec));
   // Inversion guard: EM has a symmetric fixed point where most trust
   // scores flip sign (every label is anti-predicted). The ground-truth
   // objects are clamped during the E-step, so a healthy run predicts them
@@ -47,7 +60,7 @@ Result<EmStats> EmLearner::Fit(const Dataset& dataset,
       SlimFastModel retry(model->compiled());
       SLIMFAST_ASSIGN_OR_RETURN(
           EmStats retry_stats, FitOnce(dataset, train_objects, &retry, rng,
-                                       /*seed_from_labels=*/false));
+                                       /*seed_from_labels=*/false, exec));
       if (TrainAccuracy(dataset, train_objects, retry) > accuracy) {
         model->SetWeights(retry.weights());
         return retry_stats;
@@ -79,7 +92,8 @@ double EmLearner::TrainAccuracy(const Dataset& dataset,
 Result<EmStats> EmLearner::FitOnce(const Dataset& dataset,
                                    const std::vector<ObjectId>& train_objects,
                                    SlimFastModel* model, Rng* rng,
-                                   bool seed_from_labels) const {
+                                   bool seed_from_labels,
+                                   Executor* exec) const {
   const CompiledModel& compiled = model->compiled();
   if (compiled.objects.empty()) {
     return Status::FailedPrecondition("EM requires at least one observation");
@@ -104,7 +118,6 @@ Result<EmStats> EmLearner::FitOnce(const Dataset& dataset,
   ConvergenceTracker tracker(options_.tolerance, options_.patience);
 
   EmStats stats;
-  std::vector<double> probs;
   std::vector<ObservationExample> examples;
   for (int32_t iter = 0; iter < options_.max_iterations; ++iter) {
     // ---- E-step: impute value posteriors for unclamped rows and turn
@@ -114,41 +127,63 @@ Result<EmStats> EmLearner::FitOnce(const Dataset& dataset,
     // "maximum likelihood values given v_o" of Sec. 3.2 — and, unlike
     // refitting the object posterior on its own MAP labels, it cannot
     // merely re-confirm the current predictions.
+    // Rows are sharded contiguously and the per-shard example lists are
+    // concatenated in shard order, so the imputed example sequence (and
+    // hence the M-step) is identical to a serial row-order pass for every
+    // thread count.
     examples = clamped_examples;
-    double expected_nll = 0.0;
-    for (size_t r = 0; r < compiled.objects.size(); ++r) {
-      const CompiledObject& row = compiled.objects[r];
-      if (clamped[r]) continue;
-      model->Posterior(row, &probs);
-      if (options_.soft) {
-        // Soft target per claim: q = P(To = claimed value).
-        for (const SourceClaim& claim :
-             dataset.ClaimsOnObject(row.object)) {
-          int32_t di = row.DomainIndex(claim.value);
-          double q = di >= 0 ? probs[static_cast<size_t>(di)] : 0.0;
-          examples.push_back(ObservationExample{claim.source, q, 1.0});
-        }
-        for (double p : probs) {
-          if (p > 1e-12) expected_nll += -p * std::log(p);
-        }
-      } else {
-        int32_t map_index = 0;
-        for (size_t di = 1; di < probs.size(); ++di) {
-          if (probs[di] > probs[static_cast<size_t>(map_index)]) {
-            map_index = static_cast<int32_t>(di);
+    EStepAcc estep = DeterministicReduce(
+        exec, static_cast<int64_t>(compiled.objects.size()), EStepAcc{},
+        [&](const ShardRange& range, EStepAcc* acc) {
+          std::vector<double> shard_probs;
+          for (int64_t r = range.begin; r < range.end; ++r) {
+            const CompiledObject& row =
+                compiled.objects[static_cast<size_t>(r)];
+            if (clamped[static_cast<size_t>(r)]) continue;
+            model->Posterior(row, &shard_probs);
+            if (options_.soft) {
+              // Soft target per claim: q = P(To = claimed value).
+              for (const SourceClaim& claim :
+                   dataset.ClaimsOnObject(row.object)) {
+                int32_t di = row.DomainIndex(claim.value);
+                double q = di >= 0 ? shard_probs[static_cast<size_t>(di)]
+                                   : 0.0;
+                acc->examples.push_back(
+                    ObservationExample{claim.source, q, 1.0});
+              }
+              for (double p : shard_probs) {
+                if (p > 1e-12) acc->nll += -p * std::log(p);
+              }
+            } else {
+              int32_t map_index = 0;
+              for (size_t di = 1; di < shard_probs.size(); ++di) {
+                if (shard_probs[di] >
+                    shard_probs[static_cast<size_t>(map_index)]) {
+                  map_index = static_cast<int32_t>(di);
+                }
+              }
+              ValueId map_value = row.domain[static_cast<size_t>(map_index)];
+              for (const SourceClaim& claim :
+                   dataset.ClaimsOnObject(row.object)) {
+                acc->examples.push_back(ObservationExample{
+                    claim.source, claim.value == map_value ? 1.0 : 0.0,
+                    1.0});
+              }
+              acc->nll += -std::log(
+                  std::max(shard_probs[static_cast<size_t>(map_index)],
+                           1e-300));
+            }
           }
-        }
-        ValueId map_value = row.domain[static_cast<size_t>(map_index)];
-        for (const SourceClaim& claim :
-             dataset.ClaimsOnObject(row.object)) {
-          examples.push_back(ObservationExample{
-              claim.source, claim.value == map_value ? 1.0 : 0.0, 1.0});
-        }
-        expected_nll +=
-            -std::log(std::max(probs[static_cast<size_t>(map_index)],
-                               1e-300));
-      }
-    }
+        },
+        [](EStepAcc* total, const EStepAcc& shard) {
+          total->examples.insert(total->examples.end(),
+                                 shard.examples.begin(),
+                                 shard.examples.end());
+          total->nll += shard.nll;
+        });
+    examples.insert(examples.end(), estep.examples.begin(),
+                    estep.examples.end());
+    double expected_nll = estep.nll;
     for (const LabeledExample& ex : labeled) {
       expected_nll += model->ObjectNll(
           compiled.objects[static_cast<size_t>(ex.row)], ex.target_index);

@@ -49,17 +49,20 @@ class EmLearner {
   const EmOptions& options() const { return options_; }
 
   /// Runs EM on `model` in place. `train_objects` may be empty
-  /// (fully unsupervised).
+  /// (fully unsupervised). The E-step's per-object posterior imputation is
+  /// sharded across `exec` (null = serial) with a deterministic reduce, so
+  /// thread count never changes the fit.
   Result<EmStats> Fit(const Dataset& dataset,
                       const std::vector<ObjectId>& train_objects,
-                      SlimFastModel* model, Rng* rng) const;
+                      SlimFastModel* model, Rng* rng,
+                      Executor* exec = nullptr) const;
 
  private:
   /// One complete EM run (Fit adds the inversion-guard restart on top).
   Result<EmStats> FitOnce(const Dataset& dataset,
                           const std::vector<ObjectId>& train_objects,
                           SlimFastModel* model, Rng* rng,
-                          bool seed_from_labels) const;
+                          bool seed_from_labels, Executor* exec) const;
 
   /// MAP accuracy of `model` on the clamped training objects.
   static double TrainAccuracy(const Dataset& dataset,

@@ -60,12 +60,12 @@ inline void AccumulateTerms(const std::vector<ParamTerm>& terms,
 
 Result<FitStats> ErmLearner::FitObjectLoss(
     const std::vector<LabeledExample>& examples, SlimFastModel* model,
-    Rng* rng) const {
+    Rng* rng, Executor* exec) const {
   if (examples.empty()) {
     return Status::FailedPrecondition(
         "ERM requires at least one labeled example");
   }
-  if (options_.batch) return FitObjectLossBatch(examples, model);
+  if (options_.batch) return FitObjectLossBatch(examples, model, exec);
   return FitObjectLossSgd(examples, model, rng);
 }
 
@@ -136,41 +136,79 @@ Result<FitStats> ErmLearner::FitObjectLossSgd(
   return stats;
 }
 
+namespace {
+
+/// Per-shard accumulator of the batch gradient pass: a dense gradient plus
+/// the shard's weighted loss. Combined in fixed shard order by
+/// DeterministicReduce, so the fold is bit-identical for any thread count.
+struct BatchGradAcc {
+  std::vector<double> grad;
+  double loss = 0.0;
+};
+
+}  // namespace
+
 Result<FitStats> ErmLearner::FitObjectLossBatch(
-    const std::vector<LabeledExample>& examples,
-    SlimFastModel* model) const {
+    const std::vector<LabeledExample>& examples, SlimFastModel* model,
+    Executor* exec) const {
   const CompiledModel& compiled = model->compiled();
   std::vector<double>& w = *model->mutable_weights();
   const ParamLayout& layout = compiled.layout;
 
   LearningRateSchedule schedule(options_.learning_rate, options_.decay);
   ConvergenceTracker tracker(options_.tolerance, options_.patience);
-  std::vector<double> grad(static_cast<size_t>(layout.num_params), 0.0);
-  std::vector<double> probs;
 
   double total_weight = 0.0;
   for (const LabeledExample& ex : examples) total_weight += ex.weight;
 
+  // Per-shard accumulators persist across epochs (re-zeroed in place by
+  // each shard body) so the epoch loop allocates nothing. The shard
+  // structure and the shard-order fold below are exactly
+  // DeterministicReduce's contract: bit-identical for any thread count.
+  const std::vector<ShardRange> shards =
+      StaticShards(static_cast<int64_t>(examples.size()),
+                   FixedShardCount(static_cast<int64_t>(examples.size())));
+  std::vector<BatchGradAcc> partial(shards.size());
+  std::vector<std::vector<double>> shard_probs(shards.size());
+  for (BatchGradAcc& acc : partial) {
+    acc.grad.assign(static_cast<size_t>(layout.num_params), 0.0);
+  }
+  std::vector<double> grad(static_cast<size_t>(layout.num_params), 0.0);
+
   FitStats stats;
   for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    RunSharded(
+        exec, static_cast<int32_t>(shards.size()), [&](int32_t s) {
+          const ShardRange& range = shards[static_cast<size_t>(s)];
+          BatchGradAcc& acc = partial[static_cast<size_t>(s)];
+          std::vector<double>& probs = shard_probs[static_cast<size_t>(s)];
+          std::fill(acc.grad.begin(), acc.grad.end(), 0.0);
+          acc.loss = 0.0;
+          for (int64_t i = range.begin; i < range.end; ++i) {
+            const LabeledExample& ex = examples[static_cast<size_t>(i)];
+            const CompiledObject& row =
+                compiled.objects[static_cast<size_t>(ex.row)];
+            model->Posterior(row, &probs);
+            double p_target =
+                std::max(probs[static_cast<size_t>(ex.target_index)], 1e-300);
+            acc.loss += -ex.weight * std::log(p_target);
+            for (const ParamTerm& t :
+                 row.terms[static_cast<size_t>(ex.target_index)]) {
+              acc.grad[static_cast<size_t>(t.param)] -= ex.weight * t.coeff;
+            }
+            for (size_t di = 0; di < row.domain.size(); ++di) {
+              for (const ParamTerm& t : row.terms[di]) {
+                acc.grad[static_cast<size_t>(t.param)] +=
+                    ex.weight * probs[di] * t.coeff;
+              }
+            }
+          }
+        });
     std::fill(grad.begin(), grad.end(), 0.0);
     double loss_sum = 0.0;
-    for (const LabeledExample& ex : examples) {
-      const CompiledObject& row =
-          compiled.objects[static_cast<size_t>(ex.row)];
-      model->Posterior(row, &probs);
-      double p_target =
-          std::max(probs[static_cast<size_t>(ex.target_index)], 1e-300);
-      loss_sum += -ex.weight * std::log(p_target);
-      for (const ParamTerm& t :
-           row.terms[static_cast<size_t>(ex.target_index)]) {
-        grad[static_cast<size_t>(t.param)] -= ex.weight * t.coeff;
-      }
-      for (size_t di = 0; di < row.domain.size(); ++di) {
-        for (const ParamTerm& t : row.terms[di]) {
-          grad[static_cast<size_t>(t.param)] += ex.weight * probs[di] * t.coeff;
-        }
-      }
+    for (const BatchGradAcc& acc : partial) {
+      loss_sum += acc.loss;
+      for (size_t p = 0; p < acc.grad.size(); ++p) grad[p] += acc.grad[p];
     }
     // Normalize to mean loss so step sizes are dataset-size independent.
     double inv = 1.0 / total_weight;
@@ -258,12 +296,13 @@ Result<FitStats> ErmLearner::FitAccuracyLoss(
 
 Result<FitStats> ErmLearner::Fit(const Dataset& dataset,
                                  const std::vector<ObjectId>& train_objects,
-                                 SlimFastModel* model, Rng* rng) const {
+                                 SlimFastModel* model, Rng* rng,
+                                 Executor* exec) const {
   switch (options_.loss) {
     case ErmLoss::kObjectPosterior: {
       auto examples =
           ObjectExamples(dataset, model->compiled(), train_objects);
-      return FitObjectLoss(examples, model, rng);
+      return FitObjectLoss(examples, model, rng, exec);
     }
     case ErmLoss::kAccuracyLogLoss: {
       auto examples = ObservationExamples(dataset, train_objects);

@@ -6,6 +6,7 @@
 #include "core/model.h"
 #include "core/options.h"
 #include "data/dataset.h"
+#include "exec/parallel.h"
 #include "util/random.h"
 #include "util/result.h"
 
@@ -61,8 +62,13 @@ class ErmLearner {
       const Dataset& dataset, const std::vector<ObjectId>& train_objects);
 
   /// Fits `model` in place on object-posterior examples (Eq. 4 likelihood).
+  /// Batch mode shards the per-example gradient accumulation across `exec`
+  /// (null = serial; results are identical either way); SGD mode is
+  /// inherently sequential — each step reads the previous step's weights —
+  /// and always runs serially.
   Result<FitStats> FitObjectLoss(const std::vector<LabeledExample>& examples,
-                                 SlimFastModel* model, Rng* rng) const;
+                                 SlimFastModel* model, Rng* rng,
+                                 Executor* exec = nullptr) const;
 
   /// Fits `model` in place on accuracy log-loss examples (Definition 7).
   Result<FitStats> FitAccuracyLoss(
@@ -72,13 +78,15 @@ class ErmLearner {
   /// Convenience dispatch on options().loss building examples internally.
   Result<FitStats> Fit(const Dataset& dataset,
                        const std::vector<ObjectId>& train_objects,
-                       SlimFastModel* model, Rng* rng) const;
+                       SlimFastModel* model, Rng* rng,
+                       Executor* exec = nullptr) const;
 
  private:
   Result<FitStats> FitObjectLossSgd(const std::vector<LabeledExample>& examples,
                                     SlimFastModel* model, Rng* rng) const;
   Result<FitStats> FitObjectLossBatch(
-      const std::vector<LabeledExample>& examples, SlimFastModel* model) const;
+      const std::vector<LabeledExample>& examples, SlimFastModel* model,
+      Executor* exec) const;
 
   ErmOptions options_;
 };

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "exec/options.h"
 #include "opt/schedule.h"
 
 namespace slimfast {
@@ -138,9 +139,12 @@ struct SlimFastOptions {
   ErmOptions erm;
   EmOptions em;
   InferenceEngine inference = InferenceEngine::kExact;
-  /// Gibbs parameters when inference == kGibbs.
+  /// Gibbs parameters when inference == kGibbs. With more than one chain,
+  /// `gibbs_chains` independent seeded chains run (in parallel when
+  /// exec.threads > 1) and their marginals are averaged in chain order.
   int32_t gibbs_burn_in = 50;
   int32_t gibbs_samples = 200;
+  int32_t gibbs_chains = 1;
   /// After an ERM fit, re-calibrate the *reported* source accuracies with
   /// a warm-started accuracy-log-loss fit (Definition 7) on the labeled
   /// observations. The discriminative object loss can leave accuracies
@@ -148,6 +152,10 @@ struct SlimFastOptions {
   /// moving while A_s is still far from the empirical rate); predictions
   /// are unaffected — only FusionOutput::source_accuracies changes.
   bool calibrate_accuracies = true;
+  /// Parallel execution engine configuration (src/exec/). Thread count
+  /// never changes results: every parallel stage reduces per-shard
+  /// accumulators in fixed shard order (see exec/parallel.h).
+  ExecOptions exec;
 };
 
 }  // namespace slimfast

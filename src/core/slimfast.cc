@@ -12,7 +12,7 @@ namespace slimfast {
 
 Result<SlimFastFit> SlimFast::Fit(const Dataset& dataset,
                                   const TrainTestSplit& split,
-                                  uint64_t seed) const {
+                                  uint64_t seed, Executor* exec) const {
   Stopwatch compile_watch;
   SLIMFAST_ASSIGN_OR_RETURN(CompiledModel compiled,
                             Compile(dataset, options_.model));
@@ -32,14 +32,14 @@ Result<SlimFastFit> SlimFast::Fit(const Dataset& dataset,
   Rng rng(seed);
   if (algorithm == Algorithm::kErm) {
     ErmLearner learner(options_.erm);
-    auto stats = learner.Fit(dataset, split.train_objects, &model, &rng);
+    auto stats = learner.Fit(dataset, split.train_objects, &model, &rng, exec);
     if (!stats.ok()) {
       // No usable ground truth for ERM (e.g. 0% training data with a
       // forced-ERM preset): fall back to EM rather than failing the run.
       EmLearner em(options_.em);
       SLIMFAST_ASSIGN_OR_RETURN(EmStats em_stats,
                                 em.Fit(dataset, split.train_objects, &model,
-                                       &rng));
+                                       &rng, exec));
       (void)em_stats;
       algorithm = Algorithm::kEm;
     }
@@ -47,7 +47,7 @@ Result<SlimFastFit> SlimFast::Fit(const Dataset& dataset,
     EmLearner learner(options_.em);
     SLIMFAST_ASSIGN_OR_RETURN(
         EmStats em_stats,
-        learner.Fit(dataset, split.train_objects, &model, &rng));
+        learner.Fit(dataset, split.train_objects, &model, &rng, exec));
     (void)em_stats;
   }
 
@@ -59,7 +59,9 @@ Result<SlimFastFit> SlimFast::Fit(const Dataset& dataset,
 Result<FusionOutput> SlimFast::Run(const Dataset& dataset,
                                    const TrainTestSplit& split,
                                    uint64_t seed) {
-  SLIMFAST_ASSIGN_OR_RETURN(SlimFastFit fit, Fit(dataset, split, seed));
+  Executor exec(options_.exec);
+  SLIMFAST_ASSIGN_OR_RETURN(SlimFastFit fit,
+                            Fit(dataset, split, seed, &exec));
 
   Stopwatch infer_watch;
   FusionOutput output;
@@ -75,9 +77,10 @@ Result<FusionOutput> SlimFast::Run(const Dataset& dataset,
     GibbsOptions gibbs_options;
     gibbs_options.burn_in = options_.gibbs_burn_in;
     gibbs_options.samples = options_.gibbs_samples;
+    gibbs_options.chains = options_.gibbs_chains;
     GibbsSampler sampler(&graph_compilation.graph, gibbs_options);
     Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
-    auto marginals = sampler.EstimateMarginals(&rng);
+    auto marginals = sampler.EstimateMarginals(&rng, &exec);
     auto map = graph_compilation.graph.MapFromMarginals(marginals);
 
     const CompiledModel& compiled = fit.model.compiled();

@@ -8,6 +8,7 @@
 #include "core/optimizer.h"
 #include "core/options.h"
 #include "data/fusion.h"
+#include "exec/parallel.h"
 
 namespace slimfast {
 
@@ -40,9 +41,12 @@ class SlimFast : public FusionMethod {
   const SlimFastOptions& options() const { return options_; }
 
   /// Compiles, decides the algorithm, and learns; returns the trained
-  /// model with metadata.
+  /// model with metadata. `exec` shards the parallelizable learning stages
+  /// (null = serial; pass one to share a thread pool across calls — Run
+  /// builds its own from options().exec). Thread count never changes the
+  /// fit (see exec/parallel.h).
   Result<SlimFastFit> Fit(const Dataset& dataset, const TrainTestSplit& split,
-                          uint64_t seed) const;
+                          uint64_t seed, Executor* exec = nullptr) const;
 
   /// Full fusion run: Fit + inference, packaged as FusionOutput.
   Result<FusionOutput> Run(const Dataset& dataset,

@@ -1,6 +1,7 @@
 #include "eval/harness.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "eval/metrics.h"
@@ -11,9 +12,26 @@
 
 namespace slimfast {
 
+namespace {
+
+/// Result slot of one (fraction, seed, method) grid cell; tasks write only
+/// their own slot, so the grid parallelizes without synchronization.
+struct GridRun {
+  Status status = Status::OK();
+  double accuracy = 0.0;
+  double source_error = 0.0;
+  bool source_error_valid = false;
+  double total_seconds = 0.0;
+  double learn_seconds = 0.0;
+  double infer_seconds = 0.0;
+  double compile_seconds = 0.0;
+};
+
+}  // namespace
+
 Result<std::vector<CellResult>> SweepMethods(
     const Dataset& dataset, const std::vector<FusionMethod*>& methods,
-    const SweepSpec& spec) {
+    const SweepSpec& spec, Executor* exec) {
   if (methods.empty()) {
     return Status::InvalidArgument("no methods to evaluate");
   }
@@ -21,9 +39,76 @@ Result<std::vector<CellResult>> SweepMethods(
     return Status::InvalidArgument("num_seeds must be >= 1");
   }
 
+  const size_t num_fractions = spec.train_fractions.size();
+  const size_t num_reps = static_cast<size_t>(spec.num_seeds);
+  const size_t num_methods = methods.size();
+
+  // Splits are deterministic given (fraction, rep) and shared across
+  // methods; build them up front so the grid tasks are read-only on them.
+  std::vector<TrainTestSplit> splits(num_fractions * num_reps);
+  for (size_t f = 0; f < num_fractions; ++f) {
+    for (size_t rep = 0; rep < num_reps; ++rep) {
+      uint64_t seed =
+          spec.base_seed + 1000003ULL * static_cast<uint64_t>(rep);
+      Rng split_rng(seed);
+      SLIMFAST_ASSIGN_OR_RETURN(
+          splits[f * num_reps + rep],
+          MakeSplit(dataset, spec.train_fractions[f], &split_rng));
+    }
+  }
+
+  // The method×fraction×seed grid, one pre-assigned slot per run. Indexing
+  // is fraction-major then rep then method, matching the serial loop order
+  // so the first error surfaced is the one a serial sweep would hit.
+  std::vector<GridRun> runs(num_fractions * num_reps * num_methods);
+  // Once any cell fails, later cells skip their work: the serial path
+  // aborts right after the failure (like the pre-grid code), and a
+  // parallel sweep wastes at most the in-flight cells.
+  std::atomic<bool> failed{false};
+  ParallelFor(
+      exec, static_cast<int64_t>(runs.size()), [&](int64_t t) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        const size_t f = static_cast<size_t>(t) / (num_reps * num_methods);
+        const size_t rep =
+            (static_cast<size_t>(t) / num_methods) % num_reps;
+        const size_t m = static_cast<size_t>(t) % num_methods;
+        GridRun& run = runs[static_cast<size_t>(t)];
+        uint64_t seed =
+            spec.base_seed + 1000003ULL * static_cast<uint64_t>(rep);
+        auto output =
+            methods[m]->Run(dataset, splits[f * num_reps + rep], seed);
+        if (!output.ok()) {
+          run.status = output.status();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        auto accuracy = TestAccuracy(dataset, output->predicted_values,
+                                     splits[f * num_reps + rep]);
+        if (!accuracy.ok()) {
+          run.status = accuracy.status();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        run.accuracy = accuracy.ValueOrDie();
+        auto err =
+            WeightedSourceAccuracyError(dataset, output->source_accuracies);
+        if (err.ok()) {
+          run.source_error = err.ValueOrDie();
+          run.source_error_valid = true;
+        }
+        run.total_seconds = output->TotalSeconds();
+        run.learn_seconds = output->learn_seconds;
+        run.infer_seconds = output->infer_seconds;
+        run.compile_seconds = output->compile_seconds;
+      });
+  for (const GridRun& run : runs) {
+    if (!run.status.ok()) return run.status;
+  }
+
   std::vector<CellResult> cells;
-  for (double fraction : spec.train_fractions) {
-    // One aggregate per method for this fraction.
+  for (size_t f = 0; f < num_fractions; ++f) {
+    double fraction = spec.train_fractions[f];
+    // One aggregate per method for this fraction, folded in rep order.
     std::vector<std::vector<double>> accuracies(methods.size());
     std::vector<std::vector<double>> source_errors(methods.size());
     std::vector<double> total_s(methods.size(), 0.0);
@@ -31,25 +116,18 @@ Result<std::vector<CellResult>> SweepMethods(
     std::vector<double> infer_s(methods.size(), 0.0);
     std::vector<double> compile_s(methods.size(), 0.0);
 
-    for (int32_t rep = 0; rep < spec.num_seeds; ++rep) {
-      uint64_t seed = spec.base_seed + 1000003ULL * static_cast<uint64_t>(rep);
-      Rng split_rng(seed);
-      SLIMFAST_ASSIGN_OR_RETURN(TrainTestSplit split,
-                                MakeSplit(dataset, fraction, &split_rng));
-      for (size_t m = 0; m < methods.size(); ++m) {
-        SLIMFAST_ASSIGN_OR_RETURN(FusionOutput output,
-                                  methods[m]->Run(dataset, split, seed));
-        SLIMFAST_ASSIGN_OR_RETURN(
-            double accuracy,
-            TestAccuracy(dataset, output.predicted_values, split));
-        accuracies[m].push_back(accuracy);
-        auto err = WeightedSourceAccuracyError(dataset,
-                                               output.source_accuracies);
-        if (err.ok()) source_errors[m].push_back(err.ValueOrDie());
-        total_s[m] += output.TotalSeconds();
-        learn_s[m] += output.learn_seconds;
-        infer_s[m] += output.infer_seconds;
-        compile_s[m] += output.compile_seconds;
+    for (size_t rep = 0; rep < num_reps; ++rep) {
+      for (size_t m = 0; m < num_methods; ++m) {
+        const GridRun& run =
+            runs[(f * num_reps + rep) * num_methods + m];
+        accuracies[m].push_back(run.accuracy);
+        if (run.source_error_valid) {
+          source_errors[m].push_back(run.source_error);
+        }
+        total_s[m] += run.total_seconds;
+        learn_s[m] += run.learn_seconds;
+        infer_s[m] += run.infer_seconds;
+        compile_s[m] += run.compile_seconds;
       }
     }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/fusion.h"
+#include "exec/parallel.h"
 #include "util/result.h"
 
 namespace slimfast {
@@ -40,9 +41,19 @@ struct CellResult {
 /// Runs every method over every training fraction with `num_seeds`
 /// random splits each (splits are shared across methods within a seed so
 /// comparisons are paired) and aggregates the metrics.
+///
+/// The (fraction × seed × method) grid runs in parallel across `exec`
+/// (null = serial). Every cell writes its own pre-assigned slot and the
+/// aggregation folds slots in fixed grid order, so the cells are identical
+/// for every thread count. Methods must be re-entrant: the same
+/// FusionMethod object may execute concurrent Run calls (all in-tree
+/// methods keep their state on the stack). When passing an Executor,
+/// build SLiMFast methods with exec.threads = 1 — the grid already uses
+/// the thread budget, and a default-options method would resolve
+/// SLIMFAST_THREADS and spawn a nested pool per concurrent cell.
 Result<std::vector<CellResult>> SweepMethods(
     const Dataset& dataset, const std::vector<FusionMethod*>& methods,
-    const SweepSpec& spec);
+    const SweepSpec& spec, Executor* exec = nullptr);
 
 /// Renders sweep results as a Table 2-style grid: one row per training
 /// fraction, one column per method, cells = `metric`.

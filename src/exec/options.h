@@ -1,0 +1,27 @@
+#ifndef SLIMFAST_EXEC_OPTIONS_H_
+#define SLIMFAST_EXEC_OPTIONS_H_
+
+#include <cstdint>
+
+namespace slimfast {
+
+/// Configuration of the parallel execution engine (src/exec/).
+///
+/// A thread count of 0 (the default) defers to the SLIMFAST_THREADS
+/// environment variable, falling back to 1 — so a process-wide thread
+/// budget can be set without touching every options struct, and the
+/// default stays serial.
+struct ExecOptions {
+  /// Worker threads. 0 = resolve from SLIMFAST_THREADS (default 1);
+  /// 1 = serial; N > 1 = fixed pool of N threads.
+  int32_t threads = 0;
+};
+
+/// Resolves the effective thread count of `options`: an explicit positive
+/// `threads` wins, otherwise SLIMFAST_THREADS if set to a positive integer,
+/// otherwise 1. Never returns less than 1.
+int32_t ResolveThreads(const ExecOptions& options);
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_EXEC_OPTIONS_H_

@@ -1,0 +1,102 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+
+namespace slimfast {
+
+int32_t ResolveThreads(const ExecOptions& options) {
+  if (options.threads > 0) return options.threads;
+  const char* env = std::getenv("SLIMFAST_THREADS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 1;
+}
+
+std::vector<ShardRange> StaticShards(int64_t n, int32_t num_shards) {
+  std::vector<ShardRange> shards;
+  if (n <= 0 || num_shards <= 0) return shards;
+  int64_t k = std::min<int64_t>(n, num_shards);
+  int64_t base = n / k;
+  int64_t rem = n % k;
+  shards.reserve(static_cast<size_t>(k));
+  int64_t begin = 0;
+  for (int64_t s = 0; s < k; ++s) {
+    int64_t size = base + (s < rem ? 1 : 0);
+    shards.push_back(ShardRange{static_cast<int32_t>(s), begin, begin + size});
+    begin += size;
+  }
+  return shards;
+}
+
+int32_t FixedShardCount(int64_t n) {
+  if (n <= 0) return 0;
+  return static_cast<int32_t>(std::min<int64_t>(n, kFixedShardCount));
+}
+
+Executor::Executor(const ExecOptions& options)
+    : threads_(ResolveThreads(options)) {}
+
+void Executor::RunShards(int32_t num_shards,
+                         const std::function<void(int32_t)>& body) {
+  if (num_shards <= 0) return;
+  if (threads_ <= 1 || num_shards == 1) {
+    for (int32_t s = 0; s < num_shards; ++s) body(s);
+    return;
+  }
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
+
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(num_shards));
+  std::atomic<int32_t> remaining(num_shards);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (int32_t s = 0; s < num_shards; ++s) {
+    pool_->Submit([&, s] {
+      try {
+        body(s);
+      } catch (...) {
+        errors[static_cast<size_t>(s)] = std::current_exception();
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_one();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] {
+      return remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void RunSharded(Executor* exec, int32_t num_shards,
+                const std::function<void(int32_t)>& body) {
+  if (exec != nullptr) {
+    exec->RunShards(num_shards, body);
+    return;
+  }
+  for (int32_t s = 0; s < num_shards; ++s) body(s);
+}
+
+void ParallelFor(Executor* exec, int64_t n,
+                 const std::function<void(int64_t)>& fn) {
+  const std::vector<ShardRange> shards = StaticShards(n, FixedShardCount(n));
+  if (shards.empty()) return;
+  RunSharded(exec, static_cast<int32_t>(shards.size()), [&](int32_t s) {
+    const ShardRange& range = shards[static_cast<size_t>(s)];
+    for (int64_t i = range.begin; i < range.end; ++i) fn(i);
+  });
+}
+
+}  // namespace slimfast

@@ -1,0 +1,50 @@
+#ifndef SLIMFAST_EXEC_THREAD_POOL_H_
+#define SLIMFAST_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slimfast {
+
+/// A fixed pool of worker threads draining a FIFO task queue.
+///
+/// Deliberately work-stealing-free: tasks run in submission order on
+/// whichever worker frees up first, and all ordering guarantees needed for
+/// determinism live one level up (Executor combines per-shard results in
+/// fixed shard order, so scheduling order never affects results).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int32_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; it runs as soon as a worker is free. Tasks must not
+  /// throw — wrap bodies that can throw (Executor captures exceptions per
+  /// shard before they reach the pool).
+  void Submit(std::function<void()> task);
+
+  int32_t size() const { return static_cast<int32_t>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_EXEC_THREAD_POOL_H_

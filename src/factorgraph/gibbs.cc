@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "exec/sharded_rng.h"
 #include "util/math.h"
 
 namespace slimfast {
@@ -34,7 +35,7 @@ void GibbsSampler::Sweep(std::vector<int32_t>* state, Rng* rng) const {
   }
 }
 
-std::vector<std::vector<double>> GibbsSampler::EstimateMarginals(Rng* rng) {
+std::vector<std::vector<double>> GibbsSampler::RunChain(Rng* rng) const {
   std::vector<int32_t> state = InitState(rng);
   for (int32_t s = 0; s < options_.burn_in; ++s) Sweep(&state, rng);
 
@@ -59,6 +60,39 @@ std::vector<std::vector<double>> GibbsSampler::EstimateMarginals(Rng* rng) {
     }
   }
   return counts;
+}
+
+std::vector<std::vector<double>> GibbsSampler::EstimateMarginals(
+    Rng* rng, Executor* exec) {
+  if (options_.chains <= 1) return RunChain(rng);
+
+  // Chain seeds derive from one draw of the caller's Rng, so consecutive
+  // EstimateMarginals calls see fresh chains while chain c's stream depends
+  // only on (draw, c) — never on thread count or scheduling.
+  int32_t chains = options_.chains;
+  uint64_t base = rng->engine()();
+  std::vector<std::vector<std::vector<double>>> per_chain(
+      static_cast<size_t>(chains));
+  RunSharded(exec, chains, [&](int32_t c) {
+    Rng chain_rng(ShardedRng::StreamSeed(base, c));
+    per_chain[static_cast<size_t>(c)] = RunChain(&chain_rng);
+  });
+
+  // Average in fixed chain order.
+  std::vector<std::vector<double>> marginals = std::move(per_chain[0]);
+  for (int32_t c = 1; c < chains; ++c) {
+    const auto& chain = per_chain[static_cast<size_t>(c)];
+    for (size_t v = 0; v < marginals.size(); ++v) {
+      for (size_t d = 0; d < marginals[v].size(); ++d) {
+        marginals[v][d] += chain[v][d];
+      }
+    }
+  }
+  double inv = 1.0 / static_cast<double>(chains);
+  for (auto& m : marginals) {
+    for (double& x : m) x *= inv;
+  }
+  return marginals;
 }
 
 std::vector<int32_t> GibbsSampler::SampleState(Rng* rng) {

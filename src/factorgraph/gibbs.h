@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "exec/parallel.h"
 #include "factorgraph/factor_graph.h"
 #include "util/random.h"
 
@@ -16,24 +17,34 @@ struct GibbsOptions {
   int32_t samples = 400;
   /// Random-scan (true) or systematic-scan (false) variable order.
   bool random_scan = false;
+  /// Independent chains averaged into the marginal estimates. With
+  /// chains > 1 each chain gets its own seed stream (derived from the
+  /// caller's Rng via ShardedRng) and chains run in parallel when an
+  /// Executor is provided; marginals are averaged in chain order, so the
+  /// estimate is bit-identical for every thread count. chains <= 1 keeps
+  /// the single-chain behaviour, drawing directly from the caller's Rng.
+  int32_t chains = 1;
 };
 
 /// Gibbs sampler over a FactorGraph — the inference engine the paper runs
-/// via DeepPive's sampler [41].
+/// via DeepDive's sampler [41].
 ///
 /// Each sweep resamples every unobserved variable from its full conditional
 /// (softmax of FactorGraph::ConditionalLogScores). Marginals are empirical
-/// frequencies over post-burn-in sweeps. Deterministic given the Rng seed.
+/// frequencies over post-burn-in sweeps, averaged across chains.
+/// Deterministic given the Rng seed, regardless of thread count.
 class GibbsSampler {
  public:
   GibbsSampler(const FactorGraph* graph, GibbsOptions options)
       : graph_(graph), options_(options) {}
 
-  /// Runs the chain and returns estimated marginals, one probability vector
-  /// per variable (observed variables get a point mass).
-  std::vector<std::vector<double>> EstimateMarginals(Rng* rng);
+  /// Runs the chain(s) and returns estimated marginals, one probability
+  /// vector per variable (observed variables get a point mass). `exec`
+  /// parallelizes across chains (null = serial).
+  std::vector<std::vector<double>> EstimateMarginals(Rng* rng,
+                                                     Executor* exec = nullptr);
 
-  /// Runs the chain and returns the last visited state (a draw from the
+  /// Runs one chain and returns the last visited state (a draw from the
   /// approximate posterior).
   std::vector<int32_t> SampleState(Rng* rng);
 
@@ -43,6 +54,10 @@ class GibbsSampler {
 
   /// One full sweep, resampling every unobserved variable in place.
   void Sweep(std::vector<int32_t>* state, Rng* rng) const;
+
+  /// Burn-in plus sampling sweeps of a single chain; returns its
+  /// normalized empirical marginals.
+  std::vector<std::vector<double>> RunChain(Rng* rng) const;
 
   const FactorGraph* graph_;
   GibbsOptions options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/sharded_rng.h"
 #include "util/math.h"
 #include "util/random.h"
 
@@ -248,6 +249,31 @@ Result<SyntheticDataset> GenerateSynthetic(const SyntheticConfig& config,
 
   SLIMFAST_ASSIGN_OR_RETURN(out_meta.dataset, std::move(builder).Build());
   return out_meta;
+}
+
+Result<std::vector<SyntheticDataset>> GenerateSyntheticReplicas(
+    const SyntheticConfig& config, uint64_t base_seed, int32_t num_replicas,
+    Executor* exec) {
+  if (num_replicas < 0) {
+    return Status::InvalidArgument("num_replicas must be >= 0");
+  }
+  std::vector<SyntheticDataset> replicas(static_cast<size_t>(num_replicas));
+  std::vector<Status> statuses(static_cast<size_t>(num_replicas),
+                               Status::OK());
+  ParallelFor(exec, num_replicas, [&](int64_t i) {
+    auto replica =
+        GenerateSynthetic(config, ShardedRng::StreamSeed(
+                                      base_seed, static_cast<int32_t>(i)));
+    if (replica.ok()) {
+      replicas[static_cast<size_t>(i)] = std::move(replica).ValueOrDie();
+    } else {
+      statuses[static_cast<size_t>(i)] = replica.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return replicas;
 }
 
 }  // namespace slimfast

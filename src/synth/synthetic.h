@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "exec/parallel.h"
 #include "util/result.h"
 
 namespace slimfast {
@@ -110,6 +111,16 @@ struct SyntheticDataset {
 /// Generates a fusion instance; deterministic given (config, seed).
 Result<SyntheticDataset> GenerateSynthetic(const SyntheticConfig& config,
                                            uint64_t seed);
+
+/// Generates `num_replicas` independent instances of `config`, replica i
+/// seeded with ShardedRng::StreamSeed(base_seed, i) — so replica i is
+/// exactly GenerateSynthetic(config, StreamSeed(base_seed, i)) and the
+/// batch is deterministic for every thread count. Replicas run in parallel
+/// across `exec` (null = serial). On any per-replica failure the
+/// lowest-indexed error is returned.
+Result<std::vector<SyntheticDataset>> GenerateSyntheticReplicas(
+    const SyntheticConfig& config, uint64_t base_seed, int32_t num_replicas,
+    Executor* exec = nullptr);
 
 }  // namespace slimfast
 

@@ -80,6 +80,74 @@ TEST(DeterminismTest, SyntheticGeneratorIsSeedDeterministic) {
   }
 }
 
+/// The exec determinism contract, end to end: the same run on 1 and 4
+/// threads produces bit-identical FusionOutput for every preset, on both
+/// the Figure 1 instance and a planted instance. Parallel stages reduce
+/// per-shard accumulators in fixed shard order, so thread count must never
+/// leak into results.
+TEST(DeterminismTest, Threads1VsThreads4BitIdenticalAllPresets) {
+  const std::vector<double> planted = {0.9, 0.8, 0.7, 0.85, 0.75, 0.65};
+  std::vector<std::pair<std::string, Dataset>> datasets;
+  datasets.emplace_back("figure1", testutil::MakeFigure1Dataset());
+  datasets.emplace_back("planted", MakePlantedDataset(planted, 150, 0.4, 29));
+  for (auto& [dataset_name, dataset] : datasets) {
+    SCOPED_TRACE(dataset_name);
+    Rng rng(4);
+    TrainTestSplit split = MakeSplit(dataset, 0.15, &rng).ValueOrDie();
+    for (const auto& preset : AllSlimFastPresets()) {
+      SCOPED_TRACE(preset.name);
+      SlimFastOptions serial;
+      serial.exec.threads = 1;
+      SlimFastOptions parallel;
+      parallel.exec.threads = 4;
+      auto first =
+          preset.make_with(serial)->Run(dataset, split, 123).ValueOrDie();
+      auto second =
+          preset.make_with(parallel)->Run(dataset, split, 123).ValueOrDie();
+      ExpectSameFusionOutput(first, second);
+    }
+  }
+}
+
+/// Same contract for the sharded batch-ERM gradient, which the default
+/// presets (SGD mode) do not exercise.
+TEST(DeterminismTest, Threads1VsThreads4BitIdenticalBatchErm) {
+  const std::vector<double> planted = {0.9, 0.8, 0.7, 0.6, 0.85};
+  Dataset dataset = MakePlantedDataset(planted, 120, 0.5, 41);
+  Rng rng(6);
+  TrainTestSplit split = MakeSplit(dataset, 0.2, &rng).ValueOrDie();
+  SlimFastOptions serial;
+  serial.erm.batch = true;
+  serial.exec.threads = 1;
+  SlimFastOptions parallel = serial;
+  parallel.exec.threads = 4;
+  auto first = MakeSlimFastErm(serial)->Run(dataset, split, 77).ValueOrDie();
+  auto second =
+      MakeSlimFastErm(parallel)->Run(dataset, split, 77).ValueOrDie();
+  ExpectSameFusionOutput(first, second);
+}
+
+/// Same contract for multi-chain Gibbs inference: 4 chains averaged in
+/// chain order give bit-identical marginals (and hence predictions) on 1
+/// and 4 threads.
+TEST(DeterminismTest, Threads1VsThreads4BitIdenticalGibbsChains) {
+  const std::vector<double> planted = {0.9, 0.8, 0.7, 0.85};
+  Dataset dataset = MakePlantedDataset(planted, 80, 0.5, 13);
+  Rng rng(9);
+  TrainTestSplit split = MakeSplit(dataset, 0.2, &rng).ValueOrDie();
+  SlimFastOptions serial;
+  serial.inference = InferenceEngine::kGibbs;
+  serial.gibbs_chains = 4;
+  serial.gibbs_burn_in = 10;
+  serial.gibbs_samples = 40;
+  serial.exec.threads = 1;
+  SlimFastOptions parallel = serial;
+  parallel.exec.threads = 4;
+  auto first = MakeSlimFast(serial)->Run(dataset, split, 55).ValueOrDie();
+  auto second = MakeSlimFast(parallel)->Run(dataset, split, 55).ValueOrDie();
+  ExpectSameFusionOutput(first, second);
+}
+
 /// Baseline methods resolved through the registry are deterministic too,
 /// so the full bench suite is reproducible end to end.
 TEST(DeterminismTest, RegistryBaselinesAreSeedDeterministic) {

@@ -175,6 +175,35 @@ TEST(HarnessTest, RenderSweepContainsAllMethods) {
   EXPECT_NE(table.find("20.0"), std::string::npos);
 }
 
+TEST(HarnessTest, ParallelSweepMatchesSerialBitForBit) {
+  Dataset d = testutil::MakePlantedDataset(std::vector<double>(6, 0.8), 100,
+                                           0.8, 504);
+  MajorityVote majority;
+  Counts counts;
+  std::vector<FusionMethod*> methods = {&majority, &counts};
+  SweepSpec spec;
+  spec.train_fractions = {0.1, 0.3};
+  spec.num_seeds = 3;
+  auto serial_cells = SweepMethods(d, methods, spec, nullptr).ValueOrDie();
+  Executor parallel(ExecOptions{4});
+  auto parallel_cells =
+      SweepMethods(d, methods, spec, &parallel).ValueOrDie();
+  ASSERT_EQ(serial_cells.size(), parallel_cells.size());
+  for (size_t i = 0; i < serial_cells.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(serial_cells[i].method, parallel_cells[i].method);
+    EXPECT_EQ(serial_cells[i].train_fraction,
+              parallel_cells[i].train_fraction);
+    EXPECT_EQ(serial_cells[i].mean_accuracy, parallel_cells[i].mean_accuracy);
+    EXPECT_EQ(serial_cells[i].stddev_accuracy,
+              parallel_cells[i].stddev_accuracy);
+    EXPECT_EQ(serial_cells[i].source_error_valid,
+              parallel_cells[i].source_error_valid);
+    EXPECT_EQ(serial_cells[i].mean_source_error,
+              parallel_cells[i].mean_source_error);
+  }
+}
+
 TEST(HarnessTest, ValidatesSpec) {
   Dataset d = testutil::MakePlantedDataset(std::vector<double>(5, 0.8), 60,
                                            1.0, 503);

@@ -252,6 +252,37 @@ TEST(GibbsTest, DeterministicGivenSeed) {
             GibbsSampler(&g, options).EstimateMarginals(&rng_b));
 }
 
+TEST(GibbsTest, MultiChainMarginalsAreThreadCountInvariant) {
+  FactorGraph g;
+  VarId a = g.AddVariable(2);
+  VarId b = g.AddVariable(2);
+  WeightId w = g.AddWeight(0.8);
+  WeightId we = g.AddWeight(1.2);
+  SLIMFAST_CHECK_OK(g.AddIndicatorFactor(a, 1, {w}).status());
+  SLIMFAST_CHECK_OK(g.AddEqualityFactor(a, b, {we}).status());
+
+  GibbsOptions options;
+  options.burn_in = 20;
+  options.samples = 200;
+  options.chains = 4;
+  Executor parallel(ExecOptions{4});
+  Rng rng_serial(77);
+  Rng rng_parallel(77);
+  auto serial =
+      GibbsSampler(&g, options).EstimateMarginals(&rng_serial, nullptr);
+  auto threaded =
+      GibbsSampler(&g, options).EstimateMarginals(&rng_parallel, &parallel);
+  EXPECT_EQ(serial, threaded);
+  // Chain-averaged marginals are still probability vectors.
+  for (const auto& m : serial) {
+    double sum = 0.0;
+    for (double p : m) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // The indicator on a=1 should dominate.
+  EXPECT_GT(serial[0][1], 0.5);
+}
+
 TEST(GibbsTest, SampleStateHasValidValues) {
   FactorGraph g;
   VarId a = g.AddVariable(3);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "data/stats.h"
+#include "exec/parallel.h"
+#include "exec/sharded_rng.h"
 #include "synth/simulators.h"
 #include "synth/synthetic.h"
 
@@ -273,6 +275,55 @@ TEST(SimulatorsTest, GenomicsMatchesTable1Shape) {
   // Per-source accuracy is unreliable at ~1 claim per source, like the
   // paper's "-" entry.
   EXPECT_FALSE(stats.avg_source_accuracy_reliable);
+}
+
+TEST(SyntheticTest, ReplicasMatchPerSeedGenerationAndThreadCount) {
+  SyntheticConfig config;
+  config.num_sources = 20;
+  config.num_objects = 40;
+  config.density = 0.3;
+  Executor parallel(ExecOptions{4});
+  auto batch_serial =
+      GenerateSyntheticReplicas(config, 99, 5, nullptr).ValueOrDie();
+  auto batch_parallel =
+      GenerateSyntheticReplicas(config, 99, 5, &parallel).ValueOrDie();
+  ASSERT_EQ(batch_serial.size(), 5u);
+  ASSERT_EQ(batch_parallel.size(), 5u);
+  for (size_t i = 0; i < batch_serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    // Replica i is exactly GenerateSynthetic at its published stream seed,
+    // on every thread count.
+    auto solo = GenerateSynthetic(
+                    config, ShardedRng::StreamSeed(99, static_cast<int32_t>(i)))
+                    .ValueOrDie();
+    for (const auto* batch : {&batch_serial, &batch_parallel}) {
+      const SyntheticDataset& replica = (*batch)[i];
+      EXPECT_EQ(replica.true_accuracies, solo.true_accuracies);
+      EXPECT_EQ(replica.dataset.num_observations(),
+                solo.dataset.num_observations());
+      for (ObjectId o = 0; o < solo.dataset.num_objects(); ++o) {
+        ASSERT_EQ(replica.dataset.Truth(o), solo.dataset.Truth(o));
+      }
+    }
+  }
+  // Replicas are genuinely distinct instances.
+  EXPECT_NE(batch_serial[0].true_accuracies,
+            batch_serial[1].true_accuracies);
+}
+
+TEST(SyntheticTest, ReplicasValidateCountAndPropagateErrors) {
+  SyntheticConfig config;
+  config.num_sources = 4;
+  config.num_objects = 4;
+  EXPECT_TRUE(GenerateSyntheticReplicas(config, 1, -1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GenerateSyntheticReplicas(config, 1, 0).ValueOrDie().empty());
+  config.density = 7.0;  // invalid; every replica fails
+  Executor parallel(ExecOptions{4});
+  EXPECT_TRUE(GenerateSyntheticReplicas(config, 1, 3, &parallel)
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(SimulatorsTest, ByNameDispatch) {

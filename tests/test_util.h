@@ -81,17 +81,22 @@ inline TrainTestSplit MakePrefixSplit(const Dataset& dataset, int32_t k) {
 /// iterate over all five method variants of core/slimfast.h.
 struct SlimFastPreset {
   std::string name;
-  std::function<std::unique_ptr<SlimFast>()> make;
+  /// Builds the preset on the given base options (the factory overrides
+  /// the fields that define the variant).
+  std::function<std::unique_ptr<SlimFast>(SlimFastOptions)> make_with;
+
+  /// Builds the preset on default options.
+  std::unique_ptr<SlimFast> make() const { return make_with({}); }
 };
 
 /// All five preset factories evaluated in the paper, in a stable order.
 inline std::vector<SlimFastPreset> AllSlimFastPresets() {
   return {
-      {"SLiMFast", [] { return MakeSlimFast(); }},
-      {"SLiMFast-ERM", [] { return MakeSlimFastErm(); }},
-      {"SLiMFast-EM", [] { return MakeSlimFastEm(); }},
-      {"Sources-ERM", [] { return MakeSourcesErm(); }},
-      {"Sources-EM", [] { return MakeSourcesEm(); }},
+      {"SLiMFast", [](SlimFastOptions o) { return MakeSlimFast(o); }},
+      {"SLiMFast-ERM", [](SlimFastOptions o) { return MakeSlimFastErm(o); }},
+      {"SLiMFast-EM", [](SlimFastOptions o) { return MakeSlimFastEm(o); }},
+      {"Sources-ERM", [](SlimFastOptions o) { return MakeSourcesErm(o); }},
+      {"Sources-EM", [](SlimFastOptions o) { return MakeSourcesEm(o); }},
   };
 }
 

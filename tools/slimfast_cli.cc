@@ -3,6 +3,7 @@
 // Usage:
 //   slimfast_cli <dataset_dir> [options]
 //   slimfast_cli --demo <stocks|demos|crowd|genomics> [options]
+//   slimfast_cli bench [--threads N] [--seed N] [--out FILE]
 //
 // The dataset directory uses the CSV layout of data/io.h (meta.csv,
 // observations.csv, truth.csv, features.csv, source_features.csv) — the
@@ -19,6 +20,14 @@
 //                         objects (SLiMFast methods only)
 //   --out FILE            write per-object predictions as CSV
 //   --stats               print dataset statistics and exit
+//   --threads N           worker threads for the parallel execution engine
+//                         (default: SLIMFAST_THREADS or 1); results are
+//                         bit-identical for every thread count
+//
+// The `bench` subcommand runs the Table-5-style runtime scenario (synthetic
+// generation, ERM + EM learning, multi-chain Gibbs marginals at 1 and N
+// threads, the eval grid) and writes per-phase seconds as
+// BENCH_runtime.json (override with --out).
 
 #include <algorithm>
 #include <cstdio>
@@ -28,12 +37,18 @@
 #include <string>
 
 #include "baselines/registry.h"
+#include "bench_common.h"
 #include "core/explain.h"
+#include "core/factor_graph_compile.h"
 #include "core/slimfast.h"
 #include "data/io.h"
 #include "data/stats.h"
+#include "eval/harness.h"
 #include "eval/metrics.h"
+#include "exec/parallel.h"
+#include "factorgraph/gibbs.h"
 #include "synth/simulators.h"
+#include "synth/synthetic.h"
 #include "util/csv.h"
 #include "util/random.h"
 
@@ -51,6 +66,10 @@ struct CliOptions {
   std::string out_file;
   bool stats_only = false;
   bool help = false;
+  /// Worker threads; 0 defers to SLIMFAST_THREADS (default 1).
+  int32_t threads = 0;
+  /// `bench` subcommand: run the runtime scenario and write JSON.
+  bool bench = false;
 };
 
 void PrintUsage(std::FILE* stream) {
@@ -61,6 +80,8 @@ void PrintUsage(std::FILE* stream) {
                "[--stats]\n"
                "       slimfast_cli --demo <stocks|demos|crowd|genomics> "
                "[options]\n"
+               "       slimfast_cli bench [--threads N] [--seed N] "
+               "[--out FILE]\n"
                "\n"
                "options:\n"
                "  --method NAME        fusion method (default SLiMFast); one "
@@ -76,7 +97,17 @@ void PrintUsage(std::FILE* stream) {
                "least-confident objects\n"
                "  --out FILE           write per-object predictions as CSV\n"
                "  --stats              print dataset statistics and exit\n"
-               "  --help, -h           show this message and exit\n");
+               "  --threads N          worker threads (default: "
+               "SLIMFAST_THREADS or 1);\n"
+               "                       results are identical for every "
+               "thread count\n"
+               "  --help, -h           show this message and exit\n"
+               "\n"
+               "subcommands:\n"
+               "  bench                run the Table-5-style runtime "
+               "scenario and write\n"
+               "                       per-phase seconds to "
+               "BENCH_runtime.json (see --out)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -109,6 +140,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->demo = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->threads = std::atoi(v);
     } else if (arg == "--stats") {
       options->stats_only = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -117,11 +152,165 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
+    } else if (arg == "bench" && i == 1) {
+      // Subcommands are recognized in argv[1] only, so a dataset directory
+      // that happens to be named "bench" still works as a later positional
+      // (or as "./bench").
+      options->bench = true;
     } else {
       options->dataset_dir = arg;
     }
   }
-  return !options->dataset_dir.empty() || !options->demo.empty();
+  return options->bench || !options->dataset_dir.empty() ||
+         !options->demo.empty();
+}
+
+
+/// The Table-5-style runtime scenario behind `slimfast_cli bench`.
+///
+/// Phases (each timed and recorded in the shared BenchReporter schema):
+///   generate_replicas  parallel synthetic dataset generation (src/synth)
+///   learn_erm_batch    batch ERM fit with the sharded gradient (src/core)
+///   learn_em           EM fit with the sharded E-step (src/core)
+///   gibbs_marginals    4-chain Gibbs marginals, at 1 thread and at the
+///                      requested budget — the speedup the exec layer buys
+///   eval_grid          parallel method×fraction sweep (src/eval)
+///
+/// The Gibbs phase also cross-checks that serial and parallel marginals
+/// are bit-identical (the exec determinism contract) and fails otherwise.
+int RunBench(const CliOptions& options) {
+  ExecOptions exec_options;
+  exec_options.threads = options.threads;
+  Executor parallel(exec_options);
+  Executor serial;  // 1 thread, same shard structure
+  const int32_t threads = parallel.threads();
+
+  bench::BenchReporter reporter("runtime");
+  reporter.set_threads(threads);
+  std::printf("slimfast bench: runtime scenario (threads=%d, seed=%llu)\n",
+              threads, static_cast<unsigned long long>(options.seed));
+
+  // --- Phase 1: parallel synthetic generation. ---
+  SyntheticConfig config;
+  config.name = "bench-runtime";
+  config.num_sources = 150;
+  config.num_objects = 5000;
+  config.density = 0.05;
+  config.num_feature_groups = 4;
+  config.values_per_group = 8;
+  config.feature_effect = 0.1;
+  std::vector<SyntheticDataset> replicas;
+  double generate_seconds = bench::TimeSeconds([&] {
+    replicas =
+        GenerateSyntheticReplicas(config, options.seed, 8, &parallel)
+            .ValueOrDie();
+  });
+  reporter.AddPhase("generate_replicas", generate_seconds, threads);
+  std::printf("  generate_replicas  %7.3fs (8 replicas, %d threads)\n",
+              generate_seconds, threads);
+
+  const Dataset& dataset = replicas[0].dataset;
+  Rng split_rng(options.seed);
+  TrainTestSplit split =
+      MakeSplit(dataset, 0.1, &split_rng).ValueOrDie();
+
+  // --- Phase 2: batch ERM (sharded per-example gradient). ---
+  SlimFastOptions erm_options;
+  erm_options.exec.threads = threads;
+  erm_options.erm.batch = true;
+  auto erm_method = MakeSlimFastErm(erm_options);
+  double erm_seconds = bench::TimeSeconds([&] {
+    erm_method->Run(dataset, split, options.seed).ValueOrDie();
+  });
+  reporter.AddPhase("learn_erm_batch", erm_seconds, threads);
+  std::printf("  learn_erm_batch    %7.3fs\n", erm_seconds);
+
+  // --- Phase 3: EM (sharded E-step). ---
+  SlimFastOptions em_options;
+  em_options.exec.threads = threads;
+  auto em_method = MakeSlimFastEm(em_options);
+  double em_seconds = bench::TimeSeconds([&] {
+    em_method->Run(dataset, split, options.seed).ValueOrDie();
+  });
+  reporter.AddPhase("learn_em", em_seconds, threads);
+  std::printf("  learn_em           %7.3fs\n", em_seconds);
+
+  // --- Phase 4: multi-chain Gibbs marginals, serial vs parallel. ---
+  SlimFastOptions fit_options;
+  fit_options.exec.threads = threads;
+  SlimFast fitter(fit_options, "bench-fitter");
+  SlimFastFit fit =
+      fitter.Fit(dataset, split, options.seed, &parallel).ValueOrDie();
+  FactorGraphCompilation compilation =
+      CompileToFactorGraph(fit.model, dataset, &split).ValueOrDie();
+  GibbsOptions gibbs_options;
+  gibbs_options.burn_in = 20;
+  gibbs_options.samples = 80;
+  gibbs_options.chains = 4;
+  GibbsSampler sampler(&compilation.graph, gibbs_options);
+
+  Rng gibbs_rng_serial(options.seed);
+  std::vector<std::vector<double>> marginals_serial;
+  double gibbs_serial_seconds = bench::TimeSeconds([&] {
+    marginals_serial = sampler.EstimateMarginals(&gibbs_rng_serial, &serial);
+  });
+  Rng gibbs_rng_parallel(options.seed);
+  std::vector<std::vector<double>> marginals_parallel;
+  double gibbs_parallel_seconds = bench::TimeSeconds([&] {
+    marginals_parallel =
+        sampler.EstimateMarginals(&gibbs_rng_parallel, &parallel);
+  });
+  if (marginals_serial != marginals_parallel) {
+    std::fprintf(stderr,
+                 "bench: Gibbs marginals differ between 1 and %d threads "
+                 "(determinism contract violated)\n",
+                 threads);
+    return 1;
+  }
+  double gibbs_speedup = gibbs_parallel_seconds > 0.0
+                             ? gibbs_serial_seconds / gibbs_parallel_seconds
+                             : 0.0;
+  if (threads > bench::BenchReporter::HardwareCores()) {
+    std::printf("  note: %d threads on %d hardware core(s); wall-clock "
+                "speedup is capped by the hardware\n",
+                threads, bench::BenchReporter::HardwareCores());
+  }
+  reporter.AddPhase("gibbs_marginals", gibbs_serial_seconds, 1);
+  reporter.AddPhase("gibbs_marginals", gibbs_parallel_seconds, threads);
+  reporter.AddSpeedup("gibbs_marginals", 1, threads, gibbs_speedup);
+  std::printf("  gibbs_marginals    %7.3fs @1 thread, %7.3fs @%d threads "
+              "(%.2fx, bit-identical)\n",
+              gibbs_serial_seconds, gibbs_parallel_seconds, threads,
+              gibbs_speedup);
+
+  // --- Phase 5: parallel eval grid. ---
+  std::vector<std::unique_ptr<FusionMethod>> methods_owned;
+  SlimFastOptions grid_options;
+  grid_options.exec.threads = 1;  // grid parallelism lives in the harness
+  for (const char* name : {"SLiMFast", "MajorityVote", "ACCU"}) {
+    methods_owned.push_back(
+        MakeMethodByName(name, grid_options).ValueOrDie());
+  }
+  std::vector<FusionMethod*> methods;
+  for (auto& m : methods_owned) methods.push_back(m.get());
+  SweepSpec spec;
+  spec.train_fractions = {0.05, 0.20};
+  spec.num_seeds = 2;
+  spec.base_seed = options.seed;
+  double grid_seconds = bench::TimeSeconds([&] {
+    SweepMethods(dataset, methods, spec, &parallel).ValueOrDie();
+  });
+  reporter.AddPhase("eval_grid", grid_seconds, threads);
+  std::printf("  eval_grid          %7.3fs (3 methods x 2 fractions x 2 "
+              "seeds)\n",
+              grid_seconds);
+
+  std::string out_path =
+      options.out_file.empty() ? "BENCH_runtime.json" : options.out_file;
+  if (!reporter.WriteJson(out_path)) return 1;
+  std::printf("Per-phase JSON written to %s (git %s)\n", out_path.c_str(),
+              bench::BenchReporter::GitDescribe().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -136,6 +325,7 @@ int main(int argc, char** argv) {
     PrintUsage(stdout);
     return 0;
   }
+  if (options.bench) return RunBench(options);
 
   // --- Load or generate the dataset. ---
   Dataset dataset;
@@ -161,7 +351,9 @@ int main(int argc, char** argv) {
   if (options.stats_only) return 0;
 
   // --- Split and run. ---
-  auto method = MakeMethodByName(options.method);
+  SlimFastOptions method_options;
+  method_options.exec.threads = options.threads;
+  auto method = MakeMethodByName(options.method, method_options);
   if (!method.ok()) {
     std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
     return 1;
@@ -225,6 +417,7 @@ int main(int argc, char** argv) {
   // --- Optional explanations for the least-confident objects. ---
   if (options.explain > 0) {
     SlimFastOptions sf_options;
+    sf_options.exec.threads = options.threads;
     if (options.method == "Sources-ERM" ||
         options.method == "Sources-EM") {
       sf_options.model.use_feature_weights = false;
