@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validates the BENCH_runtime.json schema emitted by `slimfast_cli bench`.
+
+The bench trajectory is only comparable across commits if every emitter
+keeps the shared BenchReporter schema (bench/bench_common.h). CI runs this
+after `slimfast_cli bench --quick` and fails the job on any drift: missing
+or mistyped top-level keys, malformed phase/speedup entries, or a required
+phase disappearing from the runtime scenario.
+
+Usage: check_bench_schema.py BENCH_runtime.json
+"""
+
+import json
+import sys
+
+# Every phase the runtime scenario must record. `slimfast_cli bench` emits
+# these in both full and --quick mode; renaming one is a schema change and
+# must update this list, the README, and the bench doc comment together.
+REQUIRED_PHASES = [
+    "generate_replicas",
+    "compile",
+    "compile_cached",
+    "learn_erm_batch",
+    "learn_erm_sparse",
+    "learn_em",
+    "learn_em_sparse",
+    "gibbs_marginals",
+    "eval_grid",
+]
+
+# Speedup entries the scenario must measure: compilation caching and the
+# dense-to-sparse representation change, plus the exec-layer Gibbs scaling.
+REQUIRED_SPEEDUPS = [
+    "compile_cached_vs_cold",
+    "learn_erm_sparse_vs_dense",
+    "learn_em_sparse_vs_dense",
+    "gibbs_marginals",
+]
+
+TOP_LEVEL = {
+    "bench": str,
+    "threads": int,
+    "cores": int,
+    "git": str,
+    "phases": list,
+    "speedups": list,
+}
+
+
+def fail(message):
+    print(f"check_bench_schema: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def type_name(expected):
+    if isinstance(expected, tuple):
+        return " or ".join(t.__name__ for t in expected)
+    return expected.__name__
+
+
+def check_entry(kind, index, entry, fields):
+    if not isinstance(entry, dict):
+        fail(f"{kind}[{index}] is not an object: {entry!r}")
+    for name, expected in fields.items():
+        if name not in entry:
+            fail(f"{kind}[{index}] is missing key '{name}': {entry!r}")
+        value = entry[name]
+        # bool is an int subclass in Python; reject it explicitly.
+        if isinstance(value, bool) or not isinstance(value, expected):
+            fail(
+                f"{kind}[{index}].{name} should be {type_name(expected)}, "
+                f"got {type(value).__name__}: {entry!r}"
+            )
+    extra = set(entry) - set(fields)
+    if extra:
+        fail(f"{kind}[{index}] has unexpected keys {sorted(extra)}")
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot parse {path}: {err}")
+
+    if not isinstance(data, dict):
+        fail(f"top level is not an object: {type(data).__name__}")
+    for name, expected in TOP_LEVEL.items():
+        if name not in data:
+            fail(f"missing top-level key '{name}'")
+        value = data[name]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            fail(
+                f"top-level '{name}' should be {type_name(expected)}, "
+                f"got {type(value).__name__}"
+            )
+    extra = set(data) - set(TOP_LEVEL)
+    if extra:
+        fail(f"unexpected top-level keys {sorted(extra)}")
+
+    if data["threads"] < 1:
+        fail(f"threads must be >= 1, got {data['threads']}")
+    if data["cores"] < 1:
+        fail(f"cores must be >= 1, got {data['cores']}")
+    if not data["git"]:
+        fail("git describe is empty")
+
+    for i, phase in enumerate(data["phases"]):
+        check_entry(
+            "phases", i, phase,
+            {"name": str, "seconds": (int, float), "threads": int},
+        )
+        if phase["seconds"] < 0:
+            fail(f"phases[{i}].seconds is negative: {phase['seconds']}")
+        if phase["threads"] < 1:
+            fail(f"phases[{i}].threads must be >= 1: {phase['threads']}")
+
+    for i, speedup in enumerate(data["speedups"]):
+        check_entry(
+            "speedups", i, speedup,
+            {
+                "phase": str,
+                "baseline_threads": int,
+                "threads": int,
+                "speedup": (int, float),
+            },
+        )
+
+    phase_names = {phase["name"] for phase in data["phases"]}
+    missing = [name for name in REQUIRED_PHASES if name not in phase_names]
+    if missing:
+        fail(f"required phases missing: {missing} (have {sorted(phase_names)})")
+
+    speedup_names = {entry["phase"] for entry in data["speedups"]}
+    missing = [
+        name for name in REQUIRED_SPEEDUPS if name not in speedup_names
+    ]
+    if missing:
+        fail(
+            f"required speedups missing: {missing} "
+            f"(have {sorted(speedup_names)})"
+        )
+
+    print(
+        f"check_bench_schema: OK: {path} ({len(data['phases'])} phases, "
+        f"{len(data['speedups'])} speedups, threads={data['threads']}, "
+        f"cores={data['cores']}, git={data['git']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

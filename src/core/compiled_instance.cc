@@ -1,0 +1,193 @@
+#include "core/compiled_instance.h"
+
+#include <utility>
+
+#include "util/hash.h"
+
+namespace slimfast {
+
+uint64_t DatasetCompilationFingerprint(const Dataset& dataset) {
+  uint64_t h = 0x534c694d46617374ULL;  // "SLiMFast"
+  h = HashCombine(h, static_cast<uint64_t>(dataset.num_sources()));
+  h = HashCombine(h, static_cast<uint64_t>(dataset.num_objects()));
+  h = HashCombine(h, static_cast<uint64_t>(dataset.num_values()));
+  h = HashCombine(h, static_cast<uint64_t>(dataset.num_observations()));
+  // Observations in canonical (by-object, insertion) order — the order
+  // every compilation pass walks.
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    for (const SourceClaim& claim : dataset.ClaimsOnObject(o)) {
+      uint64_t pair =
+          (static_cast<uint64_t>(static_cast<uint32_t>(claim.source)) << 32) |
+          static_cast<uint64_t>(static_cast<uint32_t>(claim.value));
+      h = HashCombine(h, pair);
+    }
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(
+                           dataset.HasTruth(o) ? dataset.Truth(o)
+                                               : kNoValue)));
+  }
+  // Per-source feature sets (sigma-term sparsity).
+  const FeatureSpace& features = dataset.features();
+  h = HashCombine(h, static_cast<uint64_t>(features.num_features()));
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    const std::vector<FeatureId>& active = features.FeaturesOf(s);
+    h = HashCombine(h, static_cast<uint64_t>(active.size()));
+    for (FeatureId k : active) {
+      h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(k)));
+    }
+  }
+  return h;
+}
+
+Result<std::shared_ptr<const CompiledInstance>> CompileInstance(
+    const Dataset& dataset, const ModelConfig& config) {
+  SLIMFAST_ASSIGN_OR_RETURN(CompiledModel compiled,
+                            Compile(dataset, config));
+
+  auto instance = std::make_shared<CompiledInstance>();
+  instance->model =
+      std::make_shared<const CompiledModel>(std::move(compiled));
+  instance->store = ObservationStore::FromDataset(dataset);
+  const CompiledModel& model = *instance->model;
+  const ObservationStore& store = instance->store;
+
+  const size_t num_rows = model.objects.size();
+
+  // Candidate axis + term CSR.
+  int64_t total_cands = 0;
+  int64_t total_terms = 0;
+  for (const CompiledObject& row : model.objects) {
+    total_cands += static_cast<int64_t>(row.domain.size());
+    for (const auto& cand_terms : row.terms) {
+      total_terms += static_cast<int64_t>(cand_terms.size());
+    }
+  }
+  instance->row_begin.reserve(num_rows + 1);
+  instance->cand_values.reserve(static_cast<size_t>(total_cands));
+  instance->cand_offsets.reserve(static_cast<size_t>(total_cands));
+  instance->term_begin.reserve(static_cast<size_t>(total_cands) + 1);
+  instance->terms.reserve(static_cast<size_t>(total_terms));
+
+  instance->row_begin.push_back(0);
+  instance->term_begin.push_back(0);
+  for (const CompiledObject& row : model.objects) {
+    for (size_t di = 0; di < row.domain.size(); ++di) {
+      instance->cand_values.push_back(row.domain[di]);
+      instance->cand_offsets.push_back(row.offsets[di]);
+      instance->terms.insert(instance->terms.end(), row.terms[di].begin(),
+                             row.terms[di].end());
+      instance->term_begin.push_back(
+          static_cast<int64_t>(instance->terms.size()));
+    }
+    instance->row_begin.push_back(
+        static_cast<int64_t>(instance->cand_values.size()));
+  }
+
+  // Sigma-term CSR.
+  instance->sigma_begin.reserve(model.sigma_terms.size() + 1);
+  instance->sigma_begin.push_back(0);
+  for (const auto& source_terms : model.sigma_terms) {
+    instance->sigma_terms.insert(instance->sigma_terms.end(),
+                                 source_terms.begin(), source_terms.end());
+    instance->sigma_begin.push_back(
+        static_cast<int64_t>(instance->sigma_terms.size()));
+  }
+
+  // Per-row claims (canonical order) and truth targets. The claimed
+  // value's domain index is resolved once here so per-iteration walks
+  // never binary-search.
+  instance->claim_begin.reserve(num_rows + 1);
+  instance->claim_begin.push_back(0);
+  instance->truth_cand.reserve(num_rows);
+  for (const CompiledObject& row : model.objects) {
+    IndexRange range = store.ObjectRange(row.object);
+    for (int64_t i = range.begin; i < range.end; ++i) {
+      instance->claim_sources.push_back(
+          store.sources()[static_cast<size_t>(i)]);
+      instance->claim_cand.push_back(
+          row.DomainIndex(store.values()[static_cast<size_t>(i)]));
+    }
+    instance->claim_begin.push_back(
+        static_cast<int64_t>(instance->claim_sources.size()));
+    ValueId truth = store.truth()[static_cast<size_t>(row.object)];
+    instance->truth_cand.push_back(
+        truth == kNoValue ? -1 : row.DomainIndex(truth));
+  }
+
+  return std::shared_ptr<const CompiledInstance>(std::move(instance));
+}
+
+CompiledInstanceCache& CompiledInstanceCache::Global() {
+  static CompiledInstanceCache* cache = new CompiledInstanceCache();
+  return *cache;
+}
+
+Result<std::shared_ptr<const CompiledInstance>>
+CompiledInstanceCache::GetOrCompile(const Dataset& dataset,
+                                    const ModelConfig& config) {
+  // A hit requires matching content hash, observation count, and config.
+  // The 64-bit hash is trusted without a full dataset comparison: at the
+  // cache's capacity (8 entries) a silent collision needs ~2^-61 luck,
+  // and the alternative — keeping or re-reading the full observation
+  // list per lookup — costs what the cache exists to save.
+  const uint64_t fingerprint = DatasetCompilationFingerprint(dataset);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Entry& entry : entries_) {
+      if (entry.fingerprint == fingerprint &&
+          entry.num_observations == dataset.num_observations() &&
+          entry.config == config) {
+        entry.last_used = ++tick_;
+        ++hits_;
+        return entry.instance;
+      }
+    }
+  }
+  // Compile outside the lock: a miss is the expensive path and other
+  // threads may be hitting on different datasets meanwhile.
+  SLIMFAST_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledInstance> instance,
+                            CompileInstance(dataset, config));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  // A racing thread may have inserted the same key; reuse its entry so all
+  // callers share one instance.
+  for (Entry& entry : entries_) {
+    if (entry.fingerprint == fingerprint &&
+        entry.num_observations == dataset.num_observations() &&
+        entry.config == config) {
+      entry.last_used = ++tick_;
+      return entry.instance;
+    }
+  }
+  if (entries_.size() >= capacity_ && !entries_.empty()) {
+    size_t lru = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].last_used < entries_[lru].last_used) lru = i;
+    }
+    entries_.erase(entries_.begin() + static_cast<int64_t>(lru));
+  }
+  entries_.push_back(Entry{fingerprint, dataset.num_observations(), config,
+                           instance, ++tick_});
+  return instance;
+}
+
+void CompiledInstanceCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t CompiledInstanceCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+int64_t CompiledInstanceCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t CompiledInstanceCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace slimfast

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/row_access.h"
 #include "exec/parallel.h"
 #include "opt/convergence.h"
 #include "util/math.h"
@@ -17,12 +18,52 @@ struct EStepAcc {
   double nll = 0.0;
 };
 
+/// One E-step pass over the unclamped rows of shard `range`, written once
+/// against the row-access policy (dense nested vectors or flat sparse
+/// ranges — same claims in the same order, so the imputed example sequence
+/// is identical; see core/row_access.h).
+template <typename Rows>
+void EStepShard(const Rows& rows, const EmOptions& options,
+                const std::vector<uint8_t>& clamped, const ShardRange& range,
+                EStepAcc* acc) {
+  std::vector<double> shard_probs;
+  for (int64_t r = range.begin; r < range.end; ++r) {
+    if (clamped[static_cast<size_t>(r)]) continue;
+    int32_t row = static_cast<int32_t>(r);
+    rows.Posterior(row, &shard_probs);
+    if (options.soft) {
+      // Soft target per claim: q = P(To = claimed value).
+      rows.ForEachClaim(row, [&](SourceId source, int32_t di) {
+        double q = di >= 0 ? shard_probs[static_cast<size_t>(di)] : 0.0;
+        acc->examples.push_back(ObservationExample{source, q, 1.0});
+      });
+      for (double p : shard_probs) {
+        if (p > 1e-12) acc->nll += -p * std::log(p);
+      }
+    } else {
+      int32_t map_index = 0;
+      for (size_t di = 1; di < shard_probs.size(); ++di) {
+        if (shard_probs[di] > shard_probs[static_cast<size_t>(map_index)]) {
+          map_index = static_cast<int32_t>(di);
+        }
+      }
+      rows.ForEachClaim(row, [&](SourceId source, int32_t di) {
+        acc->examples.push_back(ObservationExample{
+            source, di == map_index ? 1.0 : 0.0, 1.0});
+      });
+      acc->nll += -std::log(
+          std::max(shard_probs[static_cast<size_t>(map_index)], 1e-300));
+    }
+  }
+}
+
 }  // namespace
 
 void EmLearner::Initialize(const Dataset& dataset,
                            const std::vector<LabeledExample>& labeled,
                            const std::vector<ObjectId>& train_objects,
-                           SlimFastModel* model, Rng* rng) const {
+                           SlimFastModel* model, Rng* rng,
+                           const CompiledInstance* instance) const {
   const ParamLayout& layout = model->layout();
   if (layout.num_source_params > 0) {
     double w0 = Logit(options_.init_accuracy);
@@ -36,7 +77,7 @@ void EmLearner::Initialize(const Dataset& dataset,
     // the M-step); errors here are non-fatal — EM proceeds from the prior.
     ErmLearner erm(options_.m_step);
     auto examples = ErmLearner::ObservationExamples(dataset, train_objects);
-    auto st = erm.FitAccuracyLoss(examples, model, rng);
+    auto st = erm.FitAccuracyLoss(examples, model, rng, instance);
     (void)st;
   }
 }
@@ -44,10 +85,11 @@ void EmLearner::Initialize(const Dataset& dataset,
 Result<EmStats> EmLearner::Fit(const Dataset& dataset,
                                const std::vector<ObjectId>& train_objects,
                                SlimFastModel* model, Rng* rng,
-                               Executor* exec) const {
+                               Executor* exec,
+                               const CompiledInstance* instance) const {
   SLIMFAST_ASSIGN_OR_RETURN(
       EmStats stats, FitOnce(dataset, train_objects, model, rng,
-                             /*seed_from_labels=*/true, exec));
+                             /*seed_from_labels=*/true, exec, instance));
   // Inversion guard: EM has a symmetric fixed point where most trust
   // scores flip sign (every label is anti-predicted). The ground-truth
   // objects are clamped during the E-step, so a healthy run predicts them
@@ -57,10 +99,11 @@ Result<EmStats> EmLearner::Fit(const Dataset& dataset,
   if (!train_objects.empty()) {
     double accuracy = TrainAccuracy(dataset, train_objects, *model);
     if (accuracy < 0.5) {
-      SlimFastModel retry(model->compiled());
+      SlimFastModel retry(model->shared_compiled());
       SLIMFAST_ASSIGN_OR_RETURN(
-          EmStats retry_stats, FitOnce(dataset, train_objects, &retry, rng,
-                                       /*seed_from_labels=*/false, exec));
+          EmStats retry_stats,
+          FitOnce(dataset, train_objects, &retry, rng,
+                  /*seed_from_labels=*/false, exec, instance));
       if (TrainAccuracy(dataset, train_objects, retry) > accuracy) {
         model->SetWeights(retry.weights());
         return retry_stats;
@@ -92,8 +135,8 @@ double EmLearner::TrainAccuracy(const Dataset& dataset,
 Result<EmStats> EmLearner::FitOnce(const Dataset& dataset,
                                    const std::vector<ObjectId>& train_objects,
                                    SlimFastModel* model, Rng* rng,
-                                   bool seed_from_labels,
-                                   Executor* exec) const {
+                                   bool seed_from_labels, Executor* exec,
+                                   const CompiledInstance* instance) const {
   const CompiledModel& compiled = model->compiled();
   if (compiled.objects.empty()) {
     return Status::FailedPrecondition("EM requires at least one observation");
@@ -108,7 +151,7 @@ Result<EmStats> EmLearner::FitOnce(const Dataset& dataset,
   }
 
   Initialize(dataset, seed_from_labels ? labeled : std::vector<LabeledExample>{},
-             train_objects, model, rng);
+             train_objects, model, rng, instance);
 
   // Observation examples for clamped objects are fixed across iterations.
   std::vector<ObservationExample> clamped_examples =
@@ -135,44 +178,12 @@ Result<EmStats> EmLearner::FitOnce(const Dataset& dataset,
     EStepAcc estep = DeterministicReduce(
         exec, static_cast<int64_t>(compiled.objects.size()), EStepAcc{},
         [&](const ShardRange& range, EStepAcc* acc) {
-          std::vector<double> shard_probs;
-          for (int64_t r = range.begin; r < range.end; ++r) {
-            const CompiledObject& row =
-                compiled.objects[static_cast<size_t>(r)];
-            if (clamped[static_cast<size_t>(r)]) continue;
-            model->Posterior(row, &shard_probs);
-            if (options_.soft) {
-              // Soft target per claim: q = P(To = claimed value).
-              for (const SourceClaim& claim :
-                   dataset.ClaimsOnObject(row.object)) {
-                int32_t di = row.DomainIndex(claim.value);
-                double q = di >= 0 ? shard_probs[static_cast<size_t>(di)]
-                                   : 0.0;
-                acc->examples.push_back(
-                    ObservationExample{claim.source, q, 1.0});
-              }
-              for (double p : shard_probs) {
-                if (p > 1e-12) acc->nll += -p * std::log(p);
-              }
-            } else {
-              int32_t map_index = 0;
-              for (size_t di = 1; di < shard_probs.size(); ++di) {
-                if (shard_probs[di] >
-                    shard_probs[static_cast<size_t>(map_index)]) {
-                  map_index = static_cast<int32_t>(di);
-                }
-              }
-              ValueId map_value = row.domain[static_cast<size_t>(map_index)];
-              for (const SourceClaim& claim :
-                   dataset.ClaimsOnObject(row.object)) {
-                acc->examples.push_back(ObservationExample{
-                    claim.source, claim.value == map_value ? 1.0 : 0.0,
-                    1.0});
-              }
-              acc->nll += -std::log(
-                  std::max(shard_probs[static_cast<size_t>(map_index)],
-                           1e-300));
-            }
+          if (instance != nullptr) {
+            EStepShard(SparseRowAccess{instance, model}, options_, clamped,
+                       range, acc);
+          } else {
+            EStepShard(DenseRowAccess{&dataset, model}, options_, clamped,
+                       range, acc);
           }
         },
         [](EStepAcc* total, const EStepAcc& shard) {
@@ -190,8 +201,9 @@ Result<EmStats> EmLearner::FitOnce(const Dataset& dataset,
     }
 
     // ---- M-step: warm-started accuracy-loss fit on all claim targets. ----
-    SLIMFAST_ASSIGN_OR_RETURN(FitStats m_stats,
-                              m_step.FitAccuracyLoss(examples, model, rng));
+    SLIMFAST_ASSIGN_OR_RETURN(
+        FitStats m_stats,
+        m_step.FitAccuracyLoss(examples, model, rng, instance));
     (void)m_stats;
 
     stats.iterations = iter + 1;

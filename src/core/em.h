@@ -12,6 +12,8 @@
 
 namespace slimfast {
 
+struct CompiledInstance;
+
 /// Statistics of an EM run.
 struct EmStats {
   int32_t iterations = 0;
@@ -51,18 +53,22 @@ class EmLearner {
   /// Runs EM on `model` in place. `train_objects` may be empty
   /// (fully unsupervised). The E-step's per-object posterior imputation is
   /// sharded across `exec` (null = serial) with a deterministic reduce, so
-  /// thread count never changes the fit.
+  /// thread count never changes the fit. When `instance` is non-null the
+  /// E-step and M-step walk its flat sparse ranges; results are
+  /// bit-identical to the dense path (see core/row_access.h).
   Result<EmStats> Fit(const Dataset& dataset,
                       const std::vector<ObjectId>& train_objects,
                       SlimFastModel* model, Rng* rng,
-                      Executor* exec = nullptr) const;
+                      Executor* exec = nullptr,
+                      const CompiledInstance* instance = nullptr) const;
 
  private:
   /// One complete EM run (Fit adds the inversion-guard restart on top).
   Result<EmStats> FitOnce(const Dataset& dataset,
                           const std::vector<ObjectId>& train_objects,
                           SlimFastModel* model, Rng* rng,
-                          bool seed_from_labels, Executor* exec) const;
+                          bool seed_from_labels, Executor* exec,
+                          const CompiledInstance* instance) const;
 
   /// MAP accuracy of `model` on the clamped training objects.
   static double TrainAccuracy(const Dataset& dataset,
@@ -73,7 +79,8 @@ class EmLearner {
   void Initialize(const Dataset& dataset,
                   const std::vector<LabeledExample>& labeled,
                   const std::vector<ObjectId>& train_objects,
-                  SlimFastModel* model, Rng* rng) const;
+                  SlimFastModel* model, Rng* rng,
+                  const CompiledInstance* instance) const;
 
   EmOptions options_;
 };

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/row_access.h"
 #include "opt/adagrad.h"
 #include "opt/convergence.h"
 #include "opt/proximal.h"
 #include "opt/schedule.h"
+#include "opt/sparse_grad.h"
 #include "util/math.h"
 
 namespace slimfast {
@@ -44,86 +46,67 @@ std::vector<ObservationExample> ErmLearner::ObservationExamples(
 
 namespace {
 
-/// Applies `grad_coeff * coeff` to the sparse gradient scratch, tracking
-/// which params were touched this example.
-inline void AccumulateTerms(const std::vector<ParamTerm>& terms,
-                            double grad_coeff, std::vector<double>* scratch,
-                            std::vector<ParamId>* touched) {
-  for (const ParamTerm& t : terms) {
-    double& slot = (*scratch)[static_cast<size_t>(t.param)];
-    if (slot == 0.0) touched->push_back(t.param);
-    slot += grad_coeff * t.coeff;
-  }
-}
-
-}  // namespace
-
-Result<FitStats> ErmLearner::FitObjectLoss(
-    const std::vector<LabeledExample>& examples, SlimFastModel* model,
-    Rng* rng, Executor* exec) const {
-  if (examples.empty()) {
-    return Status::FailedPrecondition(
-        "ERM requires at least one labeled example");
-  }
-  if (options_.batch) return FitObjectLossBatch(examples, model, exec);
-  return FitObjectLossSgd(examples, model, rng);
-}
-
-Result<FitStats> ErmLearner::FitObjectLossSgd(
-    const std::vector<LabeledExample>& examples, SlimFastModel* model,
-    Rng* rng) const {
-  const CompiledModel& compiled = model->compiled();
+/// The SGD loop of FitObjectLoss, written once against the row-access
+/// policy: `rows` supplies posterior and term iteration over either the
+/// dense nested vectors or the flat sparse ranges. Same elements, same
+/// order, same arithmetic — so the two instantiations are bit-identical.
+template <typename Rows>
+Result<FitStats> FitObjectLossSgdImpl(
+    const ErmOptions& options, const std::vector<LabeledExample>& examples,
+    SlimFastModel* model, Rng* rng, const Rows& rows) {
   std::vector<double>& w = *model->mutable_weights();
-  const ParamLayout& layout = compiled.layout;
+  const ParamLayout& layout = model->layout();
 
-  LearningRateSchedule schedule(options_.learning_rate, options_.decay);
-  ConvergenceTracker tracker(options_.tolerance, options_.patience);
+  LearningRateSchedule schedule(options.learning_rate, options.decay);
+  ConvergenceTracker tracker(options.tolerance, options.patience);
   AdaGrad adagrad(layout.num_params);
 
   std::vector<size_t> order(examples.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
-  std::vector<double> scratch(static_cast<size_t>(layout.num_params), 0.0);
-  std::vector<ParamId> touched;
+  SparseGradAccumulator<ParamId> grad(layout.num_params);
   std::vector<double> probs;
 
   double total_weight = 0.0;
   for (const LabeledExample& ex : examples) total_weight += ex.weight;
 
   FitStats stats;
-  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
     rng->Shuffle(&order);
     double eta = schedule.At(epoch);
     double loss_sum = 0.0;
     for (size_t idx : order) {
       const LabeledExample& ex = examples[static_cast<size_t>(idx)];
-      const CompiledObject& row =
-          compiled.objects[static_cast<size_t>(ex.row)];
 
-      model->Posterior(row, &probs);
+      rows.Posterior(ex.row, &probs);
       double p_target =
           std::max(probs[static_cast<size_t>(ex.target_index)], 1e-300);
       loss_sum += -ex.weight * std::log(p_target);
 
       // d(-log p_target)/dw = Σ_d p_d * x_d - x_target.
-      touched.clear();
-      AccumulateTerms(row.terms[static_cast<size_t>(ex.target_index)],
-                      -ex.weight, &scratch, &touched);
-      for (size_t di = 0; di < row.domain.size(); ++di) {
-        AccumulateTerms(row.terms[di], ex.weight * probs[di], &scratch,
-                        &touched);
+      grad.Clear();
+      rows.ForEachTerm(ex.row, static_cast<size_t>(ex.target_index),
+                       [&](const ParamTerm& t) {
+                         grad.Add(t.param, t.coeff, -ex.weight);
+                       });
+      const size_t domain_size = rows.DomainSize(ex.row);
+      for (size_t di = 0; di < domain_size; ++di) {
+        double coeff = ex.weight * probs[di];
+        rows.ForEachTerm(ex.row, di, [&](const ParamTerm& t) {
+          grad.Add(t.param, t.coeff, coeff);
+        });
       }
-      for (ParamId p : touched) {
+      for (ParamId p : grad.touched()) {
         size_t pi = static_cast<size_t>(p);
-        double g = scratch[pi] + options_.l2 * w[pi];
+        double g = grad.Slot(p) + options.l2 * w[pi];
         double step = eta;
-        if (options_.use_adagrad) step *= adagrad.Step(p, g);
+        if (options.use_adagrad) step *= adagrad.Step(p, g);
         w[pi] -= step * g;
-        if (options_.l1 > 0.0 &&
+        if (options.l1 > 0.0 &&
             (layout.IsFeatureParam(p) || layout.IsCopyParam(p))) {
-          w[pi] = SoftThreshold(w[pi], step * options_.l1);
+          w[pi] = SoftThreshold(w[pi], step * options.l1);
         }
-        scratch[pi] = 0.0;
+        grad.ZeroSlot(p);
       }
     }
     stats.epochs = epoch + 1;
@@ -136,90 +119,96 @@ Result<FitStats> ErmLearner::FitObjectLossSgd(
   return stats;
 }
 
-namespace {
-
-/// Per-shard accumulator of the batch gradient pass: a dense gradient plus
-/// the shard's weighted loss. Combined in fixed shard order by
-/// DeterministicReduce, so the fold is bit-identical for any thread count.
+/// Per-shard accumulator of the batch gradient pass: a sparse gradient
+/// (dense slots + touched list) plus the shard's weighted loss. Folded in
+/// fixed shard order, so the epoch gradient is bit-identical for any
+/// thread count.
 struct BatchGradAcc {
-  std::vector<double> grad;
+  explicit BatchGradAcc(int32_t num_params) : grad(num_params) {}
+  SparseGradAccumulator<ParamId> grad;
   double loss = 0.0;
 };
 
-}  // namespace
-
-Result<FitStats> ErmLearner::FitObjectLossBatch(
-    const std::vector<LabeledExample>& examples, SlimFastModel* model,
-    Executor* exec) const {
-  const CompiledModel& compiled = model->compiled();
+/// The full-batch proximal-descent loop, against the same policy.
+template <typename Rows>
+Result<FitStats> FitObjectLossBatchImpl(
+    const ErmOptions& options, const std::vector<LabeledExample>& examples,
+    SlimFastModel* model, Executor* exec, const Rows& rows) {
   std::vector<double>& w = *model->mutable_weights();
-  const ParamLayout& layout = compiled.layout;
+  const ParamLayout& layout = model->layout();
 
-  LearningRateSchedule schedule(options_.learning_rate, options_.decay);
-  ConvergenceTracker tracker(options_.tolerance, options_.patience);
+  LearningRateSchedule schedule(options.learning_rate, options.decay);
+  ConvergenceTracker tracker(options.tolerance, options.patience);
 
   double total_weight = 0.0;
   for (const LabeledExample& ex : examples) total_weight += ex.weight;
 
-  // Per-shard accumulators persist across epochs (re-zeroed in place by
-  // each shard body) so the epoch loop allocates nothing. The shard
-  // structure and the shard-order fold below are exactly
+  // Per-shard accumulators persist across epochs (cleared in place by each
+  // shard body, O(nnz) per clear) so the epoch loop allocates nothing. The
+  // shard structure and the shard-order fold below are exactly
   // DeterministicReduce's contract: bit-identical for any thread count.
   const std::vector<ShardRange> shards =
       StaticShards(static_cast<int64_t>(examples.size()),
                    FixedShardCount(static_cast<int64_t>(examples.size())));
-  std::vector<BatchGradAcc> partial(shards.size());
+  std::vector<BatchGradAcc> partial(shards.size(),
+                                    BatchGradAcc(layout.num_params));
   std::vector<std::vector<double>> shard_probs(shards.size());
-  for (BatchGradAcc& acc : partial) {
-    acc.grad.assign(static_cast<size_t>(layout.num_params), 0.0);
-  }
   std::vector<double> grad(static_cast<size_t>(layout.num_params), 0.0);
 
   FitStats stats;
-  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
     RunSharded(
         exec, static_cast<int32_t>(shards.size()), [&](int32_t s) {
           const ShardRange& range = shards[static_cast<size_t>(s)];
           BatchGradAcc& acc = partial[static_cast<size_t>(s)];
           std::vector<double>& probs = shard_probs[static_cast<size_t>(s)];
-          std::fill(acc.grad.begin(), acc.grad.end(), 0.0);
+          acc.grad.Clear();
           acc.loss = 0.0;
           for (int64_t i = range.begin; i < range.end; ++i) {
             const LabeledExample& ex = examples[static_cast<size_t>(i)];
-            const CompiledObject& row =
-                compiled.objects[static_cast<size_t>(ex.row)];
-            model->Posterior(row, &probs);
+            rows.Posterior(ex.row, &probs);
             double p_target =
                 std::max(probs[static_cast<size_t>(ex.target_index)], 1e-300);
             acc.loss += -ex.weight * std::log(p_target);
-            for (const ParamTerm& t :
-                 row.terms[static_cast<size_t>(ex.target_index)]) {
-              acc.grad[static_cast<size_t>(t.param)] -= ex.weight * t.coeff;
-            }
-            for (size_t di = 0; di < row.domain.size(); ++di) {
-              for (const ParamTerm& t : row.terms[di]) {
-                acc.grad[static_cast<size_t>(t.param)] +=
-                    ex.weight * probs[di] * t.coeff;
-              }
+            rows.ForEachTerm(ex.row, static_cast<size_t>(ex.target_index),
+                             [&](const ParamTerm& t) {
+                               acc.grad.Add(t.param, t.coeff, -ex.weight);
+                             });
+            const size_t domain_size = rows.DomainSize(ex.row);
+            for (size_t di = 0; di < domain_size; ++di) {
+              double coeff = ex.weight * probs[di];
+              rows.ForEachTerm(ex.row, di, [&](const ParamTerm& t) {
+                acc.grad.Add(t.param, t.coeff, coeff);
+              });
             }
           }
         });
+    // Shard-order fold. Visiting only each shard's touched params adds the
+    // same per-param contributions, in the same shard order, as a
+    // full-vector fold (untouched slots contributed exactly 0.0). Draining
+    // zeroes each slot as it is read: a param can appear in touched() twice
+    // when its slot cancels to exactly 0.0 mid-shard and is re-touched, and
+    // the duplicate must contribute its (now zeroed) slot, not the final
+    // value twice.
     std::fill(grad.begin(), grad.end(), 0.0);
     double loss_sum = 0.0;
-    for (const BatchGradAcc& acc : partial) {
+    for (BatchGradAcc& acc : partial) {
       loss_sum += acc.loss;
-      for (size_t p = 0; p < acc.grad.size(); ++p) grad[p] += acc.grad[p];
+      for (ParamId p : acc.grad.touched()) {
+        grad[static_cast<size_t>(p)] += acc.grad.Slot(p);
+        acc.grad.ZeroSlot(p);
+      }
     }
     // Normalize to mean loss so step sizes are dataset-size independent.
     double inv = 1.0 / total_weight;
     double eta = schedule.At(epoch);
     for (size_t pi = 0; pi < w.size(); ++pi) {
-      double g = grad[pi] * inv + options_.l2 * w[pi];
+      double g = grad[pi] * inv + options.l2 * w[pi];
       w[pi] -= eta * g;
       ParamId p = static_cast<ParamId>(pi);
-      if (options_.l1 > 0.0 &&
+      if (options.l1 > 0.0 &&
           (layout.IsFeatureParam(p) || layout.IsCopyParam(p))) {
-        w[pi] = SoftThreshold(w[pi], eta * options_.l1);
+        w[pi] = SoftThreshold(w[pi], eta * options.l1);
       }
     }
     stats.epochs = epoch + 1;
@@ -232,19 +221,18 @@ Result<FitStats> ErmLearner::FitObjectLossBatch(
   return stats;
 }
 
-Result<FitStats> ErmLearner::FitAccuracyLoss(
+/// The accuracy log-loss loop (Definition 7), against the sigma-term view
+/// of the policy.
+template <typename Rows>
+Result<FitStats> FitAccuracyLossImpl(
+    const ErmOptions& options,
     const std::vector<ObservationExample>& examples, SlimFastModel* model,
-    Rng* rng) const {
-  if (examples.empty()) {
-    return Status::FailedPrecondition(
-        "accuracy-loss ERM requires at least one labeled observation");
-  }
-  const CompiledModel& compiled = model->compiled();
+    Rng* rng, const Rows& rows) {
   std::vector<double>& w = *model->mutable_weights();
-  const ParamLayout& layout = compiled.layout;
+  const ParamLayout& layout = model->layout();
 
-  LearningRateSchedule schedule(options_.learning_rate, options_.decay);
-  ConvergenceTracker tracker(options_.tolerance, options_.patience);
+  LearningRateSchedule schedule(options.learning_rate, options.decay);
+  ConvergenceTracker tracker(options.tolerance, options.patience);
   AdaGrad adagrad(layout.num_params);
 
   std::vector<size_t> order(examples.size());
@@ -254,35 +242,33 @@ Result<FitStats> ErmLearner::FitAccuracyLoss(
   for (const ObservationExample& ex : examples) total_weight += ex.weight;
 
   FitStats stats;
-  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
     rng->Shuffle(&order);
     double eta = schedule.At(epoch);
     double loss_sum = 0.0;
     for (size_t idx : order) {
       const ObservationExample& ex = examples[static_cast<size_t>(idx)];
-      const auto& terms =
-          compiled.sigma_terms[static_cast<size_t>(ex.source)];
       double sigma = 0.0;
-      for (const ParamTerm& t : terms) {
+      rows.ForEachSigmaTerm(ex.source, [&](const ParamTerm& t) {
         sigma += t.coeff * w[static_cast<size_t>(t.param)];
-      }
+      });
       double a = Sigmoid(sigma);
       // Binary cross-entropy with (possibly fractional) label; d/dσ = a - y.
       loss_sum += -ex.weight *
                   (ex.label * std::log(std::max(a, 1e-300)) +
                    (1.0 - ex.label) * std::log(std::max(1.0 - a, 1e-300)));
       double g_sigma = ex.weight * (a - ex.label);
-      for (const ParamTerm& t : terms) {
+      rows.ForEachSigmaTerm(ex.source, [&](const ParamTerm& t) {
         size_t pi = static_cast<size_t>(t.param);
-        double g = g_sigma * t.coeff + options_.l2 * w[pi];
+        double g = g_sigma * t.coeff + options.l2 * w[pi];
         double step = eta;
-        if (options_.use_adagrad) step *= adagrad.Step(t.param, g);
+        if (options.use_adagrad) step *= adagrad.Step(t.param, g);
         w[pi] -= step * g;
-        if (options_.l1 > 0.0 && (layout.IsFeatureParam(t.param) ||
-                                  layout.IsCopyParam(t.param))) {
-          w[pi] = SoftThreshold(w[pi], step * options_.l1);
+        if (options.l1 > 0.0 && (layout.IsFeatureParam(t.param) ||
+                                 layout.IsCopyParam(t.param))) {
+          w[pi] = SoftThreshold(w[pi], step * options.l1);
         }
-      }
+      });
     }
     stats.epochs = epoch + 1;
     stats.final_loss = loss_sum / total_weight;
@@ -294,19 +280,60 @@ Result<FitStats> ErmLearner::FitAccuracyLoss(
   return stats;
 }
 
+}  // namespace
+
+Result<FitStats> ErmLearner::FitObjectLoss(
+    const std::vector<LabeledExample>& examples, SlimFastModel* model,
+    Rng* rng, Executor* exec, const CompiledInstance* instance) const {
+  if (examples.empty()) {
+    return Status::FailedPrecondition(
+        "ERM requires at least one labeled example");
+  }
+  if (options_.batch) {
+    if (instance != nullptr) {
+      return FitObjectLossBatchImpl(options_, examples, model, exec,
+                                    SparseRowAccess{instance, model});
+    }
+    return FitObjectLossBatchImpl(options_, examples, model, exec,
+                                  DenseRowAccess{nullptr, model});
+  }
+  if (instance != nullptr) {
+    return FitObjectLossSgdImpl(options_, examples, model, rng,
+                                SparseRowAccess{instance, model});
+  }
+  return FitObjectLossSgdImpl(options_, examples, model, rng,
+                              DenseRowAccess{nullptr, model});
+}
+
+Result<FitStats> ErmLearner::FitAccuracyLoss(
+    const std::vector<ObservationExample>& examples, SlimFastModel* model,
+    Rng* rng, const CompiledInstance* instance) const {
+  if (examples.empty()) {
+    return Status::FailedPrecondition(
+        "accuracy-loss ERM requires at least one labeled observation");
+  }
+  if (instance != nullptr) {
+    return FitAccuracyLossImpl(options_, examples, model, rng,
+                               SparseRowAccess{instance, model});
+  }
+  return FitAccuracyLossImpl(options_, examples, model, rng,
+                             DenseRowAccess{nullptr, model});
+}
+
 Result<FitStats> ErmLearner::Fit(const Dataset& dataset,
                                  const std::vector<ObjectId>& train_objects,
                                  SlimFastModel* model, Rng* rng,
-                                 Executor* exec) const {
+                                 Executor* exec,
+                                 const CompiledInstance* instance) const {
   switch (options_.loss) {
     case ErmLoss::kObjectPosterior: {
       auto examples =
           ObjectExamples(dataset, model->compiled(), train_objects);
-      return FitObjectLoss(examples, model, rng, exec);
+      return FitObjectLoss(examples, model, rng, exec, instance);
     }
     case ErmLoss::kAccuracyLogLoss: {
       auto examples = ObservationExamples(dataset, train_objects);
-      return FitAccuracyLoss(examples, model, rng);
+      return FitAccuracyLoss(examples, model, rng, instance);
     }
   }
   return Status::Internal("unknown ERM loss");

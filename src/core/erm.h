@@ -12,6 +12,8 @@
 
 namespace slimfast {
 
+struct CompiledInstance;
+
 /// One (possibly weighted) labeled object: compiled row index and the index
 /// of the target value within the object's domain. ERM consumes true
 /// labels (weight 1); soft EM's M-step consumes posterior-weighted
@@ -65,29 +67,29 @@ class ErmLearner {
   /// Batch mode shards the per-example gradient accumulation across `exec`
   /// (null = serial; results are identical either way); SGD mode is
   /// inherently sequential — each step reads the previous step's weights —
-  /// and always runs serially.
+  /// and always runs serially. When `instance` is non-null the gradient
+  /// walks its flat sparse ranges instead of the dense per-object vectors;
+  /// results are bit-identical either way (see core/row_access.h).
   Result<FitStats> FitObjectLoss(const std::vector<LabeledExample>& examples,
                                  SlimFastModel* model, Rng* rng,
-                                 Executor* exec = nullptr) const;
+                                 Executor* exec = nullptr,
+                                 const CompiledInstance* instance =
+                                     nullptr) const;
 
   /// Fits `model` in place on accuracy log-loss examples (Definition 7).
+  /// `instance` selects the sparse sigma-term ranges (same contract).
   Result<FitStats> FitAccuracyLoss(
       const std::vector<ObservationExample>& examples, SlimFastModel* model,
-      Rng* rng) const;
+      Rng* rng, const CompiledInstance* instance = nullptr) const;
 
   /// Convenience dispatch on options().loss building examples internally.
   Result<FitStats> Fit(const Dataset& dataset,
                        const std::vector<ObjectId>& train_objects,
                        SlimFastModel* model, Rng* rng,
-                       Executor* exec = nullptr) const;
+                       Executor* exec = nullptr,
+                       const CompiledInstance* instance = nullptr) const;
 
  private:
-  Result<FitStats> FitObjectLossSgd(const std::vector<LabeledExample>& examples,
-                                    SlimFastModel* model, Rng* rng) const;
-  Result<FitStats> FitObjectLossBatch(
-      const std::vector<LabeledExample>& examples, SlimFastModel* model,
-      Executor* exec) const;
-
   ErmOptions options_;
 };
 

@@ -8,22 +8,26 @@
 namespace slimfast {
 
 SlimFastModel::SlimFastModel(CompiledModel compiled)
+    : SlimFastModel(
+          std::make_shared<const CompiledModel>(std::move(compiled))) {}
+
+SlimFastModel::SlimFastModel(std::shared_ptr<const CompiledModel> compiled)
     : compiled_(std::move(compiled)),
-      weights_(static_cast<size_t>(compiled_.layout.num_params), 0.0) {}
+      weights_(static_cast<size_t>(compiled_->layout.num_params), 0.0) {}
 
 void SlimFastModel::SetWeights(std::vector<double> weights) {
   SLIMFAST_DCHECK(
-      weights.size() == static_cast<size_t>(compiled_.layout.num_params),
+      weights.size() == static_cast<size_t>(compiled_->layout.num_params),
       "weight vector size mismatch");
   weights_ = std::move(weights);
 }
 
 double SlimFastModel::SourceScore(SourceId source) const {
-  SLIMFAST_DCHECK(source >= 0 && source < compiled_.num_sources,
+  SLIMFAST_DCHECK(source >= 0 && source < compiled_->num_sources,
                   "source id out of range");
   double score = 0.0;
   for (const ParamTerm& t :
-       compiled_.sigma_terms[static_cast<size_t>(source)]) {
+       compiled_->sigma_terms[static_cast<size_t>(source)]) {
     score += t.coeff * weights_[static_cast<size_t>(t.param)];
   }
   return score;
@@ -34,8 +38,8 @@ double SlimFastModel::SourceAccuracy(SourceId source) const {
 }
 
 std::vector<double> SlimFastModel::AllSourceAccuracies() const {
-  std::vector<double> accuracies(static_cast<size_t>(compiled_.num_sources));
-  for (SourceId s = 0; s < compiled_.num_sources; ++s) {
+  std::vector<double> accuracies(static_cast<size_t>(compiled_->num_sources));
+  for (SourceId s = 0; s < compiled_->num_sources; ++s) {
     accuracies[static_cast<size_t>(s)] = SourceAccuracy(s);
   }
   return accuracies;
@@ -60,7 +64,7 @@ void SlimFastModel::Posterior(const CompiledObject& row,
 
 bool SlimFastModel::PosteriorOf(ObjectId object,
                                 std::vector<double>* probs) const {
-  const CompiledObject* row = compiled_.RowOf(object);
+  const CompiledObject* row = compiled_->RowOf(object);
   if (row == nullptr) return false;
   Posterior(*row, probs);
   return true;
@@ -80,8 +84,8 @@ int32_t SlimFastModel::MapIndex(const CompiledObject& row) const {
 }
 
 std::vector<ValueId> SlimFastModel::PredictAll() const {
-  std::vector<ValueId> predictions(compiled_.object_row.size(), kNoValue);
-  for (const CompiledObject& row : compiled_.objects) {
+  std::vector<ValueId> predictions(compiled_->object_row.size(), kNoValue);
+  for (const CompiledObject& row : compiled_->objects) {
     predictions[static_cast<size_t>(row.object)] =
         row.domain[static_cast<size_t>(MapIndex(row))];
   }

@@ -1,6 +1,7 @@
 #ifndef SLIMFAST_CORE_MODEL_H_
 #define SLIMFAST_CORE_MODEL_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/compilation.h"
@@ -21,8 +22,18 @@ class SlimFastModel {
   /// (A_s = 0.5 for featureless sources).
   explicit SlimFastModel(CompiledModel compiled);
 
-  const CompiledModel& compiled() const { return compiled_; }
-  const ParamLayout& layout() const { return compiled_.layout; }
+  /// Shares an already-compiled structure (e.g. from the
+  /// CompiledInstanceCache); only the weight vector is per-model state, so
+  /// any number of models can fit against one compilation.
+  explicit SlimFastModel(std::shared_ptr<const CompiledModel> compiled);
+
+  const CompiledModel& compiled() const { return *compiled_; }
+  /// The shared compilation, for constructing sibling models (EM restarts,
+  /// calibration copies) without copying the structure.
+  const std::shared_ptr<const CompiledModel>& shared_compiled() const {
+    return compiled_;
+  }
+  const ParamLayout& layout() const { return compiled_->layout; }
 
   const std::vector<double>& weights() const { return weights_; }
   std::vector<double>* mutable_weights() { return &weights_; }
@@ -59,7 +70,7 @@ class SlimFastModel {
   double ObjectNll(const CompiledObject& row, int32_t target_index) const;
 
  private:
-  CompiledModel compiled_;
+  std::shared_ptr<const CompiledModel> compiled_;
   std::vector<double> weights_;
 };
 

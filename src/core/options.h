@@ -33,6 +33,11 @@ struct ModelConfig {
   /// chance would be treated as anti-informative. No effect on binary
   /// domains, where the model is exactly Eq. 4.
   bool multiclass_offset = true;
+
+  /// Structural equality — the compilation cache keys on (dataset
+  /// fingerprint, config), so two configs compare equal exactly when they
+  /// compile any dataset identically.
+  bool operator==(const ModelConfig&) const = default;
 };
 
 /// Which loss ERM minimizes.
@@ -156,6 +161,23 @@ struct SlimFastOptions {
   /// never changes results: every parallel stage reduces per-shard
   /// accumulators in fixed shard order (see exec/parallel.h).
   ExecOptions exec;
+  /// Learn over the columnar sparse representation (ObservationStore +
+  /// CompiledInstance): gradients and E-step updates walk precompiled flat
+  /// index ranges instead of the nested per-object vectors. Results are
+  /// bit-identical to the legacy dense path (asserted per preset in
+  /// determinism_test), which stays available for equivalence testing.
+  bool use_sparse = true;
+  /// Reuse compiled instances across fits of the same (dataset, model
+  /// config) through the process-wide CompiledInstanceCache, so repeated
+  /// runs — eval grids, bench loops, EM restarts — compile once. Only
+  /// consulted when use_sparse is set; the dense path always recompiles.
+  /// Lifetime note: the cache retains up to its LRU capacity (8) of
+  /// compiled instances — each holds a columnar copy of the dataset's
+  /// observations — for the life of the process. Long-running services
+  /// cycling through many large datasets should call
+  /// CompiledInstanceCache::Global().Clear() when done with a dataset, or
+  /// set this to false to keep compilation scoped to the fit.
+  bool use_compilation_cache = true;
 };
 
 }  // namespace slimfast

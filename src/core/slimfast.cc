@@ -13,13 +13,33 @@ namespace slimfast {
 Result<SlimFastFit> SlimFast::Fit(const Dataset& dataset,
                                   const TrainTestSplit& split,
                                   uint64_t seed, Executor* exec) const {
+  // Compilation: the sparse path compiles (or fetches from the
+  // process-wide cache) a CompiledInstance whose flat index ranges all
+  // learning stages walk; the legacy dense path recompiles the nested
+  // CompiledModel every time. Either way the structure is immutable and
+  // shared with the model via shared_ptr.
   Stopwatch compile_watch;
-  SLIMFAST_ASSIGN_OR_RETURN(CompiledModel compiled,
-                            Compile(dataset, options_.model));
+  std::shared_ptr<const CompiledInstance> instance;
+  std::shared_ptr<const CompiledModel> compiled;
+  if (options_.use_sparse) {
+    if (options_.use_compilation_cache) {
+      SLIMFAST_ASSIGN_OR_RETURN(instance,
+                                CompiledInstanceCache::Global().GetOrCompile(
+                                    dataset, options_.model));
+    } else {
+      SLIMFAST_ASSIGN_OR_RETURN(instance,
+                                CompileInstance(dataset, options_.model));
+    }
+    compiled = instance->model;
+  } else {
+    SLIMFAST_ASSIGN_OR_RETURN(CompiledModel dense,
+                              Compile(dataset, options_.model));
+    compiled = std::make_shared<const CompiledModel>(std::move(dense));
+  }
   OptimizerDecision decision;
   Algorithm algorithm = options_.algorithm;
   if (algorithm == Algorithm::kAuto) {
-    decision = DecideAlgorithm(dataset, split, compiled.layout.num_params,
+    decision = DecideAlgorithm(dataset, split, compiled->layout.num_params,
                                options_.optimizer);
     algorithm = decision.algorithm;
   } else {
@@ -28,18 +48,20 @@ Result<SlimFastFit> SlimFast::Fit(const Dataset& dataset,
   double compile_seconds = compile_watch.ElapsedSeconds();
 
   Stopwatch learn_watch;
-  SlimFastModel model(std::move(compiled));
+  SlimFastModel model(compiled);
+  const CompiledInstance* inst = instance.get();
   Rng rng(seed);
   if (algorithm == Algorithm::kErm) {
     ErmLearner learner(options_.erm);
-    auto stats = learner.Fit(dataset, split.train_objects, &model, &rng, exec);
+    auto stats = learner.Fit(dataset, split.train_objects, &model, &rng,
+                             exec, inst);
     if (!stats.ok()) {
       // No usable ground truth for ERM (e.g. 0% training data with a
       // forced-ERM preset): fall back to EM rather than failing the run.
       EmLearner em(options_.em);
       SLIMFAST_ASSIGN_OR_RETURN(EmStats em_stats,
                                 em.Fit(dataset, split.train_objects, &model,
-                                       &rng, exec));
+                                       &rng, exec, inst));
       (void)em_stats;
       algorithm = Algorithm::kEm;
     }
@@ -47,12 +69,12 @@ Result<SlimFastFit> SlimFast::Fit(const Dataset& dataset,
     EmLearner learner(options_.em);
     SLIMFAST_ASSIGN_OR_RETURN(
         EmStats em_stats,
-        learner.Fit(dataset, split.train_objects, &model, &rng, exec));
+        learner.Fit(dataset, split.train_objects, &model, &rng, exec, inst));
     (void)em_stats;
   }
 
   SlimFastFit fit{std::move(model), decision, algorithm, compile_seconds,
-                  learn_watch.ElapsedSeconds()};
+                  learn_watch.ElapsedSeconds(), std::move(instance)};
   return fit;
 }
 
@@ -100,7 +122,7 @@ Result<FusionOutput> SlimFast::Run(const Dataset& dataset,
     // Definition 7 calibration pass: warm-start a copy of the model and
     // fit the accuracy log-loss on the labeled claims. Only the reported
     // accuracies change; predictions keep the discriminative optimum.
-    SlimFastModel calibrated(fit.model.compiled());
+    SlimFastModel calibrated(fit.model.shared_compiled());
     calibrated.SetWeights(fit.model.weights());
     ErmOptions calibration = options_.erm;
     calibration.loss = ErmLoss::kAccuracyLogLoss;
@@ -110,7 +132,8 @@ Result<FusionOutput> SlimFast::Run(const Dataset& dataset,
     auto examples =
         ErmLearner::ObservationExamples(dataset, split.train_objects);
     Rng rng(seed ^ 0xc2b2ae3d27d4eb4fULL);
-    auto stats = learner.FitAccuracyLoss(examples, &calibrated, &rng);
+    auto stats = learner.FitAccuracyLoss(examples, &calibrated, &rng,
+                                         fit.instance.get());
     if (stats.ok()) {
       output.source_accuracies = calibrated.AllSourceAccuracies();
     }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "core/compiled_instance.h"
 #include "core/model.h"
 #include "core/optimizer.h"
 #include "core/options.h"
@@ -21,6 +22,9 @@ struct SlimFastFit {
   Algorithm algorithm_used = Algorithm::kErm;
   double compile_seconds = 0.0;
   double learn_seconds = 0.0;
+  /// The sparse compilation the fit ran over (null on the legacy dense
+  /// path). Shared with the CompiledInstanceCache when caching is on.
+  std::shared_ptr<const CompiledInstance> instance;
 };
 
 /// The SLiMFast framework facade (Figure 3): compilation → optimizer →

@@ -1,0 +1,82 @@
+#include "data/observation_store.h"
+
+#include <algorithm>
+
+namespace slimfast {
+
+ObservationStore ObservationStore::FromDataset(const Dataset& dataset) {
+  ObservationStore store;
+  store.num_sources_ = dataset.num_sources();
+  store.num_objects_ = dataset.num_objects();
+  store.num_values_ = dataset.num_values();
+  const int64_t n = dataset.num_observations();
+
+  store.objects_.reserve(static_cast<size_t>(n));
+  store.sources_.reserve(static_cast<size_t>(n));
+  store.values_.reserve(static_cast<size_t>(n));
+  store.object_offsets_.assign(static_cast<size_t>(store.num_objects_) + 1,
+                               0);
+
+  // Canonical order: walk objects ascending, claims in insertion order —
+  // the exact order Dataset::ClaimsOnObject exposes.
+  for (ObjectId o = 0; o < store.num_objects_; ++o) {
+    store.object_offsets_[static_cast<size_t>(o)] =
+        static_cast<int64_t>(store.objects_.size());
+    for (const SourceClaim& claim : dataset.ClaimsOnObject(o)) {
+      store.objects_.push_back(o);
+      store.sources_.push_back(claim.source);
+      store.values_.push_back(claim.value);
+    }
+  }
+  store.object_offsets_[static_cast<size_t>(store.num_objects_)] =
+      static_cast<int64_t>(store.objects_.size());
+
+  // Counting-sort CSR by source over the canonical arrays.
+  store.source_offsets_.assign(static_cast<size_t>(store.num_sources_) + 1,
+                               0);
+  for (SourceId s : store.sources_) {
+    ++store.source_offsets_[static_cast<size_t>(s) + 1];
+  }
+  for (size_t s = 1; s < store.source_offsets_.size(); ++s) {
+    store.source_offsets_[s] += store.source_offsets_[s - 1];
+  }
+  store.source_observations_.assign(store.sources_.size(), 0);
+  std::vector<int64_t> cursor(store.source_offsets_.begin(),
+                              store.source_offsets_.end() - 1);
+  for (size_t i = 0; i < store.sources_.size(); ++i) {
+    size_t s = static_cast<size_t>(store.sources_[i]);
+    store.source_observations_[static_cast<size_t>(cursor[s]++)] =
+        static_cast<int64_t>(i);
+  }
+
+  // Flattened domains and truth.
+  store.domain_offsets_.assign(static_cast<size_t>(store.num_objects_) + 1,
+                               0);
+  for (ObjectId o = 0; o < store.num_objects_; ++o) {
+    store.domain_offsets_[static_cast<size_t>(o)] =
+        static_cast<int64_t>(store.domain_values_.size());
+    const std::vector<ValueId>& domain = dataset.DomainOf(o);
+    store.domain_values_.insert(store.domain_values_.end(), domain.begin(),
+                                domain.end());
+  }
+  store.domain_offsets_[static_cast<size_t>(store.num_objects_)] =
+      static_cast<int64_t>(store.domain_values_.size());
+
+  store.truth_.resize(static_cast<size_t>(store.num_objects_));
+  for (ObjectId o = 0; o < store.num_objects_; ++o) {
+    store.truth_[static_cast<size_t>(o)] =
+        dataset.HasTruth(o) ? dataset.Truth(o) : kNoValue;
+  }
+  return store;
+}
+
+int32_t ObservationStore::DomainIndexOf(ObjectId object, ValueId value) const {
+  IndexRange range = DomainRange(object);
+  auto begin = domain_values_.begin() + range.begin;
+  auto end = domain_values_.begin() + range.end;
+  auto it = std::lower_bound(begin, end, value);
+  if (it == end || *it != value) return -1;
+  return static_cast<int32_t>(it - begin);
+}
+
+}  // namespace slimfast

@@ -1,0 +1,124 @@
+#ifndef SLIMFAST_DATA_OBSERVATION_STORE_H_
+#define SLIMFAST_DATA_OBSERVATION_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/types.h"
+
+namespace slimfast {
+
+/// Half-open index range [begin, end) into the store's columnar arrays.
+struct IndexRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  int64_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+/// Columnar (structure-of-arrays) view of a Dataset's observation multiset
+/// Ω with CSR-style secondary indexes.
+///
+/// The canonical observation order sorts by object id, preserving the
+/// dataset's insertion order within each object — exactly the order
+/// Dataset::ClaimsOnObject walks, so iterating an object's range of the
+/// columnar arrays visits the same claims in the same order as the dense
+/// per-object vectors (this is what lets the sparse learning paths produce
+/// bit-identical results to the legacy dense paths).
+///
+/// Three contiguous id arrays hold the observations (objects()[i],
+/// sources()[i], values()[i] describe observation i); per-object and
+/// per-source CSR offset arrays give O(1) range lookup without hashing or
+/// pointer chasing. Domains and ground truth are flattened the same way.
+/// The store is immutable after FromDataset and holds no reference to the
+/// Dataset it was built from.
+class ObservationStore {
+ public:
+  ObservationStore() = default;
+
+  /// Builds the columnar store from `dataset` (one O(n) pass).
+  static ObservationStore FromDataset(const Dataset& dataset);
+
+  int32_t num_sources() const { return num_sources_; }
+  int32_t num_objects() const { return num_objects_; }
+  int32_t num_values() const { return num_values_; }
+  int64_t num_observations() const {
+    return static_cast<int64_t>(values_.size());
+  }
+
+  /// Columnar id arrays in canonical (by-object) order.
+  const std::vector<ObjectId>& objects() const { return objects_; }
+  const std::vector<SourceId>& sources() const { return sources_; }
+  const std::vector<ValueId>& values() const { return values_; }
+
+  /// Range of `object`'s observations in the columnar arrays; claims appear
+  /// in dataset insertion order.
+  IndexRange ObjectRange(ObjectId object) const {
+    size_t o = static_cast<size_t>(object);
+    return IndexRange{object_offsets_[o], object_offsets_[o + 1]};
+  }
+
+  /// Range of `source`'s observations in source_observations(); entries
+  /// index into the columnar arrays, in canonical order.
+  IndexRange SourceRange(SourceId source) const {
+    size_t s = static_cast<size_t>(source);
+    return IndexRange{source_offsets_[s], source_offsets_[s + 1]};
+  }
+
+  /// CSR payload of SourceRange: indices into the columnar arrays.
+  const std::vector<int64_t>& source_observations() const {
+    return source_observations_;
+  }
+
+  /// Range of `object`'s candidate domain in domain_values() (ascending,
+  /// deduplicated — same contents as Dataset::DomainOf).
+  IndexRange DomainRange(ObjectId object) const {
+    size_t o = static_cast<size_t>(object);
+    return IndexRange{domain_offsets_[o], domain_offsets_[o + 1]};
+  }
+
+  const std::vector<ValueId>& domain_values() const { return domain_values_; }
+
+  /// Ground truth per object (kNoValue when unknown).
+  const std::vector<ValueId>& truth() const { return truth_; }
+
+  bool HasTruth(ObjectId object) const {
+    return truth_[static_cast<size_t>(object)] != kNoValue;
+  }
+
+  /// Index of `value` within `object`'s domain range, or -1 if absent.
+  int32_t DomainIndexOf(ObjectId object, ValueId value) const;
+
+ private:
+  int32_t num_sources_ = 0;
+  int32_t num_objects_ = 0;
+  int32_t num_values_ = 0;
+
+  // Columnar observation arrays, canonical order (by object, insertion
+  // order within object).
+  std::vector<ObjectId> objects_;
+  std::vector<SourceId> sources_;
+  std::vector<ValueId> values_;
+
+  // CSR offsets: object_offsets_[o] .. object_offsets_[o+1] is object o's
+  // slice of the columnar arrays. Size num_objects + 1.
+  std::vector<int64_t> object_offsets_;
+
+  // CSR by source: source_offsets_ (size num_sources + 1) into
+  // source_observations_, whose entries index the columnar arrays.
+  std::vector<int64_t> source_offsets_;
+  std::vector<int64_t> source_observations_;
+
+  // Flattened candidate domains: domain_offsets_ (size num_objects + 1)
+  // into domain_values_.
+  std::vector<int64_t> domain_offsets_;
+  std::vector<ValueId> domain_values_;
+
+  std::vector<ValueId> truth_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_DATA_OBSERVATION_STORE_H_

@@ -58,8 +58,12 @@ Result<std::vector<CellResult>> SweepMethods(
   }
 
   // The method×fraction×seed grid, one pre-assigned slot per run. Indexing
-  // is fraction-major then rep then method, matching the serial loop order
-  // so the first error surfaced is the one a serial sweep would hit.
+  // is fraction-major then rep then method, matching the serial loop
+  // order. The post-scan below surfaces the lowest-indexed *recorded*
+  // error; under parallel execution a later cell's failure can set
+  // `failed` before an earlier doomed cell starts, so which error is
+  // reported may vary with thread count — only success/failure itself is
+  // thread-count-invariant.
   std::vector<GridRun> runs(num_fractions * num_reps * num_methods);
   // Once any cell fails, later cells skip their work: the serial path
   // aborts right after the failure (like the pre-grid code), and a

@@ -51,6 +51,11 @@ struct CellResult {
 /// build SLiMFast methods with exec.threads = 1 — the grid already uses
 /// the thread budget, and a default-options method would resolve
 /// SLIMFAST_THREADS and spawn a nested pool per concurrent cell.
+///
+/// Every SLiMFast cell shares the same dataset, so with the default
+/// SlimFastOptions the grid compiles once into the process-wide
+/// CompiledInstanceCache and all (fraction × seed) cells reuse that one
+/// instance — the per-cell cost is learning + inference only.
 Result<std::vector<CellResult>> SweepMethods(
     const Dataset& dataset, const std::vector<FusionMethod*>& methods,
     const SweepSpec& spec, Executor* exec = nullptr);

@@ -1,18 +1,8 @@
 #include "exec/sharded_rng.h"
 
+#include "util/hash.h"
+
 namespace slimfast {
-
-namespace {
-
-/// SplitMix64 finalizer (Steele, Lea & Flood); a bijective avalanche mix.
-uint64_t SplitMix64(uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 uint64_t ShardedRng::StreamSeed(uint64_t seed, int32_t index) {
   return SplitMix64(seed +

@@ -1,9 +1,9 @@
 #include "util/csv.h"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
-
-#include "util/strings.h"
+#include <utility>
 
 namespace slimfast {
 
@@ -24,13 +24,49 @@ Result<size_t> CsvTable::ColumnIndex(const std::string& name) const {
   return Status::NotFound("no column named '" + name + "'");
 }
 
-std::string CsvTable::ToString() const {
-  std::ostringstream out;
-  out << Join(header_, ",") << "\n";
-  for (const auto& row : rows_) {
-    out << Join(row, ",") << "\n";
+namespace {
+
+/// True if `field` must be quoted to survive a round trip: embedded
+/// delimiters/quotes/newlines, or edge whitespace the parser would trim
+/// from an unquoted first/last field.
+bool NeedsQuoting(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") != std::string::npos) return true;
+  return !field.empty() &&
+         (std::isspace(static_cast<unsigned char>(field.front())) ||
+          std::isspace(static_cast<unsigned char>(field.back())));
+}
+
+/// RFC 4180 field encoding: quote when needed, escape `"` as `""`.
+void AppendField(const std::string& field, std::string* out) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
   }
-  return out.str();
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendRowText(const std::vector<std::string>& row, std::string* out) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendField(row[i], out);
+  }
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string CsvTable::ToString() const {
+  std::string out;
+  AppendRowText(header_, &out);
+  for (const auto& row : rows_) {
+    AppendRowText(row, &out);
+  }
+  return out;
 }
 
 Status CsvTable::WriteFile(const std::string& path) const {
@@ -45,22 +81,146 @@ Status CsvTable::WriteFile(const std::string& path) const {
   return Status::OK();
 }
 
+namespace {
+
+/// One parsed record plus the 1-based line it started on.
+struct ParsedRow {
+  std::vector<std::string> fields;
+  size_t line_no = 0;
+};
+
+/// Character-level CSV record reader (RFC 4180 plus the historical lenient
+/// rules): `"`-quoted fields may embed commas, newlines, and `""`-escaped
+/// quotes; rows end at LF or CRLF; whitespace-only rows are skipped; the
+/// outer whitespace of a row (leading on the first unquoted field,
+/// trailing on the last) is trimmed, preserving interior and quoted
+/// whitespace exactly. Trailing empty columns survive ("a,b," has three
+/// fields).
+Result<std::vector<ParsedRow>> ParseRows(const std::string& text) {
+  std::vector<ParsedRow> rows;
+  std::vector<std::string> fields;
+  std::string field;
+  // Whether the field being built was quoted (quoted fields are exempt
+  // from edge trimming and cannot be blank-line filler).
+  bool field_quoted = false;
+  bool first_field_quoted = false;
+  bool last_field_quoted = false;
+  bool row_has_content = false;
+  size_t line_no = 1;
+  size_t row_start_line = 1;
+
+  auto end_field = [&]() {
+    if (fields.empty()) first_field_quoted = field_quoted;
+    last_field_quoted = field_quoted;
+    fields.push_back(std::move(field));
+    field.clear();
+    field_quoted = false;
+  };
+  auto end_row = [&]() {
+    if (row_has_content) {
+      end_field();
+      // Historical lenient trimming: the row's outer whitespace belongs to
+      // the line, not the data. Quoted fields keep every character.
+      if (!first_field_quoted) {
+        std::string& first = fields.front();
+        size_t begin = 0;
+        while (begin < first.size() &&
+               std::isspace(static_cast<unsigned char>(first[begin]))) {
+          ++begin;
+        }
+        first.erase(0, begin);
+      }
+      if (!last_field_quoted) {
+        std::string& last = fields.back();
+        size_t end = last.size();
+        while (end > 0 &&
+               std::isspace(static_cast<unsigned char>(last[end - 1]))) {
+          --end;
+        }
+        last.resize(end);
+      }
+      // A row that collapses to one empty unquoted field is a blank line;
+      // an explicitly quoted empty field ("") is data.
+      if (fields.size() != 1 || !fields.front().empty() ||
+          first_field_quoted) {
+        rows.push_back(ParsedRow{std::move(fields), row_start_line});
+      }
+    }
+    fields.clear();
+    field.clear();
+    field_quoted = false;
+    first_field_quoted = false;
+    last_field_quoted = false;
+    row_has_content = false;
+    row_start_line = line_no;
+  };
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (c == '"' && field.empty() && !field_quoted) {
+      // Opening quote: consume through the matching close, unescaping "".
+      field_quoted = true;
+      row_has_content = true;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '"') {
+          if (i + 1 < n && text[i + 1] == '"') {
+            field.push_back('"');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        if (text[i] == '\n') ++line_no;
+        field.push_back(text[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(row_start_line) +
+            ": unterminated quoted field");
+      }
+      continue;
+    }
+    if (c == ',') {
+      end_field();
+      row_has_content = true;  // "a," and even "," have two fields
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;  // CRLF
+      ++i;
+      ++line_no;
+      end_row();
+      continue;
+    }
+    field.push_back(c);
+    row_has_content = true;
+    ++i;
+  }
+  end_row();  // final record without trailing newline
+  return rows;
+}
+
+}  // namespace
+
 Result<CsvTable> CsvTable::Parse(const std::string& text) {
-  std::istringstream in(text);
-  std::string line;
-  if (!std::getline(in, line)) {
+  SLIMFAST_ASSIGN_OR_RETURN(std::vector<ParsedRow> rows, ParseRows(text));
+  if (rows.empty()) {
     return Status::InvalidArgument("empty CSV input");
   }
-  CsvTable table(Split(Trim(line), ','));
-  size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::string trimmed = Trim(line);
-    if (trimmed.empty()) continue;
-    Status st = table.AppendRow(Split(trimmed, ','));
+  CsvTable table(std::move(rows.front().fields));
+  for (size_t r = 1; r < rows.size(); ++r) {
+    Status st = table.AppendRow(std::move(rows[r].fields));
     if (!st.ok()) {
-      return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": " + st.message());
+      return Status::InvalidArgument(
+          "line " + std::to_string(rows[r].line_no) + ": " + st.message());
     }
   }
   return table;

@@ -14,8 +14,12 @@ namespace slimfast {
 /// Used by the dataset simulators to optionally persist generated fusion
 /// instances (observations, ground truth, features) and by the benchmark
 /// harness to emit machine-readable experiment output next to the printed
-/// tables. Only simple unquoted CSV is supported — the library never needs
-/// embedded delimiters.
+/// tables. RFC 4180 quoting is supported on both ends: Parse handles
+/// quoted fields with embedded commas, quotes ("" escapes), and newlines,
+/// plus CRLF line endings and trailing empty columns; ToString quotes
+/// exactly the fields that need it. Unquoted fields keep the historical
+/// lenient behavior (outer whitespace of a row is trimmed, blank lines are
+/// skipped).
 class CsvTable {
  public:
   CsvTable() = default;

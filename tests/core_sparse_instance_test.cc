@@ -1,0 +1,232 @@
+// CompiledInstance and its cache: the flat CSR structures must mirror the
+// dense CompiledModel element-for-element (that equality is what makes the
+// sparse learning paths bit-identical), and the cache must key on dataset
+// content + ModelConfig.
+
+#include "core/compiled_instance.h"
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "test_util.h"
+
+namespace slimfast {
+namespace {
+
+using testutil::MakeFigure1Dataset;
+using testutil::MakePlantedDataset;
+
+TEST(CompiledInstanceTest, FlattensCompiledModelExactly) {
+  const std::vector<double> planted = {0.9, 0.7, 0.6, 0.8};
+  Dataset dataset = MakePlantedDataset(planted, 50, 0.5, 17, 3);
+  ModelConfig config;
+  auto instance = CompileInstance(dataset, config).ValueOrDie();
+  const CompiledModel& model = *instance->model;
+
+  ASSERT_EQ(instance->num_rows(),
+            static_cast<int32_t>(model.objects.size()));
+  for (size_t r = 0; r < model.objects.size(); ++r) {
+    const CompiledObject& row = model.objects[r];
+    int32_t ri = static_cast<int32_t>(r);
+    ASSERT_EQ(instance->DomainSize(ri),
+              static_cast<int32_t>(row.domain.size()));
+    int64_t cand0 = instance->row_begin[r];
+    for (size_t di = 0; di < row.domain.size(); ++di) {
+      int64_t cand = cand0 + static_cast<int64_t>(di);
+      EXPECT_EQ(instance->cand_values[static_cast<size_t>(cand)],
+                row.domain[di]);
+      EXPECT_EQ(instance->cand_offsets[static_cast<size_t>(cand)],
+                row.offsets[di]);
+      int64_t tb = instance->term_begin[static_cast<size_t>(cand)];
+      int64_t te = instance->term_begin[static_cast<size_t>(cand) + 1];
+      ASSERT_EQ(te - tb, static_cast<int64_t>(row.terms[di].size()));
+      for (int64_t t = tb; t < te; ++t) {
+        EXPECT_EQ(instance->terms[static_cast<size_t>(t)],
+                  row.terms[di][static_cast<size_t>(t - tb)]);
+      }
+    }
+  }
+
+  // Sigma CSR mirrors sigma_terms.
+  for (size_t s = 0; s < model.sigma_terms.size(); ++s) {
+    int64_t sb = instance->sigma_begin[s];
+    int64_t se = instance->sigma_begin[s + 1];
+    ASSERT_EQ(se - sb, static_cast<int64_t>(model.sigma_terms[s].size()));
+    for (int64_t t = sb; t < se; ++t) {
+      EXPECT_EQ(instance->sigma_terms[static_cast<size_t>(t)],
+                model.sigma_terms[s][static_cast<size_t>(t - sb)]);
+    }
+  }
+
+  // Claims mirror ClaimsOnObject with precomputed domain indexes, and
+  // truth targets match DomainIndex of the dataset truth.
+  for (size_t r = 0; r < model.objects.size(); ++r) {
+    const CompiledObject& row = model.objects[r];
+    const auto& claims = dataset.ClaimsOnObject(row.object);
+    int64_t cb = instance->claim_begin[r];
+    int64_t ce = instance->claim_begin[r + 1];
+    ASSERT_EQ(ce - cb, static_cast<int64_t>(claims.size()));
+    for (int64_t i = cb; i < ce; ++i) {
+      size_t k = static_cast<size_t>(i - cb);
+      EXPECT_EQ(instance->claim_sources[static_cast<size_t>(i)],
+                claims[k].source);
+      EXPECT_EQ(instance->claim_cand[static_cast<size_t>(i)],
+                row.DomainIndex(claims[k].value));
+    }
+    int32_t expected_truth = dataset.HasTruth(row.object)
+                                 ? row.DomainIndex(dataset.Truth(row.object))
+                                 : -1;
+    EXPECT_EQ(instance->truth_cand[r], expected_truth);
+  }
+}
+
+TEST(CompiledInstanceTest, SparsePosteriorMatchesDenseBitwise) {
+  const std::vector<double> planted = {0.85, 0.7, 0.65};
+  Dataset dataset = MakePlantedDataset(planted, 30, 0.6, 5, 3);
+  ModelConfig config;
+  auto instance = CompileInstance(dataset, config).ValueOrDie();
+  SlimFastModel model(instance->model);
+  // Non-trivial weights so the softmax has something to chew on.
+  std::vector<double> w = model.weights();
+  for (size_t i = 0; i < w.size(); ++i) {
+    w[i] = 0.01 * static_cast<double>(i % 7) - 0.02;
+  }
+  model.SetWeights(w);
+
+  std::vector<double> dense_probs;
+  std::vector<double> sparse_probs;
+  for (int32_t r = 0; r < instance->num_rows(); ++r) {
+    const CompiledObject& row =
+        model.compiled().objects[static_cast<size_t>(r)];
+    model.Posterior(row, &dense_probs);
+    SparsePosterior(*instance, r, model.weights(), &sparse_probs);
+    ASSERT_EQ(dense_probs.size(), sparse_probs.size());
+    for (size_t di = 0; di < dense_probs.size(); ++di) {
+      EXPECT_EQ(dense_probs[di], sparse_probs[di])
+          << "row " << r << " candidate " << di;
+    }
+  }
+}
+
+TEST(CompiledInstanceTest, FingerprintTracksDatasetContent) {
+  Dataset a = MakeFigure1Dataset();
+  Dataset b = MakeFigure1Dataset();
+  EXPECT_EQ(DatasetCompilationFingerprint(a),
+            DatasetCompilationFingerprint(b));
+
+  // One extra observation changes the fingerprint.
+  DatasetBuilder builder("figure1", 3, 2, 2);
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 0, 0));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 1, 1));
+  SLIMFAST_CHECK_OK(builder.AddObservation(0, 2, 0));
+  SLIMFAST_CHECK_OK(builder.AddObservation(1, 0, 1));
+  SLIMFAST_CHECK_OK(builder.AddObservation(1, 2, 1));
+  SLIMFAST_CHECK_OK(builder.AddObservation(1, 1, 0));
+  SLIMFAST_CHECK_OK(builder.SetTruth(0, 0));
+  SLIMFAST_CHECK_OK(builder.SetTruth(1, 1));
+  Dataset c = std::move(builder).Build().ValueOrDie();
+  EXPECT_NE(DatasetCompilationFingerprint(a),
+            DatasetCompilationFingerprint(c));
+
+  // Same observations, different truth: different fingerprint.
+  DatasetBuilder builder2("figure1", 3, 2, 2);
+  SLIMFAST_CHECK_OK(builder2.AddObservation(0, 0, 0));
+  SLIMFAST_CHECK_OK(builder2.AddObservation(0, 1, 1));
+  SLIMFAST_CHECK_OK(builder2.AddObservation(0, 2, 0));
+  SLIMFAST_CHECK_OK(builder2.AddObservation(1, 0, 1));
+  SLIMFAST_CHECK_OK(builder2.AddObservation(1, 2, 1));
+  SLIMFAST_CHECK_OK(builder2.SetTruth(0, 1));
+  SLIMFAST_CHECK_OK(builder2.SetTruth(1, 1));
+  Dataset d = std::move(builder2).Build().ValueOrDie();
+  EXPECT_NE(DatasetCompilationFingerprint(a),
+            DatasetCompilationFingerprint(d));
+
+  // A feature-set change (sigma sparsity) changes the fingerprint too.
+  DatasetBuilder builder3("figure1", 3, 2, 2);
+  SLIMFAST_CHECK_OK(builder3.AddObservation(0, 0, 0));
+  SLIMFAST_CHECK_OK(builder3.AddObservation(0, 1, 1));
+  SLIMFAST_CHECK_OK(builder3.AddObservation(0, 2, 0));
+  SLIMFAST_CHECK_OK(builder3.AddObservation(1, 0, 1));
+  SLIMFAST_CHECK_OK(builder3.AddObservation(1, 2, 1));
+  SLIMFAST_CHECK_OK(builder3.SetTruth(0, 0));
+  SLIMFAST_CHECK_OK(builder3.SetTruth(1, 1));
+  FeatureId k = builder3.mutable_features()->RegisterFeature("venue=journal");
+  SLIMFAST_CHECK_OK(builder3.mutable_features()->SetFeature(0, k));
+  Dataset e = std::move(builder3).Build().ValueOrDie();
+  EXPECT_NE(DatasetCompilationFingerprint(a),
+            DatasetCompilationFingerprint(e));
+}
+
+TEST(CompiledInstanceCacheTest, HitsOnSameContentMissesOnDifferent) {
+  CompiledInstanceCache cache;
+  Dataset a = MakeFigure1Dataset();
+  ModelConfig config;
+
+  auto first = cache.GetOrCompile(a, config).ValueOrDie();
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 0);
+
+  // Same content (even a distinct Dataset object) hits.
+  Dataset b = MakeFigure1Dataset();
+  auto second = cache.GetOrCompile(b, config).ValueOrDie();
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(first.get(), second.get());
+
+  // A different config misses.
+  ModelConfig sources_only;
+  sources_only.use_feature_weights = false;
+  auto third = cache.GetOrCompile(a, sources_only).ValueOrDie();
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_NE(first.get(), third.get());
+
+  // Different dataset content misses.
+  const std::vector<double> planted = {0.9, 0.8};
+  Dataset c = MakePlantedDataset(planted, 20, 0.5, 3);
+  auto fourth = cache.GetOrCompile(c, config).ValueOrDie();
+  EXPECT_EQ(cache.misses(), 3);
+  EXPECT_EQ(cache.size(), 3u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CompiledInstanceCacheTest, EvictsLeastRecentlyUsed) {
+  CompiledInstanceCache cache(/*capacity=*/2);
+  ModelConfig config;
+  const std::vector<double> planted = {0.9, 0.8};
+  Dataset a = MakePlantedDataset(planted, 10, 0.9, 1);
+  Dataset b = MakePlantedDataset(planted, 11, 0.9, 2);
+  Dataset c = MakePlantedDataset(planted, 12, 0.9, 3);
+
+  (void)cache.GetOrCompile(a, config).ValueOrDie();
+  (void)cache.GetOrCompile(b, config).ValueOrDie();
+  (void)cache.GetOrCompile(a, config).ValueOrDie();  // refresh a
+  (void)cache.GetOrCompile(c, config).ValueOrDie();  // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+
+  int64_t misses_before = cache.misses();
+  (void)cache.GetOrCompile(a, config).ValueOrDie();  // still cached
+  EXPECT_EQ(cache.misses(), misses_before);
+  (void)cache.GetOrCompile(b, config).ValueOrDie();  // recompiles
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(CompiledInstanceCacheTest, GlobalCacheIsSharedAcrossFits) {
+  CompiledInstanceCache& global = CompiledInstanceCache::Global();
+  global.Clear();
+  int64_t misses_before = global.misses();
+
+  const std::vector<double> planted = {0.9, 0.8, 0.7};
+  Dataset dataset = MakePlantedDataset(planted, 40, 0.5, 9);
+  Rng rng(2);
+  TrainTestSplit split = MakeSplit(dataset, 0.2, &rng).ValueOrDie();
+  auto method = MakeSlimFast();
+  (void)method->Run(dataset, split, 1).ValueOrDie();
+  (void)method->Run(dataset, split, 2).ValueOrDie();
+  // Two runs on the same dataset + config compile once.
+  EXPECT_EQ(global.misses(), misses_before + 1);
+  global.Clear();
+}
+
+}  // namespace
+}  // namespace slimfast

@@ -1,0 +1,100 @@
+// ObservationStore: the columnar (structure-of-arrays) mirror of a
+// Dataset. The invariants under test are exactly what the sparse learning
+// paths rely on: canonical order matches Dataset::ClaimsOnObject, CSR
+// ranges partition the arrays, and the fingerprint tracks content.
+
+#include "data/observation_store.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "test_util.h"
+
+namespace slimfast {
+namespace {
+
+using testutil::MakeFigure1Dataset;
+using testutil::MakePlantedDataset;
+
+TEST(ObservationStoreTest, MirrorsFigure1Dataset) {
+  Dataset dataset = MakeFigure1Dataset();
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+
+  EXPECT_EQ(store.num_sources(), dataset.num_sources());
+  EXPECT_EQ(store.num_objects(), dataset.num_objects());
+  EXPECT_EQ(store.num_values(), dataset.num_values());
+  EXPECT_EQ(store.num_observations(), dataset.num_observations());
+
+  // Canonical order: object-major, insertion order within object — the
+  // order ClaimsOnObject walks.
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    const auto& claims = dataset.ClaimsOnObject(o);
+    IndexRange range = store.ObjectRange(o);
+    ASSERT_EQ(range.size(), static_cast<int64_t>(claims.size()));
+    for (int64_t i = range.begin; i < range.end; ++i) {
+      size_t k = static_cast<size_t>(i - range.begin);
+      EXPECT_EQ(store.objects()[static_cast<size_t>(i)], o);
+      EXPECT_EQ(store.sources()[static_cast<size_t>(i)], claims[k].source);
+      EXPECT_EQ(store.values()[static_cast<size_t>(i)], claims[k].value);
+    }
+  }
+}
+
+TEST(ObservationStoreTest, SourceRangesIndexTheColumnarArrays) {
+  const std::vector<double> planted = {0.9, 0.7, 0.6, 0.8};
+  Dataset dataset = MakePlantedDataset(planted, 60, 0.5, 11, 3);
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+
+  int64_t total = 0;
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    const auto& claims = dataset.ClaimsBySource(s);
+    IndexRange range = store.SourceRange(s);
+    ASSERT_EQ(range.size(), static_cast<int64_t>(claims.size()));
+    total += range.size();
+    for (int64_t i = range.begin; i < range.end; ++i) {
+      int64_t obs = store.source_observations()[static_cast<size_t>(i)];
+      EXPECT_EQ(store.sources()[static_cast<size_t>(obs)], s);
+    }
+  }
+  EXPECT_EQ(total, store.num_observations());
+}
+
+TEST(ObservationStoreTest, DomainsAndTruthMatchDataset) {
+  const std::vector<double> planted = {0.9, 0.7, 0.6};
+  Dataset dataset = MakePlantedDataset(planted, 40, 0.6, 7, 4);
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    const auto& domain = dataset.DomainOf(o);
+    IndexRange range = store.DomainRange(o);
+    ASSERT_EQ(range.size(), static_cast<int64_t>(domain.size()));
+    for (int64_t i = range.begin; i < range.end; ++i) {
+      ValueId v = store.domain_values()[static_cast<size_t>(i)];
+      size_t k = static_cast<size_t>(i - range.begin);
+      EXPECT_EQ(v, domain[k]);
+      EXPECT_EQ(store.DomainIndexOf(o, v), static_cast<int32_t>(k));
+    }
+    EXPECT_EQ(store.DomainIndexOf(o, 999), -1);
+    EXPECT_EQ(store.HasTruth(o), dataset.HasTruth(o));
+    if (dataset.HasTruth(o)) {
+      EXPECT_EQ(store.truth()[static_cast<size_t>(o)], dataset.Truth(o));
+    }
+  }
+}
+
+TEST(ObservationStoreTest, EmptyDataset) {
+  Dataset dataset =
+      std::move(DatasetBuilder("empty", 2, 3, 2)).Build().ValueOrDie();
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+  EXPECT_EQ(store.num_observations(), 0);
+  for (ObjectId o = 0; o < 3; ++o) {
+    EXPECT_TRUE(store.ObjectRange(o).empty());
+    EXPECT_TRUE(store.DomainRange(o).empty());
+  }
+  for (SourceId s = 0; s < 2; ++s) {
+    EXPECT_TRUE(store.SourceRange(s).empty());
+  }
+}
+
+}  // namespace
+}  // namespace slimfast

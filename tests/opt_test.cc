@@ -8,10 +8,45 @@
 #include "opt/matrix_completion.h"
 #include "opt/proximal.h"
 #include "opt/schedule.h"
+#include "opt/sparse_grad.h"
 #include "util/random.h"
 
 namespace slimfast {
 namespace {
+
+TEST(SparseGradTest, TracksTouchedAndClears) {
+  SparseGradAccumulator<int32_t> grad(4);
+  grad.Add(2, 1.0, 0.5);
+  grad.Add(0, 2.0, -1.0);
+  grad.Add(2, 1.0, 0.25);
+  EXPECT_EQ(grad.touched(), (std::vector<int32_t>{2, 0}));
+  EXPECT_DOUBLE_EQ(grad.Slot(2), 0.75);
+  EXPECT_DOUBLE_EQ(grad.Slot(0), -2.0);
+  grad.Clear();
+  EXPECT_TRUE(grad.touched().empty());
+  EXPECT_EQ(grad.Slot(2), 0.0);
+  EXPECT_EQ(grad.Slot(0), 0.0);
+}
+
+/// A slot that cancels to exactly 0.0 mid-accumulation is re-recorded on
+/// the next touch, so it appears in touched() twice. Folds must drain with
+/// ZeroSlot (the batch-ERM fold discipline) so the duplicate contributes
+/// the zeroed slot rather than the final value twice.
+TEST(SparseGradTest, CancelledSlotDuplicatesAreZeroDrainSafe) {
+  SparseGradAccumulator<int32_t> grad(2);
+  grad.Add(0, 1.0, -0.5);
+  grad.Add(0, 1.0, 0.5);  // cancels to exactly 0.0; no duplicate yet
+  EXPECT_EQ(grad.touched(), (std::vector<int32_t>{0}));
+  grad.Add(0, 1.0, -0.5);  // re-touch of a zero slot: duplicate entry
+  EXPECT_EQ(grad.touched(), (std::vector<int32_t>{0, 0}));
+
+  double total = 0.0;
+  for (int32_t p : grad.touched()) {
+    total += grad.Slot(p);
+    grad.ZeroSlot(p);
+  }
+  EXPECT_DOUBLE_EQ(total, -0.5);  // not -1.0
+}
 
 TEST(ScheduleTest, ConstantDecay) {
   LearningRateSchedule s(0.5, LrDecay::kConstant);

@@ -92,6 +92,92 @@ TEST(CsvTest, ParseSkipsBlankLines) {
   EXPECT_EQ(parsed->num_rows(), 2u);
 }
 
+TEST(CsvTest, QuotedFieldsWithEmbeddedCommas) {
+  auto parsed = CsvTable::Parse("name,desc\n\"a,b\",plain\nx,\"1,2,3\"\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->rows()[0][0], "a,b");
+  EXPECT_EQ(parsed->rows()[0][1], "plain");
+  EXPECT_EQ(parsed->rows()[1][1], "1,2,3");
+}
+
+TEST(CsvTest, QuotedFieldsWithEmbeddedNewlinesAndEscapedQuotes) {
+  auto parsed =
+      CsvTable::Parse("k,v\n\"line1\nline2\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_rows(), 1u);
+  EXPECT_EQ(parsed->rows()[0][0], "line1\nline2");
+  EXPECT_EQ(parsed->rows()[0][1], "say \"hi\"");
+}
+
+TEST(CsvTest, QuotedFieldPreservesWhitespaceAndUnterminatedFails) {
+  auto parsed = CsvTable::Parse("k,v\n\" padded \",x\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows()[0][0], " padded ");
+  EXPECT_TRUE(
+      CsvTable::Parse("k,v\n\"open,x\n").status().IsInvalidArgument());
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  auto parsed = CsvTable::Parse("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header(), (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->rows()[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(parsed->rows()[1], (std::vector<std::string>{"3", "4"}));
+  // CRLF inside a quoted field is data, not a row break.
+  auto quoted = CsvTable::Parse("k\r\n\"a\r\nb\"\r\n");
+  ASSERT_TRUE(quoted.ok());
+  EXPECT_EQ(quoted->rows()[0][0], "a\r\nb");
+}
+
+TEST(CsvTest, TrailingEmptyColumnsSurvive) {
+  auto parsed = CsvTable::Parse("a,b,c\n1,2,\n,,\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->rows()[0], (std::vector<std::string>{"1", "2", ""}));
+  EXPECT_EQ(parsed->rows()[1], (std::vector<std::string>{"", "", ""}));
+  // Missing (not empty-quoted) trailing column is still ragged.
+  EXPECT_TRUE(CsvTable::Parse("a,b,c\n1,2\n").status().IsInvalidArgument());
+}
+
+TEST(CsvTest, MissingFinalNewlineAndEmptyVariants) {
+  auto parsed = CsvTable::Parse("a,b\n1,2");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows()[0], (std::vector<std::string>{"1", "2"}));
+  // Whitespace-only and newline-only inputs have no header row.
+  EXPECT_TRUE(CsvTable::Parse("\n\n").status().IsInvalidArgument());
+  EXPECT_TRUE(CsvTable::Parse("   \n").status().IsInvalidArgument());
+}
+
+TEST(CsvTest, QuotedEmptySingleColumnRowIsDataNotBlankLine) {
+  auto parsed = CsvTable::Parse("a\n\"\"\nx\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->rows()[0], (std::vector<std::string>{""}));
+  EXPECT_EQ(parsed->rows()[1], (std::vector<std::string>{"x"}));
+}
+
+TEST(CsvTest, EdgeWhitespaceSurvivesRoundTrip) {
+  CsvTable table({"k", "v"});
+  ASSERT_TRUE(table.AppendRow({" x ", "tab\t"}).ok());
+  auto parsed = CsvTable::Parse(table.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows(), table.rows());
+}
+
+TEST(CsvTest, WriterQuotesExactlyWhatNeedsIt) {
+  CsvTable table({"k", "v"});
+  ASSERT_TRUE(table.AppendRow({"a,b", "plain"}).ok());
+  ASSERT_TRUE(table.AppendRow({"say \"hi\"", "line1\nline2"}).ok());
+  EXPECT_EQ(table.ToString(),
+            "k,v\n\"a,b\",plain\n\"say \"\"hi\"\"\",\"line1\nline2\"\n");
+  auto parsed = CsvTable::Parse(table.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header(), table.header());
+  EXPECT_EQ(parsed->rows(), table.rows());
+}
+
 TEST(CsvTest, FileRoundTrip) {
   std::string path =
       (std::filesystem::temp_directory_path() / "slimfast_csv_test.csv")

@@ -3,7 +3,7 @@
 // Usage:
 //   slimfast_cli <dataset_dir> [options]
 //   slimfast_cli --demo <stocks|demos|crowd|genomics> [options]
-//   slimfast_cli bench [--threads N] [--seed N] [--out FILE]
+//   slimfast_cli bench [--quick] [--threads N] [--seed N] [--out FILE]
 //
 // The dataset directory uses the CSV layout of data/io.h (meta.csv,
 // observations.csv, truth.csv, features.csv, source_features.csv) — the
@@ -25,9 +25,11 @@
 //                         bit-identical for every thread count
 //
 // The `bench` subcommand runs the Table-5-style runtime scenario (synthetic
-// generation, ERM + EM learning, multi-chain Gibbs marginals at 1 and N
-// threads, the eval grid) and writes per-phase seconds as
-// BENCH_runtime.json (override with --out).
+// generation, compilation cold vs cached, dense vs sparse ERM + EM
+// learning, multi-chain Gibbs marginals at 1 and N threads, the eval grid)
+// and writes per-phase seconds as BENCH_runtime.json (override with
+// --out). --quick shrinks the scenario to CI size; the JSON schema is
+// identical and checked by scripts/check_bench_schema.py.
 
 #include <algorithm>
 #include <cstdio>
@@ -70,6 +72,8 @@ struct CliOptions {
   int32_t threads = 0;
   /// `bench` subcommand: run the runtime scenario and write JSON.
   bool bench = false;
+  /// Shrink the bench scenario to CI size (same phases, same schema).
+  bool quick = false;
 };
 
 void PrintUsage(std::FILE* stream) {
@@ -80,7 +84,7 @@ void PrintUsage(std::FILE* stream) {
                "[--stats]\n"
                "       slimfast_cli --demo <stocks|demos|crowd|genomics> "
                "[options]\n"
-               "       slimfast_cli bench [--threads N] [--seed N] "
+               "       slimfast_cli bench [--quick] [--threads N] [--seed N] "
                "[--out FILE]\n"
                "\n"
                "options:\n"
@@ -107,7 +111,9 @@ void PrintUsage(std::FILE* stream) {
                "  bench                run the Table-5-style runtime "
                "scenario and write\n"
                "                       per-phase seconds to "
-               "BENCH_runtime.json (see --out)\n");
+               "BENCH_runtime.json (see --out);\n"
+               "                       --quick shrinks it to CI size, same "
+               "schema\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -144,6 +150,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->threads = std::atoi(v);
+    } else if (arg == "--quick") {
+      options->quick = true;
     } else if (arg == "--stats") {
       options->stats_only = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -170,72 +178,166 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 ///
 /// Phases (each timed and recorded in the shared BenchReporter schema):
 ///   generate_replicas  parallel synthetic dataset generation (src/synth)
-///   learn_erm_batch    batch ERM fit with the sharded gradient (src/core)
-///   learn_em           EM fit with the sharded E-step (src/core)
+///   compile            cold compilation into a CompiledInstance (flat
+///                      sparse structure + columnar ObservationStore)
+///   compile_cached     the same lookup served by CompiledInstanceCache —
+///                      the cost every re-fit pays after the first
+///   learn_erm_batch    batch ERM, legacy dense representation
+///   learn_erm_sparse   batch ERM over the CompiledInstance flat ranges
+///   learn_em           EM, legacy dense representation
+///   learn_em_sparse    EM over the CompiledInstance flat ranges
 ///   gibbs_marginals    4-chain Gibbs marginals, at 1 thread and at the
 ///                      requested budget — the speedup the exec layer buys
 ///   eval_grid          parallel method×fraction sweep (src/eval)
 ///
-/// The Gibbs phase also cross-checks that serial and parallel marginals
-/// are bit-identical (the exec determinism contract) and fails otherwise.
+/// Dense-vs-sparse and serial-vs-parallel runs are cross-checked for
+/// bit-identical output (the representation and exec determinism
+/// contracts); the bench fails on any mismatch.
 int RunBench(const CliOptions& options) {
   ExecOptions exec_options;
   exec_options.threads = options.threads;
   Executor parallel(exec_options);
   Executor serial;  // 1 thread, same shard structure
   const int32_t threads = parallel.threads();
+  const bool quick = options.quick;
 
   bench::BenchReporter reporter("runtime");
   reporter.set_threads(threads);
-  std::printf("slimfast bench: runtime scenario (threads=%d, seed=%llu)\n",
-              threads, static_cast<unsigned long long>(options.seed));
+  std::printf("slimfast bench: runtime scenario%s (threads=%d, seed=%llu)\n",
+              quick ? " [quick]" : "", threads,
+              static_cast<unsigned long long>(options.seed));
 
   // --- Phase 1: parallel synthetic generation. ---
   SyntheticConfig config;
   config.name = "bench-runtime";
-  config.num_sources = 150;
-  config.num_objects = 5000;
-  config.density = 0.05;
+  config.num_sources = quick ? 40 : 150;
+  config.num_objects = quick ? 1200 : 5000;
+  config.density = quick ? 0.08 : 0.05;
   config.num_feature_groups = 4;
   config.values_per_group = 8;
   config.feature_effect = 0.1;
+  const int32_t num_replicas = quick ? 2 : 8;
   std::vector<SyntheticDataset> replicas;
   double generate_seconds = bench::TimeSeconds([&] {
-    replicas =
-        GenerateSyntheticReplicas(config, options.seed, 8, &parallel)
-            .ValueOrDie();
+    replicas = GenerateSyntheticReplicas(config, options.seed, num_replicas,
+                                         &parallel)
+                   .ValueOrDie();
   });
   reporter.AddPhase("generate_replicas", generate_seconds, threads);
-  std::printf("  generate_replicas  %7.3fs (8 replicas, %d threads)\n",
-              generate_seconds, threads);
+  std::printf("  generate_replicas  %7.3fs (%d replicas, %d threads)\n",
+              generate_seconds, num_replicas, threads);
 
   const Dataset& dataset = replicas[0].dataset;
   Rng split_rng(options.seed);
   TrainTestSplit split =
       MakeSplit(dataset, 0.1, &split_rng).ValueOrDie();
 
-  // --- Phase 2: batch ERM (sharded per-example gradient). ---
-  SlimFastOptions erm_options;
-  erm_options.exec.threads = threads;
-  erm_options.erm.batch = true;
-  auto erm_method = MakeSlimFastErm(erm_options);
-  double erm_seconds = bench::TimeSeconds([&] {
-    erm_method->Run(dataset, split, options.seed).ValueOrDie();
+  // --- Phase 2: compilation, cold vs cached. ---
+  // Cold = fingerprint + full Compile + flatten (a cache miss); cached =
+  // fingerprint + lookup (what every ERM epoch loop, EM re-fit, or grid
+  // cell pays after the first run on a dataset).
+  CompiledInstanceCache& cache = CompiledInstanceCache::Global();
+  cache.Clear();
+  ModelConfig model_config;  // the SLiMFast preset's model structure
+  std::shared_ptr<const CompiledInstance> instance;
+  double compile_seconds = bench::TimeSeconds([&] {
+    instance = cache.GetOrCompile(dataset, model_config).ValueOrDie();
   });
-  reporter.AddPhase("learn_erm_batch", erm_seconds, threads);
-  std::printf("  learn_erm_batch    %7.3fs\n", erm_seconds);
-
-  // --- Phase 3: EM (sharded E-step). ---
-  SlimFastOptions em_options;
-  em_options.exec.threads = threads;
-  auto em_method = MakeSlimFastEm(em_options);
-  double em_seconds = bench::TimeSeconds([&] {
-    em_method->Run(dataset, split, options.seed).ValueOrDie();
+  std::shared_ptr<const CompiledInstance> cached_instance;
+  double compile_cached_seconds = bench::TimeSeconds([&] {
+    cached_instance = cache.GetOrCompile(dataset, model_config).ValueOrDie();
   });
-  reporter.AddPhase("learn_em", em_seconds, threads);
-  std::printf("  learn_em           %7.3fs\n", em_seconds);
+  if (cached_instance.get() != instance.get()) {
+    std::fprintf(stderr,
+                 "bench: compilation cache failed to return the shared "
+                 "instance\n");
+    return 1;
+  }
+  double compile_speedup = compile_cached_seconds > 0.0
+                               ? compile_seconds / compile_cached_seconds
+                               : 0.0;
+  reporter.AddPhase("compile", compile_seconds, 1);
+  reporter.AddPhase("compile_cached", compile_cached_seconds, 1);
+  reporter.AddSpeedup("compile_cached_vs_cold", 1, 1, compile_speedup);
+  std::printf("  compile            %7.3fs cold, %.6fs cached (%.0fx)\n",
+              compile_seconds, compile_cached_seconds, compile_speedup);
 
-  // --- Phase 4: multi-chain Gibbs marginals, serial vs parallel. ---
+  // --- Phases 3+4: dense vs sparse ERM and EM. ---
+  // Same seed, same split, same thread budget; only the representation
+  // differs. The recorded seconds are the *learning* stage only
+  // (FusionOutput::learn_seconds — the ERM epochs / EM iterations this
+  // phase exists to compare); compilation is measured by the compile
+  // phases above, and the sparse run bypasses the cache so neither side
+  // gets structure for free. Outputs must be bit-identical (the
+  // row-access contract).
+  auto learn_phase = [&](const char* dense_name, const char* sparse_name,
+                         bool batch_erm,
+                         auto&& make_method) -> int {
+    SlimFastOptions dense_options;
+    dense_options.exec.threads = threads;
+    dense_options.use_sparse = false;
+    dense_options.erm.batch = batch_erm;
+    if (batch_erm) {
+      // Pin the epoch count so the phase measures steady per-epoch cost
+      // instead of when early convergence happens to trigger.
+      dense_options.erm.tolerance = 0.0;
+      dense_options.erm.epochs = quick ? 30 : 60;
+    }
+    auto dense_method = make_method(dense_options);
+    SlimFastOptions sparse_options = dense_options;
+    sparse_options.use_sparse = true;
+    sparse_options.use_compilation_cache = false;
+    auto sparse_method = make_method(sparse_options);
+    // Sub-10ms phases (batch ERM) drown in scheduler noise on one
+    // measurement; min-of-reps is the standard low-noise estimator.
+    const int reps = batch_erm ? 5 : 1;
+    FusionOutput dense_output;
+    FusionOutput sparse_output;
+    double dense_seconds = 0.0;
+    double sparse_seconds = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      dense_output =
+          dense_method->Run(dataset, split, options.seed).ValueOrDie();
+      sparse_output =
+          sparse_method->Run(dataset, split, options.seed).ValueOrDie();
+      if (rep == 0 || dense_output.learn_seconds < dense_seconds) {
+        dense_seconds = dense_output.learn_seconds;
+      }
+      if (rep == 0 || sparse_output.learn_seconds < sparse_seconds) {
+        sparse_seconds = sparse_output.learn_seconds;
+      }
+    }
+    if (sparse_output.predicted_values != dense_output.predicted_values ||
+        sparse_output.source_accuracies != dense_output.source_accuracies) {
+      std::fprintf(stderr,
+                   "bench: %s and %s outputs differ (representation "
+                   "contract violated)\n",
+                   dense_name, sparse_name);
+      return 1;
+    }
+    double speedup =
+        sparse_seconds > 0.0 ? dense_seconds / sparse_seconds : 0.0;
+    reporter.AddPhase(dense_name, dense_seconds, threads);
+    reporter.AddPhase(sparse_name, sparse_seconds, threads);
+    reporter.AddSpeedup(std::string(sparse_name) + "_vs_dense", threads,
+                        threads, speedup);
+    std::printf("  %-18s %7.3fs dense, %7.3fs sparse (%.2fx learn-only, "
+                "bit-identical)\n",
+                dense_name, dense_seconds, sparse_seconds, speedup);
+    return 0;
+  };
+
+  if (learn_phase("learn_erm_batch", "learn_erm_sparse", /*batch_erm=*/true,
+                  [](SlimFastOptions o) { return MakeSlimFastErm(o); }) !=
+      0) {
+    return 1;
+  }
+  if (learn_phase("learn_em", "learn_em_sparse", /*batch_erm=*/false,
+                  [](SlimFastOptions o) { return MakeSlimFastEm(o); }) != 0) {
+    return 1;
+  }
+
+  // --- Phase 5: multi-chain Gibbs marginals, serial vs parallel. ---
   SlimFastOptions fit_options;
   fit_options.exec.threads = threads;
   SlimFast fitter(fit_options, "bench-fitter");
@@ -244,8 +346,8 @@ int RunBench(const CliOptions& options) {
   FactorGraphCompilation compilation =
       CompileToFactorGraph(fit.model, dataset, &split).ValueOrDie();
   GibbsOptions gibbs_options;
-  gibbs_options.burn_in = 20;
-  gibbs_options.samples = 80;
+  gibbs_options.burn_in = quick ? 10 : 20;
+  gibbs_options.samples = quick ? 40 : 80;
   gibbs_options.chains = 4;
   GibbsSampler sampler(&compilation.graph, gibbs_options);
 
@@ -283,7 +385,9 @@ int RunBench(const CliOptions& options) {
               gibbs_serial_seconds, gibbs_parallel_seconds, threads,
               gibbs_speedup);
 
-  // --- Phase 5: parallel eval grid. ---
+  // --- Phase 6: parallel eval grid. ---
+  // Every SLiMFast cell shares the dataset, so the grid hits the
+  // compilation cache after the first cell.
   std::vector<std::unique_ptr<FusionMethod>> methods_owned;
   SlimFastOptions grid_options;
   grid_options.exec.threads = 1;  // grid parallelism lives in the harness
@@ -294,16 +398,17 @@ int RunBench(const CliOptions& options) {
   std::vector<FusionMethod*> methods;
   for (auto& m : methods_owned) methods.push_back(m.get());
   SweepSpec spec;
-  spec.train_fractions = {0.05, 0.20};
-  spec.num_seeds = 2;
+  spec.train_fractions = quick ? std::vector<double>{0.20}
+                               : std::vector<double>{0.05, 0.20};
+  spec.num_seeds = quick ? 1 : 2;
   spec.base_seed = options.seed;
   double grid_seconds = bench::TimeSeconds([&] {
     SweepMethods(dataset, methods, spec, &parallel).ValueOrDie();
   });
   reporter.AddPhase("eval_grid", grid_seconds, threads);
-  std::printf("  eval_grid          %7.3fs (3 methods x 2 fractions x 2 "
+  std::printf("  eval_grid          %7.3fs (3 methods x %zu fractions x %d "
               "seeds)\n",
-              grid_seconds);
+              grid_seconds, spec.train_fractions.size(), spec.num_seeds);
 
   std::string out_path =
       options.out_file.empty() ? "BENCH_runtime.json" : options.out_file;
