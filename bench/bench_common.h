@@ -172,9 +172,12 @@ class BenchReporter {
     return out;
   }
 
+  // 9 decimal places (nanosecond granularity): sub-microsecond phases —
+  // a cache-served compile lookup — must never round down to a bare 0,
+  // which the schema checker treats as a dead timer for required phases.
   static std::string FormatSeconds(double v) {
     char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.6f", v);
+    std::snprintf(buffer, sizeof(buffer), "%.9f", v);
     return buffer;
   }
 

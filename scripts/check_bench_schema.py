@@ -26,15 +26,20 @@ REQUIRED_PHASES = [
     "learn_em_sparse",
     "gibbs_marginals",
     "eval_grid",
+    "ingest_delta",
+    "relearn_warm",
 ]
 
-# Speedup entries the scenario must measure: compilation caching and the
-# dense-to-sparse representation change, plus the exec-layer Gibbs scaling.
+# Speedup entries the scenario must measure: compilation caching, the
+# dense-to-sparse representation change, the exec-layer Gibbs scaling, and
+# the incremental engine (delta-compile ingest, warm-started relearning).
 REQUIRED_SPEEDUPS = [
     "compile_cached_vs_cold",
     "learn_erm_sparse_vs_dense",
     "learn_em_sparse_vs_dense",
     "gibbs_marginals",
+    "ingest_delta_vs_recompile",
+    "relearn_warm_vs_cold",
 ]
 
 TOP_LEVEL = {
@@ -116,6 +121,16 @@ def main(argv):
         )
         if phase["seconds"] < 0:
             fail(f"phases[{i}].seconds is negative: {phase['seconds']}")
+        # A required phase recording 0 seconds means its timer never ran
+        # (a broken stopwatch or a stubbed-out phase), not that the work
+        # was free: BenchReporter emits 9 decimal places, so even a
+        # cache-served microsecond lookup records a positive value. Fail
+        # loudly instead of letting a dead phase pass as "fast".
+        if phase["name"] in REQUIRED_PHASES and phase["seconds"] <= 0:
+            fail(
+                f"phases[{i}] ('{phase['name']}') is a required phase with "
+                f"seconds <= 0: {phase['seconds']}"
+            )
         if phase["threads"] < 1:
             fail(f"phases[{i}].threads must be >= 1: {phase['threads']}")
 

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Checks that markdown links resolve.
+
+Validates every inline link and image in the given markdown files (and
+all *.md under the given directories):
+
+  - relative file links must point at an existing file or directory
+    (resolved against the linking file; paths starting with '/' resolve
+    against the repository root),
+  - fragment links (#section, file.md#section) must name a heading that
+    exists in the target file, using GitHub's anchor slugification,
+  - external links (http/https/mailto) are recognized but NOT fetched —
+    the checker must work offline and stay deterministic in CI.
+
+Usage: check_md_links.py [PATH ...]
+Defaults to README.md ROADMAP.md CHANGES.md docs/ when no paths are given.
+Exits 1 with one line per broken link.
+"""
+
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target), ignoring code
+# spans handled below. Titles ("...") after the target are stripped.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading):
+    """GitHub's heading -> anchor transform (close enough for ASCII docs)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)  # formatting markers
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)  # links -> text
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    slug = slug.replace(" ", "-")
+    return slug
+
+
+def headings_of(path):
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                anchors.add(github_slug(match.group(1)))
+    return anchors
+
+
+def strip_code(line):
+    """Removes `code spans` so example links inside them are not checked."""
+    return re.sub(r"`[^`]*`", "``", line)
+
+
+def check_file(path, repo_root, errors):
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(strip_code(line)):
+                target = match.group(1)
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                    continue  # external scheme (http, https, mailto, ...)
+                file_part, _, fragment = target.partition("#")
+                if file_part:
+                    if file_part.startswith("/"):
+                        resolved = os.path.join(repo_root,
+                                                file_part.lstrip("/"))
+                    else:
+                        resolved = os.path.join(os.path.dirname(path),
+                                                file_part)
+                    resolved = os.path.normpath(resolved)
+                    if not os.path.exists(resolved):
+                        errors.append(
+                            f"{path}:{lineno}: broken link '{target}' "
+                            f"(no such file: {resolved})"
+                        )
+                        continue
+                else:
+                    resolved = path
+                if fragment:
+                    if not resolved.endswith(".md"):
+                        continue  # anchors into non-markdown: not checked
+                    if github_slug(fragment) not in headings_of(resolved):
+                        errors.append(
+                            f"{path}:{lineno}: broken anchor '{target}' "
+                            f"(no heading '#{fragment}' in {resolved})"
+                        )
+
+
+def collect(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, names in os.walk(path):
+                files.extend(
+                    os.path.join(root, n) for n in sorted(names)
+                    if n.endswith(".md")
+                )
+        elif path.endswith(".md") and os.path.exists(path):
+            files.append(path)
+        else:
+            print(f"check_md_links: WARNING: skipping {path}",
+                  file=sys.stderr)
+    return files
+
+
+def main(argv):
+    paths = argv[1:] or ["README.md", "ROADMAP.md", "CHANGES.md", "docs"]
+    repo_root = os.getcwd()
+    errors = []
+    files = collect(paths)
+    for path in files:
+        check_file(path, repo_root, errors)
+    for error in errors:
+        print(f"check_md_links: FAIL: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"check_md_links: OK: {len(files)} files, no broken links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

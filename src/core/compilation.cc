@@ -97,6 +97,54 @@ std::vector<std::pair<SourceId, SourceId>> SelectCopyPairs(
 
 }  // namespace
 
+CompiledObject CompileObjectRow(
+    ObjectId object, const std::vector<SourceClaim>& claims,
+    const std::vector<ValueId>& domain, const CompiledModel& model,
+    const std::unordered_map<int64_t, int32_t>& copy_pair_index) {
+  const ModelConfig& config = model.config;
+  CompiledObject obj;
+  obj.object = object;
+  obj.domain = domain;
+  obj.terms.resize(obj.domain.size());
+  obj.offsets.assign(obj.domain.size(), 0.0);
+  double claim_offset =
+      (config.multiclass_offset && obj.domain.size() > 2)
+          ? std::log(static_cast<double>(obj.domain.size()) - 1.0)
+          : 0.0;
+  TermAccumulator acc;
+  for (size_t di = 0; di < obj.domain.size(); ++di) {
+    ValueId d = obj.domain[di];
+    for (const SourceClaim& claim : claims) {
+      if (claim.value == d) {
+        acc.AddAll(model.sigma_terms[static_cast<size_t>(claim.source)]);
+        obj.offsets[di] += claim_offset;
+      }
+    }
+    // Copying factors (Appendix D): when registered pair (i, j) agrees on
+    // value v for this object, a weight fires on every candidate d != v —
+    // a positive weight pushes the posterior *away* from the pair's value,
+    // modeling that joint mistakes are evidence of copying rather than
+    // independent corroboration.
+    if (config.use_copying_features) {
+      for (size_t a = 0; a < claims.size(); ++a) {
+        for (size_t b = a + 1; b < claims.size(); ++b) {
+          if (claims[a].value != claims[b].value) continue;
+          SourceId i = std::min(claims[a].source, claims[b].source);
+          SourceId j = std::max(claims[a].source, claims[b].source);
+          auto it = copy_pair_index.find(
+              static_cast<int64_t>(i) * model.num_sources + j);
+          if (it == copy_pair_index.end()) continue;
+          if (d != claims[a].value) {
+            acc.Add(model.layout.copy_offset + it->second, 1.0);
+          }
+        }
+      }
+    }
+    obj.terms[di] = acc.Finish();
+  }
+  return obj;
+}
+
 Result<CompiledModel> Compile(const Dataset& dataset,
                               const ModelConfig& config) {
   if (!config.use_source_weights && !config.use_feature_weights) {
@@ -158,55 +206,16 @@ Result<CompiledModel> Compile(const Dataset& dataset,
                        static_cast<int32_t>(c));
   }
 
-  // Per-object posterior expressions.
+  // Per-object posterior expressions, one shared CompileObjectRow call per
+  // observed object (the same call DeltaCompile makes for touched rows).
   model.object_row.assign(static_cast<size_t>(dataset.num_objects()), -1);
-  TermAccumulator acc;
   for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
     const auto& claims = dataset.ClaimsOnObject(o);
     if (claims.empty()) continue;
-
-    CompiledObject obj;
-    obj.object = o;
-    obj.domain = dataset.DomainOf(o);
-    obj.terms.resize(obj.domain.size());
-    obj.offsets.assign(obj.domain.size(), 0.0);
-    double claim_offset =
-        (config.multiclass_offset && obj.domain.size() > 2)
-            ? std::log(static_cast<double>(obj.domain.size()) - 1.0)
-            : 0.0;
-    for (size_t di = 0; di < obj.domain.size(); ++di) {
-      ValueId d = obj.domain[di];
-      for (const SourceClaim& claim : claims) {
-        if (claim.value == d) {
-          acc.AddAll(model.sigma_terms[static_cast<size_t>(claim.source)]);
-          obj.offsets[di] += claim_offset;
-        }
-      }
-      // Copying factors (Appendix D): when registered pair (i, j) agrees on
-      // value v for this object, a weight fires on every candidate d != v —
-      // a positive weight pushes the posterior *away* from the pair's value,
-      // modeling that joint mistakes are evidence of copying rather than
-      // independent corroboration.
-      if (config.use_copying_features) {
-        for (size_t a = 0; a < claims.size(); ++a) {
-          for (size_t b = a + 1; b < claims.size(); ++b) {
-            if (claims[a].value != claims[b].value) continue;
-            SourceId i = std::min(claims[a].source, claims[b].source);
-            SourceId j = std::max(claims[a].source, claims[b].source);
-            auto it = pair_index.find(
-                static_cast<int64_t>(i) * dataset.num_sources() + j);
-            if (it == pair_index.end()) continue;
-            if (d != claims[a].value) {
-              acc.Add(layout.copy_offset + it->second, 1.0);
-            }
-          }
-        }
-      }
-      obj.terms[di] = acc.Finish();
-    }
     model.object_row[static_cast<size_t>(o)] =
         static_cast<int32_t>(model.objects.size());
-    model.objects.push_back(std::move(obj));
+    model.objects.push_back(
+        CompileObjectRow(o, claims, dataset.DomainOf(o), model, pair_index));
   }
   return model;
 }

@@ -2,6 +2,7 @@
 #define SLIMFAST_CORE_COMPILATION_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -41,6 +42,10 @@ struct CompiledObject {
 
   /// Index of `value` within `domain`, or -1 if absent.
   int32_t DomainIndex(ValueId value) const;
+
+  /// Structural (bitwise, for the double-valued terms and offsets)
+  /// equality; backs the delta-compilation equivalence assertions.
+  bool operator==(const CompiledObject&) const = default;
 };
 
 /// Layout of the flat parameter vector:
@@ -66,6 +71,8 @@ struct ParamLayout {
   bool IsCopyParam(ParamId p) const {
     return p >= copy_offset && p < copy_offset + num_copy_params;
   }
+
+  bool operator==(const ParamLayout&) const = default;
 };
 
 /// The model structure compiled from a dataset (the "Compilation" step of
@@ -91,6 +98,10 @@ struct CompiledModel {
 
   /// Compiled row of `object`, or nullptr if it has no observations.
   const CompiledObject* RowOf(ObjectId object) const;
+
+  /// Deep structural equality (bitwise on every term coefficient and
+  /// offset); backs the delta-compilation equivalence assertions.
+  bool operator==(const CompiledModel&) const = default;
 };
 
 /// Compiles `dataset` into the log-linear structure of Eq. 4 under
@@ -98,6 +109,22 @@ struct CompiledModel {
 /// of the structure required (e.g. copying with < 2 sources).
 Result<CompiledModel> Compile(const Dataset& dataset,
                               const ModelConfig& config);
+
+/// Compiles the posterior expressions of one object from its claim list
+/// and candidate domain — the per-object inner step of Compile(), exposed
+/// so DeltaCompile can recompile exactly the touched rows. Because full
+/// and delta compilation run this one implementation over the same claims
+/// in the same order, an incrementally recompiled row is bitwise-identical
+/// to its full-recompilation counterpart.
+///
+/// `model` supplies the structural context (config, parameter layout, and
+/// the per-source sigma-term expressions); `copy_pair_index` maps a packed
+/// `min_source * num_sources + max_source` key to the copy-parameter index
+/// (pass an empty map when the copying extension is off).
+CompiledObject CompileObjectRow(
+    ObjectId object, const std::vector<SourceClaim>& claims,
+    const std::vector<ValueId>& domain, const CompiledModel& model,
+    const std::unordered_map<int64_t, int32_t>& copy_pair_index);
 
 }  // namespace slimfast
 

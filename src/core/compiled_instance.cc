@@ -1,55 +1,21 @@
 #include "core/compiled_instance.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "exec/parallel.h"
 #include "util/hash.h"
 
 namespace slimfast {
 
-uint64_t DatasetCompilationFingerprint(const Dataset& dataset) {
-  uint64_t h = 0x534c694d46617374ULL;  // "SLiMFast"
-  h = HashCombine(h, static_cast<uint64_t>(dataset.num_sources()));
-  h = HashCombine(h, static_cast<uint64_t>(dataset.num_objects()));
-  h = HashCombine(h, static_cast<uint64_t>(dataset.num_values()));
-  h = HashCombine(h, static_cast<uint64_t>(dataset.num_observations()));
-  // Observations in canonical (by-object, insertion) order — the order
-  // every compilation pass walks.
-  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
-    for (const SourceClaim& claim : dataset.ClaimsOnObject(o)) {
-      uint64_t pair =
-          (static_cast<uint64_t>(static_cast<uint32_t>(claim.source)) << 32) |
-          static_cast<uint64_t>(static_cast<uint32_t>(claim.value));
-      h = HashCombine(h, pair);
-    }
-    h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(
-                           dataset.HasTruth(o) ? dataset.Truth(o)
-                                               : kNoValue)));
-  }
-  // Per-source feature sets (sigma-term sparsity).
-  const FeatureSpace& features = dataset.features();
-  h = HashCombine(h, static_cast<uint64_t>(features.num_features()));
-  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
-    const std::vector<FeatureId>& active = features.FeaturesOf(s);
-    h = HashCombine(h, static_cast<uint64_t>(active.size()));
-    for (FeatureId k : active) {
-      h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(k)));
-    }
-  }
-  return h;
-}
+namespace {
 
-Result<std::shared_ptr<const CompiledInstance>> CompileInstance(
-    const Dataset& dataset, const ModelConfig& config) {
-  SLIMFAST_ASSIGN_OR_RETURN(CompiledModel compiled,
-                            Compile(dataset, config));
-
-  auto instance = std::make_shared<CompiledInstance>();
-  instance->model =
-      std::make_shared<const CompiledModel>(std::move(compiled));
-  instance->store = ObservationStore::FromDataset(dataset);
+/// Flattens `instance->model` + `instance->store` into the flat CSR
+/// arrays. One linear pass, shared by CompileInstance and DeltaCompile so
+/// both assemble identical bits from identical structure.
+void FlattenInstance(CompiledInstance* instance) {
   const CompiledModel& model = *instance->model;
   const ObservationStore& store = instance->store;
-
   const size_t num_rows = model.objects.size();
 
   // Candidate axis + term CSR.
@@ -112,8 +78,148 @@ Result<std::shared_ptr<const CompiledInstance>> CompileInstance(
     instance->truth_cand.push_back(
         truth == kNoValue ? -1 : row.DomainIndex(truth));
   }
+}
 
+}  // namespace
+
+uint64_t DatasetCompilationFingerprint(const Dataset& dataset) {
+  uint64_t h = 0x534c694d46617374ULL;  // "SLiMFast"
+  h = HashCombine(h, static_cast<uint64_t>(dataset.num_sources()));
+  h = HashCombine(h, static_cast<uint64_t>(dataset.num_objects()));
+  h = HashCombine(h, static_cast<uint64_t>(dataset.num_values()));
+  h = HashCombine(h, static_cast<uint64_t>(dataset.num_observations()));
+  // Observations in canonical (by-object, insertion) order — the order
+  // every compilation pass walks.
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    for (const SourceClaim& claim : dataset.ClaimsOnObject(o)) {
+      uint64_t pair =
+          (static_cast<uint64_t>(static_cast<uint32_t>(claim.source)) << 32) |
+          static_cast<uint64_t>(static_cast<uint32_t>(claim.value));
+      h = HashCombine(h, pair);
+    }
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(
+                           dataset.HasTruth(o) ? dataset.Truth(o)
+                                               : kNoValue)));
+  }
+  // Per-source feature sets (sigma-term sparsity).
+  const FeatureSpace& features = dataset.features();
+  h = HashCombine(h, static_cast<uint64_t>(features.num_features()));
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    const std::vector<FeatureId>& active = features.FeaturesOf(s);
+    h = HashCombine(h, static_cast<uint64_t>(active.size()));
+    for (FeatureId k : active) {
+      h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(k)));
+    }
+  }
+  return h;
+}
+
+Result<std::shared_ptr<const CompiledInstance>> CompileInstance(
+    const Dataset& dataset, const ModelConfig& config) {
+  SLIMFAST_ASSIGN_OR_RETURN(CompiledModel compiled,
+                            Compile(dataset, config));
+
+  auto instance = std::make_shared<CompiledInstance>();
+  instance->model =
+      std::make_shared<const CompiledModel>(std::move(compiled));
+  instance->store = ObservationStore::FromDataset(dataset);
+  FlattenInstance(instance.get());
   return std::shared_ptr<const CompiledInstance>(std::move(instance));
+}
+
+Result<std::shared_ptr<const CompiledInstance>> DeltaCompile(
+    const CompiledInstance& base, const ObservationBatch& batch,
+    Executor* exec, std::vector<ObjectId>* recompiled_rows) {
+  const CompiledModel& base_model = *base.model;
+  if (base_model.config.use_copying_features) {
+    return Status::NotImplemented(
+        "delta compilation does not support the copying extension: "
+        "copy-pair selection is a global agreement scan, so a batch can "
+        "change the parameter layout itself — recompile from scratch");
+  }
+
+  SLIMFAST_ASSIGN_OR_RETURN(ObservationStore store,
+                            base.store.AppendBatch(batch));
+
+  // Structural context carries over unchanged: new observations cannot
+  // alter the parameter layout (the source/feature universes are fixed at
+  // session start) or the per-source sigma expressions.
+  CompiledModel model;
+  model.config = base_model.config;
+  model.layout = base_model.layout;
+  model.sigma_terms = base_model.sigma_terms;
+  model.copy_pairs = base_model.copy_pairs;
+  model.num_sources = base_model.num_sources;
+  model.num_features = base_model.num_features;
+
+  // Recompile exactly the rows with new claims, sharded across `exec`
+  // (each row writes its own slot, so thread count never changes the
+  // result). Truth-only updates never enter a row's term expressions —
+  // FlattenInstance re-resolves every truth_cand from the new store — so
+  // a labels-only batch recompiles nothing. Untouched rows are copied
+  // bit-for-bit below.
+  std::vector<ObjectId> recompile;
+  recompile.reserve(batch.observations.size());
+  for (const Observation& obs : batch.observations) {
+    recompile.push_back(obs.object);
+  }
+  std::sort(recompile.begin(), recompile.end());
+  recompile.erase(std::unique(recompile.begin(), recompile.end()),
+                  recompile.end());
+  std::vector<CompiledObject> rows(recompile.size());
+  const std::unordered_map<int64_t, int32_t> no_copy_pairs;
+  ParallelFor(exec, static_cast<int64_t>(recompile.size()), [&](int64_t i) {
+    ObjectId o = recompile[static_cast<size_t>(i)];
+    IndexRange range = store.ObjectRange(o);
+    std::vector<SourceClaim> claims;
+    claims.reserve(static_cast<size_t>(range.size()));
+    for (int64_t c = range.begin; c < range.end; ++c) {
+      claims.push_back(SourceClaim{store.sources()[static_cast<size_t>(c)],
+                                   store.values()[static_cast<size_t>(c)]});
+    }
+    IndexRange domain_range = store.DomainRange(o);
+    std::vector<ValueId> domain(
+        store.domain_values().begin() + domain_range.begin,
+        store.domain_values().begin() + domain_range.end);
+    rows[static_cast<size_t>(i)] =
+        CompileObjectRow(o, claims, domain, base_model, no_copy_pairs);
+  });
+
+  // Assemble the new row list in ObjectId order: recompiled rows splice in
+  // where their object sits, everything else is copied from the base.
+  model.object_row.assign(static_cast<size_t>(store.num_objects()), -1);
+  model.objects.reserve(base_model.objects.size() + rows.size());
+  size_t next_recompiled = 0;
+  for (ObjectId o = 0; o < store.num_objects(); ++o) {
+    if (store.ObjectRange(o).empty()) continue;
+    model.object_row[static_cast<size_t>(o)] =
+        static_cast<int32_t>(model.objects.size());
+    if (next_recompiled < recompile.size() &&
+        recompile[next_recompiled] == o) {
+      model.objects.push_back(std::move(rows[next_recompiled]));
+      ++next_recompiled;
+    } else {
+      const CompiledObject* row = base_model.RowOf(o);
+      model.objects.push_back(*row);
+    }
+  }
+
+  auto instance = std::make_shared<CompiledInstance>();
+  instance->model = std::make_shared<const CompiledModel>(std::move(model));
+  instance->store = std::move(store);
+  FlattenInstance(instance.get());
+  if (recompiled_rows != nullptr) *recompiled_rows = std::move(recompile);
+  return std::shared_ptr<const CompiledInstance>(std::move(instance));
+}
+
+bool BitwiseEqual(const CompiledInstance& a, const CompiledInstance& b) {
+  return *a.model == *b.model && a.store == b.store &&
+         a.row_begin == b.row_begin && a.cand_values == b.cand_values &&
+         a.cand_offsets == b.cand_offsets && a.term_begin == b.term_begin &&
+         a.terms == b.terms && a.sigma_begin == b.sigma_begin &&
+         a.sigma_terms == b.sigma_terms && a.claim_begin == b.claim_begin &&
+         a.claim_sources == b.claim_sources &&
+         a.claim_cand == b.claim_cand && a.truth_cand == b.truth_cand;
 }
 
 CompiledInstanceCache& CompiledInstanceCache::Global() {

@@ -108,6 +108,45 @@ inline void SparsePosterior(const CompiledInstance& inst, int32_t r,
 Result<std::shared_ptr<const CompiledInstance>> CompileInstance(
     const Dataset& dataset, const ModelConfig& config);
 
+class Executor;
+
+/// Extends a compiled instance with one ingest batch, recompiling only the
+/// touched rows — the delta-maintenance step of the incremental fusion
+/// engine.
+///
+/// The patched `ObservationStore` comes from `ObservationStore::AppendBatch`
+/// (CSR range splice + incremental fingerprint); only the rows whose
+/// claims, domain, or truth changed are re-derived, through the same
+/// `CompileObjectRow` the full compiler runs, and the flat CSR arrays are
+/// reassembled in one linear pass. The result is **bitwise-equal** to
+/// `CompileInstance` over the concatenated data — same structure, same
+/// term coefficients, same offsets to the last bit — which
+/// `core_delta_compile_test` asserts for every preset and chunking, and
+/// the bench re-checks on every run. Touched-row recompilation is sharded
+/// across `exec` (null = serial; rows are independent, so thread count
+/// never changes the result).
+///
+/// Returns NotImplemented when the base config enables the copying
+/// extension: copy-pair selection is a global agreement scan, so a batch
+/// can invalidate the parameter layout itself — callers must recompile
+/// from scratch in that configuration.
+///
+/// When `recompiled_rows` is non-null it receives the ascending list of
+/// objects whose rows were actually re-derived: the objects with new
+/// claims in the batch. Truth-only updates re-derive nothing — truth
+/// never enters a row's term expressions, and the flattening pass
+/// re-resolves every truth target from the patched store.
+Result<std::shared_ptr<const CompiledInstance>> DeltaCompile(
+    const CompiledInstance& base, const ObservationBatch& batch,
+    Executor* exec = nullptr,
+    std::vector<ObjectId>* recompiled_rows = nullptr);
+
+/// Deep bitwise equality of two compiled instances: the compiled model
+/// (every term coefficient and offset compared as exact doubles), the
+/// columnar store (including its content fingerprint), and every flat CSR
+/// array. This is the delta-compilation correctness oracle.
+bool BitwiseEqual(const CompiledInstance& a, const CompiledInstance& b);
+
 /// Content fingerprint of everything compilation reads from a dataset:
 /// dimensions, the observation multiset in canonical order, ground truth,
 /// and the per-source feature sets. Two datasets with equal fingerprints

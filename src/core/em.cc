@@ -86,10 +86,12 @@ Result<EmStats> EmLearner::Fit(const Dataset& dataset,
                                const std::vector<ObjectId>& train_objects,
                                SlimFastModel* model, Rng* rng,
                                Executor* exec,
-                               const CompiledInstance* instance) const {
+                               const CompiledInstance* instance,
+                               bool warm_start) const {
   SLIMFAST_ASSIGN_OR_RETURN(
       EmStats stats, FitOnce(dataset, train_objects, model, rng,
-                             /*seed_from_labels=*/true, exec, instance));
+                             /*seed_from_labels=*/true, warm_start, exec,
+                             instance));
   // Inversion guard: EM has a symmetric fixed point where most trust
   // scores flip sign (every label is anti-predicted). The ground-truth
   // objects are clamped during the E-step, so a healthy run predicts them
@@ -103,7 +105,8 @@ Result<EmStats> EmLearner::Fit(const Dataset& dataset,
       SLIMFAST_ASSIGN_OR_RETURN(
           EmStats retry_stats,
           FitOnce(dataset, train_objects, &retry, rng,
-                  /*seed_from_labels=*/false, exec, instance));
+                  /*seed_from_labels=*/false, /*warm_start=*/false, exec,
+                  instance));
       if (TrainAccuracy(dataset, train_objects, retry) > accuracy) {
         model->SetWeights(retry.weights());
         return retry_stats;
@@ -135,7 +138,8 @@ double EmLearner::TrainAccuracy(const Dataset& dataset,
 Result<EmStats> EmLearner::FitOnce(const Dataset& dataset,
                                    const std::vector<ObjectId>& train_objects,
                                    SlimFastModel* model, Rng* rng,
-                                   bool seed_from_labels, Executor* exec,
+                                   bool seed_from_labels, bool warm_start,
+                                   Executor* exec,
                                    const CompiledInstance* instance) const {
   const CompiledModel& compiled = model->compiled();
   if (compiled.objects.empty()) {
@@ -150,8 +154,14 @@ Result<EmStats> EmLearner::FitOnce(const Dataset& dataset,
     clamped[static_cast<size_t>(ex.row)] = 1;
   }
 
-  Initialize(dataset, seed_from_labels ? labeled : std::vector<LabeledExample>{},
-             train_objects, model, rng, instance);
+  // A warm-started relearn refines the model's current weights (the
+  // previous fit); clobbering them with the prior would throw away the
+  // state the short refinement schedule depends on.
+  if (!warm_start) {
+    Initialize(dataset,
+               seed_from_labels ? labeled : std::vector<LabeledExample>{},
+               train_objects, model, rng, instance);
+  }
 
   // Observation examples for clamped objects are fixed across iterations.
   std::vector<ObservationExample> clamped_examples =
@@ -160,9 +170,17 @@ Result<EmStats> EmLearner::FitOnce(const Dataset& dataset,
   ErmLearner m_step(options_.m_step);
   ConvergenceTracker tracker(options_.tolerance, options_.patience);
 
+  // A warm-started run refines on its own (shorter) budget; cold runs —
+  // including the inversion-guard retry inside a warm relearn — get the
+  // full cold cap.
+  const int32_t max_iterations =
+      (warm_start && options_.warm_max_iterations > 0)
+          ? options_.warm_max_iterations
+          : options_.max_iterations;
+
   EmStats stats;
   std::vector<ObservationExample> examples;
-  for (int32_t iter = 0; iter < options_.max_iterations; ++iter) {
+  for (int32_t iter = 0; iter < max_iterations; ++iter) {
     // ---- E-step: impute value posteriors for unclamped rows and turn
     // them into per-claim correctness targets. Given an assignment (or
     // posterior) for To, the likelihood of the observations factors per

@@ -56,18 +56,28 @@ class EmLearner {
   /// thread count never changes the fit. When `instance` is non-null the
   /// E-step and M-step walk its flat sparse ranges; results are
   /// bit-identical to the dense path (see core/row_access.h).
+  ///
+  /// With `warm_start` set, the model's current weights are taken as the
+  /// starting point — initialization (the logit-prior source weights and
+  /// the label-seeded fit) is skipped for the first run, so a
+  /// warm-started relearn refines the previous fit instead of restarting.
+  /// The warm run honors `EmOptions::warm_max_iterations`; the
+  /// inversion-guard retry, if triggered, still initializes cold and
+  /// keeps the full cold iteration budget.
   Result<EmStats> Fit(const Dataset& dataset,
                       const std::vector<ObjectId>& train_objects,
                       SlimFastModel* model, Rng* rng,
                       Executor* exec = nullptr,
-                      const CompiledInstance* instance = nullptr) const;
+                      const CompiledInstance* instance = nullptr,
+                      bool warm_start = false) const;
 
  private:
   /// One complete EM run (Fit adds the inversion-guard restart on top).
   Result<EmStats> FitOnce(const Dataset& dataset,
                           const std::vector<ObjectId>& train_objects,
                           SlimFastModel* model, Rng* rng,
-                          bool seed_from_labels, Executor* exec,
+                          bool seed_from_labels, bool warm_start,
+                          Executor* exec,
                           const CompiledInstance* instance) const;
 
   /// MAP accuracy of `model` on the clamped training objects.

@@ -1,0 +1,160 @@
+#include "core/fusion_session.h"
+
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace slimfast {
+
+FusionSession::FusionSession(FusionSessionOptions options,
+                             FeatureSpace features)
+    : options_(std::move(options)), features_(std::move(features)) {}
+
+Result<FusionSession> FusionSession::Create(int32_t num_sources,
+                                            int32_t num_objects,
+                                            int32_t num_values,
+                                            FusionSessionOptions options,
+                                            FeatureSpace features) {
+  if (num_sources < 0 || num_objects < 0 || num_values < 1) {
+    return Status::InvalidArgument(
+        "session dimensions must be non-negative (num_values >= 1)");
+  }
+  if (features.num_sources() == 0 && num_sources > 0) {
+    features = FeatureSpace(num_sources);
+  }
+  if (features.num_sources() != num_sources) {
+    return Status::InvalidArgument(
+        "feature space is sized for " +
+        std::to_string(features.num_sources()) + " sources, session has " +
+        std::to_string(num_sources));
+  }
+  if (options.slimfast.model.use_copying_features) {
+    // DeltaCompile rejects the copying extension (pair selection is a
+    // global scan), so every Ingest of such a session would fail; fail
+    // here, next to the misconfiguration, instead.
+    return Status::InvalidArgument(
+        "FusionSession does not support the copying extension: delta "
+        "compilation cannot maintain globally selected copy pairs");
+  }
+  // The session lives on the sparse instance; the facade's warm-start
+  // switch mirrors the session-level one.
+  options.slimfast.use_sparse = true;
+  options.slimfast.warm_start.enabled = options.warm_start;
+
+  FusionSession session(std::move(options), std::move(features));
+  session.num_sources_ = num_sources;
+  session.num_objects_ = num_objects;
+  session.num_values_ = num_values;
+  session.truth_.assign(static_cast<size_t>(num_objects), kNoValue);
+  session.exec_ =
+      std::make_unique<Executor>(session.options_.slimfast.exec);
+  session.slimfast_ = std::make_unique<SlimFast>(session.options_.slimfast,
+                                                 session.options_.name);
+
+  // Compile the empty universe once; every Ingest (including the first)
+  // is then a uniform delta step.
+  DatasetBuilder builder(session.options_.name, num_sources, num_objects,
+                         num_values);
+  *builder.mutable_features() = session.features_;
+  SLIMFAST_ASSIGN_OR_RETURN(session.dataset_,
+                            std::move(builder).Build());
+  SLIMFAST_ASSIGN_OR_RETURN(
+      session.instance_,
+      CompileInstance(session.dataset_, session.options_.slimfast.model));
+  return session;
+}
+
+Result<IngestStats> FusionSession::Ingest(const ObservationBatch& batch) {
+  Stopwatch watch;
+  std::vector<ObjectId> recompiled_rows;
+  // DeltaCompile validates the batch via AppendBatch and leaves the
+  // session untouched on failure; the accumulators below only advance
+  // once the new instance exists.
+  SLIMFAST_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CompiledInstance> next,
+      DeltaCompile(*instance_, batch, exec_.get(), &recompiled_rows));
+  instance_ = std::move(next);
+
+  observations_.insert(observations_.end(), batch.observations.begin(),
+                       batch.observations.end());
+  for (const TruthLabel& label : batch.truths) {
+    truth_[static_cast<size_t>(label.object)] = label.value;
+  }
+  if (!batch.empty()) dataset_stale_ = true;
+  ++num_ingested_batches_;
+
+  IngestStats stats;
+  stats.batch_observations =
+      static_cast<int64_t>(batch.observations.size());
+  stats.batch_truths = static_cast<int64_t>(batch.truths.size());
+  stats.touched_objects = static_cast<int32_t>(recompiled_rows.size());
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+Status FusionSession::RefreshDataset() {
+  if (!dataset_stale_) return Status::OK();
+  DatasetBuilder builder(options_.name, num_sources_, num_objects_,
+                         num_values_);
+  *builder.mutable_features() = features_;
+  for (const Observation& obs : observations_) {
+    SLIMFAST_RETURN_NOT_OK(
+        builder.AddObservation(obs.object, obs.source, obs.value));
+  }
+  for (ObjectId o = 0; o < num_objects_; ++o) {
+    ValueId truth = truth_[static_cast<size_t>(o)];
+    if (truth != kNoValue) {
+      SLIMFAST_RETURN_NOT_OK(builder.SetTruth(o, truth));
+    }
+  }
+  SLIMFAST_ASSIGN_OR_RETURN(dataset_, std::move(builder).Build());
+  dataset_stale_ = false;
+  return Status::OK();
+}
+
+Result<RelearnStats> FusionSession::Relearn() {
+  if (observations_.empty()) {
+    return Status::FailedPrecondition(
+        "nothing ingested yet: Ingest at least one observation before "
+        "relearning");
+  }
+  Stopwatch watch;
+  SLIMFAST_RETURN_NOT_OK(RefreshDataset());
+
+  // Every object with ingested truth is training data; the session has no
+  // held-out split of its own (evaluation against withheld truth is the
+  // caller's concern, e.g. `slimfast_cli replay`).
+  TrainTestSplit split;
+  split.is_train.assign(static_cast<size_t>(num_objects_), 0);
+  for (ObjectId o : dataset_.ObjectsWithTruth()) {
+    split.train_objects.push_back(o);
+    split.is_train[static_cast<size_t>(o)] = 1;
+  }
+
+  const bool warm = options_.warm_start && has_model();
+  SLIMFAST_ASSIGN_OR_RETURN(
+      SlimFastFit fit,
+      slimfast_->FitCompiled(dataset_, split, options_.seed, instance_,
+                             warm ? &weights_ : nullptr, exec_.get()));
+
+  weights_ = fit.model.weights();
+  predictions_ = fit.model.PredictAll();
+  source_accuracies_ = fit.model.AllSourceAccuracies();
+  ++num_relearns_;
+
+  RelearnStats stats;
+  stats.algorithm_used = fit.algorithm_used;
+  stats.warm_started = fit.warm_started;
+  stats.num_train_objects =
+      static_cast<int32_t>(split.train_objects.size());
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+ValueId FusionSession::Query(ObjectId object) const {
+  if (object < 0 || object >= num_objects_) return kNoValue;
+  if (predictions_.empty()) return kNoValue;
+  return predictions_[static_cast<size_t>(object)];
+}
+
+}  // namespace slimfast

@@ -1,0 +1,175 @@
+#ifndef SLIMFAST_CORE_FUSION_SESSION_H_
+#define SLIMFAST_CORE_FUSION_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compiled_instance.h"
+#include "core/options.h"
+#include "core/slimfast.h"
+#include "data/feature_space.h"
+#include "data/observation_store.h"
+#include "exec/parallel.h"
+#include "util/result.h"
+
+namespace slimfast {
+
+/// Configuration of a long-lived incremental fusion session.
+struct FusionSessionOptions {
+  /// Model, learner, and execution configuration shared with the batch
+  /// facade. `use_sparse` is implied (the session lives on a
+  /// `CompiledInstance`); `exec.threads` sizes the session's executor,
+  /// which shards both delta-compilation and relearning.
+  SlimFastOptions slimfast;
+  /// Session name, used as the name of the datasets it rebuilds.
+  std::string name = "fusion-session";
+  /// Seed for every relearn, so a session's trajectory is a pure function
+  /// of its ingest sequence.
+  uint64_t seed = 42;
+  /// Relearns after the first seed from the previous weight vector and run
+  /// the warm refinement schedule (`slimfast.warm_start` tuning knobs;
+  /// its `enabled` flag is set by the session from this switch). Off =
+  /// every relearn is a cold fit, for A/B comparison.
+  bool warm_start = true;
+};
+
+/// Per-ingest timing and size statistics.
+struct IngestStats {
+  int64_t batch_observations = 0;
+  int64_t batch_truths = 0;
+  /// Rows DeltaCompile actually re-derived (batch-touched objects with
+  /// observations; everything else was carried over).
+  int32_t touched_objects = 0;
+  /// Wall-clock of the store splice + delta compilation.
+  double seconds = 0.0;
+};
+
+/// Per-relearn statistics.
+struct RelearnStats {
+  Algorithm algorithm_used = Algorithm::kErm;
+  /// True when this relearn refined the previous weights on the short
+  /// schedule (false for the first fit and when warm_start is off).
+  bool warm_started = false;
+  int32_t num_train_objects = 0;
+  double seconds = 0.0;
+};
+
+/// A long-lived incremental fusion engine: `Ingest(batch)` absorbs new
+/// observations by delta-compiling the instance (touched rows only),
+/// `Relearn()` refines the model from the previous weights on a short
+/// schedule, and `Query(object)` serves the current estimate — the
+/// serving-path counterpart of the one-shot `SlimFast::Run`.
+///
+/// The session keeps a single `CompiledInstance` alive across its life.
+/// Each ingest extends it through `ObservationStore::AppendBatch` +
+/// `DeltaCompile`: the expensive structural work — re-deriving a row's
+/// per-candidate term expressions — is paid only for the rows the batch
+/// touches, while untouched rows are carried over by one linear splice
+/// pass (the O(history) memcpy-style assembly that remains; ingest is a
+/// constant-factor win over recompiling, not an asymptotic one). The
+/// result is bitwise-equal to recompiling the concatenated history from
+/// scratch (asserted in tests and re-checked by `slimfast_cli bench`).
+/// Relearning warm-starts from the previous fit
+/// (`SlimFast::FitCompiled`), cutting the epoch budget to
+/// `WarmStartOptions::budget_scale` of a cold run.
+///
+/// Determinism: with a fixed options seed, the sequence of predictions is
+/// a pure function of the ingest sequence — delta compilation is sharded
+/// but slot-per-row, and relearning inherits the exec layer's fixed-shard
+/// reduce, so `exec.threads` never changes any estimate.
+///
+/// The session is single-threaded from the caller's perspective (like an
+/// `Executor`, it is driven from one thread; internal stages fan out).
+class FusionSession {
+ public:
+  /// Creates a session over a fixed id universe (the dimensions every
+  /// batch is validated against) with optional per-source features.
+  /// `features` must be sized to `num_sources` (or default-constructed,
+  /// which the session resizes). The initial instance is the compiled
+  /// empty dataset; the first Ingest is already a delta.
+  static Result<FusionSession> Create(int32_t num_sources,
+                                      int32_t num_objects,
+                                      int32_t num_values,
+                                      FusionSessionOptions options = {},
+                                      FeatureSpace features = FeatureSpace());
+
+  /// Absorbs one batch: validates it, splices the columnar store, and
+  /// delta-compiles the touched rows (sharded across the session
+  /// executor). On error the session is unchanged. Does not relearn —
+  /// callers batch several ingests per relearn under heavy traffic.
+  Result<IngestStats> Ingest(const ObservationBatch& batch);
+
+  /// Refits the model on everything ingested so far: all objects with
+  /// ingested truth are training data. Warm-starts from the previous
+  /// weights when enabled. Fails if nothing has been ingested yet.
+  Result<RelearnStats> Relearn();
+
+  /// Current estimate for `object`: the last relearned model's MAP value,
+  /// or kNoValue when the object has no observations (or nothing has been
+  /// relearned yet).
+  ValueId Query(ObjectId object) const;
+
+  /// All current estimates, indexed by object (kNoValue where unknown).
+  const std::vector<ValueId>& predictions() const { return predictions_; }
+
+  /// Source-accuracy estimates of the last relearned model (empty before
+  /// the first relearn).
+  const std::vector<double>& source_accuracies() const {
+    return source_accuracies_;
+  }
+
+  /// Weight vector of the last relearn (empty before the first); the
+  /// vector warm starts resume from.
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// The live compiled instance (never null after Create).
+  const std::shared_ptr<const CompiledInstance>& instance() const {
+    return instance_;
+  }
+
+  int64_t num_observations() const {
+    return static_cast<int64_t>(observations_.size());
+  }
+  int32_t num_ingested_batches() const { return num_ingested_batches_; }
+  int32_t num_relearns() const { return num_relearns_; }
+  bool has_model() const { return num_relearns_ > 0; }
+
+ private:
+  FusionSession(FusionSessionOptions options, FeatureSpace features);
+
+  /// Rebuilds dataset_ from the accumulated history when stale. The
+  /// learners consume the Dataset view; the instance is its compiled
+  /// twin (bitwise-identical store by construction).
+  Status RefreshDataset();
+
+  FusionSessionOptions options_;
+  FeatureSpace features_;
+  int32_t num_sources_ = 0;
+  int32_t num_objects_ = 0;
+  int32_t num_values_ = 0;
+
+  std::unique_ptr<Executor> exec_;
+  std::unique_ptr<SlimFast> slimfast_;
+
+  // Accumulated history (the Dataset view is rebuilt lazily from these).
+  std::vector<Observation> observations_;
+  std::vector<ValueId> truth_;
+  Dataset dataset_;
+  bool dataset_stale_ = false;
+
+  std::shared_ptr<const CompiledInstance> instance_;
+
+  // Last-relearn outputs.
+  std::vector<double> weights_;
+  std::vector<ValueId> predictions_;
+  std::vector<double> source_accuracies_;
+
+  int32_t num_ingested_batches_ = 0;
+  int32_t num_relearns_ = 0;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_CORE_FUSION_SESSION_H_

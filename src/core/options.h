@@ -56,8 +56,13 @@ struct ErmOptions {
   /// Full-batch proximal gradient descent instead of SGD. Batch mode gives
   /// exact sparsity patterns for the Lasso path.
   bool batch = false;
+  /// Base step size η₀ of the learning-rate schedule.
   double learning_rate = 0.5;
+  /// Epoch-wise decay shape applied to the base step size
+  /// (see opt/schedule.h).
   LrDecay decay = LrDecay::kInvSqrt;
+  /// Cold-start epoch budget (warm-started relearns run
+  /// `WarmStartOptions::budget_scale` of it).
   int32_t epochs = 60;
   /// L2 penalty on all parameters. The default keeps weights bounded when
   /// ground truth is extremely scarce (a handful of labeled objects would
@@ -77,7 +82,13 @@ struct ErmOptions {
 
 /// Options for the EM learner (semi-supervised, Sec. 3.2).
 struct EmOptions {
+  /// Cold-start cap on E-step/M-step rounds.
   int32_t max_iterations = 30;
+  /// Iteration cap for a warm-started run; 0 falls back to
+  /// max_iterations. Set by the facade from `WarmStartOptions` so the
+  /// inversion-guard retry — a from-scratch cold run — keeps the full
+  /// cold budget even inside a warm relearn.
+  int32_t warm_max_iterations = 0;
   /// Soft EM uses posterior-weighted pseudo-labels; hard EM (the paper's
   /// E-step) uses MAP pseudo-labels.
   bool soft = false;
@@ -125,6 +136,27 @@ struct OptimizerOptions {
   /// enough overlap to estimate agreement; at ~1 claim per source
   /// (Genomics) the pairwise evidence is a handful of ±1 coin flips.
   double min_coobservations = 20.0;
+};
+
+/// Warm-start refinement schedule for incremental relearning.
+///
+/// A long-running `FusionSession` absorbs an ingest batch, delta-compiles
+/// the instance, and relearns. The previous fit's weight vector is a
+/// near-optimal starting point — the batch perturbed only part of the
+/// model — so the relearn seeds from it and runs a short refinement
+/// schedule instead of the full cold-start epoch budget.
+struct WarmStartOptions {
+  /// Master switch. When off (the default), `SlimFast::FitCompiled`
+  /// ignores any previous weights and runs the cold schedule, so batch
+  /// runs are untouched by this feature.
+  bool enabled = false;
+  /// Fraction of the cold-start budget a warm refinement runs: ERM epochs
+  /// and EM iterations are scaled by this factor (floors below).
+  double budget_scale = 0.25;
+  /// Minimum ERM epochs of a warm refinement.
+  int32_t min_erm_epochs = 8;
+  /// Minimum EM iterations of a warm refinement.
+  int32_t min_em_iterations = 2;
 };
 
 /// Inference engine choice.
@@ -178,6 +210,11 @@ struct SlimFastOptions {
   /// CompiledInstanceCache::Global().Clear() when done with a dataset, or
   /// set this to false to keep compilation scoped to the fit.
   bool use_compilation_cache = true;
+  /// Warm-start refinement for incremental relearning (see
+  /// `WarmStartOptions`). Consulted by `SlimFast::FitCompiled` when the
+  /// caller supplies a previous weight vector; plain `Run`/`Fit` calls
+  /// never warm-start.
+  WarmStartOptions warm_start;
 };
 
 }  // namespace slimfast

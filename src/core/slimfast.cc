@@ -5,10 +5,23 @@
 #include "core/factor_graph_compile.h"
 #include "factorgraph/gibbs.h"
 #include <algorithm>
+#include <cmath>
 
 #include "util/stopwatch.h"
 
 namespace slimfast {
+
+namespace {
+
+/// Warm refinement budget: `budget_scale` of the cold budget, floored at
+/// `floor` but never above the cold budget itself.
+int32_t WarmBudget(int32_t cold, double scale, int32_t floor) {
+  int32_t scaled = static_cast<int32_t>(
+      std::lround(static_cast<double>(cold) * scale));
+  return std::min(cold, std::max(floor, scaled));
+}
+
+}  // namespace
 
 Result<SlimFastFit> SlimFast::Fit(const Dataset& dataset,
                                   const TrainTestSplit& split,
@@ -36,6 +49,31 @@ Result<SlimFastFit> SlimFast::Fit(const Dataset& dataset,
                               Compile(dataset, options_.model));
     compiled = std::make_shared<const CompiledModel>(std::move(dense));
   }
+  double compile_seconds = compile_watch.ElapsedSeconds();
+  return FitWithStructure(dataset, split, seed, std::move(instance),
+                          std::move(compiled), /*warm_weights=*/nullptr,
+                          exec, compile_seconds);
+}
+
+Result<SlimFastFit> SlimFast::FitCompiled(
+    const Dataset& dataset, const TrainTestSplit& split, uint64_t seed,
+    std::shared_ptr<const CompiledInstance> instance,
+    const std::vector<double>* warm_weights, Executor* exec) const {
+  if (instance == nullptr) {
+    return Status::InvalidArgument("FitCompiled requires an instance");
+  }
+  std::shared_ptr<const CompiledModel> compiled = instance->model;
+  return FitWithStructure(dataset, split, seed, std::move(instance),
+                          std::move(compiled), warm_weights, exec,
+                          /*compile_seconds=*/0.0);
+}
+
+Result<SlimFastFit> SlimFast::FitWithStructure(
+    const Dataset& dataset, const TrainTestSplit& split, uint64_t seed,
+    std::shared_ptr<const CompiledInstance> instance,
+    std::shared_ptr<const CompiledModel> compiled,
+    const std::vector<double>* warm_weights, Executor* exec,
+    double compile_seconds) const {
   OptimizerDecision decision;
   Algorithm algorithm = options_.algorithm;
   if (algorithm == Algorithm::kAuto) {
@@ -45,36 +83,58 @@ Result<SlimFastFit> SlimFast::Fit(const Dataset& dataset,
   } else {
     decision.algorithm = algorithm;
   }
-  double compile_seconds = compile_watch.ElapsedSeconds();
+
+  // Warm start: seed from the previous fit's weights and shrink the
+  // learning budget. A layout mismatch (the parameter universe changed)
+  // silently falls back to a cold fit — correctness first.
+  const bool warm =
+      options_.warm_start.enabled && warm_weights != nullptr &&
+      warm_weights->size() ==
+          static_cast<size_t>(compiled->layout.num_params);
+  ErmOptions erm_options = options_.erm;
+  EmOptions em_options = options_.em;
+  if (warm) {
+    erm_options.epochs =
+        WarmBudget(erm_options.epochs, options_.warm_start.budget_scale,
+                   options_.warm_start.min_erm_epochs);
+    // The warm cap lives in its own field: EM's inversion-guard retry is
+    // a cold restart and must keep the full max_iterations budget.
+    em_options.warm_max_iterations =
+        WarmBudget(em_options.max_iterations,
+                   options_.warm_start.budget_scale,
+                   options_.warm_start.min_em_iterations);
+  }
 
   Stopwatch learn_watch;
   SlimFastModel model(compiled);
+  if (warm) model.SetWeights(*warm_weights);
   const CompiledInstance* inst = instance.get();
   Rng rng(seed);
   if (algorithm == Algorithm::kErm) {
-    ErmLearner learner(options_.erm);
+    ErmLearner learner(erm_options);
     auto stats = learner.Fit(dataset, split.train_objects, &model, &rng,
                              exec, inst);
     if (!stats.ok()) {
       // No usable ground truth for ERM (e.g. 0% training data with a
       // forced-ERM preset): fall back to EM rather than failing the run.
-      EmLearner em(options_.em);
+      EmLearner em(em_options);
       SLIMFAST_ASSIGN_OR_RETURN(EmStats em_stats,
                                 em.Fit(dataset, split.train_objects, &model,
-                                       &rng, exec, inst));
+                                       &rng, exec, inst, warm));
       (void)em_stats;
       algorithm = Algorithm::kEm;
     }
   } else {
-    EmLearner learner(options_.em);
+    EmLearner learner(em_options);
     SLIMFAST_ASSIGN_OR_RETURN(
         EmStats em_stats,
-        learner.Fit(dataset, split.train_objects, &model, &rng, exec, inst));
+        learner.Fit(dataset, split.train_objects, &model, &rng, exec, inst,
+                    warm));
     (void)em_stats;
   }
 
   SlimFastFit fit{std::move(model), decision, algorithm, compile_seconds,
-                  learn_watch.ElapsedSeconds(), std::move(instance)};
+                  learn_watch.ElapsedSeconds(), std::move(instance), warm};
   return fit;
 }
 

@@ -25,6 +25,9 @@ struct SlimFastFit {
   /// The sparse compilation the fit ran over (null on the legacy dense
   /// path). Shared with the CompiledInstanceCache when caching is on.
   std::shared_ptr<const CompiledInstance> instance;
+  /// True when the fit seeded from a previous weight vector and ran the
+  /// warm refinement schedule instead of the cold-start budget.
+  bool warm_started = false;
 };
 
 /// The SLiMFast framework facade (Figure 3): compilation → optimizer →
@@ -52,12 +55,39 @@ class SlimFast : public FusionMethod {
   Result<SlimFastFit> Fit(const Dataset& dataset, const TrainTestSplit& split,
                           uint64_t seed, Executor* exec = nullptr) const;
 
+  /// Learns against an already-compiled instance — the incremental
+  /// relearning entry point used by `FusionSession`. Compilation is
+  /// skipped entirely (`instance` typically comes from `DeltaCompile`);
+  /// `dataset` must be the data `instance` was compiled from.
+  ///
+  /// When `warm_weights` is non-null, its size matches the instance's
+  /// parameter layout, and `options().warm_start.enabled` is set, the fit
+  /// seeds from those weights and runs the warm refinement schedule
+  /// (`WarmStartOptions::budget_scale` of the cold epoch/iteration
+  /// budget) instead of the full cold start; otherwise it learns cold.
+  Result<SlimFastFit> FitCompiled(
+      const Dataset& dataset, const TrainTestSplit& split, uint64_t seed,
+      std::shared_ptr<const CompiledInstance> instance,
+      const std::vector<double>* warm_weights = nullptr,
+      Executor* exec = nullptr) const;
+
   /// Full fusion run: Fit + inference, packaged as FusionOutput.
   Result<FusionOutput> Run(const Dataset& dataset,
                            const TrainTestSplit& split,
                            uint64_t seed) override;
 
  private:
+  /// The shared learning stage behind Fit and FitCompiled: optimizer
+  /// decision, (possibly warm-started) ERM or EM, fit packaging.
+  /// `instance` may be null only on the legacy dense path, where
+  /// `compiled` carries the structure.
+  Result<SlimFastFit> FitWithStructure(
+      const Dataset& dataset, const TrainTestSplit& split, uint64_t seed,
+      std::shared_ptr<const CompiledInstance> instance,
+      std::shared_ptr<const CompiledModel> compiled,
+      const std::vector<double>* warm_weights, Executor* exec,
+      double compile_seconds) const;
+
   SlimFastOptions options_;
   std::string name_;
 };

@@ -12,11 +12,11 @@ namespace slimfast {
 /// Persists a dataset as a directory of CSV files so that generated fusion
 /// instances can be inspected, versioned, and re-loaded:
 ///
-///   <dir>/meta.csv          name,num_sources,num_objects,num_values
-///   <dir>/observations.csv  object,source,value
-///   <dir>/truth.csv         object,value
-///   <dir>/features.csv      feature_id,name
-///   <dir>/source_features.csv  source,feature_id
+///   `<dir>/meta.csv`            name,num_sources,num_objects,num_values
+///   `<dir>/observations.csv`    object,source,value
+///   `<dir>/truth.csv`           object,value
+///   `<dir>/features.csv`        feature_id,name
+///   `<dir>/source_features.csv` source,feature_id
 ///
 /// The directory must already exist.
 Status SaveDataset(const Dataset& dataset, const std::string& dir);

@@ -1,8 +1,66 @@
 #include "data/observation_store.h"
 
 #include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
 
 namespace slimfast {
+
+namespace {
+
+// The fingerprint is a wrapping sum of per-item digests over a mixed-in
+// dimension base. Addition commutes, so AppendBatch can fold in a batch's
+// digests without re-reading the items that already live mid-array — while
+// each digest still pins the item's position within its object's range, so
+// reorderings (which change compilation output) change the fingerprint.
+constexpr uint64_t kStoreSeed = 0x4f62735374726521ULL;  // "ObsStre!"
+
+uint64_t DimensionDigest(int32_t num_sources, int32_t num_objects,
+                         int32_t num_values) {
+  uint64_t h = kStoreSeed;
+  h = HashCombine(h, static_cast<uint64_t>(num_sources));
+  h = HashCombine(h, static_cast<uint64_t>(num_objects));
+  h = HashCombine(h, static_cast<uint64_t>(num_values));
+  return h;
+}
+
+uint64_t ObservationDigest(ObjectId object, int64_t position_in_object,
+                           SourceId source, ValueId value) {
+  uint64_t h = HashCombine(kStoreSeed, 0x6f627365727665ULL);  // "observe"
+  h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(object)));
+  h = HashCombine(h, static_cast<uint64_t>(position_in_object));
+  h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(source)));
+  h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(value)));
+  return h;
+}
+
+uint64_t TruthDigest(ObjectId object, ValueId value) {
+  uint64_t h = HashCombine(kStoreSeed, 0x747275746821ULL);  // "truth!"
+  h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(object)));
+  h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(value)));
+  return h;
+}
+
+}  // namespace
+
+void ObservationStore::BuildSourceIndex() {
+  source_offsets_.assign(static_cast<size_t>(num_sources_) + 1, 0);
+  for (SourceId s : sources_) {
+    ++source_offsets_[static_cast<size_t>(s) + 1];
+  }
+  for (size_t s = 1; s < source_offsets_.size(); ++s) {
+    source_offsets_[s] += source_offsets_[s - 1];
+  }
+  source_observations_.assign(sources_.size(), 0);
+  std::vector<int64_t> cursor(source_offsets_.begin(),
+                              source_offsets_.end() - 1);
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    size_t s = static_cast<size_t>(sources_[i]);
+    source_observations_[static_cast<size_t>(cursor[s]++)] =
+        static_cast<int64_t>(i);
+  }
+}
 
 ObservationStore ObservationStore::FromDataset(const Dataset& dataset) {
   ObservationStore store;
@@ -10,6 +68,9 @@ ObservationStore ObservationStore::FromDataset(const Dataset& dataset) {
   store.num_objects_ = dataset.num_objects();
   store.num_values_ = dataset.num_values();
   const int64_t n = dataset.num_observations();
+  store.fingerprint_ = DimensionDigest(store.num_sources_,
+                                       store.num_objects_,
+                                       store.num_values_);
 
   store.objects_.reserve(static_cast<size_t>(n));
   store.sources_.reserve(static_cast<size_t>(n));
@@ -22,32 +83,19 @@ ObservationStore ObservationStore::FromDataset(const Dataset& dataset) {
   for (ObjectId o = 0; o < store.num_objects_; ++o) {
     store.object_offsets_[static_cast<size_t>(o)] =
         static_cast<int64_t>(store.objects_.size());
+    int64_t position = 0;
     for (const SourceClaim& claim : dataset.ClaimsOnObject(o)) {
       store.objects_.push_back(o);
       store.sources_.push_back(claim.source);
       store.values_.push_back(claim.value);
+      store.fingerprint_ +=
+          ObservationDigest(o, position++, claim.source, claim.value);
     }
   }
   store.object_offsets_[static_cast<size_t>(store.num_objects_)] =
       static_cast<int64_t>(store.objects_.size());
 
-  // Counting-sort CSR by source over the canonical arrays.
-  store.source_offsets_.assign(static_cast<size_t>(store.num_sources_) + 1,
-                               0);
-  for (SourceId s : store.sources_) {
-    ++store.source_offsets_[static_cast<size_t>(s) + 1];
-  }
-  for (size_t s = 1; s < store.source_offsets_.size(); ++s) {
-    store.source_offsets_[s] += store.source_offsets_[s - 1];
-  }
-  store.source_observations_.assign(store.sources_.size(), 0);
-  std::vector<int64_t> cursor(store.source_offsets_.begin(),
-                              store.source_offsets_.end() - 1);
-  for (size_t i = 0; i < store.sources_.size(); ++i) {
-    size_t s = static_cast<size_t>(store.sources_[i]);
-    store.source_observations_[static_cast<size_t>(cursor[s]++)] =
-        static_cast<int64_t>(i);
-  }
+  store.BuildSourceIndex();
 
   // Flattened domains and truth.
   store.domain_offsets_.assign(static_cast<size_t>(store.num_objects_) + 1,
@@ -64,10 +112,213 @@ ObservationStore ObservationStore::FromDataset(const Dataset& dataset) {
 
   store.truth_.resize(static_cast<size_t>(store.num_objects_));
   for (ObjectId o = 0; o < store.num_objects_; ++o) {
-    store.truth_[static_cast<size_t>(o)] =
-        dataset.HasTruth(o) ? dataset.Truth(o) : kNoValue;
+    ValueId truth = dataset.HasTruth(o) ? dataset.Truth(o) : kNoValue;
+    store.truth_[static_cast<size_t>(o)] = truth;
+    if (truth != kNoValue) store.fingerprint_ += TruthDigest(o, truth);
   }
   return store;
+}
+
+Result<ObservationStore> ObservationStore::AppendBatch(
+    const ObservationBatch& batch, std::vector<ObjectId>* touched) const {
+  // ---- Validate everything before touching any state. ----
+  // Claims grouped per object, preserving batch order within each object
+  // (the order they will occupy in the object's extended range).
+  std::unordered_map<ObjectId, std::vector<size_t>> by_object;
+  for (size_t i = 0; i < batch.observations.size(); ++i) {
+    const Observation& obs = batch.observations[i];
+    if (obs.object < 0 || obs.object >= num_objects_) {
+      return Status::OutOfRange("batch object id " +
+                                std::to_string(obs.object) + " out of range");
+    }
+    if (obs.source < 0 || obs.source >= num_sources_) {
+      return Status::OutOfRange("batch source id " +
+                                std::to_string(obs.source) + " out of range");
+    }
+    if (obs.value < 0 || obs.value >= num_values_) {
+      return Status::OutOfRange("batch value id " +
+                                std::to_string(obs.value) + " out of range");
+    }
+    by_object[obs.object].push_back(i);
+  }
+  // One claim per (source, object) across the whole history, matching
+  // DatasetBuilder::AddObservation.
+  for (const auto& [object, indexes] : by_object) {
+    IndexRange range = ObjectRange(object);
+    for (size_t a = 0; a < indexes.size(); ++a) {
+      SourceId source = batch.observations[indexes[a]].source;
+      for (int64_t i = range.begin; i < range.end; ++i) {
+        if (sources_[static_cast<size_t>(i)] == source) {
+          return Status::AlreadyExists(
+              "duplicate observation for object " + std::to_string(object) +
+              " by source " + std::to_string(source));
+        }
+      }
+      for (size_t b = a + 1; b < indexes.size(); ++b) {
+        if (batch.observations[indexes[b]].source == source) {
+          return Status::AlreadyExists(
+              "batch claims object " + std::to_string(object) +
+              " twice for source " + std::to_string(source));
+        }
+      }
+    }
+  }
+  // Truth labels must be in range and consistent with recorded truth; a
+  // label repeated (in history or within the batch) with the same value is
+  // a no-op.
+  std::unordered_map<ObjectId, ValueId> new_truth;
+  for (const TruthLabel& label : batch.truths) {
+    if (label.object < 0 || label.object >= num_objects_) {
+      return Status::OutOfRange("truth object id " +
+                                std::to_string(label.object) +
+                                " out of range");
+    }
+    if (label.value < 0 || label.value >= num_values_) {
+      return Status::OutOfRange("truth value id " +
+                                std::to_string(label.value) +
+                                " out of range");
+    }
+    ValueId existing = truth_[static_cast<size_t>(label.object)];
+    if (existing != kNoValue && existing != label.value) {
+      return Status::FailedPrecondition(
+          "conflicting truth for object " + std::to_string(label.object));
+    }
+    auto [it, inserted] = new_truth.emplace(label.object, label.value);
+    if (!inserted && it->second != label.value) {
+      return Status::FailedPrecondition(
+          "batch asserts two truths for object " +
+          std::to_string(label.object));
+    }
+    if (existing != kNoValue) new_truth.erase(label.object);  // no-op label
+  }
+
+  // ---- Splice the columnar arrays (single merge pass). ----
+  ObservationStore out;
+  out.num_sources_ = num_sources_;
+  out.num_objects_ = num_objects_;
+  out.num_values_ = num_values_;
+  out.fingerprint_ = fingerprint_;
+
+  const size_t total =
+      objects_.size() + batch.observations.size();
+  out.objects_.reserve(total);
+  out.sources_.reserve(total);
+  out.values_.reserve(total);
+  out.object_offsets_.assign(static_cast<size_t>(num_objects_) + 1, 0);
+  for (ObjectId o = 0; o < num_objects_; ++o) {
+    out.object_offsets_[static_cast<size_t>(o)] =
+        static_cast<int64_t>(out.objects_.size());
+    IndexRange range = ObjectRange(o);
+    out.objects_.insert(out.objects_.end(),
+                        objects_.begin() + range.begin,
+                        objects_.begin() + range.end);
+    out.sources_.insert(out.sources_.end(),
+                        sources_.begin() + range.begin,
+                        sources_.begin() + range.end);
+    out.values_.insert(out.values_.end(),
+                       values_.begin() + range.begin,
+                       values_.begin() + range.end);
+    auto it = by_object.find(o);
+    if (it == by_object.end()) continue;
+    int64_t position = range.size();
+    for (size_t idx : it->second) {
+      const Observation& obs = batch.observations[idx];
+      out.objects_.push_back(obs.object);
+      out.sources_.push_back(obs.source);
+      out.values_.push_back(obs.value);
+      out.fingerprint_ +=
+          ObservationDigest(o, position++, obs.source, obs.value);
+    }
+  }
+  out.object_offsets_[static_cast<size_t>(num_objects_)] =
+      static_cast<int64_t>(out.objects_.size());
+
+  out.BuildSourceIndex();
+
+  // ---- Patch the flattened domains: untouched objects copy their range,
+  // touched objects re-merge (sorted, deduplicated — the Dataset domain
+  // contract). ----
+  out.domain_offsets_.assign(static_cast<size_t>(num_objects_) + 1, 0);
+  out.domain_values_.reserve(domain_values_.size());
+  std::vector<ValueId> merged;
+  for (ObjectId o = 0; o < num_objects_; ++o) {
+    out.domain_offsets_[static_cast<size_t>(o)] =
+        static_cast<int64_t>(out.domain_values_.size());
+    IndexRange range = DomainRange(o);
+    auto it = by_object.find(o);
+    if (it == by_object.end()) {
+      out.domain_values_.insert(out.domain_values_.end(),
+                                domain_values_.begin() + range.begin,
+                                domain_values_.begin() + range.end);
+      continue;
+    }
+    merged.assign(domain_values_.begin() + range.begin,
+                  domain_values_.begin() + range.end);
+    for (size_t idx : it->second) {
+      merged.push_back(batch.observations[idx].value);
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    out.domain_values_.insert(out.domain_values_.end(), merged.begin(),
+                              merged.end());
+  }
+  out.domain_offsets_[static_cast<size_t>(num_objects_)] =
+      static_cast<int64_t>(out.domain_values_.size());
+
+  // ---- Truth. ----
+  out.truth_ = truth_;
+  for (const auto& [object, value] : new_truth) {
+    out.truth_[static_cast<size_t>(object)] = value;
+    out.fingerprint_ += TruthDigest(object, value);
+  }
+
+  if (touched != nullptr) {
+    touched->clear();
+    touched->reserve(by_object.size() + new_truth.size());
+    for (const auto& [object, indexes] : by_object) {
+      touched->push_back(object);
+    }
+    for (const auto& [object, value] : new_truth) {
+      touched->push_back(object);
+    }
+    std::sort(touched->begin(), touched->end());
+    touched->erase(std::unique(touched->begin(), touched->end()),
+                   touched->end());
+  }
+  return out;
+}
+
+std::vector<ObservationBatch> ChunkDatasetForReplay(const Dataset& dataset,
+                                                    int32_t num_chunks) {
+  if (num_chunks < 1) num_chunks = 1;
+  const int64_t n = dataset.num_observations();
+  std::vector<ObservationBatch> chunks(static_cast<size_t>(num_chunks));
+
+  // Contiguous runs of the arrival order, sizes differing by at most one
+  // (the same static split StaticShards uses).
+  std::vector<int32_t> first_chunk_of_object(
+      static_cast<size_t>(dataset.num_objects()), -1);
+  int64_t begin = 0;
+  for (int32_t c = 0; c < num_chunks; ++c) {
+    int64_t end = begin + n / num_chunks +
+                  (static_cast<int64_t>(c) < n % num_chunks ? 1 : 0);
+    ObservationBatch& chunk = chunks[static_cast<size_t>(c)];
+    chunk.observations.assign(dataset.observations().begin() + begin,
+                              dataset.observations().begin() + end);
+    for (const Observation& obs : chunk.observations) {
+      int32_t& first = first_chunk_of_object[static_cast<size_t>(obs.object)];
+      if (first < 0) first = c;
+    }
+    begin = end;
+  }
+
+  for (ObjectId o : dataset.ObjectsWithTruth()) {
+    int32_t c = first_chunk_of_object[static_cast<size_t>(o)];
+    if (c < 0) c = 0;  // labeled but never observed
+    chunks[static_cast<size_t>(c)].truths.push_back(
+        TruthLabel{o, dataset.Truth(o)});
+  }
+  return chunks;
 }
 
 int32_t ObservationStore::DomainIndexOf(ObjectId object, ValueId value) const {

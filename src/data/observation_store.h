@@ -6,6 +6,7 @@
 
 #include "data/dataset.h"
 #include "data/types.h"
+#include "util/result.h"
 
 namespace slimfast {
 
@@ -17,6 +18,40 @@ struct IndexRange {
   int64_t size() const { return end - begin; }
   bool empty() const { return begin >= end; }
 };
+
+/// A late-arriving ground-truth label: `object` is known to have `value`.
+struct TruthLabel {
+  ObjectId object;
+  ValueId value;
+  bool operator==(const TruthLabel&) const = default;
+};
+
+/// One increment of the incremental fusion engine: new observations and
+/// ground-truth labels arriving after the initial dataset was compiled.
+/// The id universe (source/object/value dictionaries) is fixed at session
+/// start — a batch may only reference ids inside it, mirroring how
+/// `DatasetBuilder` validates against its declared dimensions.
+struct ObservationBatch {
+  std::vector<Observation> observations;
+  std::vector<TruthLabel> truths;
+
+  bool empty() const { return observations.empty() && truths.empty(); }
+  int64_t size() const {
+    return static_cast<int64_t>(observations.size()) +
+           static_cast<int64_t>(truths.size());
+  }
+};
+
+/// Splits `dataset` into `num_chunks` replay batches: observations are cut
+/// into contiguous runs of the dataset's arrival order (sizes differing by
+/// at most one), and each labeled object's truth rides in the chunk that
+/// carries the object's first observation (chunk 0 for labeled objects
+/// that were never observed). Feeding the chunks to an incremental engine
+/// in order reproduces the dataset exactly — the replay harness, the
+/// delta-compilation equivalence tests, and the bench all chunk through
+/// this one function. `num_chunks` is clamped to at least 1.
+std::vector<ObservationBatch> ChunkDatasetForReplay(const Dataset& dataset,
+                                                    int32_t num_chunks);
 
 /// Columnar (structure-of-arrays) view of a Dataset's observation multiset
 /// Ω with CSR-style secondary indexes.
@@ -32,14 +67,45 @@ struct IndexRange {
 /// sources()[i], values()[i] describe observation i); per-object and
 /// per-source CSR offset arrays give O(1) range lookup without hashing or
 /// pointer chasing. Domains and ground truth are flattened the same way.
-/// The store is immutable after FromDataset and holds no reference to the
-/// Dataset it was built from.
+/// The store is immutable after construction and holds no reference to the
+/// Dataset it was built from; growth happens by value through AppendBatch,
+/// which returns a patched copy (the incremental-fusion ingest path).
 class ObservationStore {
  public:
   ObservationStore() = default;
 
   /// Builds the columnar store from `dataset` (one O(n) pass).
   static ObservationStore FromDataset(const Dataset& dataset);
+
+  /// Returns a new store extended with `batch`: each object's new claims
+  /// are spliced onto the end of its existing CSR range (preserving the
+  /// canonical object-major, insertion-within-object order), the
+  /// per-source index is recounted, touched domains are re-merged, and the
+  /// content fingerprint is updated incrementally from the batch alone.
+  /// The result is indistinguishable — array for array, bit for bit — from
+  /// a store rebuilt from scratch over the concatenated observations
+  /// (asserted in data_observation_store_test).
+  ///
+  /// Validation mirrors DatasetBuilder: ids must be inside the fixed
+  /// dimensions, a (source, object) pair may claim at most once across the
+  /// whole history, and a truth label may not contradict one already
+  /// recorded (re-asserting the same truth is a no-op). On error the
+  /// existing store is unchanged and no partial batch is applied.
+  ///
+  /// When `touched` is non-null it receives the ascending, deduplicated
+  /// list of objects whose claims, domain, or truth changed — exactly the
+  /// rows DeltaCompile must recompile.
+  Result<ObservationStore> AppendBatch(
+      const ObservationBatch& batch,
+      std::vector<ObjectId>* touched = nullptr) const;
+
+  /// Order-sensitive content fingerprint of the store: dimensions, every
+  /// observation (keyed by its position within its object's range), and
+  /// ground truth. Maintained incrementally by AppendBatch — per-item
+  /// digests combine by wrapping addition, so absorbing a batch never
+  /// re-reads existing items — and equal, by construction, to the
+  /// fingerprint of a store rebuilt from scratch with the same content.
+  uint64_t content_fingerprint() const { return fingerprint_; }
 
   int32_t num_sources() const { return num_sources_; }
   int32_t num_objects() const { return num_objects_; }
@@ -91,7 +157,15 @@ class ObservationStore {
   /// Index of `value` within `object`'s domain range, or -1 if absent.
   int32_t DomainIndexOf(ObjectId object, ValueId value) const;
 
+  /// Structural equality over every columnar array, index, and the
+  /// fingerprint — the "bitwise equal" check the delta-maintenance tests
+  /// and bench assertions rely on.
+  bool operator==(const ObservationStore&) const = default;
+
  private:
+  /// Rebuilds the by-source CSR index (counting sort over the canonical
+  /// arrays). Shared by FromDataset and AppendBatch.
+  void BuildSourceIndex();
   int32_t num_sources_ = 0;
   int32_t num_objects_ = 0;
   int32_t num_values_ = 0;
@@ -117,6 +191,10 @@ class ObservationStore {
   std::vector<ValueId> domain_values_;
 
   std::vector<ValueId> truth_;
+
+  // Incrementally maintained content fingerprint (see
+  // content_fingerprint()).
+  uint64_t fingerprint_ = 0;
 };
 
 }  // namespace slimfast

@@ -56,6 +56,14 @@ struct CellResult {
 /// SlimFastOptions the grid compiles once into the process-wide
 /// CompiledInstanceCache and all (fraction × seed) cells reuse that one
 /// instance — the per-cell cost is learning + inference only.
+///
+/// \param dataset  the fusion instance every cell runs on
+/// \param methods  non-owning method pointers; each must outlive the call
+///                 and tolerate concurrent Run invocations
+/// \param spec     training fractions, seeds per fraction, and base seed
+/// \param exec     executor the grid fans out on (null = serial, same
+///                 cells)
+/// \return one CellResult per (method, fraction), in grid order
 Result<std::vector<CellResult>> SweepMethods(
     const Dataset& dataset, const std::vector<FusionMethod*>& methods,
     const SweepSpec& spec, Executor* exec = nullptr);
@@ -67,11 +75,23 @@ enum class SweepMetric {
   kSourceError,
   kTotalSeconds,
 };
+
+/// Formats `results` as a fixed-width text table.
+///
+/// \param title    heading printed above the grid
+/// \param results  cells from SweepMethods (any order; rows are grouped
+///                 by fraction, columns by method name)
+/// \param metric   which CellResult field fills the cells
+/// \return the rendered table, newline-terminated
 std::string RenderSweep(const std::string& title,
                         const std::vector<CellResult>& results,
                         SweepMetric metric);
 
 /// Finds the cell for (method, fraction); NotFound if absent.
+///
+/// \param results   cells from SweepMethods
+/// \param method    method display name to look up
+/// \param fraction  training fraction of the cell (exact match)
 Result<CellResult> FindCell(const std::vector<CellResult>& results,
                             const std::string& method, double fraction);
 

@@ -38,10 +38,10 @@ class AgreementMatrix {
   double SumAgreements() const { return 2.0 * upper_sum_; }
 
   /// Total (±1) agreement score over all co-observations — the
-  /// overlap-weighted numerator Σ_{(i<j)} Σ_{o∈O_i∩O_j} (±1).
+  /// overlap-weighted numerator Σ_{(i < j)} Σ_{o∈O_i∩O_j} (±1).
   double TotalAgreementScore() const { return total_agreement_score_; }
 
-  /// Total number of co-observations Σ_{(i<j)} |O_i ∩ O_j|.
+  /// Total number of co-observations Σ_{(i < j)} |O_i ∩ O_j|.
   int64_t TotalOverlap() const { return total_overlap_; }
 
   /// Overlap-weighted mean agreement *rate* q̄ in [0, 1]: the fraction of

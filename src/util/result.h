@@ -8,9 +8,9 @@
 
 namespace slimfast {
 
-/// Value-or-error holder, in the style of arrow::Result<T>.
+/// Value-or-error holder, in the style of `arrow::Result<T>`.
 ///
-/// A Result<T> holds either a value of type T (and an OK status), or a
+/// A `Result<T>` holds either a value of type T (and an OK status), or a
 /// non-OK Status describing why the value could not be produced. Accessing
 /// the value of an errored Result is a programming bug and aborts.
 template <typename T>

@@ -9,7 +9,7 @@ namespace slimfast {
 
 /// Machine-readable classification of an error. Mirrors the conventions used
 /// by Arrow / RocksDB style database code: every fallible public API returns a
-/// Status (or Result<T>) instead of throwing.
+/// Status (or `Result<T>`) instead of throwing.
 enum class StatusCode : int {
   kOk = 0,
   kInvalidArgument = 1,
@@ -88,7 +88,7 @@ class Status {
   bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
 
-  /// "OK" or "<CodeName>: <message>".
+  /// "OK" or `"<CodeName>: <message>"`.
   std::string ToString() const;
 
   bool operator==(const Status& other) const {

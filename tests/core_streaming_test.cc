@@ -1,3 +1,5 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "core/streaming.h"
@@ -156,6 +158,123 @@ TEST(StreamingTest, EndToEndBeatsChanceOnSyntheticStream) {
                        synth.true_accuracies[static_cast<size_t>(s)]);
   }
   EXPECT_LT(error / d.num_sources(), 0.15);
+}
+
+TEST(StreamingTest, DecayAdaptsToDriftingSourceQuality) {
+  // A source whose quality drifts good -> bad: with decay the engine
+  // tracks the drift and down-weights it; without decay the long good
+  // history keeps the stale trust alive.
+  StreamingOptions decayed_options;
+  decayed_options.decay = 0.8;
+  StreamingFusion decayed(decayed_options);
+  StreamingFusion undecayed;  // decay = 1.0
+
+  auto feed = [](StreamingFusion* fusion) {
+    // 40 correct claims, then 15 wrong ones (the drift).
+    for (ObjectId o = 0; o < 40; ++o) {
+      SLIMFAST_CHECK_OK(fusion->Observe(o, 0, 0));
+      SLIMFAST_CHECK_OK(fusion->ProvideTruth(o, 0));
+    }
+    for (ObjectId o = 40; o < 55; ++o) {
+      SLIMFAST_CHECK_OK(fusion->Observe(o, 0, 1));
+      SLIMFAST_CHECK_OK(fusion->ProvideTruth(o, 0));
+    }
+  };
+  feed(&decayed);
+  feed(&undecayed);
+
+  // Decay forgets the good era: the drifted source reads as unreliable.
+  EXPECT_LT(decayed.SourceAccuracy(0), 0.35);
+  // Without decay the 40:15 record still reads as mostly reliable.
+  EXPECT_GT(undecayed.SourceAccuracy(0), 0.6);
+  EXPECT_GT(undecayed.SourceAccuracy(0), decayed.SourceAccuracy(0));
+
+  // Consequence on fusion: after the drift, a fresh (default-trust)
+  // dissenter outvotes the drifted source only in the decayed engine.
+  SLIMFAST_CHECK_OK(decayed.Observe(1000, 0, 5));
+  SLIMFAST_CHECK_OK(decayed.Observe(1000, 9, 6));
+  EXPECT_EQ(decayed.CurrentEstimate(1000), 6);
+  SLIMFAST_CHECK_OK(undecayed.Observe(1000, 0, 5));
+  SLIMFAST_CHECK_OK(undecayed.Observe(1000, 9, 6));
+  EXPECT_EQ(undecayed.CurrentEstimate(1000), 5);
+}
+
+TEST(StreamingTest, TruthReCreditAfterDecayStaysNonNegative) {
+  // A provisional credit earned long ago decays; when late truth revokes
+  // it, the revocation is larger than what remains of the tally. The
+  // correct-count must clamp at zero (a source cannot owe correctness),
+  // and the accuracy estimate must stay finite and below the prior.
+  StreamingOptions options;
+  options.decay = 0.5;
+  StreamingFusion fusion(options);
+
+  // The wrong claim earns provisional credit (it sets the estimate).
+  SLIMFAST_CHECK_OK(fusion.Observe(100, 0, 1));
+  // Five more rounds whose credit is revoked immediately; each round
+  // halves what is left of the first claim's credit.
+  for (ObjectId o = 101; o <= 105; ++o) {
+    SLIMFAST_CHECK_OK(fusion.Observe(o, 0, 1));
+    SLIMFAST_CHECK_OK(fusion.ProvideTruth(o, 0));
+  }
+  double before_truth = fusion.SourceAccuracy(0);
+
+  // Late truth for the first object revokes ~1.0 credit from a tally
+  // holding ~0.03.
+  SLIMFAST_CHECK_OK(fusion.ProvideTruth(100, 0));
+  double after_truth = fusion.SourceAccuracy(0);
+
+  EXPECT_LE(after_truth, before_truth);
+  EXPECT_GE(after_truth, options.clamp_eps);
+  // With correct clamped to 0, the estimate is the smoothing floor:
+  // smoothing * default_accuracy / (total + smoothing).
+  EXPECT_LT(after_truth, options.default_accuracy);
+  EXPECT_TRUE(std::isfinite(after_truth));
+
+  // Re-credit still rewards the source that agreed with the late truth.
+  StreamingFusion pair(options);
+  SLIMFAST_CHECK_OK(pair.Observe(0, 0, 1));
+  SLIMFAST_CHECK_OK(pair.Observe(0, 1, 2));
+  SLIMFAST_CHECK_OK(pair.ProvideTruth(0, 2));
+  EXPECT_GT(pair.SourceAccuracy(1), pair.SourceAccuracy(0));
+}
+
+TEST(StreamingTest, DomainSizeHintRescuesAboveChanceMulticlassSources) {
+  // In a 4-value domain a 40%-accurate source is well above chance (25%),
+  // but plain binary log-odds read it as anti-informative. The
+  // domain_size_hint correction (log(n-1), matching the batch model's
+  // compiled multiclass offsets) flips its votes back to positive.
+  StreamingOptions hinted_options;
+  hinted_options.domain_size_hint = 4.0;
+  StreamingFusion hinted(hinted_options);
+  StreamingFusion binary;  // hint = 2 (plain log-odds)
+
+  auto feed = [](StreamingFusion* fusion) {
+    // Sources 0-2 run at 40% accuracy (2 of every 5 claims correct) in a
+    // 4-value universe with truth always 0.
+    for (ObjectId o = 0; o < 50; ++o) {
+      ValueId claimed = (o % 5 < 2) ? 0 : 1 + (o % 3);
+      for (SourceId s = 0; s < 3; ++s) {
+        SLIMFAST_CHECK_OK(fusion->Observe(o, s, claimed));
+      }
+      SLIMFAST_CHECK_OK(fusion->ProvideTruth(o, 0));
+    }
+  };
+  feed(&hinted);
+  feed(&binary);
+
+  // Fresh object: the three 40% sources agree on value 1; an unseen
+  // source (default trust) claims value 2.
+  for (StreamingFusion* fusion : {&hinted, &binary}) {
+    SLIMFAST_CHECK_OK(fusion->Observe(500, 0, 1));
+    SLIMFAST_CHECK_OK(fusion->Observe(500, 1, 1));
+    SLIMFAST_CHECK_OK(fusion->Observe(500, 2, 1));
+    SLIMFAST_CHECK_OK(fusion->Observe(500, 9, 2));
+  }
+  // With the multiclass correction, three above-chance agreements beat
+  // one default-trust dissent; with binary log-odds the same three votes
+  // count *against* value 1.
+  EXPECT_EQ(hinted.CurrentEstimate(500), 1);
+  EXPECT_EQ(binary.CurrentEstimate(500), 2);
 }
 
 TEST(StreamingTest, ObservationCountTracks) {

@@ -96,5 +96,130 @@ TEST(ObservationStoreTest, EmptyDataset) {
   }
 }
 
+// ---- AppendBatch: the incremental-ingest path. ----
+
+// The store-equality oracle: appending a dataset chunk by chunk must be
+// indistinguishable — every array, every CSR index, the fingerprint —
+// from building the store over the concatenated data in one shot.
+TEST(ObservationStoreAppendTest, ChunkedAppendsEqualFromDataset) {
+  const std::vector<double> planted = {0.9, 0.7, 0.6, 0.8, 0.55};
+  Dataset dataset = MakePlantedDataset(planted, 80, 0.4, 23, 3);
+  ObservationStore full = ObservationStore::FromDataset(dataset);
+
+  for (int32_t num_chunks : {1, 2, 5, 13}) {
+    Dataset empty = std::move(DatasetBuilder("inc", dataset.num_sources(),
+                                             dataset.num_objects(),
+                                             dataset.num_values()))
+                        .Build()
+                        .ValueOrDie();
+    ObservationStore store = ObservationStore::FromDataset(empty);
+    for (const ObservationBatch& chunk :
+         ChunkDatasetForReplay(dataset, num_chunks)) {
+      store = store.AppendBatch(chunk).ValueOrDie();
+    }
+    EXPECT_TRUE(store == full) << "chunks=" << num_chunks;
+    EXPECT_EQ(store.content_fingerprint(), full.content_fingerprint());
+  }
+}
+
+TEST(ObservationStoreAppendTest, FingerprintTracksContent) {
+  Dataset dataset = MakeFigure1Dataset();
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+
+  // Appending changes the fingerprint; same content, same fingerprint.
+  ObservationBatch batch;
+  batch.observations.push_back(Observation{1, 1, 1});
+  ObservationStore grown = store.AppendBatch(batch).ValueOrDie();
+  EXPECT_NE(grown.content_fingerprint(), store.content_fingerprint());
+  ObservationStore grown_again = store.AppendBatch(batch).ValueOrDie();
+  EXPECT_EQ(grown.content_fingerprint(),
+            grown_again.content_fingerprint());
+
+  // A different claimed value gives a different fingerprint.
+  ObservationBatch other;
+  other.observations.push_back(Observation{1, 1, 0});
+  ObservationStore grown_other = store.AppendBatch(other).ValueOrDie();
+  EXPECT_NE(grown.content_fingerprint(), grown_other.content_fingerprint());
+}
+
+TEST(ObservationStoreAppendTest, ReportsTouchedObjects) {
+  Dataset dataset = MakeFigure1Dataset();
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+
+  // Figure 1 has sources {0,1,2} on object 0 and {0,2} on object 1; a new
+  // claim must come from a source that has not claimed the object yet.
+  ObservationBatch batch;
+  batch.observations.push_back(Observation{1, 1, 0});
+  batch.truths.push_back(TruthLabel{0, 0});  // re-assert: no-op
+  std::vector<ObjectId> touched;
+  ObservationStore grown = store.AppendBatch(batch, &touched).ValueOrDie();
+  EXPECT_EQ(touched, (std::vector<ObjectId>{1}));
+  // Object 1's domain grew from {1} to {0, 1}.
+  EXPECT_EQ(grown.DomainRange(1).size(), 2);
+  EXPECT_EQ(grown.ObjectRange(1).size(), 3);
+}
+
+TEST(ObservationStoreAppendTest, ValidatesBatch) {
+  Dataset dataset = MakeFigure1Dataset();
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+
+  ObservationBatch bad_object;
+  bad_object.observations.push_back(Observation{99, 0, 0});
+  EXPECT_TRUE(store.AppendBatch(bad_object).status().IsOutOfRange());
+
+  ObservationBatch bad_value;
+  bad_value.observations.push_back(Observation{0, 0, 9});
+  EXPECT_TRUE(store.AppendBatch(bad_value).status().IsOutOfRange());
+
+  // Source 0 already claimed object 0 in the base data.
+  ObservationBatch duplicate;
+  duplicate.observations.push_back(Observation{0, 0, 1});
+  EXPECT_TRUE(store.AppendBatch(duplicate).status().IsAlreadyExists());
+
+  // Within-batch duplicate (source 1 claims object 1 twice).
+  ObservationBatch batch_dup;
+  batch_dup.observations.push_back(Observation{1, 1, 0});
+  batch_dup.observations.push_back(Observation{1, 1, 1});
+  EXPECT_TRUE(store.AppendBatch(batch_dup).status().IsAlreadyExists());
+
+  // Object 0's truth is 0; contradicting it fails, re-asserting is fine.
+  ObservationBatch contradiction;
+  contradiction.truths.push_back(TruthLabel{0, 1});
+  EXPECT_TRUE(
+      store.AppendBatch(contradiction).status().IsFailedPrecondition());
+  ObservationBatch reassert;
+  reassert.truths.push_back(TruthLabel{0, 0});
+  EXPECT_TRUE(store.AppendBatch(reassert).ok());
+
+  // A failed append leaves the base store untouched.
+  ObservationStore same = ObservationStore::FromDataset(dataset);
+  EXPECT_TRUE(store == same);
+}
+
+TEST(ObservationStoreAppendTest, EmptyBatchIsIdentity) {
+  Dataset dataset = MakeFigure1Dataset();
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+  ObservationStore same = store.AppendBatch(ObservationBatch{}).ValueOrDie();
+  EXPECT_TRUE(store == same);
+}
+
+TEST(ChunkDatasetForReplayTest, ChunksPartitionTheDataset) {
+  const std::vector<double> planted = {0.9, 0.7, 0.6};
+  Dataset dataset = MakePlantedDataset(planted, 30, 0.5, 3);
+  for (int32_t k : {1, 3, 7}) {
+    auto chunks = ChunkDatasetForReplay(dataset, k);
+    ASSERT_EQ(static_cast<int32_t>(chunks.size()), k);
+    int64_t observations = 0;
+    int64_t truths = 0;
+    for (const auto& chunk : chunks) {
+      observations += static_cast<int64_t>(chunk.observations.size());
+      truths += static_cast<int64_t>(chunk.truths.size());
+    }
+    EXPECT_EQ(observations, dataset.num_observations());
+    EXPECT_EQ(truths,
+              static_cast<int64_t>(dataset.ObjectsWithTruth().size()));
+  }
+}
+
 }  // namespace
 }  // namespace slimfast

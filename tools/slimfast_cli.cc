@@ -4,6 +4,7 @@
 //   slimfast_cli <dataset_dir> [options]
 //   slimfast_cli --demo <stocks|demos|crowd|genomics> [options]
 //   slimfast_cli bench [--quick] [--threads N] [--seed N] [--out FILE]
+//   slimfast_cli replay (<dataset_dir> | --demo NAME) [--chunks K] [options]
 //
 // The dataset directory uses the CSV layout of data/io.h (meta.csv,
 // observations.csv, truth.csv, features.csv, source_features.csv) — the
@@ -23,13 +24,21 @@
 //   --threads N           worker threads for the parallel execution engine
 //                         (default: SLIMFAST_THREADS or 1); results are
 //                         bit-identical for every thread count
+//   --chunks K            replay: number of ingest batches (default 8)
 //
 // The `bench` subcommand runs the Table-5-style runtime scenario (synthetic
 // generation, compilation cold vs cached, dense vs sparse ERM + EM
-// learning, multi-chain Gibbs marginals at 1 and N threads, the eval grid)
-// and writes per-phase seconds as BENCH_runtime.json (override with
-// --out). --quick shrinks the scenario to CI size; the JSON schema is
+// learning, multi-chain Gibbs marginals at 1 and N threads, the eval grid,
+// incremental delta-compilation vs full recompiles, and warm vs cold
+// relearning) and writes per-phase seconds as BENCH_runtime.json (override
+// with --out). --quick shrinks the scenario to CI size; the JSON schema is
 // identical and checked by scripts/check_bench_schema.py.
+//
+// The `replay` subcommand feeds a dataset through a long-lived
+// FusionSession in K chunks — delta-compile on ingest, warm-started
+// relearn after every chunk — and reports the per-chunk latency and
+// accuracy trajectory against (a) recompiling and relearning from scratch,
+// (b) the one-shot batch run, and (c) the StreamingFusion baseline.
 
 #include <algorithm>
 #include <cstdio>
@@ -42,7 +51,9 @@
 #include "bench_common.h"
 #include "core/explain.h"
 #include "core/factor_graph_compile.h"
+#include "core/fusion_session.h"
 #include "core/slimfast.h"
+#include "core/streaming.h"
 #include "data/io.h"
 #include "data/stats.h"
 #include "eval/harness.h"
@@ -74,6 +85,10 @@ struct CliOptions {
   bool bench = false;
   /// Shrink the bench scenario to CI size (same phases, same schema).
   bool quick = false;
+  /// `replay` subcommand: incremental ingest/relearn trajectory.
+  bool replay = false;
+  /// Number of replay ingest batches.
+  int32_t chunks = 8;
 };
 
 void PrintUsage(std::FILE* stream) {
@@ -105,6 +120,8 @@ void PrintUsage(std::FILE* stream) {
                "SLIMFAST_THREADS or 1);\n"
                "                       results are identical for every "
                "thread count\n"
+               "  --chunks K           replay: number of ingest batches "
+               "(default 8)\n"
                "  --help, -h           show this message and exit\n"
                "\n"
                "subcommands:\n"
@@ -113,7 +130,16 @@ void PrintUsage(std::FILE* stream) {
                "                       per-phase seconds to "
                "BENCH_runtime.json (see --out);\n"
                "                       --quick shrinks it to CI size, same "
-               "schema\n");
+               "schema\n"
+               "  replay               feed the dataset through a "
+               "FusionSession in K\n"
+               "                       chunks (delta-compile + warm-start "
+               "relearn) and\n"
+               "                       report per-chunk latency and the "
+               "accuracy\n"
+               "                       trajectory vs the one-shot batch run "
+               "and the\n"
+               "                       streaming baseline\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -152,6 +178,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->threads = std::atoi(v);
     } else if (arg == "--quick") {
       options->quick = true;
+    } else if (arg == "--chunks") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->chunks = std::atoi(v);
     } else if (arg == "--stats") {
       options->stats_only = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -165,14 +195,263 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       // that happens to be named "bench" still works as a later positional
       // (or as "./bench").
       options->bench = true;
+    } else if (arg == "replay" && i == 1) {
+      options->replay = true;
     } else {
       options->dataset_dir = arg;
     }
   }
+  // bench generates its own data; replay and plain runs need a dataset.
   return options->bench || !options->dataset_dir.empty() ||
          !options->demo.empty();
 }
 
+/// Loads the dataset named on the command line (a --demo simulator or a
+/// CSV directory); shared by the fusion, replay, and stats paths.
+Result<Dataset> LoadCliDataset(const CliOptions& options) {
+  if (!options.demo.empty()) {
+    SLIMFAST_ASSIGN_OR_RETURN(SyntheticDataset synth,
+                              MakeSimulatorByName(options.demo,
+                                                  options.seed));
+    return std::move(synth.dataset);
+  }
+  return LoadDataset(options.dataset_dir);
+}
+
+
+/// The from-scratch alternative the incremental paths are measured
+/// against: absorbs the replayed stream chunk by chunk and, per chunk,
+/// rebuilds the data-so-far (untimed — both paths share ingestion) and
+/// recompiles it from scratch (timed — exactly what DeltaCompile
+/// replaces), cross-checking the result bitwise-equal to the
+/// delta-maintained instance. Shared by `replay` and `bench`, so the
+/// delta-maintenance contract is re-checked at runtime by both.
+class FullRecompileOracle {
+ public:
+  FullRecompileOracle(const Dataset& dataset, const ModelConfig& config)
+      : dataset_(dataset), config_(config) {}
+
+  /// Absorbs `chunk`, times the from-scratch recompilation into
+  /// `*seconds`, and verifies `delta` matches it bitwise. Returns false
+  /// (with a note on stderr naming `who`) on a contract violation.
+  bool AbsorbAndCheck(const ObservationBatch& chunk,
+                      const CompiledInstance& delta, int32_t chunk_index,
+                      const char* who, double* seconds) {
+    observations_.insert(observations_.end(), chunk.observations.begin(),
+                         chunk.observations.end());
+    truths_.insert(truths_.end(), chunk.truths.begin(), chunk.truths.end());
+    DatasetBuilder builder("recompile-oracle", dataset_.num_sources(),
+                           dataset_.num_objects(), dataset_.num_values());
+    *builder.mutable_features() = dataset_.features();
+    for (const Observation& obs : observations_) {
+      SLIMFAST_CHECK_OK(
+          builder.AddObservation(obs.object, obs.source, obs.value));
+    }
+    for (const TruthLabel& label : truths_) {
+      SLIMFAST_CHECK_OK(builder.SetTruth(label.object, label.value));
+    }
+    Dataset grown = std::move(builder).Build().ValueOrDie();
+    std::shared_ptr<const CompiledInstance> full;
+    *seconds = bench::TimeSeconds(
+        [&] { full = CompileInstance(grown, config_).ValueOrDie(); });
+    if (!BitwiseEqual(delta, *full)) {
+      std::fprintf(stderr,
+                   "%s: delta-compiled instance differs from full "
+                   "recompilation after chunk %d (delta-maintenance "
+                   "contract violated)\n",
+                   who, chunk_index);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const Dataset& dataset_;
+  ModelConfig config_;
+  std::vector<Observation> observations_;
+  std::vector<TruthLabel> truths_;
+};
+
+/// The incremental-fusion trajectory behind `slimfast_cli replay`.
+///
+/// The dataset is cut into K arrival-order chunks
+/// (ChunkDatasetForReplay); truth labels outside the train split are
+/// withheld, mirroring the batch evaluation methodology. Each chunk is
+/// ingested into a long-lived FusionSession (store splice + delta
+/// compilation of the touched rows), a full recompilation of the
+/// data-so-far is timed alongside for comparison (and cross-checked
+/// bitwise-equal — the delta-maintenance contract), the session relearns
+/// (warm-started from the previous weights after the first chunk), and a
+/// StreamingFusion baseline absorbs the same chunk. After the last chunk
+/// the one-shot batch run provides the accuracy bar.
+int RunReplay(const CliOptions& options) {
+  auto loaded = LoadCliDataset(options);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load dataset: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  Dataset dataset = std::move(loaded).ValueOrDie();
+  Rng rng(options.seed);
+  auto split_result = MakeSplit(dataset, options.train_fraction, &rng);
+  if (!split_result.ok()) {
+    std::fprintf(stderr, "cannot split: %s\n",
+                 split_result.status().ToString().c_str());
+    return 1;
+  }
+  TrainTestSplit split = std::move(split_result).ValueOrDie();
+  const int32_t num_chunks = std::max<int32_t>(1, options.chunks);
+
+  // Withhold test-object truth from the replay stream.
+  std::vector<ObservationBatch> chunks =
+      ChunkDatasetForReplay(dataset, num_chunks);
+  for (ObservationBatch& chunk : chunks) {
+    std::vector<TruthLabel> kept;
+    for (const TruthLabel& label : chunk.truths) {
+      if (split.IsTrain(label.object)) kept.push_back(label);
+    }
+    chunk.truths = std::move(kept);
+  }
+
+  FusionSessionOptions session_options;
+  session_options.seed = options.seed;
+  session_options.slimfast.exec.threads = options.threads;
+  auto session_result = FusionSession::Create(
+      dataset.num_sources(), dataset.num_objects(), dataset.num_values(),
+      session_options, dataset.features());
+  if (!session_result.ok()) {
+    std::fprintf(stderr, "cannot create session: %s\n",
+                 session_result.status().ToString().c_str());
+    return 1;
+  }
+  FusionSession session = std::move(session_result).ValueOrDie();
+  StreamingFusion streaming;
+
+  std::printf("slimfast replay: %s in %d chunks (%lld observations, "
+              "train fraction %.3f, seed %llu)\n",
+              dataset.name().empty() ? "dataset" : dataset.name().c_str(),
+              num_chunks,
+              static_cast<long long>(dataset.num_observations()),
+              options.train_fraction,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("  chunk  obs_total  ingest_delta  full_recompile  relearn   "
+              "session_acc  streaming_acc\n");
+
+  // Cumulative stream state for the full-recompile comparison and the
+  // observed-so-far accuracy denominators.
+  std::vector<uint8_t> observed(static_cast<size_t>(dataset.num_objects()),
+                                0);
+  FullRecompileOracle oracle(dataset, session_options.slimfast.model);
+
+  auto observed_test_accuracy = [&](auto&& predict) {
+    int64_t evaluated = 0;
+    int64_t correct = 0;
+    for (ObjectId o : split.test_objects) {
+      if (!observed[static_cast<size_t>(o)]) continue;
+      ++evaluated;
+      if (predict(o) == dataset.Truth(o)) ++correct;
+    }
+    return evaluated == 0 ? 0.0
+                          : static_cast<double>(correct) /
+                                static_cast<double>(evaluated);
+  };
+
+  double total_delta_seconds = 0.0;
+  double total_full_seconds = 0.0;
+  double total_relearn_seconds = 0.0;
+  for (int32_t c = 0; c < num_chunks; ++c) {
+    const ObservationBatch& chunk = chunks[static_cast<size_t>(c)];
+    auto ingest = session.Ingest(chunk);
+    if (!ingest.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   ingest.status().ToString().c_str());
+      return 1;
+    }
+    total_delta_seconds += ingest.ValueOrDie().seconds;
+
+    double full_seconds = 0.0;
+    if (!oracle.AbsorbAndCheck(chunk, *session.instance(), c, "replay",
+                               &full_seconds)) {
+      return 1;
+    }
+    total_full_seconds += full_seconds;
+
+    auto relearn = session.Relearn();
+    if (!relearn.ok()) {
+      std::fprintf(stderr, "relearn failed: %s\n",
+                   relearn.status().ToString().c_str());
+      return 1;
+    }
+    RelearnStats relearn_stats = relearn.ValueOrDie();
+    total_relearn_seconds += relearn_stats.seconds;
+
+    for (const Observation& obs : chunk.observations) {
+      SLIMFAST_CHECK_OK(
+          streaming.Observe(obs.object, obs.source, obs.value));
+      observed[static_cast<size_t>(obs.object)] = 1;
+    }
+    for (const TruthLabel& label : chunk.truths) {
+      SLIMFAST_CHECK_OK(streaming.ProvideTruth(label.object, label.value));
+    }
+
+    double session_accuracy = observed_test_accuracy(
+        [&](ObjectId o) { return session.Query(o); });
+    double streaming_accuracy = observed_test_accuracy(
+        [&](ObjectId o) { return streaming.CurrentEstimate(o); });
+    std::printf("  %5d  %9lld  %10.4fs  %12.4fs  %6.3fs%s  %11.4f  "
+                "%13.4f\n",
+                c + 1,
+                static_cast<long long>(session.num_observations()),
+                ingest.ValueOrDie().seconds, full_seconds,
+                relearn_stats.seconds,
+                relearn_stats.warm_started ? " (warm)" : " (cold)",
+                session_accuracy, streaming_accuracy);
+  }
+
+  // The accuracy bar: the one-shot batch run on the full dataset.
+  SlimFastOptions batch_options;
+  batch_options.exec.threads = options.threads;
+  auto batch_method = MakeSlimFast(batch_options);
+  auto batch_output = batch_method->Run(dataset, split, options.seed);
+  if (!batch_output.ok()) {
+    std::fprintf(stderr, "batch run failed: %s\n",
+                 batch_output.status().ToString().c_str());
+    return 1;
+  }
+  // One denominator for the final comparison: every test object, with
+  // never-observed objects counting against all three (kNoValue for the
+  // session and streaming alike).
+  double batch_accuracy =
+      TestAccuracy(dataset, batch_output.ValueOrDie().predicted_values,
+                   split)
+          .ValueOrDie();
+  double final_session_accuracy =
+      TestAccuracy(dataset, session.predictions(), split).ValueOrDie();
+  std::vector<ValueId> streaming_predictions(
+      static_cast<size_t>(dataset.num_objects()), kNoValue);
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    streaming_predictions[static_cast<size_t>(o)] =
+        streaming.CurrentEstimate(o);
+  }
+  double final_streaming_accuracy =
+      TestAccuracy(dataset, streaming_predictions, split).ValueOrDie();
+
+  std::printf("\nFinal held-out accuracy: session %.4f, one-shot batch "
+              "%.4f, streaming %.4f\n",
+              final_session_accuracy, batch_accuracy,
+              final_streaming_accuracy);
+  std::printf("Compilation: %.4fs delta total vs %.4fs full-recompile "
+              "total (%.2fx, bit-identical every chunk)\n",
+              total_delta_seconds, total_full_seconds,
+              total_delta_seconds > 0.0
+                  ? total_full_seconds / total_delta_seconds
+                  : 0.0);
+  std::printf("Relearning: %.4fs total over %d warm-started relearns "
+              "(one-shot batch learn: %.4fs)\n",
+              total_relearn_seconds, num_chunks,
+              batch_output.ValueOrDie().learn_seconds);
+  return 0;
+}
 
 /// The Table-5-style runtime scenario behind `slimfast_cli bench`.
 ///
@@ -189,10 +468,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 ///   gibbs_marginals    4-chain Gibbs marginals, at 1 thread and at the
 ///                      requested budget — the speedup the exec layer buys
 ///   eval_grid          parallel method×fraction sweep (src/eval)
+///   ingest_delta       incremental ingest in 4 chunks: store splice +
+///                      DeltaCompile of the touched rows, vs recompiling
+///                      the data-so-far from scratch after every chunk
+///   relearn_warm       warm-started refinement from the previous weight
+///                      vector, vs the cold-start learning schedule
 ///
-/// Dense-vs-sparse and serial-vs-parallel runs are cross-checked for
-/// bit-identical output (the representation and exec determinism
-/// contracts); the bench fails on any mismatch.
+/// Dense-vs-sparse, serial-vs-parallel, and delta-vs-full runs are
+/// cross-checked for bit-identical output (the representation, exec
+/// determinism, and delta-maintenance contracts); the bench fails on any
+/// mismatch.
 int RunBench(const CliOptions& options) {
   ExecOptions exec_options;
   exec_options.threads = options.threads;
@@ -410,6 +695,88 @@ int RunBench(const CliOptions& options) {
               "seeds)\n",
               grid_seconds, spec.train_fractions.size(), spec.num_seeds);
 
+  // --- Phase 7: incremental ingest — delta-compilation vs recompiling
+  // the data-so-far from scratch after every chunk. Every chunk's delta
+  // result is cross-checked bitwise-equal to the full recompilation (the
+  // delta-maintenance contract); the bench fails on mismatch. ---
+  const int32_t ingest_chunks = 4;
+  std::vector<ObservationBatch> chunks =
+      ChunkDatasetForReplay(dataset, ingest_chunks);
+  DatasetBuilder empty_builder("bench-ingest", dataset.num_sources(),
+                               dataset.num_objects(), dataset.num_values());
+  *empty_builder.mutable_features() = dataset.features();
+  Dataset empty_twin = std::move(empty_builder).Build().ValueOrDie();
+  std::shared_ptr<const CompiledInstance> delta_instance =
+      CompileInstance(empty_twin, model_config).ValueOrDie();
+
+  FullRecompileOracle oracle(dataset, model_config);
+  double ingest_delta_seconds = 0.0;
+  double ingest_full_seconds = 0.0;
+  for (int32_t c = 0; c < ingest_chunks; ++c) {
+    const ObservationBatch& chunk = chunks[static_cast<size_t>(c)];
+    ingest_delta_seconds += bench::TimeSeconds([&] {
+      delta_instance =
+          DeltaCompile(*delta_instance, chunk, &parallel).ValueOrDie();
+    });
+    double full_seconds = 0.0;
+    if (!oracle.AbsorbAndCheck(chunk, *delta_instance, c, "bench",
+                               &full_seconds)) {
+      return 1;
+    }
+    ingest_full_seconds += full_seconds;
+  }
+  double ingest_speedup = ingest_delta_seconds > 0.0
+                              ? ingest_full_seconds / ingest_delta_seconds
+                              : 0.0;
+  reporter.AddPhase("ingest_delta", ingest_delta_seconds, threads);
+  reporter.AddSpeedup("ingest_delta_vs_recompile", threads, threads,
+                      ingest_speedup);
+  std::printf("  ingest_delta       %7.3fs delta vs %7.3fs full recompile "
+              "over %d chunks (%.2fx, bit-identical)\n",
+              ingest_delta_seconds, ingest_full_seconds, ingest_chunks,
+              ingest_speedup);
+
+  // --- Phase 8: warm-started relearning vs the cold schedule. The warm
+  // fit seeds from the cold fit's weights and runs the refinement budget
+  // (WarmStartOptions::budget_scale of the cold epochs). ---
+  SlimFastOptions relearn_options;
+  relearn_options.exec.threads = threads;
+  relearn_options.algorithm = Algorithm::kErm;
+  relearn_options.warm_start.enabled = true;
+  SlimFast relearner(relearn_options, "bench-relearner");
+  SlimFastFit cold_fit =
+      relearner
+          .FitCompiled(dataset, split, options.seed, instance, nullptr,
+                       &parallel)
+          .ValueOrDie();
+  std::vector<double> warm_weights = cold_fit.model.weights();
+  SlimFastFit warm_fit =
+      relearner
+          .FitCompiled(dataset, split, options.seed, instance,
+                       &warm_weights, &parallel)
+          .ValueOrDie();
+  if (!warm_fit.warm_started) {
+    std::fprintf(stderr, "bench: warm fit did not warm-start\n");
+    return 1;
+  }
+  double relearn_cold_seconds = cold_fit.learn_seconds;
+  double relearn_warm_seconds = warm_fit.learn_seconds;
+  double relearn_speedup = relearn_warm_seconds > 0.0
+                               ? relearn_cold_seconds / relearn_warm_seconds
+                               : 0.0;
+  auto heldout_accuracy = [&](const SlimFastModel& model) {
+    return TestAccuracy(dataset, model.PredictAll(), split).ValueOrDie();
+  };
+  double cold_accuracy = heldout_accuracy(cold_fit.model);
+  double warm_accuracy = heldout_accuracy(warm_fit.model);
+  reporter.AddPhase("relearn_warm", relearn_warm_seconds, threads);
+  reporter.AddSpeedup("relearn_warm_vs_cold", threads, threads,
+                      relearn_speedup);
+  std::printf("  relearn_warm       %7.3fs warm vs %7.3fs cold (%.2fx; "
+              "held-out accuracy %.4f warm / %.4f cold)\n",
+              relearn_warm_seconds, relearn_cold_seconds, relearn_speedup,
+              warm_accuracy, cold_accuracy);
+
   std::string out_path =
       options.out_file.empty() ? "BENCH_runtime.json" : options.out_file;
   if (!reporter.WriteJson(out_path)) return 1;
@@ -431,25 +798,16 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (options.bench) return RunBench(options);
+  if (options.replay) return RunReplay(options);
 
   // --- Load or generate the dataset. ---
-  Dataset dataset;
-  if (!options.demo.empty()) {
-    auto synth = MakeSimulatorByName(options.demo, options.seed);
-    if (!synth.ok()) {
-      std::fprintf(stderr, "%s\n", synth.status().ToString().c_str());
-      return 1;
-    }
-    dataset = std::move(synth.ValueOrDie().dataset);
-  } else {
-    auto loaded = LoadDataset(options.dataset_dir);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "cannot load dataset: %s\n",
-                   loaded.status().ToString().c_str());
-      return 1;
-    }
-    dataset = std::move(loaded).ValueOrDie();
+  auto loaded = LoadCliDataset(options);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load dataset: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
   }
+  Dataset dataset = std::move(loaded).ValueOrDie();
 
   DatasetStats stats = ComputeStats(dataset);
   std::printf("%s", stats.ToString().c_str());
