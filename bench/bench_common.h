@@ -79,6 +79,31 @@ class BenchReporter {
     phases_.push_back(Phase{name, seconds, threads});
   }
 
+  /// Records a latency-distribution phase: `seconds` plus nearest-rank
+  /// percentiles (p50 <= p95 <= p99, all in seconds). The percentiles are
+  /// emitted as additional JSON keys on the phase entry and type-checked
+  /// by scripts/check_bench_schema.py, including the ordering.
+  void AddLatencyPhase(const std::string& name, double seconds,
+                       int32_t threads, double p50, double p95,
+                       double p99) {
+    Phase phase{name, seconds, threads};
+    phase.has_percentiles = true;
+    phase.p50 = p50;
+    phase.p95 = p95;
+    phase.p99 = p99;
+    phases_.push_back(phase);
+  }
+
+  /// Records a throughput phase: wall-clock `seconds` plus the achieved
+  /// queries-per-second, emitted as a "qps" key on the phase entry.
+  void AddQpsPhase(const std::string& name, double seconds, int32_t threads,
+                   double qps) {
+    Phase phase{name, seconds, threads};
+    phase.has_qps = true;
+    phase.qps = qps;
+    phases_.push_back(phase);
+  }
+
   /// Records a measured parallel speedup for a phase.
   void AddSpeedup(const std::string& phase, int32_t baseline_threads,
                   int32_t threads, double speedup) {
@@ -96,7 +121,16 @@ class BenchReporter {
       if (i > 0) out += ",";
       out += "\n    {\"name\": \"" + JsonEscape(phases_[i].name) +
              "\", \"seconds\": " + FormatSeconds(phases_[i].seconds) +
-             ", \"threads\": " + std::to_string(phases_[i].threads) + "}";
+             ", \"threads\": " + std::to_string(phases_[i].threads);
+      if (phases_[i].has_percentiles) {
+        out += ", \"p50\": " + FormatSeconds(phases_[i].p50) +
+               ", \"p95\": " + FormatSeconds(phases_[i].p95) +
+               ", \"p99\": " + FormatSeconds(phases_[i].p99);
+      }
+      if (phases_[i].has_qps) {
+        out += ", \"qps\": " + FormatSeconds(phases_[i].qps);
+      }
+      out += "}";
     }
     out += phases_.empty() ? "],\n" : "\n  ],\n";
     out += "  \"speedups\": [";
@@ -154,6 +188,12 @@ class BenchReporter {
     std::string name;
     double seconds;
     int32_t threads;
+    bool has_percentiles = false;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    bool has_qps = false;
+    double qps = 0.0;
   };
   struct Speedup {
     std::string phase;

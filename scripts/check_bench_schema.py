@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
-"""Validates the BENCH_runtime.json schema emitted by `slimfast_cli bench`.
+"""Validates the BENCH JSON schema emitted by the slimfast_cli benches.
 
 The bench trajectory is only comparable across commits if every emitter
 keeps the shared BenchReporter schema (bench/bench_common.h). CI runs this
-after `slimfast_cli bench --quick` and fails the job on any drift: missing
-or mistyped top-level keys, malformed phase/speedup entries, or a required
-phase disappearing from the runtime scenario.
+after `slimfast_cli bench --quick` and `slimfast_cli loadgen --quick` and
+fails the job on any drift: missing or mistyped top-level keys, malformed
+phase/speedup entries, a required phase disappearing from a scenario, or
+malformed latency percentiles (each of p50/p95/p99 must be a positive
+number and the percentile order p50 <= p95 <= p99 must hold).
+
+The required phases depend on the emitter, keyed by the top-level "bench"
+name: "serve" is the loadgen scenario (serve_qps + query_latency with
+percentiles); anything else is held to the runtime scenario's phase list.
 
 Usage: check_bench_schema.py BENCH_runtime.json
 """
@@ -16,7 +22,7 @@ import sys
 # Every phase the runtime scenario must record. `slimfast_cli bench` emits
 # these in both full and --quick mode; renaming one is a schema change and
 # must update this list, the README, and the bench doc comment together.
-REQUIRED_PHASES = [
+RUNTIME_REQUIRED_PHASES = [
     "generate_replicas",
     "compile",
     "compile_cached",
@@ -30,10 +36,10 @@ REQUIRED_PHASES = [
     "relearn_warm",
 ]
 
-# Speedup entries the scenario must measure: compilation caching, the
-# dense-to-sparse representation change, the exec-layer Gibbs scaling, and
-# the incremental engine (delta-compile ingest, warm-started relearning).
-REQUIRED_SPEEDUPS = [
+# Speedup entries the runtime scenario must measure: compilation caching,
+# the dense-to-sparse representation change, the exec-layer Gibbs scaling,
+# and the incremental engine (delta-compile ingest, warm relearning).
+RUNTIME_REQUIRED_SPEEDUPS = [
     "compile_cached_vs_cold",
     "learn_erm_sparse_vs_dense",
     "learn_em_sparse_vs_dense",
@@ -41,6 +47,17 @@ REQUIRED_SPEEDUPS = [
     "ingest_delta_vs_recompile",
     "relearn_warm_vs_cold",
 ]
+
+# The serving scenario (`slimfast_cli loadgen`): throughput plus the query
+# latency distribution. query_latency must carry the percentile keys.
+SERVE_REQUIRED_PHASES = [
+    "serve_qps",
+    "query_latency",
+]
+SERVE_REQUIRED_SPEEDUPS = []
+
+# Phases that must carry p50/p95/p99, per bench name.
+PERCENTILE_PHASES = {"serve": ["query_latency"]}
 
 TOP_LEVEL = {
     "bench": str,
@@ -63,7 +80,7 @@ def type_name(expected):
     return expected.__name__
 
 
-def check_entry(kind, index, entry, fields):
+def check_entry(kind, index, entry, fields, optional=None):
     if not isinstance(entry, dict):
         fail(f"{kind}[{index}] is not an object: {entry!r}")
     for name, expected in fields.items():
@@ -76,9 +93,45 @@ def check_entry(kind, index, entry, fields):
                 f"{kind}[{index}].{name} should be {type_name(expected)}, "
                 f"got {type(value).__name__}: {entry!r}"
             )
-    extra = set(entry) - set(fields)
+    optional = optional or {}
+    for name, expected in optional.items():
+        if name not in entry:
+            continue
+        value = entry[name]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            fail(
+                f"{kind}[{index}].{name} should be {type_name(expected)}, "
+                f"got {type(value).__name__}: {entry!r}"
+            )
+    extra = set(entry) - set(fields) - set(optional)
     if extra:
         fail(f"{kind}[{index}] has unexpected keys {sorted(extra)}")
+
+
+def check_percentiles(index, phase):
+    """Type- and order-checks a phase's p50/p95/p99 latency percentiles."""
+    present = [key for key in ("p50", "p95", "p99") if key in phase]
+    if not present:
+        return False
+    if len(present) != 3:
+        fail(
+            f"phases[{index}] ('{phase['name']}') has a partial percentile "
+            f"set {present}; latency phases carry all of p50/p95/p99"
+        )
+    p50, p95, p99 = phase["p50"], phase["p95"], phase["p99"]
+    for key, value in (("p50", p50), ("p95", p95), ("p99", p99)):
+        if value <= 0:
+            fail(
+                f"phases[{index}] ('{phase['name']}').{key} is a latency "
+                f"percentile and must be > 0: {value}"
+            )
+    if not p50 <= p95 <= p99:
+        fail(
+            f"phases[{index}] ('{phase['name']}') has misordered latency "
+            f"percentiles (need p50 <= p95 <= p99): p50={p50} p95={p95} "
+            f"p99={p99}"
+        )
+    return True
 
 
 def main(argv):
@@ -114,10 +167,26 @@ def main(argv):
     if not data["git"]:
         fail("git describe is empty")
 
+    bench_name = data["bench"]
+    if bench_name == "serve":
+        required_phases = SERVE_REQUIRED_PHASES
+        required_speedups = SERVE_REQUIRED_SPEEDUPS
+    else:
+        required_phases = RUNTIME_REQUIRED_PHASES
+        required_speedups = RUNTIME_REQUIRED_SPEEDUPS
+    percentile_phases = PERCENTILE_PHASES.get(bench_name, [])
+
+    with_percentiles = set()
     for i, phase in enumerate(data["phases"]):
         check_entry(
             "phases", i, phase,
             {"name": str, "seconds": (int, float), "threads": int},
+            optional={
+                "p50": (int, float),
+                "p95": (int, float),
+                "p99": (int, float),
+                "qps": (int, float),
+            },
         )
         if phase["seconds"] < 0:
             fail(f"phases[{i}].seconds is negative: {phase['seconds']}")
@@ -126,13 +195,17 @@ def main(argv):
         # was free: BenchReporter emits 9 decimal places, so even a
         # cache-served microsecond lookup records a positive value. Fail
         # loudly instead of letting a dead phase pass as "fast".
-        if phase["name"] in REQUIRED_PHASES and phase["seconds"] <= 0:
+        if phase["name"] in required_phases and phase["seconds"] <= 0:
             fail(
                 f"phases[{i}] ('{phase['name']}') is a required phase with "
                 f"seconds <= 0: {phase['seconds']}"
             )
         if phase["threads"] < 1:
             fail(f"phases[{i}].threads must be >= 1: {phase['threads']}")
+        if check_percentiles(i, phase):
+            with_percentiles.add(phase["name"])
+        if "qps" in phase and phase["qps"] <= 0:
+            fail(f"phases[{i}].qps must be > 0: {phase['qps']}")
 
     for i, speedup in enumerate(data["speedups"]):
         check_entry(
@@ -146,13 +219,22 @@ def main(argv):
         )
 
     phase_names = {phase["name"] for phase in data["phases"]}
-    missing = [name for name in REQUIRED_PHASES if name not in phase_names]
+    missing = [name for name in required_phases if name not in phase_names]
     if missing:
         fail(f"required phases missing: {missing} (have {sorted(phase_names)})")
 
+    missing = [
+        name for name in percentile_phases if name not in with_percentiles
+    ]
+    if missing:
+        fail(
+            f"phases {missing} must carry the p50/p95/p99 latency "
+            f"percentiles in the '{bench_name}' scenario"
+        )
+
     speedup_names = {entry["phase"] for entry in data["speedups"]}
     missing = [
-        name for name in REQUIRED_SPEEDUPS if name not in speedup_names
+        name for name in required_speedups if name not in speedup_names
     ]
     if missing:
         fail(
@@ -161,7 +243,8 @@ def main(argv):
         )
 
     print(
-        f"check_bench_schema: OK: {path} ({len(data['phases'])} phases, "
+        f"check_bench_schema: OK: {path} ('{bench_name}', "
+        f"{len(data['phases'])} phases, "
         f"{len(data['speedups'])} speedups, threads={data['threads']}, "
         f"cores={data['cores']}, git={data['git']})"
     )

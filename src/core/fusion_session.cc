@@ -1,7 +1,9 @@
 #include "core/fusion_session.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "data/store_view.h"
 #include "util/stopwatch.h"
 
 namespace slimfast {
@@ -82,6 +84,7 @@ Result<IngestStats> FusionSession::Ingest(const ObservationBatch& batch) {
   }
   if (!batch.empty()) dataset_stale_ = true;
   ++num_ingested_batches_;
+  ++pending_batches_;
 
   IngestStats stats;
   stats.batch_observations =
@@ -140,7 +143,9 @@ Result<RelearnStats> FusionSession::Relearn() {
   weights_ = fit.model.weights();
   predictions_ = fit.model.PredictAll();
   source_accuracies_ = fit.model.AllSourceAccuracies();
+  RefreshPosteriors(fit.model);
   ++num_relearns_;
+  pending_batches_ = 0;
 
   RelearnStats stats;
   stats.algorithm_used = fit.algorithm_used;
@@ -148,7 +153,62 @@ Result<RelearnStats> FusionSession::Relearn() {
   stats.num_train_objects =
       static_cast<int32_t>(split.train_objects.size());
   stats.seconds = watch.ElapsedSeconds();
+  last_relearn_seconds_ = stats.seconds;
   return stats;
+}
+
+void FusionSession::RefreshPosteriors(const SlimFastModel& model) {
+  posterior_begin_.assign(static_cast<size_t>(num_objects_) + 1, 0);
+  posterior_values_.clear();
+  posterior_probs_.clear();
+  max_posterior_.assign(static_cast<size_t>(num_objects_), 0.0);
+  std::vector<double> probs;
+  for (ObjectId o = 0; o < num_objects_; ++o) {
+    const CompiledObject* row = model.compiled().RowOf(o);
+    if (row != nullptr) {
+      model.Posterior(*row, &probs);
+      posterior_values_.insert(posterior_values_.end(), row->domain.begin(),
+                               row->domain.end());
+      posterior_probs_.insert(posterior_probs_.end(), probs.begin(),
+                              probs.end());
+      max_posterior_[static_cast<size_t>(o)] =
+          *std::max_element(probs.begin(), probs.end());
+    }
+    posterior_begin_[static_cast<size_t>(o) + 1] =
+        static_cast<int64_t>(posterior_values_.size());
+  }
+}
+
+FusionSession::Stats FusionSession::stats() const {
+  Stats stats;
+  stats.last_relearn_seconds = last_relearn_seconds_;
+  stats.pending_batches = pending_batches_;
+  stats.num_relearns = num_relearns_;
+  stats.num_ingested_batches = num_ingested_batches_;
+  stats.num_observations = num_observations();
+  return stats;
+}
+
+FusionSnapshotPtr FusionSession::ExportSnapshot() const {
+  auto snapshot = std::make_shared<FusionSnapshot>();
+  snapshot->version = num_relearns_;
+  snapshot->store_fingerprint = instance_->store.content_fingerprint();
+  snapshot->num_sources = num_sources_;
+  snapshot->num_objects = num_objects_;
+  snapshot->num_values = num_values_;
+  snapshot->num_relearns = num_relearns_;
+  snapshot->num_ingested_batches = num_ingested_batches_;
+  snapshot->num_observations = num_observations();
+  snapshot->predictions = predictions_;
+  snapshot->max_posterior = max_posterior_;
+  snapshot->posterior_begin = posterior_begin_;
+  snapshot->posterior_values = posterior_values_;
+  snapshot->posterior_probs = posterior_probs_;
+  snapshot->source_accuracies = source_accuracies_;
+  snapshot->weights = weights_;
+  snapshot->claim_counts =
+      ObservationStoreView(&instance_->store).ClaimCounts();
+  return snapshot;
 }
 
 ValueId FusionSession::Query(ObjectId object) const {

@@ -9,6 +9,7 @@
 #include "core/compiled_instance.h"
 #include "core/options.h"
 #include "core/slimfast.h"
+#include "core/snapshot.h"
 #include "data/feature_space.h"
 #include "data/observation_store.h"
 #include "exec/parallel.h"
@@ -111,6 +112,41 @@ class FusionSession {
   /// relearned yet).
   ValueId Query(ObjectId object) const;
 
+  /// Point-in-time session counters — the operational telemetry a
+  /// serving layer exports (FusionService stats, the serve line
+  /// protocol, loadgen reports). Reading them is cheap and allocation-
+  /// free; like every other session call they must be made from the one
+  /// thread driving the session.
+  struct Stats {
+    /// Wall-clock seconds of the most recent Relearn() call; 0.0 before
+    /// the first relearn.
+    double last_relearn_seconds = 0.0;
+    /// Batches ingested since the last relearn — the staleness the next
+    /// Relearn() will absorb. Every Ingest() increments it; every
+    /// successful Relearn() resets it to 0.
+    int32_t pending_batches = 0;
+    /// Completed relearns over the session's lifetime.
+    int32_t num_relearns = 0;
+    /// Ingested batches over the session's lifetime.
+    int32_t num_ingested_batches = 0;
+    /// Observations accumulated over the session's lifetime.
+    int64_t num_observations = 0;
+  };
+
+  /// Current counters (see Stats for field semantics).
+  Stats stats() const;
+
+  /// Packages the session's current state as an immutable snapshot:
+  /// predictions, per-object posteriors and confidence, source
+  /// accuracies, weights, claim counts, and identity (version = relearn
+  /// count, store fingerprint). Before the first relearn the snapshot
+  /// carries evidence counts but no model (has_model() is false).
+  ///
+  /// The snapshot shares nothing mutable with the session — publishing
+  /// it to concurrent readers (the FusionService's atomic slot swap) is
+  /// safe while the session keeps ingesting and relearning.
+  FusionSnapshotPtr ExportSnapshot() const;
+
   /// All current estimates, indexed by object (kNoValue where unknown).
   const std::vector<ValueId>& predictions() const { return predictions_; }
 
@@ -144,6 +180,10 @@ class FusionSession {
   /// twin (bitwise-identical store by construction).
   Status RefreshDataset();
 
+  /// Recomputes the flattened per-object posteriors (and per-object
+  /// confidence) from the freshly fit model; called by Relearn.
+  void RefreshPosteriors(const SlimFastModel& model);
+
   FusionSessionOptions options_;
   FeatureSpace features_;
   int32_t num_sources_ = 0;
@@ -166,8 +206,18 @@ class FusionSession {
   std::vector<ValueId> predictions_;
   std::vector<double> source_accuracies_;
 
+  // Flattened per-object posteriors of the last relearned model (CSR over
+  // objects; empty slices for unobserved objects), refreshed by Relearn
+  // and copied out by ExportSnapshot.
+  std::vector<int64_t> posterior_begin_;
+  std::vector<ValueId> posterior_values_;
+  std::vector<double> posterior_probs_;
+  std::vector<double> max_posterior_;
+
   int32_t num_ingested_batches_ = 0;
   int32_t num_relearns_ = 0;
+  int32_t pending_batches_ = 0;
+  double last_relearn_seconds_ = 0.0;
 };
 
 }  // namespace slimfast

@@ -1,0 +1,41 @@
+#include "data/store_view.h"
+
+namespace slimfast {
+
+bool ObservationStoreView::Observed(ObjectId object) const {
+  return NumClaimsOn(object) > 0;
+}
+
+int64_t ObservationStoreView::NumClaimsOn(ObjectId object) const {
+  if (!ValidObject(object)) return 0;
+  return store_->ObjectRange(object).size();
+}
+
+int64_t ObservationStoreView::NumClaimsBy(SourceId source) const {
+  if (store_ == nullptr || source < 0 || source >= store_->num_sources()) {
+    return 0;
+  }
+  return store_->SourceRange(source).size();
+}
+
+int32_t ObservationStoreView::DomainSizeOf(ObjectId object) const {
+  if (!ValidObject(object)) return 0;
+  return static_cast<int32_t>(store_->DomainRange(object).size());
+}
+
+ValueId ObservationStoreView::TruthOf(ObjectId object) const {
+  if (!ValidObject(object)) return kNoValue;
+  return store_->truth()[static_cast<size_t>(object)];
+}
+
+std::vector<int32_t> ObservationStoreView::ClaimCounts() const {
+  std::vector<int32_t> counts(
+      static_cast<size_t>(store_ == nullptr ? 0 : store_->num_objects()), 0);
+  for (ObjectId o = 0; o < static_cast<ObjectId>(counts.size()); ++o) {
+    counts[static_cast<size_t>(o)] =
+        static_cast<int32_t>(store_->ObjectRange(o).size());
+  }
+  return counts;
+}
+
+}  // namespace slimfast

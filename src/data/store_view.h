@@ -1,0 +1,83 @@
+#ifndef SLIMFAST_DATA_STORE_VIEW_H_
+#define SLIMFAST_DATA_STORE_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/observation_store.h"
+#include "data/types.h"
+
+namespace slimfast {
+
+/// A non-owning, read-only window onto an `ObservationStore` — the shape
+/// the serving layer reads through.
+///
+/// The store itself is immutable, but serving code holds it indirectly
+/// (inside a `CompiledInstance` kept alive by a `shared_ptr` snapshot),
+/// and handing every reader the full class invites accidental copies of
+/// the columnar arrays. The view is two words (pointer + nothing else to
+/// invalidate): cheap to pass by value, impossible to mutate through,
+/// and exposing only the read paths queries need — per-object claim
+/// slices, domains, truth, and the content fingerprint.
+///
+/// Lifetime: the view borrows; the caller keeps the underlying store (or
+/// the instance/snapshot owning it) alive. A default-constructed view is
+/// detached and reports an empty store.
+class ObservationStoreView {
+ public:
+  /// A detached view over nothing (0 objects, 0 observations).
+  ObservationStoreView() = default;
+
+  /// A view over `store`; borrows, never owns.
+  explicit ObservationStoreView(const ObservationStore* store)
+      : store_(store) {}
+
+  bool attached() const { return store_ != nullptr; }
+
+  int32_t num_sources() const {
+    return store_ == nullptr ? 0 : store_->num_sources();
+  }
+  int32_t num_objects() const {
+    return store_ == nullptr ? 0 : store_->num_objects();
+  }
+  int32_t num_values() const {
+    return store_ == nullptr ? 0 : store_->num_values();
+  }
+  int64_t num_observations() const {
+    return store_ == nullptr ? 0 : store_->num_observations();
+  }
+  uint64_t content_fingerprint() const {
+    return store_ == nullptr ? 0 : store_->content_fingerprint();
+  }
+
+  /// True when `object` is a valid id with at least one observation.
+  bool Observed(ObjectId object) const;
+
+  /// Number of claims on `object` (0 for out-of-range ids).
+  int64_t NumClaimsOn(ObjectId object) const;
+
+  /// Number of observations contributed by `source` (0 out of range).
+  int64_t NumClaimsBy(SourceId source) const;
+
+  /// Candidate-domain size of `object` (0 out of range / unobserved).
+  int32_t DomainSizeOf(ObjectId object) const;
+
+  /// Ground truth of `object`, kNoValue when unknown or out of range.
+  ValueId TruthOf(ObjectId object) const;
+
+  /// Per-object claim counts for the whole universe — the evidence-mass
+  /// column the serving snapshot exports.
+  std::vector<int32_t> ClaimCounts() const;
+
+ private:
+  bool ValidObject(ObjectId object) const {
+    return store_ != nullptr && object >= 0 &&
+           object < store_->num_objects();
+  }
+
+  const ObservationStore* store_ = nullptr;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_DATA_STORE_VIEW_H_

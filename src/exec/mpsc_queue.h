@@ -1,0 +1,141 @@
+#ifndef SLIMFAST_EXEC_MPSC_QUEUE_H_
+#define SLIMFAST_EXEC_MPSC_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace slimfast {
+
+/// A bounded multi-producer, single-consumer FIFO queue — the ingest
+/// spine of the serving layer.
+///
+/// Producers block in Push when the queue is full (backpressure: a
+/// service overwhelmed with ingest slows its callers down instead of
+/// buffering unboundedly), or use TryPush to shed load. The single
+/// consumer drains with PopBatch, which coalesces every immediately
+/// available item (up to a cap) into one vector so the downstream
+/// pipeline amortizes per-wakeup costs across a burst.
+///
+/// Close() wakes everyone: producers fail fast, and the consumer keeps
+/// draining until the queue is empty, then PopBatch returns an empty
+/// vector — the shutdown signal. Items are delivered strictly in
+/// cross-producer arrival order (the order the internal lock was won),
+/// which is what makes a serve-layer replay reproducible: feed batches
+/// from one producer, or externally order them, and the consumer sees
+/// exactly that order.
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  /// A queue holding at most `capacity` items (clamped to >= 1).
+  explicit BoundedMpscQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Blocks until there is room (or the queue is closed) and enqueues
+  /// `item`. Returns false — with the item dropped — iff the queue was
+  /// closed first.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues without blocking; returns false when full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Consumer side: blocks until at least one item is available (or the
+  /// queue is closed and drained), then returns every immediately
+  /// available item, oldest first, capped at `max_items` (clamped to
+  /// >= 1). An empty result means closed-and-drained — the consumer's
+  /// signal to exit its loop.
+  std::vector<T> PopBatch(size_t max_items) {
+    if (max_items == 0) max_items = 1;
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    std::vector<T> batch;
+    while (!items_.empty() && batch.size() < max_items) {
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    // Every pop may free several slots; wake all blocked producers.
+    not_full_.notify_all();
+    return batch;
+  }
+
+  /// PopBatch with a bounded wait: returns after at most `timeout` even
+  /// if nothing arrived. An empty result therefore means *either* a
+  /// timeout on an open queue or closed-and-drained — consumers with
+  /// periodic work (e.g. a staleness check) use this and test closed()
+  /// to tell the two apart.
+  std::vector<T> PopBatchFor(size_t max_items,
+                             std::chrono::milliseconds timeout) {
+    if (max_items == 0) max_items = 1;
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !items_.empty(); });
+    std::vector<T> batch;
+    while (!items_.empty() && batch.size() < max_items) {
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    if (!batch.empty()) not_full_.notify_all();
+    return batch;
+  }
+
+  /// Closes the queue: subsequent pushes fail, blocked producers wake
+  /// with false, and the consumer drains what remains. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_EXEC_MPSC_QUEUE_H_

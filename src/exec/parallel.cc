@@ -1,7 +1,6 @@
 #include "exec/parallel.h"
 
 #include <algorithm>
-#include <atomic>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -53,9 +52,17 @@ void Executor::RunShards(int32_t num_shards,
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
 
   std::vector<std::exception_ptr> errors(static_cast<size_t>(num_shards));
-  std::atomic<int32_t> remaining(num_shards);
+  // The completion count must be decremented *under* the mutex: if a
+  // worker decremented first and locked afterwards, a spurious wakeup
+  // could satisfy the waiter's predicate while the worker is still
+  // about to touch done_mu/done_cv — and both live on this stack frame,
+  // which the caller reuses the moment RunShards returns. Keeping the
+  // decrement inside the critical section guarantees every worker is
+  // finished with the synchronization objects by the time the waiter
+  // can observe zero.
   std::mutex done_mu;
   std::condition_variable done_cv;
+  int32_t remaining = num_shards;  // guarded by done_mu
   for (int32_t s = 0; s < num_shards; ++s) {
     pool_->Submit([&, s] {
       try {
@@ -63,17 +70,13 @@ void Executor::RunShards(int32_t num_shards,
       } catch (...) {
         errors[static_cast<size_t>(s)] = std::current_exception();
       }
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_one();
-      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_one();
     });
   }
   {
     std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] {
-      return remaining.load(std::memory_order_acquire) == 0;
-    });
+    done_cv.wait(lock, [&] { return remaining == 0; });
   }
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);

@@ -1,0 +1,434 @@
+#include "serve/fusion_service.h"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+namespace slimfast {
+
+namespace {
+
+/// The per-shard session configuration both the live service and the
+/// offline oracle build from — one definition, so the replayed shard is
+/// configured exactly like the served one.
+FusionSessionOptions ShardSessionOptions(const FusionServiceOptions& options,
+                                         int32_t shard) {
+  FusionSessionOptions session = options.session;
+  session.name += "-shard" + std::to_string(shard);
+  return session;
+}
+
+/// The count-based relearn trigger: pure in the number of applied
+/// batches, so live and offline replays fire at identical points.
+bool RelearnDue(int64_t applied_batches, int32_t every_batches) {
+  return every_batches > 0 && applied_batches % every_batches == 0;
+}
+
+}  // namespace
+
+FusionService::FusionService(FusionServiceOptions options,
+                             int32_t num_sources, int32_t num_objects,
+                             int32_t num_values)
+    : options_(std::move(options)),
+      num_sources_(num_sources),
+      num_objects_(num_objects),
+      num_values_(num_values),
+      router_(options_.num_shards),
+      shard_exec_(options_.shard_exec),
+      queue_(options_.queue_capacity) {}
+
+Result<std::unique_ptr<FusionService>> FusionService::Create(
+    int32_t num_sources, int32_t num_objects, int32_t num_values,
+    FusionServiceOptions options, FeatureSpace features) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1, got " +
+                                   std::to_string(options.num_shards));
+  }
+  if (options.queue_capacity == 0) options.queue_capacity = 1;
+  if (options.max_coalesced_batches == 0) options.max_coalesced_batches = 1;
+
+  std::unique_ptr<FusionService> service(new FusionService(
+      std::move(options), num_sources, num_objects, num_values));
+  const int32_t num_shards = service->router_.num_shards();
+  service->shards_.reserve(static_cast<size_t>(num_shards));
+  for (int32_t s = 0; s < num_shards; ++s) {
+    SLIMFAST_ASSIGN_OR_RETURN(
+        FusionSession session,
+        FusionSession::Create(num_sources, num_objects, num_values,
+                              ShardSessionOptions(service->options_, s),
+                              features));
+    Shard shard;
+    shard.session = std::make_unique<FusionSession>(std::move(session));
+    service->shards_.push_back(std::move(shard));
+    service->slots_.push_back(std::make_unique<SnapshotSlot>());
+  }
+  service->PublishInitialSnapshots();
+  {
+    std::lock_guard<std::mutex> lock(service->state_mu_);
+    service->UpdateSessionStatsLocked();
+  }
+  service->driver_ = std::thread([raw = service.get()] { raw->DriverLoop(); });
+  return service;
+}
+
+FusionService::~FusionService() { Stop(); }
+
+void FusionService::PublishInitialSnapshots() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    slots_[s]->Store(shards_[s].session->ExportSnapshot());
+    shards_[s].last_published_fingerprint =
+        shards_[s].session->instance()->store.content_fingerprint();
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  stats_.publishes += static_cast<int64_t>(shards_.size());
+}
+
+Status FusionService::Submit(ObservationBatch batch) {
+  Command command;
+  command.batch = std::move(batch);
+  if (!queue_.Push(std::move(command))) {
+    return Status::FailedPrecondition("FusionService is stopped");
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  ++stats_.batches_submitted;
+  return Status::OK();
+}
+
+Status FusionService::TrySubmit(ObservationBatch batch) {
+  Command command;
+  command.batch = std::move(batch);
+  if (!queue_.TryPush(std::move(command))) {
+    if (queue_.closed()) {
+      return Status::FailedPrecondition("FusionService is stopped");
+    }
+    return Status::OutOfRange("ingest queue is full");
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  ++stats_.batches_submitted;
+  return Status::OK();
+}
+
+Status FusionService::Drain() {
+  Command command;
+  command.flush = true;
+  auto ack = std::make_shared<std::promise<void>>();
+  std::future<void> done = ack->get_future();
+  command.ack = std::move(ack);
+  if (!queue_.Push(std::move(command))) {
+    // Stopped — but the driver may still be applying the tail of the
+    // queue. Wait for shutdown to complete so Drain's contract (all
+    // prior submissions applied + published on return) still holds.
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (driver_.joinable()) driver_.join();
+    return Status::OK();
+  }
+  done.wait();
+  return Status::OK();
+}
+
+void FusionService::Stop() {
+  queue_.Close();  // idempotent; fails further submissions immediately
+  // Join under stop_mu_: a concurrent Stop that loses the race blocks
+  // here until the winner's join completes, so *every* Stop returns
+  // only after the driver has drained, flushed, and exited.
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (driver_.joinable()) driver_.join();
+}
+
+void FusionService::DriverLoop() {
+  const bool timed = options_.staleness_budget_seconds > 0.0;
+  const auto poll = std::chrono::milliseconds(10);
+  int64_t applied = 0;
+  for (;;) {
+    std::vector<Command> group =
+        timed ? queue_.PopBatchFor(options_.max_coalesced_batches, poll)
+              : queue_.PopBatch(options_.max_coalesced_batches);
+    if (group.empty()) {
+      // An empty timed pop can race with a concurrent Submit + Stop
+      // (timeout on an open queue, then close): only break once the
+      // queue is both closed and drained — nothing can be pushed after
+      // a close, so a non-zero size here means commands still to apply,
+      // which the next pop returns immediately. The untimed PopBatch
+      // returns empty only when closed-and-drained, so this condition
+      // is then always true.
+      if (queue_.closed() && queue_.size() == 0) break;
+      // Timed wakeup with nothing queued: only the staleness budget can
+      // have work for us.
+      if (StalenessExceeded()) RelearnPending("staleness");
+      continue;
+    }
+    for (Command& command : group) {
+      if (command.flush) {
+        RelearnPending("drain");
+        // Refresh the exported per-shard counters before acking: a
+        // Drain caller reading SessionStats() right after must see the
+        // post-flush state (pending 0, fresh relearn durations), not
+        // the previous driver step's copy.
+        {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          UpdateSessionStatsLocked();
+        }
+        if (command.ack != nullptr) command.ack->set_value();
+        continue;
+      }
+      ApplyBatch(command.batch);
+      ++applied;
+      if (RelearnDue(applied, options_.relearn_every_batches)) {
+        RelearnPending("policy");
+      }
+    }
+    if (timed && StalenessExceeded()) RelearnPending("staleness");
+    std::lock_guard<std::mutex> lock(state_mu_);
+    UpdateSessionStatsLocked();
+  }
+  // Shutdown: everything queued has been applied; give the tail of the
+  // stream its relearn and final publication.
+  RelearnPending("stop");
+  std::lock_guard<std::mutex> lock(state_mu_);
+  UpdateSessionStatsLocked();
+}
+
+void FusionService::ApplyBatch(const ObservationBatch& batch) {
+  const std::vector<ObservationBatch> subs = router_.Split(batch);
+  const int32_t num_shards = router_.num_shards();
+  std::vector<Status> statuses(static_cast<size_t>(num_shards),
+                               Status::OK());
+  RunSharded(&shard_exec_, num_shards, [&](int32_t s) {
+    const ObservationBatch& sub = subs[static_cast<size_t>(s)];
+    if (sub.empty()) return;
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    Result<IngestStats> ingested = shard.session->Ingest(sub);
+    if (!ingested.ok()) {
+      statuses[static_cast<size_t>(s)] = ingested.status();
+      return;
+    }
+    if (shard.pending == 0) shard.oldest_pending.Restart();
+    ++shard.pending;
+  });
+
+  int64_t observations = 0;
+  int64_t truths = 0;
+  int64_t failures = 0;
+  Status first_failure = Status::OK();
+  for (int32_t s = 0; s < num_shards; ++s) {
+    const ObservationBatch& sub = subs[static_cast<size_t>(s)];
+    if (sub.empty()) continue;
+    const Status& status = statuses[static_cast<size_t>(s)];
+    if (status.ok()) {
+      observations += static_cast<int64_t>(sub.observations.size());
+      truths += static_cast<int64_t>(sub.truths.size());
+    } else {
+      ++failures;
+      if (first_failure.ok()) first_failure = status;
+    }
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  ++stats_.batches_processed;
+  stats_.observations_ingested += observations;
+  stats_.truths_ingested += truths;
+  if (failures > 0) {
+    stats_.ingest_failures += failures;
+    stats_.last_error = first_failure.ToString();
+  }
+}
+
+void FusionService::RelearnPending(const char* reason) {
+  const int32_t num_shards = router_.num_shards();
+  std::vector<Status> statuses(static_cast<size_t>(num_shards),
+                               Status::OK());
+  std::vector<uint8_t> relearned(static_cast<size_t>(num_shards), 0);
+  std::vector<uint8_t> published(static_cast<size_t>(num_shards), 0);
+  RunSharded(&shard_exec_, num_shards, [&](int32_t s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    if (shard.pending == 0) return;
+    const bool can_fit = shard.session->num_observations() > 0;
+    if (can_fit) {
+      Result<RelearnStats> stats = shard.session->Relearn();
+      if (!stats.ok()) {
+        statuses[static_cast<size_t>(s)] = stats.status();
+        return;
+      }
+      relearned[static_cast<size_t>(s)] = 1;
+      shard.pending = 0;
+    }
+    // A shard whose pending batches carried only truth labels has
+    // nothing to fit yet: its pending count stays up (the labels are
+    // genuinely unabsorbed, matching the session's own counter), but
+    // the refreshed evidence publishes once per store change.
+    const uint64_t fingerprint =
+        shard.session->instance()->store.content_fingerprint();
+    if (can_fit || fingerprint != shard.last_published_fingerprint) {
+      slots_[static_cast<size_t>(s)]->Store(
+          shard.session->ExportSnapshot());
+      shard.last_published_fingerprint = fingerprint;
+      published[static_cast<size_t>(s)] = 1;
+    }
+  });
+
+  int64_t relearns = 0;
+  int64_t publishes = 0;
+  Status first_failure = Status::OK();
+  for (int32_t s = 0; s < num_shards; ++s) {
+    relearns += relearned[static_cast<size_t>(s)];
+    publishes += published[static_cast<size_t>(s)];
+    if (!statuses[static_cast<size_t>(s)].ok() && first_failure.ok()) {
+      first_failure = statuses[static_cast<size_t>(s)];
+    }
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  stats_.relearns += relearns;
+  stats_.publishes += publishes;
+  if (!first_failure.ok()) {
+    stats_.last_error =
+        std::string(reason) + " relearn: " + first_failure.ToString();
+  }
+}
+
+bool FusionService::StalenessExceeded() const {
+  for (const Shard& shard : shards_) {
+    // Only fittable shards count: a truth-only shard stays pending
+    // until observations arrive, and repeatedly "relearning" it would
+    // be a no-op storm.
+    if (shard.pending > 0 && shard.session->num_observations() > 0 &&
+        shard.oldest_pending.ElapsedSeconds() >
+            options_.staleness_budget_seconds) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ValueId FusionService::Query(ObjectId object) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (object < 0 || object >= num_objects_) return kNoValue;
+  FusionSnapshotPtr snapshot =
+      slots_[static_cast<size_t>(router_.ShardOf(object))]->Load();
+  return snapshot == nullptr ? kNoValue : snapshot->Prediction(object);
+}
+
+double FusionService::QueryConfidence(ObjectId object) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (object < 0 || object >= num_objects_) return 0.0;
+  FusionSnapshotPtr snapshot =
+      slots_[static_cast<size_t>(router_.ShardOf(object))]->Load();
+  return snapshot == nullptr ? 0.0 : snapshot->Confidence(object);
+}
+
+bool FusionService::QueryPosterior(ObjectId object,
+                                   std::vector<ValueId>* values,
+                                   std::vector<double>* probs) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (object < 0 || object >= num_objects_) return false;
+  FusionSnapshotPtr snapshot =
+      slots_[static_cast<size_t>(router_.ShardOf(object))]->Load();
+  return snapshot != nullptr &&
+         snapshot->PosteriorOf(object, values, probs);
+}
+
+FusionSnapshotPtr FusionService::SnapshotFor(ObjectId object) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (object < 0 || object >= num_objects_) return nullptr;
+  return slots_[static_cast<size_t>(router_.ShardOf(object))]->Load();
+}
+
+FusionSnapshotPtr FusionService::ShardSnapshot(int32_t shard) const {
+  if (shard < 0 || shard >= router_.num_shards()) return nullptr;
+  return slots_[static_cast<size_t>(shard)]->Load();
+}
+
+std::vector<FusionSnapshotPtr> FusionService::AllSnapshots() const {
+  std::vector<FusionSnapshotPtr> snapshots;
+  snapshots.reserve(slots_.size());
+  for (const auto& slot : slots_) snapshots.push_back(slot->Load());
+  return snapshots;
+}
+
+std::vector<ValueId> FusionService::MergedPredictions() const {
+  const std::vector<FusionSnapshotPtr> snapshots = AllSnapshots();
+  std::vector<ValueId> merged(static_cast<size_t>(num_objects_), kNoValue);
+  for (ObjectId o = 0; o < num_objects_; ++o) {
+    const FusionSnapshotPtr& snapshot =
+        snapshots[static_cast<size_t>(router_.ShardOf(o))];
+    if (snapshot != nullptr) {
+      merged[static_cast<size_t>(o)] = snapshot->Prediction(o);
+    }
+  }
+  return merged;
+}
+
+FusionServiceStats FusionService::stats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  FusionServiceStats copy = stats_;
+  copy.queries = queries_.load(std::memory_order_relaxed);
+  return copy;
+}
+
+std::vector<FusionSession::Stats> FusionService::SessionStats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return session_stats_;
+}
+
+void FusionService::UpdateSessionStatsLocked() {
+  session_stats_.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    session_stats_[s] = shards_[s].session->stats();
+  }
+}
+
+Result<std::vector<FusionSnapshotPtr>> OfflineShardedReplay(
+    int32_t num_sources, int32_t num_objects, int32_t num_values,
+    const FusionServiceOptions& options,
+    const std::vector<ObservationBatch>& batches, FeatureSpace features) {
+  ShardRouter router(options.num_shards);
+  const int32_t num_shards = router.num_shards();
+  std::vector<FusionSession> sessions;
+  sessions.reserve(static_cast<size_t>(num_shards));
+  for (int32_t s = 0; s < num_shards; ++s) {
+    SLIMFAST_ASSIGN_OR_RETURN(
+        FusionSession session,
+        FusionSession::Create(num_sources, num_objects, num_values,
+                              ShardSessionOptions(options, s), features));
+    sessions.push_back(std::move(session));
+  }
+
+  std::vector<int32_t> pending(static_cast<size_t>(num_shards), 0);
+  auto relearn_pending = [&]() -> Status {
+    for (int32_t s = 0; s < num_shards; ++s) {
+      if (pending[static_cast<size_t>(s)] == 0) continue;
+      // Mirrors the live driver: truth-only shards stay pending until
+      // they have observations to fit against.
+      if (sessions[static_cast<size_t>(s)].num_observations() > 0) {
+        SLIMFAST_RETURN_NOT_OK(
+            sessions[static_cast<size_t>(s)].Relearn().status());
+        pending[static_cast<size_t>(s)] = 0;
+      }
+    }
+    return Status::OK();
+  };
+
+  int64_t applied = 0;
+  for (const ObservationBatch& batch : batches) {
+    const std::vector<ObservationBatch> subs = router.Split(batch);
+    for (int32_t s = 0; s < num_shards; ++s) {
+      const ObservationBatch& sub = subs[static_cast<size_t>(s)];
+      if (sub.empty()) continue;
+      SLIMFAST_RETURN_NOT_OK(
+          sessions[static_cast<size_t>(s)].Ingest(sub).status());
+      ++pending[static_cast<size_t>(s)];
+    }
+    ++applied;
+    if (RelearnDue(applied, options.relearn_every_batches)) {
+      SLIMFAST_RETURN_NOT_OK(relearn_pending());
+    }
+  }
+  SLIMFAST_RETURN_NOT_OK(relearn_pending());  // the Drain/Stop flush
+
+  std::vector<FusionSnapshotPtr> snapshots;
+  snapshots.reserve(static_cast<size_t>(num_shards));
+  for (int32_t s = 0; s < num_shards; ++s) {
+    snapshots.push_back(sessions[static_cast<size_t>(s)].ExportSnapshot());
+  }
+  return snapshots;
+}
+
+}  // namespace slimfast

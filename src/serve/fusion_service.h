@@ -1,0 +1,275 @@
+#ifndef SLIMFAST_SERVE_FUSION_SERVICE_H_
+#define SLIMFAST_SERVE_FUSION_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fusion_session.h"
+#include "core/snapshot.h"
+#include "data/feature_space.h"
+#include "data/observation_store.h"
+#include "exec/mpsc_queue.h"
+#include "exec/options.h"
+#include "exec/parallel.h"
+#include "serve/router.h"
+#include "serve/snapshot_slot.h"
+#include "util/result.h"
+#include "util/stopwatch.h"
+
+namespace slimfast {
+
+/// Configuration of a concurrent fusion service.
+struct FusionServiceOptions {
+  /// Shards the object universe is hash-partitioned across (>= 1). Each
+  /// shard is one FusionSession; per-shard work (delta-compile, relearn,
+  /// publish) fans out across shards on the service executor.
+  int32_t num_shards = 4;
+  /// Capacity of the bounded ingest queue, in batches. A full queue
+  /// blocks Submit (backpressure) — callers that prefer shedding use
+  /// TrySubmit.
+  size_t queue_capacity = 64;
+  /// Most batches the ingest driver absorbs per wakeup. Coalescing
+  /// amortizes the shard fan-out over bursts without changing results
+  /// (batches are still applied strictly in submission order).
+  size_t max_coalesced_batches = 8;
+  /// Relearn policy, part 1: relearn + publish every K processed batches
+  /// (shards that saw no new data since their last relearn skip the
+  /// cycle). 0 disables the count trigger, leaving staleness and drain.
+  int32_t relearn_every_batches = 1;
+  /// Relearn policy, part 2: a freshness bound. When > 0, any ingested
+  /// batch not yet covered by a relearn forces one once it has waited
+  /// this long. Wall-clock-driven, so trigger *timing* is not
+  /// reproducible — use the pure every-K policy where the sharded-replay
+  /// determinism contract must hold bitwise (see class comment).
+  double staleness_budget_seconds = 0.0;
+  /// Template for every shard's FusionSession (seed, learner options,
+  /// warm start). The session name gets a per-shard suffix.
+  FusionSessionOptions session;
+  /// Thread budget for the shard fan-out (0 = SLIMFAST_THREADS, then 1).
+  ExecOptions shard_exec;
+};
+
+/// Operational counters of a FusionService (see stats()).
+struct FusionServiceStats {
+  /// Batches accepted into the ingest queue so far.
+  int64_t batches_submitted = 0;
+  /// Batches fully applied to their shards (ingest done; relearns follow
+  /// the policy).
+  int64_t batches_processed = 0;
+  /// Observations absorbed across all shards.
+  int64_t observations_ingested = 0;
+  /// Truth labels absorbed across all shards.
+  int64_t truths_ingested = 0;
+  /// Per-shard relearns completed.
+  int64_t relearns = 0;
+  /// Snapshot publications (one per shard relearn, plus the initial
+  /// empty snapshots).
+  int64_t publishes = 0;
+  /// Batches whose ingest failed validation on some shard (the shard is
+  /// left unchanged; see last_error).
+  int64_t ingest_failures = 0;
+  /// Queries served since Create (wait-free relaxed counter).
+  int64_t queries = 0;
+  /// Message of the most recent ingest/relearn failure ("" when none).
+  std::string last_error;
+};
+
+/// A concurrent fusion serving layer: sharded ingest/relearn behind a
+/// bounded queue, wait-free snapshot queries in front.
+///
+/// The object universe is hash-partitioned across N `FusionSession`s
+/// (`ShardRouter`). Producers `Submit` observation batches into a
+/// bounded MPSC queue; a background driver pops them (coalescing
+/// bursts), splits each batch by shard, and fans the per-shard
+/// Ingest → Relearn → Publish work across the exec thread pool. Each
+/// relearn exports an immutable `FusionSnapshot` that is swapped into
+/// the shard's `SnapshotSlot`; `Query` routes to the owning shard and
+/// reads the current snapshot through one atomic pointer load — queries
+/// never take an ingest-path lock and keep being served, from the last
+/// published snapshot, while shards are mid-relearn.
+///
+/// **Sharded-replay determinism contract.** Routing is a pure function
+/// of (object id, shard count), batches are applied in submission order,
+/// and with the pure every-K relearn policy every trigger is a function
+/// of the batch index alone. Each shard therefore computes exactly what
+/// a single offline `FusionSession`, fed that shard's slice of the
+/// stream on one thread, computes — bit for bit, at any thread count and
+/// under any concurrent query load (`OfflineShardedReplay` is the
+/// oracle; with num_shards = 1 it *is* the plain offline single-session
+/// run of the full stream). The wall-clock staleness trigger is the one
+/// knob that trades this bitwise replay guarantee for freshness.
+///
+/// Thread roles: any number of producers (Submit/TrySubmit/Drain), any
+/// number of query threads (Query*/ShardSnapshot — wait-free), one
+/// internal driver. Stop() (or destruction) drains the queue, runs a
+/// final relearn over pending data, publishes, and joins the driver.
+class FusionService {
+ public:
+  /// Builds a service over a fixed id universe, spawns the ingest
+  /// driver, and publishes an initial (model-free) snapshot per shard so
+  /// queries are valid immediately. Fails on invalid dimensions or a
+  /// session configuration the incremental engine rejects (e.g. the
+  /// copying extension).
+  static Result<std::unique_ptr<FusionService>> Create(
+      int32_t num_sources, int32_t num_objects, int32_t num_values,
+      FusionServiceOptions options = {},
+      FeatureSpace features = FeatureSpace());
+
+  /// Stops the service (drains + final publish) if still running.
+  ~FusionService();
+
+  FusionService(const FusionService&) = delete;
+  FusionService& operator=(const FusionService&) = delete;
+
+  // --- Producer side ---------------------------------------------------
+
+  /// Enqueues one batch, blocking while the queue is full. Fails only
+  /// after Stop(). Validation happens at ingest: a bad batch surfaces in
+  /// stats().ingest_failures / last_error, never crashes the driver.
+  Status Submit(ObservationBatch batch);
+
+  /// Non-blocking Submit; OutOfRange when the queue is full (shed load).
+  Status TrySubmit(ObservationBatch batch);
+
+  /// Blocks until everything submitted before this call is applied,
+  /// relearned (pending shards), and published. A drain is an ordered
+  /// event in the ingest stream, so replays that drain at the same
+  /// points reproduce the same snapshots.
+  Status Drain();
+
+  /// Graceful shutdown: no further submissions, remaining queue applied,
+  /// pending shards relearned + published, driver joined. Idempotent.
+  void Stop();
+
+  // --- Query side (wait-free, any thread) ------------------------------
+
+  /// Current MAP estimate for `object` (kNoValue when unknown/invalid).
+  ValueId Query(ObjectId object) const;
+
+  /// Top posterior probability behind Query (0 when unknown).
+  double QueryConfidence(ObjectId object) const;
+
+  /// Copies `object`'s posterior out of the owning shard's snapshot;
+  /// false when the object has none yet.
+  bool QueryPosterior(ObjectId object, std::vector<ValueId>* values,
+                      std::vector<double>* probs) const;
+
+  /// The owning shard's current snapshot for `object` (for callers that
+  /// read several fields consistently); counts as one query.
+  FusionSnapshotPtr SnapshotFor(ObjectId object) const;
+
+  /// Current snapshot of shard `shard` (null on out-of-range index).
+  FusionSnapshotPtr ShardSnapshot(int32_t shard) const;
+
+  /// Current snapshots of every shard, indexed by shard id.
+  std::vector<FusionSnapshotPtr> AllSnapshots() const;
+
+  /// Per-object MAP estimates assembled from every shard's current
+  /// snapshot (kNoValue where unknown) — the service-wide view used for
+  /// accuracy evaluation.
+  std::vector<ValueId> MergedPredictions() const;
+
+  // --- Introspection ----------------------------------------------------
+
+  const ShardRouter& router() const { return router_; }
+  int32_t num_shards() const { return router_.num_shards(); }
+  int32_t num_sources() const { return num_sources_; }
+  int32_t num_objects() const { return num_objects_; }
+  int32_t num_values() const { return num_values_; }
+
+  /// Operational counters (consistent copy; cheap).
+  FusionServiceStats stats() const;
+
+  /// Per-shard session counters as of the last completed driver step.
+  std::vector<FusionSession::Stats> SessionStats() const;
+
+ private:
+  /// One queue entry: a batch, or a flush marker Drain waits on.
+  struct Command {
+    ObservationBatch batch;
+    bool flush = false;
+    /// Fulfilled by the driver once the flush (and everything queued
+    /// before it) is applied and published.
+    std::shared_ptr<std::promise<void>> ack;
+  };
+
+  /// Per-shard mutable state, owned by the driver.
+  struct Shard {
+    std::unique_ptr<FusionSession> session;
+    /// Batches ingested but not yet absorbed by a relearn. Matches the
+    /// session's own pending_batches counter: truth-only ingests stay
+    /// pending until the shard has observations to fit against.
+    int32_t pending = 0;
+    /// Set when `pending` went 0 -> 1; drives the staleness budget.
+    Stopwatch oldest_pending;
+    /// Store fingerprint of the last published snapshot, so evidence
+    /// updates that cannot relearn yet (truth-only shards) publish
+    /// exactly once per change.
+    uint64_t last_published_fingerprint = 0;
+  };
+
+  FusionService(FusionServiceOptions options, int32_t num_sources,
+                int32_t num_objects, int32_t num_values);
+
+  void DriverLoop();
+  /// Applies one batch to its shards (parallel fan-out); returns whether
+  /// any shard ingested data.
+  void ApplyBatch(const ObservationBatch& batch);
+  /// Relearns + publishes every shard with pending data (parallel
+  /// fan-out); `reason` feeds error messages.
+  void RelearnPending(const char* reason);
+  /// True when the staleness budget forces a relearn now.
+  bool StalenessExceeded() const;
+  void PublishInitialSnapshots();
+  void UpdateSessionStatsLocked();
+
+  FusionServiceOptions options_;
+  int32_t num_sources_;
+  int32_t num_objects_;
+  int32_t num_values_;
+  ShardRouter router_;
+
+  std::vector<Shard> shards_;          // driver-owned after Create
+  std::vector<std::unique_ptr<SnapshotSlot>> slots_;  // shared with readers
+  Executor shard_exec_;
+
+  BoundedMpscQueue<Command> queue_;
+  std::thread driver_;
+
+  mutable std::mutex state_mu_;
+  FusionServiceStats stats_;                       // guarded by state_mu_
+  std::vector<FusionSession::Stats> session_stats_;  // guarded by state_mu_
+
+  /// Serializes driver join: every path that needs shutdown to have
+  /// completed (Stop, Drain-after-stop, the destructor) joins under
+  /// this mutex, so a loser of a concurrent Stop race still blocks
+  /// until the driver is gone instead of returning early.
+  std::mutex stop_mu_;
+
+  mutable std::atomic<int64_t> queries_{0};
+};
+
+/// The determinism oracle for the service: replays `batches`, in order,
+/// through one *offline* FusionSession per shard — same router, same
+/// every-K relearn schedule, one final flush at the end (exactly what
+/// Submit… + Drain + Stop produces) — and returns the final per-shard
+/// snapshots. `FusionService` must match these bit for bit; with
+/// `options.num_shards == 1` the result is the plain single-session
+/// offline run of the whole stream. The staleness budget is ignored
+/// here (its wall-clock trigger is the documented exception to the
+/// bitwise contract).
+Result<std::vector<FusionSnapshotPtr>> OfflineShardedReplay(
+    int32_t num_sources, int32_t num_objects, int32_t num_values,
+    const FusionServiceOptions& options,
+    const std::vector<ObservationBatch>& batches,
+    FeatureSpace features = FeatureSpace());
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_SERVE_FUSION_SERVICE_H_

@@ -1,0 +1,160 @@
+#include "serve/line_protocol.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace slimfast {
+
+namespace {
+
+/// Parses a non-negative 32-bit id; false on garbage or trailing junk.
+bool ParseId(const std::string& token, int32_t* out) {
+  if (token.empty()) return false;
+  int64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > INT32_MAX) return false;
+  }
+  *out = static_cast<int32_t>(value);
+  return true;
+}
+
+std::string FormatDouble(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string LineProtocol::HandleLine(const std::string& line, bool* quit) {
+  std::istringstream in(line);
+  std::string command;
+  in >> command;
+  std::vector<std::string> args;
+  for (std::string token; in >> token;) args.push_back(token);
+
+  if (command.empty()) return "ERR empty command";
+
+  if (command == "OBS") {
+    int32_t object = 0;
+    int32_t source = 0;
+    int32_t value = 0;
+    if (args.size() != 3 || !ParseId(args[0], &object) ||
+        !ParseId(args[1], &source) || !ParseId(args[2], &value)) {
+      return "ERR usage: OBS <object> <source> <value>";
+    }
+    if (object >= service_->num_objects() ||
+        source >= service_->num_sources() ||
+        value >= service_->num_values()) {
+      return "ERR id outside the service universe";
+    }
+    pending_.observations.push_back(Observation{object, source, value});
+    return "OK";
+  }
+
+  if (command == "TRUTH") {
+    int32_t object = 0;
+    int32_t value = 0;
+    if (args.size() != 2 || !ParseId(args[0], &object) ||
+        !ParseId(args[1], &value)) {
+      return "ERR usage: TRUTH <object> <value>";
+    }
+    if (object >= service_->num_objects() ||
+        value >= service_->num_values()) {
+      return "ERR id outside the service universe";
+    }
+    pending_.truths.push_back(TruthLabel{object, value});
+    return "OK";
+  }
+
+  if (command == "COMMIT") {
+    if (!args.empty()) return "ERR usage: COMMIT";
+    const int64_t observations =
+        static_cast<int64_t>(pending_.observations.size());
+    const int64_t truths = static_cast<int64_t>(pending_.truths.size());
+    if (observations + truths > 0) {
+      Status status = service_->Submit(std::move(pending_));
+      pending_ = ObservationBatch();
+      if (!status.ok()) return "ERR " + status.ToString();
+    }
+    return "OK " + std::to_string(observations) + " " +
+           std::to_string(truths);
+  }
+
+  if (command == "QUERY") {
+    int32_t object = 0;
+    if (args.size() != 1 || !ParseId(args[0], &object)) {
+      return "ERR usage: QUERY <object>";
+    }
+    // One snapshot for both fields: separate Query/QueryConfidence
+    // calls could straddle a publish and pair a prediction with another
+    // model's confidence.
+    const FusionSnapshotPtr snapshot = service_->SnapshotFor(object);
+    const ValueId value =
+        snapshot == nullptr ? kNoValue : snapshot->Prediction(object);
+    if (value == kNoValue) return "NONE";
+    return "VALUE " + std::to_string(value) + " " +
+           FormatDouble(snapshot->Confidence(object));
+  }
+
+  if (command == "POSTERIOR") {
+    int32_t object = 0;
+    if (args.size() != 1 || !ParseId(args[0], &object)) {
+      return "ERR usage: POSTERIOR <object>";
+    }
+    std::vector<ValueId> values;
+    std::vector<double> probs;
+    if (!service_->QueryPosterior(object, &values, &probs)) return "NONE";
+    std::string reply = "POSTERIOR";
+    for (size_t i = 0; i < values.size(); ++i) {
+      reply += " " + std::to_string(values[i]) + ":" +
+               FormatDouble(probs[i]);
+    }
+    return reply;
+  }
+
+  if (command == "STATS") {
+    if (!args.empty()) return "ERR usage: STATS";
+    const FusionServiceStats stats = service_->stats();
+    int32_t pending = 0;
+    double last_relearn_seconds = 0.0;
+    for (const FusionSession::Stats& shard : service_->SessionStats()) {
+      pending += shard.pending_batches;
+      if (shard.last_relearn_seconds > last_relearn_seconds) {
+        last_relearn_seconds = shard.last_relearn_seconds;
+      }
+    }
+    return "STATS shards=" + std::to_string(service_->num_shards()) +
+           " batches=" + std::to_string(stats.batches_processed) +
+           " observations=" + std::to_string(stats.observations_ingested) +
+           " truths=" + std::to_string(stats.truths_ingested) +
+           " relearns=" + std::to_string(stats.relearns) +
+           " publishes=" + std::to_string(stats.publishes) +
+           " queries=" + std::to_string(stats.queries) +
+           " failures=" + std::to_string(stats.ingest_failures) +
+           " pending_batches=" + std::to_string(pending) +
+           " last_relearn_s=" + FormatDouble(last_relearn_seconds);
+  }
+
+  if (command == "DRAIN") {
+    if (!args.empty()) return "ERR usage: DRAIN";
+    Status status = service_->Drain();
+    if (!status.ok()) return "ERR " + status.ToString();
+    return "OK";
+  }
+
+  if (command == "QUIT") {
+    if (quit != nullptr) *quit = true;
+    return "BYE";
+  }
+
+  return "ERR unknown command '" + command +
+         "' (OBS TRUTH COMMIT QUERY POSTERIOR STATS DRAIN QUIT)";
+}
+
+}  // namespace slimfast

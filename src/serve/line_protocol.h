@@ -1,0 +1,51 @@
+#ifndef SLIMFAST_SERVE_LINE_PROTOCOL_H_
+#define SLIMFAST_SERVE_LINE_PROTOCOL_H_
+
+#include <string>
+
+#include "data/observation_store.h"
+#include "serve/fusion_service.h"
+
+namespace slimfast {
+
+/// The text protocol behind `slimfast_cli serve`: one command per line,
+/// one reply line per command. Decoupled from any transport — the CLI
+/// drives it from stdin, a socket server would drive it per connection,
+/// and the tests drive it directly.
+///
+/// Commands (ids are the dense integer ids of the service's universe):
+///
+///   OBS <object> <source> <value>   buffer one observation   -> OK
+///   TRUTH <object> <value>          buffer one truth label   -> OK
+///   COMMIT                          submit buffered batch    -> OK n m
+///   QUERY <object>                  current MAP estimate     -> VALUE v c
+///                                   (c = posterior confidence) or NONE
+///   POSTERIOR <object>              posterior distribution   -> POSTERIOR
+///                                   v:p v:p ... or NONE
+///   STATS                           service counters         -> STATS ...
+///   DRAIN                           block until applied      -> OK
+///   QUIT                            end the session          -> BYE
+///
+/// Malformed or unknown input gets a single `ERR <reason>` reply and
+/// leaves all state unchanged. Queries go straight to the wait-free
+/// snapshot path; only COMMIT/DRAIN touch the ingest pipeline.
+class LineProtocol {
+ public:
+  /// Binds the protocol to `service` (borrowed; must outlive this).
+  explicit LineProtocol(FusionService* service) : service_(service) {}
+
+  /// Executes one command line and returns the reply (no trailing
+  /// newline). Sets `*quit` to true on QUIT when `quit` is non-null.
+  std::string HandleLine(const std::string& line, bool* quit = nullptr);
+
+  /// Observations + truths buffered toward the next COMMIT.
+  int64_t buffered() const { return pending_.size(); }
+
+ private:
+  FusionService* service_;
+  ObservationBatch pending_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_SERVE_LINE_PROTOCOL_H_

@@ -1,0 +1,201 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "data/observation_store.h"
+#include "serve/fusion_service.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace slimfast {
+
+namespace {
+
+double NearestRank(const std::vector<double>& sorted, double quantile) {
+  const size_t n = sorted.size();
+  size_t rank = static_cast<size_t>(
+      std::ceil(quantile * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+LatencySummary SummarizeLatencies(std::vector<double>* samples) {
+  LatencySummary summary;
+  if (samples == nullptr || samples->empty()) return summary;
+  std::sort(samples->begin(), samples->end());
+  summary.count = static_cast<int64_t>(samples->size());
+  summary.p50 = NearestRank(*samples, 0.50);
+  summary.p95 = NearestRank(*samples, 0.95);
+  summary.p99 = NearestRank(*samples, 0.99);
+  summary.max = samples->back();
+  return summary;
+}
+
+Result<LoadgenReport> RunLoadgen(const Dataset& dataset,
+                                 const LoadgenOptions& options) {
+  if (options.num_chunks < 1) {
+    return Status::InvalidArgument("num_chunks must be >= 1");
+  }
+  if (options.reader_threads < 1) {
+    return Status::InvalidArgument("reader_threads must be >= 1");
+  }
+
+  const std::vector<ObservationBatch> chunks =
+      ChunkDatasetForReplay(dataset, options.num_chunks);
+
+  FusionServiceOptions service_options;
+  service_options.num_shards = options.num_shards;
+  service_options.relearn_every_batches = options.relearn_every_batches;
+  service_options.session.seed = options.seed;
+  service_options.shard_exec = options.exec;
+  SLIMFAST_ASSIGN_OR_RETURN(
+      std::unique_ptr<FusionService> service,
+      FusionService::Create(dataset.num_sources(), dataset.num_objects(),
+                            dataset.num_values(), service_options,
+                            dataset.features()));
+
+  // --- Readers: hammer wait-free queries for the whole ingest window
+  // (and past it, until each reader has a meaningful sample). ---
+  const int32_t num_objects = dataset.num_objects();
+  const int32_t num_values = dataset.num_values();
+  std::atomic<bool> ingest_done{false};
+  std::atomic<int64_t> invalid_reads{0};
+  // Per-reader latency *reservoirs*: a long run at millions of QPS would
+  // otherwise accumulate hundreds of MB of samples, and the allocation
+  // traffic would distort the very numbers being measured. Reservoir
+  // replacement keeps an unbiased fixed-size sample of the whole run;
+  // per-reader query counts stay exact.
+  constexpr size_t kMaxSamplesPerReader = size_t{1} << 18;
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(options.reader_threads));
+  std::vector<int64_t> query_counts(
+      static_cast<size_t>(options.reader_threads), 0);
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<size_t>(options.reader_threads));
+  Stopwatch run_watch;
+  for (int32_t r = 0; r < options.reader_threads; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(SplitMix64(options.seed ^
+                         (0x7ea0e2u + static_cast<uint64_t>(r))));
+      std::vector<double>& my_latencies =
+          latencies[static_cast<size_t>(r)];
+      my_latencies.reserve(kMaxSamplesPerReader);
+      std::vector<double> probs;
+      int64_t count = 0;
+      while (!ingest_done.load(std::memory_order_acquire) ||
+             count < options.min_queries_per_reader) {
+        const ObjectId object =
+            num_objects > 0
+                ? static_cast<ObjectId>(rng.UniformInt(num_objects))
+                : 0;
+        Stopwatch query_watch;
+        const ValueId value = service->Query(object);
+        const double seconds = query_watch.ElapsedSeconds();
+        if (my_latencies.size() < kMaxSamplesPerReader) {
+          my_latencies.push_back(seconds);
+        } else {
+          const int64_t slot = rng.UniformInt(count + 1);
+          if (slot < static_cast<int64_t>(kMaxSamplesPerReader)) {
+            my_latencies[static_cast<size_t>(slot)] = seconds;
+          }
+        }
+        if (value != kNoValue && (value < 0 || value >= num_values)) {
+          invalid_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Exercise the consistent-snapshot read path too (untimed: the
+        // latency series stays a single-operation metric).
+        if ((count & 0x3f) == 0) {
+          service->QueryPosterior(object, nullptr, &probs);
+        }
+        ++count;
+      }
+      query_counts[static_cast<size_t>(r)] = count;
+    });
+  }
+
+  // --- Writer: replay the dataset, then drain. Readers must be joined
+  // before any return path, so the writer only records its status. ---
+  Stopwatch ingest_watch;
+  Status writer_status = Status::OK();
+  for (const ObservationBatch& chunk : chunks) {
+    writer_status = service->Submit(chunk);
+    if (!writer_status.ok()) break;
+  }
+  if (writer_status.ok()) writer_status = service->Drain();
+  const double ingest_wall = ingest_watch.ElapsedSeconds();
+  ingest_done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  SLIMFAST_RETURN_NOT_OK(writer_status);
+  const double run_wall = run_watch.ElapsedSeconds();
+
+  // --- Report. ---
+  LoadgenReport report;
+  report.num_shards = service->num_shards();
+  report.num_chunks = options.num_chunks;
+  report.reader_threads = options.reader_threads;
+  report.ingest_wall_seconds = ingest_wall;
+  report.run_wall_seconds = run_wall;
+  report.invalid_reads = invalid_reads.load();
+  for (const ObservationBatch& chunk : chunks) {
+    report.observations += static_cast<int64_t>(chunk.observations.size());
+    report.truths += static_cast<int64_t>(chunk.truths.size());
+  }
+
+  std::vector<double> merged_latencies;
+  for (const std::vector<double>& reader : latencies) {
+    merged_latencies.insert(merged_latencies.end(), reader.begin(),
+                            reader.end());
+  }
+  for (int64_t count : query_counts) report.total_queries += count;
+  report.query_latency = SummarizeLatencies(&merged_latencies);
+  report.qps = run_wall > 0.0
+                   ? static_cast<double>(report.total_queries) / run_wall
+                   : 0.0;
+
+  const std::vector<ValueId> merged = service->MergedPredictions();
+  int64_t labeled = 0;
+  int64_t correct = 0;
+  for (ObjectId o = 0; o < num_objects; ++o) {
+    const ValueId truth = dataset.Truth(o);
+    if (truth == kNoValue) continue;
+    if (merged[static_cast<size_t>(o)] == kNoValue) continue;
+    ++labeled;
+    if (merged[static_cast<size_t>(o)] == truth) ++correct;
+  }
+  report.accuracy = labeled > 0 ? static_cast<double>(correct) /
+                                      static_cast<double>(labeled)
+                                : 0.0;
+
+  const FusionServiceStats stats = service->stats();
+  report.relearns = stats.relearns;
+  report.publishes = stats.publishes;
+
+  if (options.verify) {
+    report.verify_ran = true;
+    SLIMFAST_ASSIGN_OR_RETURN(
+        std::vector<FusionSnapshotPtr> offline,
+        OfflineShardedReplay(dataset.num_sources(), dataset.num_objects(),
+                             dataset.num_values(), service_options, chunks,
+                             dataset.features()));
+    const std::vector<FusionSnapshotPtr> live = service->AllSnapshots();
+    report.verified = live.size() == offline.size();
+    for (size_t s = 0; report.verified && s < live.size(); ++s) {
+      report.verified = live[s] != nullptr && offline[s] != nullptr &&
+                        *live[s] == *offline[s];
+    }
+  }
+
+  service->Stop();
+  return report;
+}
+
+}  // namespace slimfast

@@ -1,0 +1,22 @@
+#include "serve/router.h"
+
+namespace slimfast {
+
+ShardRouter::ShardRouter(int32_t num_shards, uint64_t salt)
+    : num_shards_(num_shards < 1 ? 1 : num_shards), salt_(salt) {}
+
+std::vector<ObservationBatch> ShardRouter::Split(
+    const ObservationBatch& batch) const {
+  std::vector<ObservationBatch> shards(static_cast<size_t>(num_shards_));
+  for (const Observation& obs : batch.observations) {
+    shards[static_cast<size_t>(ShardOf(obs.object))].observations.push_back(
+        obs);
+  }
+  for (const TruthLabel& label : batch.truths) {
+    shards[static_cast<size_t>(ShardOf(label.object))].truths.push_back(
+        label);
+  }
+  return shards;
+}
+
+}  // namespace slimfast

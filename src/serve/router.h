@@ -1,0 +1,61 @@
+#ifndef SLIMFAST_SERVE_ROUTER_H_
+#define SLIMFAST_SERVE_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/observation_store.h"
+#include "data/types.h"
+#include "util/hash.h"
+
+namespace slimfast {
+
+/// Deterministic hash router: assigns every object id to one of N shards.
+///
+/// The assignment is a pure function of (object id, shard count, salt) —
+/// no state, no registration — so the ingest path and every query thread
+/// route identically without coordination, and an offline replay with
+/// the same shard count reproduces the exact same partition. SplitMix64
+/// avalanches the id so consecutive object ids spread across shards
+/// (contiguous ranges would send hot id ranges to one shard).
+///
+/// Edge cases are first-class: 1 shard routes everything to shard 0, a
+/// shard count above the object count simply leaves some shards
+/// permanently empty, and an empty universe routes nothing.
+class ShardRouter {
+ public:
+  /// A router over `num_shards` shards (clamped to >= 1). `salt`
+  /// decorrelates the shard hash from the other SplitMix64 users (seed
+  /// streams, fingerprints); every router in one service must share it.
+  explicit ShardRouter(int32_t num_shards,
+                       uint64_t salt = kDefaultSalt);
+
+  int32_t num_shards() const { return num_shards_; }
+
+  /// Shard owning `object`. `object` must be a non-negative id; the
+  /// result is in [0, num_shards).
+  int32_t ShardOf(ObjectId object) const {
+    if (num_shards_ == 1) return 0;
+    return static_cast<int32_t>(
+        SplitMix64(static_cast<uint64_t>(object) ^ salt_) %
+        static_cast<uint64_t>(num_shards_));
+  }
+
+  /// Partitions `batch` into one sub-batch per shard (index = shard id).
+  /// Observations and truth labels keep their relative order within each
+  /// sub-batch, so replaying the sub-batches reproduces each shard's
+  /// slice of the stream exactly; shards the batch never touches get
+  /// empty sub-batches.
+  std::vector<ObservationBatch> Split(const ObservationBatch& batch) const;
+
+  /// Default routing salt (an arbitrary odd 64-bit constant).
+  static constexpr uint64_t kDefaultSalt = 0x51a6fa57u;
+
+ private:
+  int32_t num_shards_;
+  uint64_t salt_;
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_SERVE_ROUTER_H_

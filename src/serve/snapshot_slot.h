@@ -1,0 +1,87 @@
+#ifndef SLIMFAST_SERVE_SNAPSHOT_SLOT_H_
+#define SLIMFAST_SERVE_SNAPSHOT_SLOT_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "core/snapshot.h"
+
+// The slot prefers C++20 `std::atomic<std::shared_ptr>` (a lock-bit
+// spinlock on the control word: readers never touch a blocking mutex).
+// Under ThreadSanitizer we substitute the semantically identical C++11
+// atomic free functions: libstdc++'s `_Sp_atomic` guards its pointer
+// with a lock *bit* whose acquire/release protocol TSan cannot see, so
+// every Load/Store pair reports a false-positive race (reproduced
+// minimally in-tree; the free functions synchronize through pthread
+// mutexes TSan understands). Both paths give acquire/release ordering
+// on the pointer plus thread-safe reference counting.
+#if defined(__SANITIZE_THREAD__)
+#define SLIMFAST_SNAPSHOT_SLOT_USE_FALLBACK 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SLIMFAST_SNAPSHOT_SLOT_USE_FALLBACK 1
+#endif
+#endif
+#if !defined(SLIMFAST_SNAPSHOT_SLOT_USE_FALLBACK) && \
+    !defined(__cpp_lib_atomic_shared_ptr)
+#define SLIMFAST_SNAPSHOT_SLOT_USE_FALLBACK 1
+#endif
+
+namespace slimfast {
+
+/// The publication point between one shard's ingest pipeline and every
+/// query thread: an atomically swappable `shared_ptr` to the shard's
+/// current immutable `FusionSnapshot`.
+///
+/// Readers call Load() and get a consistent snapshot they own for as
+/// long as they hold the pointer; the publisher calls Store() with a
+/// freshly exported snapshot after each relearn. Neither side ever
+/// holds a lock across real work: the only shared state is the one
+/// atomic pointer swap, so a query can never block on (or be blocked
+/// by) ingest, delta compilation, or relearning — the snapshot swap is
+/// the entire synchronization surface.
+class SnapshotSlot {
+ public:
+  SnapshotSlot() = default;
+  SnapshotSlot(const SnapshotSlot&) = delete;
+  SnapshotSlot& operator=(const SnapshotSlot&) = delete;
+
+  /// Current snapshot (never null once the owner published an initial
+  /// snapshot; null only on a freshly constructed slot).
+  FusionSnapshotPtr Load() const {
+#if defined(SLIMFAST_SNAPSHOT_SLOT_USE_FALLBACK)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    return std::atomic_load_explicit(&slot_, std::memory_order_acquire);
+#pragma GCC diagnostic pop
+#else
+    return slot_.load(std::memory_order_acquire);
+#endif
+  }
+
+  /// Publishes `snapshot`, releasing the previous one (readers still
+  /// holding it keep a valid view until they drop their pointer).
+  void Store(FusionSnapshotPtr snapshot) {
+#if defined(SLIMFAST_SNAPSHOT_SLOT_USE_FALLBACK)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    std::atomic_store_explicit(&slot_, std::move(snapshot),
+                               std::memory_order_release);
+#pragma GCC diagnostic pop
+#else
+    slot_.store(std::move(snapshot), std::memory_order_release);
+#endif
+  }
+
+ private:
+#if defined(SLIMFAST_SNAPSHOT_SLOT_USE_FALLBACK)
+  FusionSnapshotPtr slot_;
+#else
+  std::atomic<FusionSnapshotPtr> slot_;
+#endif
+};
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_SERVE_SNAPSHOT_SLOT_H_

@@ -41,12 +41,30 @@ void SoftmaxInPlace(std::vector<double>* xs) {
   for (double& x : *xs) x = std::exp(x - lse);
 }
 
+namespace {
+
+// lgamma(3) writes its sign to the process-global `signgam`, which is a
+// data race once the serving layer relearns shards in parallel (every
+// relearn's optimizer decision walks the binomial tail). The reentrant
+// lgamma_r returns the identical value without the global; all inputs
+// here are >= 1, where the gamma function is positive anyway.
+double ThreadSafeLogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 double LogBinomialCoefficient(int64_t n, int64_t k) {
   SLIMFAST_DCHECK(n >= 0 && k >= 0 && k <= n,
                   "LogBinomialCoefficient requires 0 <= k <= n");
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return ThreadSafeLogGamma(static_cast<double>(n) + 1.0) -
+         ThreadSafeLogGamma(static_cast<double>(k) + 1.0) -
+         ThreadSafeLogGamma(static_cast<double>(n - k) + 1.0);
 }
 
 double BinomialPmf(int64_t n, int64_t k, double p) {

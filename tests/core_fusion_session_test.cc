@@ -175,6 +175,85 @@ TEST(FusionSessionTest, ErrorPathsLeaveSessionUsable) {
   EXPECT_EQ(session.Query(1000), kNoValue);
 }
 
+TEST(FusionSessionTest, StatsTrackRelearnDurationAndPendingBatches) {
+  Dataset dataset = MakeFigure1Dataset();
+  FusionSession session =
+      FusionSession::Create(dataset.num_sources(), dataset.num_objects(),
+                            dataset.num_values())
+          .ValueOrDie();
+
+  FusionSession::Stats fresh = session.stats();
+  EXPECT_EQ(fresh.pending_batches, 0);
+  EXPECT_EQ(fresh.num_relearns, 0);
+  EXPECT_EQ(fresh.num_ingested_batches, 0);
+  EXPECT_EQ(fresh.last_relearn_seconds, 0.0);
+
+  // Every ingest grows the pending count the serving layer's relearn
+  // policy keys off; every relearn resets it and records its duration.
+  std::vector<ObservationBatch> chunks = ChunkDatasetForReplay(dataset, 2);
+  SLIMFAST_CHECK_OK(session.Ingest(chunks[0]).status());
+  EXPECT_EQ(session.stats().pending_batches, 1);
+  SLIMFAST_CHECK_OK(session.Ingest(chunks[1]).status());
+  EXPECT_EQ(session.stats().pending_batches, 2);
+  EXPECT_EQ(session.stats().num_ingested_batches, 2);
+
+  SLIMFAST_CHECK_OK(session.Relearn().status());
+  FusionSession::Stats relearned = session.stats();
+  EXPECT_EQ(relearned.pending_batches, 0);
+  EXPECT_EQ(relearned.num_relearns, 1);
+  EXPECT_GT(relearned.last_relearn_seconds, 0.0);
+  EXPECT_EQ(relearned.num_observations, dataset.num_observations());
+}
+
+TEST(FusionSessionTest, ExportSnapshotCarriesModelAndEvidence) {
+  Dataset dataset = MakeFigure1Dataset();
+  FusionSession session =
+      FusionSession::Create(dataset.num_sources(), dataset.num_objects(),
+                            dataset.num_values())
+          .ValueOrDie();
+
+  // Pre-relearn: evidence-only snapshot, no model, version 0.
+  FusionSnapshotPtr empty = session.ExportSnapshot();
+  EXPECT_EQ(empty->version, 0);
+  EXPECT_FALSE(empty->has_model());
+  EXPECT_EQ(empty->Prediction(0), kNoValue);
+  EXPECT_EQ(empty->Confidence(0), 0.0);
+
+  for (const ObservationBatch& chunk : ChunkDatasetForReplay(dataset, 1)) {
+    SLIMFAST_CHECK_OK(session.Ingest(chunk).status());
+  }
+  SLIMFAST_CHECK_OK(session.Relearn().status());
+
+  FusionSnapshotPtr snapshot = session.ExportSnapshot();
+  EXPECT_EQ(snapshot->version, 1);
+  EXPECT_TRUE(snapshot->has_model());
+  EXPECT_EQ(snapshot->num_observations, dataset.num_observations());
+  EXPECT_EQ(snapshot->store_fingerprint,
+            session.instance()->store.content_fingerprint());
+
+  // The snapshot answers exactly what the session answers.
+  std::vector<ValueId> golden = Figure1TruthValues();
+  for (ObjectId o = 0; o < dataset.num_objects(); ++o) {
+    EXPECT_EQ(snapshot->Prediction(o), session.Query(o));
+    EXPECT_EQ(snapshot->Prediction(o), golden[static_cast<size_t>(o)]);
+    EXPECT_GT(snapshot->Confidence(o), 0.5);
+    // Posterior slices are proper distributions over the object domain.
+    std::vector<ValueId> values;
+    std::vector<double> probs;
+    ASSERT_TRUE(snapshot->PosteriorOf(o, &values, &probs));
+    ASSERT_EQ(values.size(), probs.size());
+    double sum = 0.0;
+    for (double p : probs) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // Per-object evidence counts come straight from the columnar store.
+    EXPECT_GT(snapshot->claim_counts[static_cast<size_t>(o)], 0);
+  }
+  EXPECT_EQ(snapshot->PosteriorOf(999, nullptr, nullptr), false);
+
+  // Exporting is pure: two exports of the same state are bit-identical.
+  EXPECT_TRUE(*snapshot == *session.ExportSnapshot());
+}
+
 TEST(FusionSessionTest, CreateValidatesDimensions) {
   EXPECT_FALSE(FusionSession::Create(-1, 2, 2).ok());
   EXPECT_FALSE(FusionSession::Create(2, 2, 0).ok());

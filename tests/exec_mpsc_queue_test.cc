@@ -1,0 +1,126 @@
+// BoundedMpscQueue: the serve layer's ingest spine. Covers FIFO order,
+// batch coalescing, backpressure (blocking Push, TryPush shedding),
+// close/drain semantics, and a multi-producer stress loop that the TSan
+// CI job runs with real threads.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/mpsc_queue.h"
+
+namespace slimfast {
+namespace {
+
+TEST(BoundedMpscQueueTest, DeliversInFifoOrderAndCoalesces) {
+  BoundedMpscQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(i));
+  EXPECT_EQ(queue.size(), 5u);
+
+  std::vector<int> first = queue.PopBatch(3);
+  EXPECT_EQ(first, (std::vector<int>{0, 1, 2}));
+  std::vector<int> rest = queue.PopBatch(100);
+  EXPECT_EQ(rest, (std::vector<int>{3, 4}));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedMpscQueueTest, TryPushShedsWhenFull) {
+  BoundedMpscQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full: load is shed, not buffered
+  EXPECT_EQ(queue.PopBatch(10), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(queue.TryPush(4));
+}
+
+TEST(BoundedMpscQueueTest, ZeroCapacityClampsToOne) {
+  BoundedMpscQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(7));
+  EXPECT_FALSE(queue.TryPush(8));
+}
+
+TEST(BoundedMpscQueueTest, PushBlocksUntilConsumerFreesASlot) {
+  BoundedMpscQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the consumer pops
+    second_pushed.store(true);
+  });
+  // The producer cannot complete while the queue is full; popping the
+  // first item unblocks it.
+  EXPECT_EQ(queue.PopBatch(1), (std::vector<int>{1}));
+  while (!second_pushed.load()) std::this_thread::yield();
+  producer.join();
+  EXPECT_EQ(queue.PopBatch(1), (std::vector<int>{2}));
+}
+
+TEST(BoundedMpscQueueTest, CloseFailsPushesAndDrainsRemainder) {
+  BoundedMpscQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.Push(3));
+  EXPECT_FALSE(queue.TryPush(3));
+
+  // The consumer still sees everything enqueued before the close, then
+  // the empty shutdown signal.
+  EXPECT_EQ(queue.PopBatch(10), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(queue.PopBatch(10).empty());
+  EXPECT_TRUE(queue.PopBatch(10).empty());  // stays drained
+}
+
+TEST(BoundedMpscQueueTest, CloseWakesBlockedProducer) {
+  BoundedMpscQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+  std::thread producer([&] { EXPECT_FALSE(queue.Push(2)); });
+  // Give the producer a moment to block on the full queue, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  producer.join();
+}
+
+TEST(BoundedMpscQueueTest, MultiProducerStressDeliversEveryItemOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedMpscQueue<int64_t> queue(16);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(static_cast<int64_t>(p) * kPerProducer + i));
+      }
+    });
+  }
+
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+  std::vector<int> last_per_producer(kProducers, -1);
+  int64_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    std::vector<int64_t> batch = queue.PopBatch(32);
+    ASSERT_FALSE(batch.empty());
+    for (int64_t item : batch) {
+      ++seen[static_cast<size_t>(item)];
+      // Items from any single producer arrive in that producer's order.
+      int producer = static_cast<int>(item / kPerProducer);
+      int index = static_cast<int>(item % kPerProducer);
+      EXPECT_GT(index, last_per_producer[static_cast<size_t>(producer)]);
+      last_per_producer[static_cast<size_t>(producer)] = index;
+    }
+    received += static_cast<int64_t>(batch.size());
+  }
+  for (std::thread& t : producers) t.join();
+  for (int count : seen) EXPECT_EQ(count, 1);
+  queue.Close();
+  EXPECT_TRUE(queue.PopBatch(1).empty());
+}
+
+}  // namespace
+}  // namespace slimfast

@@ -1,0 +1,174 @@
+// The serve line protocol and the load generator. The protocol tests
+// drive LineProtocol directly (no stdin); the loadgen tests run the full
+// mixed ingest/query workload on a small planted instance, including the
+// offline-replay verification, plus the latency percentile math.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/fusion_service.h"
+#include "serve/line_protocol.h"
+#include "serve/loadgen.h"
+#include "test_util.h"
+
+namespace slimfast {
+namespace {
+
+using testutil::MakeFigure1Dataset;
+using testutil::MakePlantedDataset;
+
+std::unique_ptr<FusionService> MakeFigure1Service(int32_t shards = 2) {
+  Dataset dataset = MakeFigure1Dataset();
+  FusionServiceOptions options;
+  options.num_shards = shards;
+  options.relearn_every_batches = 1;
+  return FusionService::Create(dataset.num_sources(), dataset.num_objects(),
+                               dataset.num_values(), options,
+                               dataset.features())
+      .ValueOrDie();
+}
+
+TEST(LineProtocolTest, IngestQueryFlowRecoversFigure1) {
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+
+  EXPECT_EQ(protocol.HandleLine("QUERY 0"), "NONE");  // nothing learned
+  EXPECT_EQ(protocol.HandleLine("OBS 0 0 0"), "OK");
+  EXPECT_EQ(protocol.HandleLine("OBS 0 1 1"), "OK");
+  EXPECT_EQ(protocol.HandleLine("OBS 0 2 0"), "OK");
+  EXPECT_EQ(protocol.HandleLine("OBS 1 0 1"), "OK");
+  EXPECT_EQ(protocol.HandleLine("OBS 1 2 1"), "OK");
+  EXPECT_EQ(protocol.HandleLine("TRUTH 0 0"), "OK");
+  EXPECT_EQ(protocol.HandleLine("TRUTH 1 1"), "OK");
+  EXPECT_EQ(protocol.buffered(), 7);
+  EXPECT_EQ(protocol.HandleLine("COMMIT"), "OK 5 2");
+  EXPECT_EQ(protocol.buffered(), 0);
+  EXPECT_EQ(protocol.HandleLine("DRAIN"), "OK");
+
+  // Figure 1 goldens: object 0 -> 0, object 1 -> 1.
+  EXPECT_EQ(protocol.HandleLine("QUERY 0").rfind("VALUE 0 ", 0), 0u);
+  EXPECT_EQ(protocol.HandleLine("QUERY 1").rfind("VALUE 1 ", 0), 0u);
+  std::string posterior = protocol.HandleLine("POSTERIOR 0");
+  EXPECT_EQ(posterior.rfind("POSTERIOR ", 0), 0u);
+  EXPECT_NE(posterior.find("0:"), std::string::npos);
+
+  std::string stats = protocol.HandleLine("STATS");
+  EXPECT_EQ(stats.rfind("STATS ", 0), 0u);
+  EXPECT_NE(stats.find("observations=5"), std::string::npos);
+  EXPECT_NE(stats.find("truths=2"), std::string::npos);
+  EXPECT_NE(stats.find("pending_batches=0"), std::string::npos);
+
+  bool quit = false;
+  EXPECT_EQ(protocol.HandleLine("QUIT", &quit), "BYE");
+  EXPECT_TRUE(quit);
+  service->Stop();
+}
+
+TEST(LineProtocolTest, MalformedAndOutOfUniverseInputGetsErr) {
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+
+  EXPECT_EQ(protocol.HandleLine("").rfind("ERR", 0), 0u);
+  EXPECT_EQ(protocol.HandleLine("FROBNICATE 1").rfind("ERR unknown", 0), 0u);
+  EXPECT_EQ(protocol.HandleLine("OBS 0 0").rfind("ERR usage", 0), 0u);
+  EXPECT_EQ(protocol.HandleLine("OBS a b c").rfind("ERR usage", 0), 0u);
+  EXPECT_EQ(protocol.HandleLine("OBS 0 0 0 0").rfind("ERR usage", 0), 0u);
+  EXPECT_EQ(protocol.HandleLine("OBS 99 0 0").rfind("ERR id", 0), 0u);
+  EXPECT_EQ(protocol.HandleLine("TRUTH 0 99").rfind("ERR id", 0), 0u);
+  EXPECT_EQ(protocol.HandleLine("QUERY x").rfind("ERR usage", 0), 0u);
+  EXPECT_EQ(protocol.HandleLine("QUERY -1").rfind("ERR usage", 0), 0u);
+  EXPECT_EQ(protocol.HandleLine("STATS now").rfind("ERR usage", 0), 0u);
+  // Nothing buffered by any of the rejected commands.
+  EXPECT_EQ(protocol.buffered(), 0);
+  EXPECT_EQ(protocol.HandleLine("COMMIT"), "OK 0 0");
+  service->Stop();
+}
+
+TEST(LineProtocolTest, QueryOutsideUniverseIsNone) {
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+  EXPECT_EQ(protocol.HandleLine("QUERY 999"), "NONE");
+  EXPECT_EQ(protocol.HandleLine("POSTERIOR 999"), "NONE");
+  service->Stop();
+}
+
+TEST(SummarizeLatenciesTest, NearestRankPercentiles) {
+  // 1..100 milliseconds: nearest-rank p50 = 50th value, p95 = 95th,
+  // p99 = 99th.
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) {
+    samples.push_back(static_cast<double>(i) * 1e-3);
+  }
+  LatencySummary summary = SummarizeLatencies(&samples);
+  EXPECT_EQ(summary.count, 100);
+  EXPECT_DOUBLE_EQ(summary.p50, 0.050);
+  EXPECT_DOUBLE_EQ(summary.p95, 0.095);
+  EXPECT_DOUBLE_EQ(summary.p99, 0.099);
+  EXPECT_DOUBLE_EQ(summary.max, 0.100);
+  EXPECT_LE(summary.p50, summary.p95);
+  EXPECT_LE(summary.p95, summary.p99);
+}
+
+TEST(SummarizeLatenciesTest, EdgeCases) {
+  std::vector<double> empty;
+  LatencySummary zero = SummarizeLatencies(&empty);
+  EXPECT_EQ(zero.count, 0);
+  EXPECT_EQ(zero.p50, 0.0);
+  EXPECT_EQ(zero.p99, 0.0);
+
+  std::vector<double> one = {0.25};
+  LatencySummary single = SummarizeLatencies(&one);
+  EXPECT_EQ(single.count, 1);
+  EXPECT_DOUBLE_EQ(single.p50, 0.25);
+  EXPECT_DOUBLE_EQ(single.p95, 0.25);
+  EXPECT_DOUBLE_EQ(single.p99, 0.25);
+  EXPECT_DOUBLE_EQ(single.max, 0.25);
+}
+
+TEST(LoadgenTest, MixedWorkloadVerifiesAndReports) {
+  Dataset dataset =
+      MakePlantedDataset({0.95, 0.85, 0.8, 0.7}, 40, 0.6, 23);
+
+  LoadgenOptions options;
+  options.num_shards = 3;
+  options.num_chunks = 4;
+  options.reader_threads = 2;
+  options.min_queries_per_reader = 200;
+  options.relearn_every_batches = 2;
+  options.seed = 23;
+  options.verify = true;
+
+  LoadgenReport report = RunLoadgen(dataset, options).ValueOrDie();
+  EXPECT_EQ(report.num_shards, 3);
+  EXPECT_GT(report.observations, 0);
+  EXPECT_GE(report.total_queries, 400);  // both readers reached the floor
+  EXPECT_GT(report.qps, 0.0);
+  EXPECT_GT(report.query_latency.count, 0);
+  EXPECT_GT(report.query_latency.p50, 0.0);
+  EXPECT_LE(report.query_latency.p50, report.query_latency.p95);
+  EXPECT_LE(report.query_latency.p95, report.query_latency.p99);
+  EXPECT_LE(report.query_latency.p99, report.query_latency.max);
+  EXPECT_EQ(report.invalid_reads, 0);
+  EXPECT_GT(report.relearns, 0);
+  // The planted majority is easy; the merged predictions must be good.
+  EXPECT_GT(report.accuracy, 0.8);
+  // The determinism contract held under concurrent query load.
+  EXPECT_TRUE(report.verify_ran);
+  EXPECT_TRUE(report.verified);
+}
+
+TEST(LoadgenTest, RejectsDegenerateConfigs) {
+  Dataset dataset = MakePlantedDataset({0.9, 0.8}, 8, 0.8, 3);
+  LoadgenOptions options;
+  options.num_chunks = 0;
+  EXPECT_FALSE(RunLoadgen(dataset, options).ok());
+  options.num_chunks = 2;
+  options.reader_threads = 0;
+  EXPECT_FALSE(RunLoadgen(dataset, options).ok());
+}
+
+}  // namespace
+}  // namespace slimfast

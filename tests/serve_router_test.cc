@@ -1,0 +1,113 @@
+// ShardRouter: the serve layer's deterministic object -> shard hash.
+// Covers stability, range, batch splitting (order preservation,
+// partition completeness), and the edge cases the issue calls out:
+// 0 objects, 1 shard, and more shards than objects.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/router.h"
+
+namespace slimfast {
+namespace {
+
+ObservationBatch MakeBatch(std::vector<Observation> observations,
+                           std::vector<TruthLabel> truths) {
+  ObservationBatch batch;
+  batch.observations = std::move(observations);
+  batch.truths = std::move(truths);
+  return batch;
+}
+
+TEST(ShardRouterTest, ShardOfIsStableAndInRange) {
+  ShardRouter router(5);
+  ShardRouter twin(5);
+  std::set<int32_t> used;
+  for (ObjectId o = 0; o < 200; ++o) {
+    int32_t shard = router.ShardOf(o);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 5);
+    // Pure function: a second router with the same parameters agrees.
+    EXPECT_EQ(shard, twin.ShardOf(o));
+    used.insert(shard);
+  }
+  // 200 avalanched ids should touch every one of 5 shards.
+  EXPECT_EQ(used.size(), 5u);
+}
+
+TEST(ShardRouterTest, SingleShardRoutesEverythingToZero) {
+  ShardRouter router(1);
+  for (ObjectId o = 0; o < 50; ++o) EXPECT_EQ(router.ShardOf(o), 0);
+}
+
+TEST(ShardRouterTest, ShardCountBelowOneClampsToOne) {
+  ShardRouter router(0);
+  EXPECT_EQ(router.num_shards(), 1);
+  EXPECT_EQ(router.ShardOf(7), 0);
+}
+
+TEST(ShardRouterTest, SplitPartitionsAndPreservesOrder) {
+  ShardRouter router(3);
+  ObservationBatch batch = MakeBatch(
+      {{0, 0, 1}, {1, 0, 0}, {2, 1, 1}, {0, 1, 0}, {3, 0, 1}, {1, 1, 1}},
+      {{0, 1}, {2, 0}, {1, 0}});
+  std::vector<ObservationBatch> subs = router.Split(batch);
+  ASSERT_EQ(subs.size(), 3u);
+
+  // Every item lands exactly once, on the shard owning its object.
+  int64_t total_observations = 0;
+  int64_t total_truths = 0;
+  for (int32_t s = 0; s < 3; ++s) {
+    for (const Observation& obs : subs[static_cast<size_t>(s)].observations) {
+      EXPECT_EQ(router.ShardOf(obs.object), s);
+    }
+    for (const TruthLabel& label : subs[static_cast<size_t>(s)].truths) {
+      EXPECT_EQ(router.ShardOf(label.object), s);
+    }
+    total_observations +=
+        static_cast<int64_t>(subs[static_cast<size_t>(s)].observations.size());
+    total_truths +=
+        static_cast<int64_t>(subs[static_cast<size_t>(s)].truths.size());
+  }
+  EXPECT_EQ(total_observations,
+            static_cast<int64_t>(batch.observations.size()));
+  EXPECT_EQ(total_truths, static_cast<int64_t>(batch.truths.size()));
+
+  // Relative order within each shard matches the original sequence: the
+  // concatenation of each shard's items, filtered from the original by
+  // shard, must be exactly that shard's sub-batch.
+  for (int32_t s = 0; s < 3; ++s) {
+    std::vector<Observation> expected;
+    for (const Observation& obs : batch.observations) {
+      if (router.ShardOf(obs.object) == s) expected.push_back(obs);
+    }
+    EXPECT_EQ(subs[static_cast<size_t>(s)].observations, expected);
+  }
+}
+
+TEST(ShardRouterTest, SplitOfEmptyBatchYieldsEmptySubBatches) {
+  ShardRouter router(4);
+  std::vector<ObservationBatch> subs = router.Split(ObservationBatch{});
+  ASSERT_EQ(subs.size(), 4u);
+  for (const ObservationBatch& sub : subs) EXPECT_TRUE(sub.empty());
+}
+
+TEST(ShardRouterTest, MoreShardsThanObjectsLeavesShardsEmpty) {
+  ShardRouter router(16);
+  ObservationBatch batch =
+      MakeBatch({{0, 0, 1}, {1, 0, 0}, {2, 0, 1}}, {{0, 1}});
+  std::vector<ObservationBatch> subs = router.Split(batch);
+  ASSERT_EQ(subs.size(), 16u);
+  int32_t non_empty = 0;
+  for (const ObservationBatch& sub : subs) {
+    if (!sub.empty()) ++non_empty;
+  }
+  // At most one shard per distinct object can be non-empty.
+  EXPECT_LE(non_empty, 3);
+  EXPECT_GE(non_empty, 1);
+}
+
+}  // namespace
+}  // namespace slimfast

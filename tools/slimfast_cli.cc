@@ -5,6 +5,10 @@
 //   slimfast_cli --demo <stocks|demos|crowd|genomics> [options]
 //   slimfast_cli bench [--quick] [--threads N] [--seed N] [--out FILE]
 //   slimfast_cli replay (<dataset_dir> | --demo NAME) [--chunks K] [options]
+//   slimfast_cli serve (<dataset_dir> | --demo NAME | --dims S O V)
+//                [--shards N] [--relearn-every K] [--preload] [options]
+//   slimfast_cli loadgen (<dataset_dir> | --demo NAME) [--quick]
+//                [--shards N] [--chunks K] [--readers R] [--out FILE]
 //
 // The dataset directory uses the CSV layout of data/io.h (meta.csv,
 // observations.csv, truth.csv, features.csv, source_features.csv) — the
@@ -39,11 +43,26 @@
 // relearn after every chunk — and reports the per-chunk latency and
 // accuracy trajectory against (a) recompiling and relearning from scratch,
 // (b) the one-shot batch run, and (c) the StreamingFusion baseline.
+//
+// The `serve` subcommand runs a sharded FusionService and speaks the
+// serve line protocol (src/serve/line_protocol.h) over stdin/stdout:
+// OBS/TRUTH/COMMIT feed the background ingest pipeline, QUERY/POSTERIOR
+// are wait-free snapshot reads, DRAIN synchronizes, QUIT exits.
+//
+// The `loadgen` subcommand replays a dataset through a FusionService as
+// a mixed ingest/query workload (reader threads hammer queries during
+// ingest and relearning), reports QPS and p50/p95/p99 query latency,
+// cross-checks the final sharded snapshots against the offline replay
+// (the sharded-replay determinism contract), and writes the serve_qps /
+// query_latency phases as BENCH JSON (--out, default BENCH_serve.json,
+// schema-checked by scripts/check_bench_schema.py).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <iostream>
 #include <memory>
 #include <string>
 
@@ -60,6 +79,9 @@
 #include "eval/metrics.h"
 #include "exec/parallel.h"
 #include "factorgraph/gibbs.h"
+#include "serve/fusion_service.h"
+#include "serve/line_protocol.h"
+#include "serve/loadgen.h"
 #include "synth/simulators.h"
 #include "synth/synthetic.h"
 #include "util/csv.h"
@@ -89,7 +111,34 @@ struct CliOptions {
   bool replay = false;
   /// Number of replay ingest batches.
   int32_t chunks = 8;
+  /// `serve` subcommand: line-protocol service over stdin/stdout.
+  bool serve = false;
+  /// `loadgen` subcommand: mixed ingest/query workload + latency report.
+  bool loadgen = false;
+  /// Shards of the FusionService (serve/loadgen).
+  int32_t shards = 4;
+  /// Query reader threads (loadgen).
+  int32_t readers = 4;
+  /// Relearn-every-K-batches policy (serve/loadgen).
+  int32_t relearn_every = 2;
+  /// Explicit universe dimensions for `serve` without a dataset.
+  int32_t dim_sources = -1;
+  int32_t dim_objects = -1;
+  int32_t dim_values = -1;
+  /// serve: submit the whole dataset as one batch before reading stdin.
+  bool preload = false;
+  /// loadgen: skip the offline-replay cross-check.
+  bool no_verify = false;
 };
+
+/// One-line parse-error reporter: the message plus a usage hint, never
+/// the full help dump (satisfying "fail fast, point at --help").
+bool UsageError(const std::string& message) {
+  std::fprintf(stderr,
+               "slimfast_cli: %s (run 'slimfast_cli --help' for usage)\n",
+               message.c_str());
+  return false;
+}
 
 void PrintUsage(std::FILE* stream) {
   std::fprintf(stream,
@@ -100,6 +149,14 @@ void PrintUsage(std::FILE* stream) {
                "       slimfast_cli --demo <stocks|demos|crowd|genomics> "
                "[options]\n"
                "       slimfast_cli bench [--quick] [--threads N] [--seed N] "
+               "[--out FILE]\n"
+               "       slimfast_cli serve (<dataset_dir> | --demo NAME | "
+               "--dims S O V)\n"
+               "                    [--shards N] [--relearn-every K] "
+               "[--preload]\n"
+               "       slimfast_cli loadgen (<dataset_dir> | --demo NAME) "
+               "[--quick]\n"
+               "                    [--shards N] [--chunks K] [--readers R] "
                "[--out FILE]\n"
                "\n"
                "options:\n"
@@ -120,8 +177,21 @@ void PrintUsage(std::FILE* stream) {
                "SLIMFAST_THREADS or 1);\n"
                "                       results are identical for every "
                "thread count\n"
-               "  --chunks K           replay: number of ingest batches "
-               "(default 8)\n"
+               "  --chunks K           replay/loadgen: number of ingest "
+               "batches (default 8)\n"
+               "  --shards N           serve/loadgen: FusionService shards "
+               "(default 4)\n"
+               "  --readers R          loadgen: concurrent query threads "
+               "(default 4)\n"
+               "  --relearn-every K    serve/loadgen: relearn + publish "
+               "every K batches\n"
+               "                       (default 2)\n"
+               "  --dims S O V         serve: universe dimensions when no "
+               "dataset is given\n"
+               "  --preload            serve: ingest the whole dataset "
+               "before reading stdin\n"
+               "  --no-verify          loadgen: skip the offline-replay "
+               "cross-check\n"
                "  --help, -h           show this message and exit\n"
                "\n"
                "subcommands:\n"
@@ -139,7 +209,23 @@ void PrintUsage(std::FILE* stream) {
                "accuracy\n"
                "                       trajectory vs the one-shot batch run "
                "and the\n"
-               "                       streaming baseline\n");
+               "                       streaming baseline\n"
+               "  serve                run a sharded FusionService and "
+               "speak the serve\n"
+               "                       line protocol (OBS/TRUTH/COMMIT/"
+               "QUERY/POSTERIOR/\n"
+               "                       STATS/DRAIN/QUIT) over stdin/stdout; "
+               "queries are\n"
+               "                       wait-free snapshot reads that never "
+               "block ingest\n"
+               "  loadgen              replay the dataset as a mixed "
+               "ingest/query\n"
+               "                       workload, report QPS + p50/p95/p99 "
+               "query latency,\n"
+               "                       verify the sharded-replay "
+               "determinism contract,\n"
+               "                       and write serve_qps/query_latency "
+               "BENCH phases\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -148,48 +234,70 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    // Flag parse failures are one-line errors with an exit code of 2 —
+    // never a silent fall-through to the default run or the help text.
+    auto value_of = [&](const char** out) {
+      *out = next();
+      return *out != nullptr ||
+             UsageError("option '" + arg + "' requires a value");
+    };
+    const char* v = nullptr;
     if (arg == "--method") {
-      const char* v = next();
-      if (v == nullptr) return false;
+      if (!value_of(&v)) return false;
       options->method = v;
     } else if (arg == "--train-fraction") {
-      const char* v = next();
-      if (v == nullptr) return false;
+      if (!value_of(&v)) return false;
       options->train_fraction = std::atof(v);
     } else if (arg == "--seed") {
-      const char* v = next();
-      if (v == nullptr) return false;
+      if (!value_of(&v)) return false;
       options->seed = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--explain") {
-      const char* v = next();
-      if (v == nullptr) return false;
+      if (!value_of(&v)) return false;
       options->explain = std::atoi(v);
     } else if (arg == "--out") {
-      const char* v = next();
-      if (v == nullptr) return false;
+      if (!value_of(&v)) return false;
       options->out_file = v;
     } else if (arg == "--demo") {
-      const char* v = next();
-      if (v == nullptr) return false;
+      if (!value_of(&v)) return false;
       options->demo = v;
     } else if (arg == "--threads") {
-      const char* v = next();
-      if (v == nullptr) return false;
+      if (!value_of(&v)) return false;
       options->threads = std::atoi(v);
     } else if (arg == "--quick") {
       options->quick = true;
     } else if (arg == "--chunks") {
-      const char* v = next();
-      if (v == nullptr) return false;
+      if (!value_of(&v)) return false;
       options->chunks = std::atoi(v);
+    } else if (arg == "--shards") {
+      if (!value_of(&v)) return false;
+      options->shards = std::atoi(v);
+    } else if (arg == "--readers") {
+      if (!value_of(&v)) return false;
+      options->readers = std::atoi(v);
+    } else if (arg == "--relearn-every") {
+      if (!value_of(&v)) return false;
+      options->relearn_every = std::atoi(v);
+    } else if (arg == "--dims") {
+      const char* s = next();
+      const char* o = next();
+      const char* d = next();
+      if (s == nullptr || o == nullptr || d == nullptr) {
+        return UsageError("option '--dims' requires three values: S O V");
+      }
+      options->dim_sources = std::atoi(s);
+      options->dim_objects = std::atoi(o);
+      options->dim_values = std::atoi(d);
+    } else if (arg == "--preload") {
+      options->preload = true;
+    } else if (arg == "--no-verify") {
+      options->no_verify = true;
     } else if (arg == "--stats") {
       options->stats_only = true;
     } else if (arg == "--help" || arg == "-h") {
       options->help = true;
       return true;
     } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return false;
+      return UsageError("unknown option '" + arg + "'");
     } else if (arg == "bench" && i == 1) {
       // Subcommands are recognized in argv[1] only, so a dataset directory
       // that happens to be named "bench" still works as a later positional
@@ -197,13 +305,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->bench = true;
     } else if (arg == "replay" && i == 1) {
       options->replay = true;
+    } else if (arg == "serve" && i == 1) {
+      options->serve = true;
+    } else if (arg == "loadgen" && i == 1) {
+      options->loadgen = true;
     } else {
       options->dataset_dir = arg;
     }
   }
-  // bench generates its own data; replay and plain runs need a dataset.
-  return options->bench || !options->dataset_dir.empty() ||
-         !options->demo.empty();
+  // bench generates its own data; serve can run on bare --dims; replay,
+  // loadgen, and plain runs need a dataset.
+  if (options->bench || !options->dataset_dir.empty() ||
+      !options->demo.empty() ||
+      (options->serve && options->dim_sources >= 0)) {
+    return true;
+  }
+  return UsageError("missing dataset directory, --demo, or subcommand");
 }
 
 /// Loads the dataset named on the command line (a --demo simulator or a
@@ -785,19 +902,204 @@ int RunBench(const CliOptions& options) {
   return 0;
 }
 
+/// The `serve` subcommand: a sharded FusionService speaking the line
+/// protocol over stdin/stdout. The universe comes from a dataset (whose
+/// observations are only ingested with --preload) or bare --dims;
+/// everything else arrives as OBS/TRUTH/COMMIT commands. The banner and
+/// diagnostics go to stderr so stdout stays protocol-pure (one reply
+/// line per command line), which makes the command scriptable:
+/// `printf 'QUERY 3\nQUIT\n' | slimfast_cli serve --demo crowd --preload`.
+int RunServe(const CliOptions& options) {
+  int32_t num_sources = options.dim_sources;
+  int32_t num_objects = options.dim_objects;
+  int32_t num_values = options.dim_values;
+  FeatureSpace features;
+  Dataset dataset;
+  bool have_dataset = false;
+  if (!options.demo.empty() || !options.dataset_dir.empty()) {
+    auto loaded = LoadCliDataset(options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load dataset: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(loaded).ValueOrDie();
+    num_sources = dataset.num_sources();
+    num_objects = dataset.num_objects();
+    num_values = dataset.num_values();
+    features = dataset.features();
+    have_dataset = true;
+  } else if (num_sources < 0 || num_objects < 0 || num_values < 1) {
+    std::fprintf(stderr,
+                 "slimfast_cli: serve needs a dataset directory, --demo, "
+                 "or --dims S O V (run 'slimfast_cli --help' for usage)\n");
+    return 2;
+  }
+
+  FusionServiceOptions service_options;
+  service_options.num_shards = options.shards;
+  service_options.relearn_every_batches = options.relearn_every;
+  service_options.session.seed = options.seed;
+  service_options.shard_exec.threads = options.threads;
+  auto created = FusionService::Create(num_sources, num_objects, num_values,
+                                       service_options, features);
+  if (!created.ok()) {
+    std::fprintf(stderr, "cannot create service: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<FusionService> service = std::move(created).ValueOrDie();
+
+  if (options.preload && have_dataset) {
+    std::vector<ObservationBatch> all = ChunkDatasetForReplay(dataset, 1);
+    const long long preloaded =
+        static_cast<long long>(all[0].observations.size());
+    SLIMFAST_CHECK_OK(service->Submit(std::move(all[0])));
+    SLIMFAST_CHECK_OK(service->Drain());
+    std::fprintf(stderr, "preloaded %lld observations\n", preloaded);
+  }
+
+  std::fprintf(stderr,
+               "slimfast serve: %d sources, %d objects, %d values across "
+               "%d shard(s); relearn every %d batch(es)\n"
+               "commands: OBS TRUTH COMMIT QUERY POSTERIOR STATS DRAIN "
+               "QUIT\n",
+               num_sources, num_objects, num_values, service->num_shards(),
+               options.relearn_every);
+
+  LineProtocol protocol(service.get());
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(std::cin, line)) {
+    std::printf("%s\n", protocol.HandleLine(line, &quit).c_str());
+    std::fflush(stdout);
+  }
+  service->Stop();
+  return 0;
+}
+
+/// The `loadgen` subcommand: mixed ingest/query workload against a
+/// FusionService, QPS + latency percentiles as serve BENCH phases, and
+/// the offline-replay cross-check. Non-zero exit on a failed cross-check
+/// or any out-of-universe read.
+int RunLoadgenCli(const CliOptions& options) {
+  auto loaded = LoadCliDataset(options);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load dataset: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  Dataset dataset = std::move(loaded).ValueOrDie();
+
+  LoadgenOptions loadgen_options;
+  loadgen_options.num_shards = options.shards;
+  // --quick is the CI-sized scenario: fewer chunks/readers and a smaller
+  // latency sample, same phases, same schema.
+  loadgen_options.num_chunks = options.quick ? 6 : options.chunks;
+  loadgen_options.reader_threads = options.quick ? 2 : options.readers;
+  loadgen_options.min_queries_per_reader = options.quick ? 500 : 5000;
+  loadgen_options.relearn_every_batches = options.relearn_every;
+  loadgen_options.seed = options.seed;
+  loadgen_options.verify = !options.no_verify;
+  loadgen_options.exec.threads = options.threads;
+
+  std::printf("slimfast loadgen: %s%s — %d chunks, %d shards, %d readers, "
+              "relearn every %d\n",
+              dataset.name().empty() ? "dataset" : dataset.name().c_str(),
+              options.quick ? " [quick]" : "", loadgen_options.num_chunks,
+              loadgen_options.num_shards, loadgen_options.reader_threads,
+              loadgen_options.relearn_every_batches);
+
+  auto run = RunLoadgen(dataset, loadgen_options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "loadgen failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const LoadgenReport& report = run.ValueOrDie();
+
+  std::printf("  ingest: %lld observations + %lld truths in %d batches, "
+              "%.3fs wall (%lld relearns, %lld publishes)\n",
+              static_cast<long long>(report.observations),
+              static_cast<long long>(report.truths), report.num_chunks,
+              report.ingest_wall_seconds,
+              static_cast<long long>(report.relearns),
+              static_cast<long long>(report.publishes));
+  std::printf("  queries: %lld total, %.0f QPS over %.3fs (%d readers, "
+              "wait-free reads during ingest/relearn)\n",
+              static_cast<long long>(report.total_queries), report.qps,
+              report.run_wall_seconds, report.reader_threads);
+  std::printf("  query latency: p50 %.1fus, p95 %.1fus, p99 %.1fus, max "
+              "%.1fus\n",
+              report.query_latency.p50 * 1e6,
+              report.query_latency.p95 * 1e6,
+              report.query_latency.p99 * 1e6,
+              report.query_latency.max * 1e6);
+  std::printf("  accuracy (merged predictions vs replayed truth): %.4f\n",
+              report.accuracy);
+  if (report.verify_ran) {
+    std::printf("  offline cross-check: final sharded snapshots %s the "
+                "offline single-session replay\n",
+                report.verified ? "bit-identical to" : "DIFFER from");
+  }
+  if (report.invalid_reads > 0) {
+    std::fprintf(stderr, "loadgen: %lld out-of-universe reads\n",
+                 static_cast<long long>(report.invalid_reads));
+  }
+
+  // Percentiles below the clock's resolution record the 1ns floor rather
+  // than a dead-timer 0 (the schema checker rejects non-positive values
+  // for required phases).
+  auto floored = [](double seconds) {
+    return seconds > 0.0 ? seconds : 1e-9;
+  };
+  bench::BenchReporter reporter("serve");
+  reporter.set_threads(ResolveThreads(loadgen_options.exec));
+  reporter.AddQpsPhase("serve_qps", floored(report.run_wall_seconds),
+                       report.reader_threads, report.qps);
+  reporter.AddLatencyPhase(
+      "query_latency", floored(report.query_latency.p50),
+      report.reader_threads, floored(report.query_latency.p50),
+      floored(report.query_latency.p95), floored(report.query_latency.p99));
+  // Default to a serve-specific file: the committed BENCH_runtime.json
+  // baseline is the *runtime* scenario, and a serve-schema document
+  // would still pass the schema checker (required phases key off the
+  // embedded bench name) — an easy file to clobber silently.
+  std::string out_path =
+      options.out_file.empty() ? "BENCH_serve.json" : options.out_file;
+  if (!reporter.WriteJson(out_path)) return 1;
+  std::printf("Serve bench JSON written to %s (git %s)\n", out_path.c_str(),
+              bench::BenchReporter::GitDescribe().c_str());
+
+  const bool ok = (!report.verify_ran || report.verified) &&
+                  report.invalid_reads == 0;
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions options;
-  if (!ParseArgs(argc, argv, &options)) {
-    PrintUsage(stderr);
-    return 2;
-  }
+  // ParseArgs reports its own one-line error + usage hint.
+  if (!ParseArgs(argc, argv, &options)) return 2;
   if (options.help) {
     PrintUsage(stdout);
     return 0;
   }
   if (options.bench) return RunBench(options);
+  // A first positional that names no existing path is a typoed
+  // subcommand (or a missing dataset directory) — fail fast with a hint
+  // instead of falling through to "cannot load dataset".
+  if (!options.dataset_dir.empty() && options.demo.empty() &&
+      !std::filesystem::exists(options.dataset_dir)) {
+    std::fprintf(stderr,
+                 "slimfast_cli: unknown subcommand or dataset directory "
+                 "'%s' (run 'slimfast_cli --help' for usage)\n",
+                 options.dataset_dir.c_str());
+    return 2;
+  }
+  if (options.serve) return RunServe(options);
+  if (options.loadgen) return RunLoadgenCli(options);
   if (options.replay) return RunReplay(options);
 
   // --- Load or generate the dataset. ---
