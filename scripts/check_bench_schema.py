@@ -11,7 +11,9 @@ number and the percentile order p50 <= p95 <= p99 must hold).
 
 The required phases depend on the emitter, keyed by the top-level "bench"
 name: "serve" is the loadgen scenario (serve_qps + query_latency with
-percentiles); anything else is held to the runtime scenario's phase list.
+percentiles), "storage" is the durability scenario (wal_append /
+wal_replay / snapshot_load plus the snapshot_load_vs_wal_replay speedup);
+anything else is held to the runtime scenario's phase list.
 
 Usage: check_bench_schema.py BENCH_runtime.json
 """
@@ -55,6 +57,18 @@ SERVE_REQUIRED_PHASES = [
     "query_latency",
 ]
 SERVE_REQUIRED_SPEEDUPS = []
+
+# The durability scenario (`slimfast_cli storagebench`): WAL append and
+# replay rates plus the snapshot bulk-load path, with the snapshot's
+# advantage over record-at-a-time replay as the tracked speedup.
+STORAGE_REQUIRED_PHASES = [
+    "wal_append",
+    "wal_replay",
+    "snapshot_load",
+]
+STORAGE_REQUIRED_SPEEDUPS = [
+    "snapshot_load_vs_wal_replay",
+]
 
 # Phases that must carry p50/p95/p99, per bench name.
 PERCENTILE_PHASES = {"serve": ["query_latency"]}
@@ -171,6 +185,9 @@ def main(argv):
     if bench_name == "serve":
         required_phases = SERVE_REQUIRED_PHASES
         required_speedups = SERVE_REQUIRED_SPEEDUPS
+    elif bench_name == "storage":
+        required_phases = STORAGE_REQUIRED_PHASES
+        required_speedups = STORAGE_REQUIRED_SPEEDUPS
     else:
         required_phases = RUNTIME_REQUIRED_PHASES
         required_speedups = RUNTIME_REQUIRED_SPEEDUPS

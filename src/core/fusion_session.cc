@@ -66,6 +66,96 @@ Result<FusionSession> FusionSession::Create(int32_t num_sources,
   return session;
 }
 
+FusionSession::State FusionSession::ExportState() const {
+  State state;
+  state.weights = weights_;
+  state.predictions = predictions_;
+  state.source_accuracies = source_accuracies_;
+  state.posterior_begin = posterior_begin_;
+  state.posterior_values = posterior_values_;
+  state.posterior_probs = posterior_probs_;
+  state.max_posterior = max_posterior_;
+  state.num_ingested_batches = num_ingested_batches_;
+  state.num_relearns = num_relearns_;
+  state.pending_batches = pending_batches_;
+  return state;
+}
+
+Result<FusionSession> FusionSession::Restore(const ObservationStore& store,
+                                             State state,
+                                             FusionSessionOptions options,
+                                             FeatureSpace features) {
+  if (state.num_ingested_batches < 0 || state.num_relearns < 0 ||
+      state.pending_batches < 0 ||
+      state.pending_batches > state.num_ingested_batches) {
+    return Status::InvalidArgument(
+        "restored session counters are inconsistent");
+  }
+  const size_t num_objects = static_cast<size_t>(store.num_objects());
+  if (state.num_relearns > 0) {
+    const bool posterior_consistent =
+        state.posterior_begin.size() == num_objects + 1 &&
+        !state.posterior_begin.empty() &&
+        state.posterior_begin.back() ==
+            static_cast<int64_t>(state.posterior_values.size()) &&
+        state.posterior_values.size() == state.posterior_probs.size();
+    if (state.predictions.size() != num_objects ||
+        state.max_posterior.size() != num_objects || !posterior_consistent ||
+        state.source_accuracies.size() !=
+            static_cast<size_t>(store.num_sources())) {
+      return Status::InvalidArgument(
+          "restored model state is mis-sized for the store's universe");
+    }
+  } else if (!state.weights.empty() || !state.predictions.empty() ||
+             !state.posterior_values.empty()) {
+    return Status::InvalidArgument(
+        "restored state carries a model but no relearns");
+  }
+
+  SLIMFAST_ASSIGN_OR_RETURN(
+      FusionSession session,
+      Create(store.num_sources(), store.num_objects(), store.num_values(),
+             std::move(options), std::move(features)));
+
+  // Re-ingest the claim history in the store's canonical order. The
+  // original arrival order is not preserved (the WAL tail covers
+  // anything past the checkpoint), but per-object claim order — the
+  // only order compilation and learning observe — is, so the recompiled
+  // instance must equal the checkpointed store bit for bit.
+  const int64_t n = store.num_observations();
+  session.observations_.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const size_t k = static_cast<size_t>(i);
+    session.observations_.push_back(Observation{
+        store.objects()[k], store.sources()[k], store.values()[k]});
+  }
+  session.truth_ = store.truth();
+  session.dataset_stale_ = true;
+  SLIMFAST_RETURN_NOT_OK(session.RefreshDataset());
+  SLIMFAST_ASSIGN_OR_RETURN(
+      session.instance_,
+      CompileInstance(session.dataset_, session.options_.slimfast.model));
+  if (!(session.instance_->store == store)) {
+    return Status::Internal(
+        "restored instance does not round-trip the checkpointed store "
+        "(recompiled fingerprint " +
+        std::to_string(session.instance_->store.content_fingerprint()) +
+        " vs " + std::to_string(store.content_fingerprint()) + ")");
+  }
+
+  session.weights_ = std::move(state.weights);
+  session.predictions_ = std::move(state.predictions);
+  session.source_accuracies_ = std::move(state.source_accuracies);
+  session.posterior_begin_ = std::move(state.posterior_begin);
+  session.posterior_values_ = std::move(state.posterior_values);
+  session.posterior_probs_ = std::move(state.posterior_probs);
+  session.max_posterior_ = std::move(state.max_posterior);
+  session.num_ingested_batches_ = state.num_ingested_batches;
+  session.num_relearns_ = state.num_relearns;
+  session.pending_batches_ = state.pending_batches;
+  return session;
+}
+
 Result<IngestStats> FusionSession::Ingest(const ObservationBatch& batch) {
   Stopwatch watch;
   std::vector<ObjectId> recompiled_rows;

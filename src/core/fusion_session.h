@@ -96,6 +96,43 @@ class FusionSession {
                                       FusionSessionOptions options = {},
                                       FeatureSpace features = FeatureSpace());
 
+  /// The relearned-model state and lifetime counters of a session —
+  /// everything a checkpoint must carry beyond the observation store for
+  /// Restore() to resume the exact warm-start trajectory (the next
+  /// relearn refines `weights`, and `num_ingested_batches` keeps the
+  /// serving layer's every-K relearn phase aligned). Plain vectors of
+  /// primitives so the storage layer can serialize it without knowing
+  /// any model type. Wall-clock fields are deliberately excluded.
+  struct State {
+    std::vector<double> weights;
+    std::vector<ValueId> predictions;
+    std::vector<double> source_accuracies;
+    std::vector<int64_t> posterior_begin;
+    std::vector<ValueId> posterior_values;
+    std::vector<double> posterior_probs;
+    std::vector<double> max_posterior;
+    int32_t num_ingested_batches = 0;
+    int32_t num_relearns = 0;
+    int32_t pending_batches = 0;
+
+    bool operator==(const State&) const = default;
+  };
+
+  /// Copies out the session's current State (see State).
+  State ExportState() const;
+
+  /// Rebuilds a session from a checkpointed store + State so that every
+  /// subsequent Ingest/Relearn/Query is bit-identical to the session
+  /// that exported them. The claim history is re-ingested in the
+  /// store's canonical order and recompiled; the result must round-trip
+  /// to a store equal to `store` (learning depends only on per-object
+  /// claim order, which canonical order preserves) — Internal if not.
+  /// InvalidArgument on a structurally inconsistent `state`.
+  static Result<FusionSession> Restore(const ObservationStore& store,
+                                       State state,
+                                       FusionSessionOptions options = {},
+                                       FeatureSpace features = FeatureSpace());
+
   /// Absorbs one batch: validates it, splices the columnar store, and
   /// delta-compiles the touched rows (sharded across the session
   /// executor). On error the session is unchanged. Does not relearn —

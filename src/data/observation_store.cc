@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "util/hash.h"
 
@@ -142,17 +144,24 @@ Result<ObservationStore> ObservationStore::AppendBatch(
     by_object[obs.object].push_back(i);
   }
   // One claim per (source, object) across the whole history, matching
-  // DatasetBuilder::AddObservation.
+  // DatasetBuilder::AddObservation. The object's existing sources go into
+  // a hash set once, so validating a batch costs O(existing + batch) per
+  // touched object instead of rescanning the claim range for every claim
+  // (quadratic on hot objects under sustained ingest).
+  std::unordered_set<SourceId> seen_sources;
   for (const auto& [object, indexes] : by_object) {
     IndexRange range = ObjectRange(object);
+    seen_sources.clear();
+    seen_sources.reserve(static_cast<size_t>(range.size()) + indexes.size());
+    for (int64_t i = range.begin; i < range.end; ++i) {
+      seen_sources.insert(sources_[static_cast<size_t>(i)]);
+    }
     for (size_t a = 0; a < indexes.size(); ++a) {
       SourceId source = batch.observations[indexes[a]].source;
-      for (int64_t i = range.begin; i < range.end; ++i) {
-        if (sources_[static_cast<size_t>(i)] == source) {
-          return Status::AlreadyExists(
-              "duplicate observation for object " + std::to_string(object) +
-              " by source " + std::to_string(source));
-        }
+      if (seen_sources.count(source) > 0) {
+        return Status::AlreadyExists(
+            "duplicate observation for object " + std::to_string(object) +
+            " by source " + std::to_string(source));
       }
       for (size_t b = a + 1; b < indexes.size(); ++b) {
         if (batch.observations[indexes[b]].source == source) {
@@ -319,6 +328,116 @@ std::vector<ObservationBatch> ChunkDatasetForReplay(const Dataset& dataset,
         TruthLabel{o, dataset.Truth(o)});
   }
   return chunks;
+}
+
+ObservationStore::Columns ObservationStore::ToColumns() const {
+  Columns columns;
+  columns.num_sources = num_sources_;
+  columns.num_objects = num_objects_;
+  columns.num_values = num_values_;
+  columns.objects = objects_;
+  columns.sources = sources_;
+  columns.values = values_;
+  columns.object_offsets = object_offsets_;
+  columns.truth = truth_;
+  columns.fingerprint = fingerprint_;
+  return columns;
+}
+
+Result<ObservationStore> ObservationStore::FromColumns(Columns columns) {
+  if (columns.num_sources < 0 || columns.num_objects < 0 ||
+      columns.num_values < 0) {
+    return Status::InvalidArgument("store columns carry negative dimensions");
+  }
+  const size_t num_objects = static_cast<size_t>(columns.num_objects);
+  const size_t n = columns.objects.size();
+  if (columns.sources.size() != n || columns.values.size() != n) {
+    return Status::InvalidArgument(
+        "store columns have mismatched observation array lengths");
+  }
+  if (columns.object_offsets.size() != num_objects + 1 ||
+      columns.object_offsets.front() != 0 ||
+      columns.object_offsets.back() != static_cast<int64_t>(n)) {
+    return Status::InvalidArgument("store object offsets are malformed");
+  }
+  if (columns.truth.size() != num_objects) {
+    return Status::InvalidArgument("store truth column is mis-sized");
+  }
+
+  // Recompute the fingerprint from scratch while validating ranges; a
+  // match at the end certifies the columns describe exactly the store
+  // that was serialized.
+  uint64_t fingerprint = DimensionDigest(
+      columns.num_sources, columns.num_objects, columns.num_values);
+  for (ObjectId o = 0; o < columns.num_objects; ++o) {
+    const int64_t begin = columns.object_offsets[static_cast<size_t>(o)];
+    const int64_t end = columns.object_offsets[static_cast<size_t>(o) + 1];
+    if (begin > end) {
+      return Status::InvalidArgument(
+          "store object offsets are not monotone");
+    }
+    for (int64_t i = begin; i < end; ++i) {
+      const size_t k = static_cast<size_t>(i);
+      if (columns.objects[k] != o) {
+        return Status::InvalidArgument(
+            "store object column disagrees with its offsets");
+      }
+      const SourceId source = columns.sources[k];
+      const ValueId value = columns.values[k];
+      if (source < 0 || source >= columns.num_sources || value < 0 ||
+          value >= columns.num_values) {
+        return Status::InvalidArgument(
+            "store columns carry out-of-range ids");
+      }
+      fingerprint += ObservationDigest(o, i - begin, source, value);
+    }
+  }
+  for (ObjectId o = 0; o < columns.num_objects; ++o) {
+    const ValueId truth = columns.truth[static_cast<size_t>(o)];
+    if (truth == kNoValue) continue;
+    if (truth < 0 || truth >= columns.num_values) {
+      return Status::InvalidArgument("store truth value out of range");
+    }
+    fingerprint += TruthDigest(o, truth);
+  }
+  if (fingerprint != columns.fingerprint) {
+    return Status::InvalidArgument(
+        "store fingerprint mismatch: columns hash to " +
+        std::to_string(fingerprint) + ", serialized fingerprint is " +
+        std::to_string(columns.fingerprint));
+  }
+
+  ObservationStore store;
+  store.num_sources_ = columns.num_sources;
+  store.num_objects_ = columns.num_objects;
+  store.num_values_ = columns.num_values;
+  store.objects_ = std::move(columns.objects);
+  store.sources_ = std::move(columns.sources);
+  store.values_ = std::move(columns.values);
+  store.object_offsets_ = std::move(columns.object_offsets);
+  store.truth_ = std::move(columns.truth);
+  store.fingerprint_ = fingerprint;
+  store.BuildSourceIndex();
+
+  // Domains are derived state: the sorted, deduplicated claimed values of
+  // each object (the Dataset domain contract), rebuilt rather than
+  // deserialized.
+  store.domain_offsets_.assign(num_objects + 1, 0);
+  std::vector<ValueId> merged;
+  for (ObjectId o = 0; o < store.num_objects_; ++o) {
+    store.domain_offsets_[static_cast<size_t>(o)] =
+        static_cast<int64_t>(store.domain_values_.size());
+    IndexRange range = store.ObjectRange(o);
+    merged.assign(store.values_.begin() + range.begin,
+                  store.values_.begin() + range.end);
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    store.domain_values_.insert(store.domain_values_.end(), merged.begin(),
+                                merged.end());
+  }
+  store.domain_offsets_[num_objects] =
+      static_cast<int64_t>(store.domain_values_.size());
+  return store;
 }
 
 int32_t ObservationStore::DomainIndexOf(ObjectId object, ValueId value) const {

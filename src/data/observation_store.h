@@ -77,6 +77,37 @@ class ObservationStore {
   /// Builds the columnar store from `dataset` (one O(n) pass).
   static ObservationStore FromDataset(const Dataset& dataset);
 
+  /// The raw columnar content of a store — its serialization surface.
+  /// Only the primary arrays travel: the by-source index and the
+  /// flattened domains are pure functions of the claims and are rebuilt
+  /// by FromColumns, so a snapshot cannot smuggle in an inconsistent
+  /// derived index.
+  struct Columns {
+    int32_t num_sources = 0;
+    int32_t num_objects = 0;
+    int32_t num_values = 0;
+    std::vector<ObjectId> objects;
+    std::vector<SourceId> sources;
+    std::vector<ValueId> values;
+    std::vector<int64_t> object_offsets;
+    std::vector<ValueId> truth;
+    uint64_t fingerprint = 0;
+  };
+
+  /// Rebuilds a store from serialized columns (the snapshot bulk-load
+  /// path). Validates the structure (offset shape, ids in range, the
+  /// object column consistent with its offsets), rebuilds the derived
+  /// by-source index and domains, then recomputes the content
+  /// fingerprint from scratch and requires it to match
+  /// `columns.fingerprint` — the end-to-end integrity oracle: a store
+  /// loaded this way is bitwise equal to the one that was serialized,
+  /// or the load fails.
+  static Result<ObservationStore> FromColumns(Columns columns);
+
+  /// Exports the primary columns (see Columns); the inverse of
+  /// FromColumns up to bitwise store equality.
+  Columns ToColumns() const;
+
   /// Returns a new store extended with `batch`: each object's new claims
   /// are spliced onto the end of its existing CSR range (preserving the
   /// canonical object-major, insertion-within-object order), the
@@ -118,6 +149,12 @@ class ObservationStore {
   const std::vector<ObjectId>& objects() const { return objects_; }
   const std::vector<SourceId>& sources() const { return sources_; }
   const std::vector<ValueId>& values() const { return values_; }
+
+  /// Per-object CSR offsets into the columnar arrays (size
+  /// num_objects + 1); ObjectRange is the per-object view.
+  const std::vector<int64_t>& object_offsets() const {
+    return object_offsets_;
+  }
 
   /// Range of `object`'s observations in the columnar arrays; claims appear
   /// in dataset insertion order.

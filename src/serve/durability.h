@@ -1,0 +1,71 @@
+#ifndef SLIMFAST_SERVE_DURABILITY_H_
+#define SLIMFAST_SERVE_DURABILITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/fusion_session.h"
+#include "data/observation_store.h"
+#include "util/result.h"
+
+namespace slimfast {
+
+/// On-disk layout of a FusionService checkpoint, colocated with the WAL
+/// in the service's durability directory:
+///
+///   wal-<first_sequence>.seg      the observation WAL segments
+///   shard-<s>-<applied>.snap      per-shard store + session state
+///   MANIFEST                      applied-batch count + topology
+///
+/// A checkpoint writes the shard snapshots first (to names keyed by the
+/// applied-batch count, so they never clobber the files the current
+/// manifest references), then atomically replaces the MANIFEST — the
+/// commit point — and only then removes stale snapshots and obsolete WAL
+/// segments. A crash anywhere in that sequence leaves a directory that
+/// recovers to the same state as before or after the checkpoint.
+
+/// The commit record of a checkpoint. `applied_batches` equals the WAL
+/// sequence of the last batch the snapshots cover; recovery replays the
+/// WAL strictly after it.
+struct CheckpointManifest {
+  uint64_t applied_batches = 0;
+  int32_t num_shards = 0;
+  int32_t num_sources = 0;
+  int32_t num_objects = 0;
+  int32_t num_values = 0;
+};
+
+/// One shard's checkpointed content.
+struct ShardCheckpoint {
+  ObservationStore store;
+  FusionSession::State state;
+};
+
+/// Path of shard `shard`'s snapshot for a checkpoint at
+/// `applied_batches`.
+std::string ShardSnapshotPath(const std::string& dir, int32_t shard,
+                              uint64_t applied_batches);
+
+/// Atomically writes one shard's store + session state to `path`.
+Status WriteShardSnapshot(const std::string& path,
+                          const ObservationStore& store,
+                          const FusionSession::State& state);
+
+/// Reads a shard snapshot back; the store load re-verifies the content
+/// fingerprint end to end.
+Result<ShardCheckpoint> ReadShardSnapshot(const std::string& path);
+
+/// Atomically writes the manifest (the checkpoint commit point).
+Status WriteManifest(const std::string& dir,
+                     const CheckpointManifest& manifest);
+
+/// Reads the manifest; NotFound when the directory has no checkpoint.
+Result<CheckpointManifest> ReadManifest(const std::string& dir);
+
+/// Removes shard snapshots whose applied-batch tag differs from `keep`
+/// (post-commit cleanup of superseded checkpoints).
+Status RemoveStaleShardSnapshots(const std::string& dir, uint64_t keep);
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_SERVE_DURABILITY_H_

@@ -1,8 +1,11 @@
 #include "serve/fusion_service.h"
 
 #include <chrono>
+#include <filesystem>
 #include <future>
 #include <utility>
+
+#include "serve/durability.h"
 
 namespace slimfast {
 
@@ -62,6 +65,9 @@ Result<std::unique_ptr<FusionService>> FusionService::Create(
     service->shards_.push_back(std::move(shard));
     service->slots_.push_back(std::make_unique<SnapshotSlot>());
   }
+  if (service->options_.durability.enabled()) {
+    SLIMFAST_RETURN_NOT_OK(service->RecoverFromDir(features));
+  }
   service->PublishInitialSnapshots();
   {
     std::lock_guard<std::mutex> lock(service->state_mu_);
@@ -69,6 +75,83 @@ Result<std::unique_ptr<FusionService>> FusionService::Create(
   }
   service->driver_ = std::thread([raw = service.get()] { raw->DriverLoop(); });
   return service;
+}
+
+Result<std::unique_ptr<FusionService>> FusionService::Recover(
+    std::string wal_dir, int32_t num_sources, int32_t num_objects,
+    int32_t num_values, FusionServiceOptions options,
+    FeatureSpace features) {
+  if (wal_dir.empty()) {
+    return Status::InvalidArgument("Recover needs a non-empty wal_dir");
+  }
+  options.durability.wal_dir = std::move(wal_dir);
+  return Create(num_sources, num_objects, num_values, std::move(options),
+                std::move(features));
+}
+
+Status FusionService::RecoverFromDir(const FeatureSpace& features) {
+  const std::string& dir = options_.durability.wal_dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create wal dir " + dir + ": " +
+                           ec.message());
+  }
+
+  Result<CheckpointManifest> manifest = ReadManifest(dir);
+  if (manifest.ok()) {
+    if (manifest->num_shards != router_.num_shards() ||
+        manifest->num_sources != num_sources_ ||
+        manifest->num_objects != num_objects_ ||
+        manifest->num_values != num_values_) {
+      return Status::FailedPrecondition(
+          "checkpoint in " + dir +
+          " was written by a service with a different topology");
+    }
+    applied_batches_ = static_cast<int64_t>(manifest->applied_batches);
+    for (int32_t s = 0; s < router_.num_shards(); ++s) {
+      SLIMFAST_ASSIGN_OR_RETURN(
+          ShardCheckpoint checkpoint,
+          ReadShardSnapshot(
+              ShardSnapshotPath(dir, s, manifest->applied_batches)));
+      const int32_t pending = checkpoint.state.pending_batches;
+      SLIMFAST_ASSIGN_OR_RETURN(
+          FusionSession session,
+          FusionSession::Restore(checkpoint.store,
+                                 std::move(checkpoint.state),
+                                 ShardSessionOptions(options_, s),
+                                 features));
+      Shard& shard = shards_[static_cast<size_t>(s)];
+      shard.session = std::make_unique<FusionSession>(std::move(session));
+      shard.pending = pending;
+      shard.last_published_fingerprint = 0;
+      if (pending > 0) shard.oldest_pending.Restart();
+    }
+  } else if (!manifest.status().IsNotFound()) {
+    return manifest.status();
+  }
+
+  // Replay the acknowledged tail with the live driver's schedule: apply
+  // in sequence order, relearn on the same every-K boundaries, then run
+  // the drain-equivalent final relearn — so the recovered snapshots are
+  // exactly what OfflineShardedReplay computes for the acknowledged
+  // prefix.
+  SLIMFAST_RETURN_NOT_OK(ReplayWal(
+      dir, static_cast<uint64_t>(applied_batches_),
+      [&](const WalRecord& record) -> Status {
+        ApplyBatch(record.batch);
+        ++applied_batches_;
+        if (RelearnDue(applied_batches_, options_.relearn_every_batches)) {
+          RelearnPending("recover");
+        }
+        return Status::OK();
+      }));
+  RelearnPending("recover");
+
+  SLIMFAST_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Open(dir, options_.durability.wal,
+                            static_cast<uint64_t>(applied_batches_) + 1));
+  return Status::OK();
 }
 
 FusionService::~FusionService() { Stop(); }
@@ -126,6 +209,49 @@ Status FusionService::Drain() {
   return Status::OK();
 }
 
+Status FusionService::Checkpoint() {
+  if (!options_.durability.enabled()) {
+    return Status::FailedPrecondition(
+        "durability is disabled: create the service with a wal_dir to "
+        "checkpoint");
+  }
+  Command command;
+  command.checkpoint = true;
+  auto ack = std::make_shared<std::promise<Status>>();
+  std::future<Status> done = ack->get_future();
+  command.checkpoint_ack = std::move(ack);
+  if (!queue_.Push(std::move(command))) {
+    return Status::FailedPrecondition("FusionService is stopped");
+  }
+  return done.get();
+}
+
+Status FusionService::WriteCheckpoint() {
+  const std::string& dir = options_.durability.wal_dir;
+  const uint64_t applied = static_cast<uint64_t>(applied_batches_);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    SLIMFAST_RETURN_NOT_OK(WriteShardSnapshot(
+        ShardSnapshotPath(dir, static_cast<int32_t>(s), applied),
+        shards_[s].session->instance()->store,
+        shards_[s].session->ExportState()));
+  }
+  CheckpointManifest manifest;
+  manifest.applied_batches = applied;
+  manifest.num_shards = router_.num_shards();
+  manifest.num_sources = num_sources_;
+  manifest.num_objects = num_objects_;
+  manifest.num_values = num_values_;
+  SLIMFAST_RETURN_NOT_OK(WriteManifest(dir, manifest));
+  // The manifest rename above is the commit point; everything below is
+  // cleanup of state the new checkpoint superseded.
+  SLIMFAST_RETURN_NOT_OK(RemoveStaleShardSnapshots(dir, applied));
+  if (wal_ != nullptr) {
+    SLIMFAST_RETURN_NOT_OK(wal_->Rotate());
+    SLIMFAST_RETURN_NOT_OK(wal_->RemoveSegmentsBefore(applied + 1));
+  }
+  return Status::OK();
+}
+
 void FusionService::Stop() {
   queue_.Close();  // idempotent; fails further submissions immediately
   // Join under stop_mu_: a concurrent Stop that loses the race blocks
@@ -138,7 +264,6 @@ void FusionService::Stop() {
 void FusionService::DriverLoop() {
   const bool timed = options_.staleness_budget_seconds > 0.0;
   const auto poll = std::chrono::milliseconds(10);
-  int64_t applied = 0;
   for (;;) {
     std::vector<Command> group =
         timed ? queue_.PopBatchFor(options_.max_coalesced_batches, poll)
@@ -171,9 +296,33 @@ void FusionService::DriverLoop() {
         if (command.ack != nullptr) command.ack->set_value();
         continue;
       }
+      if (command.checkpoint) {
+        Status written = WriteCheckpoint();
+        if (!written.ok()) {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          stats_.last_error = "checkpoint: " + written.ToString();
+        }
+        if (command.checkpoint_ack != nullptr) {
+          command.checkpoint_ack->set_value(std::move(written));
+        }
+        continue;
+      }
+      // Log before applying: a batch is only acknowledged (applied,
+      // counted, relearned against) once it is in the WAL, so the WAL
+      // sequence of the last record always equals applied_batches_ —
+      // the invariant checkpoint and recovery key off.
+      if (wal_ != nullptr) {
+        Result<uint64_t> logged = wal_->Append(command.batch);
+        if (!logged.ok()) {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          ++stats_.ingest_failures;
+          stats_.last_error = "wal append: " + logged.status().ToString();
+          continue;
+        }
+      }
       ApplyBatch(command.batch);
-      ++applied;
-      if (RelearnDue(applied, options_.relearn_every_batches)) {
+      ++applied_batches_;
+      if (RelearnDue(applied_batches_, options_.relearn_every_batches)) {
         RelearnPending("policy");
       }
     }

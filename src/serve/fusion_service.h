@@ -19,10 +19,27 @@
 #include "exec/parallel.h"
 #include "serve/router.h"
 #include "serve/snapshot_slot.h"
+#include "storage/wal.h"
 #include "util/result.h"
 #include "util/stopwatch.h"
 
 namespace slimfast {
+
+/// Durability configuration of a FusionService. With a non-empty
+/// `wal_dir` the ingest driver appends every batch to an observation
+/// WAL *before* applying it, Checkpoint() persists per-shard snapshots
+/// there, and Create/Recover replays snapshot-then-WAL-tail on startup
+/// — so a crashed service comes back with the exact store fingerprint
+/// and bit-identical snapshots of an uninterrupted replay of its
+/// acknowledged prefix.
+struct FusionServiceDurability {
+  /// Directory for WAL segments + checkpoints; empty = in-memory only.
+  std::string wal_dir;
+  /// WAL fsync/rotation policy (see WalOptions).
+  WalOptions wal;
+
+  bool enabled() const { return !wal_dir.empty(); }
+};
 
 /// Configuration of a concurrent fusion service.
 struct FusionServiceOptions {
@@ -53,6 +70,8 @@ struct FusionServiceOptions {
   FusionSessionOptions session;
   /// Thread budget for the shard fan-out (0 = SLIMFAST_THREADS, then 1).
   ExecOptions shard_exec;
+  /// WAL + checkpoint configuration (disabled by default).
+  FusionServiceDurability durability;
 };
 
 /// Operational counters of a FusionService (see stats()).
@@ -121,6 +140,18 @@ class FusionService {
       FusionServiceOptions options = {},
       FeatureSpace features = FeatureSpace());
 
+  /// Create with durability rooted at `wal_dir`: restores the latest
+  /// checkpoint (if any), replays the WAL tail with the same every-K
+  /// relearn schedule the live driver uses, runs the drain-equivalent
+  /// final relearn, and resumes logging. The recovered snapshots are
+  /// bit-identical to `OfflineShardedReplay` over the log's
+  /// acknowledged prefix. On a fresh directory this is just a durable
+  /// Create.
+  static Result<std::unique_ptr<FusionService>> Recover(
+      std::string wal_dir, int32_t num_sources, int32_t num_objects,
+      int32_t num_values, FusionServiceOptions options = {},
+      FeatureSpace features = FeatureSpace());
+
   /// Stops the service (drains + final publish) if still running.
   ~FusionService();
 
@@ -142,6 +173,14 @@ class FusionService {
   /// event in the ingest stream, so replays that drain at the same
   /// points reproduce the same snapshots.
   Status Drain();
+
+  /// Queues a checkpoint behind everything already submitted and blocks
+  /// until the driver has written it: per-shard snapshots of the store
+  /// + session state, then the manifest (the atomic commit), then
+  /// truncation of the WAL segments the snapshots made obsolete.
+  /// FailedPrecondition when durability is disabled or the service is
+  /// stopped.
+  Status Checkpoint();
 
   /// Graceful shutdown: no further submissions, remaining queue applied,
   /// pending shards relearned + published, driver joined. Idempotent.
@@ -190,13 +229,17 @@ class FusionService {
   std::vector<FusionSession::Stats> SessionStats() const;
 
  private:
-  /// One queue entry: a batch, or a flush marker Drain waits on.
+  /// One queue entry: a batch, a flush marker Drain waits on, or a
+  /// checkpoint request.
   struct Command {
     ObservationBatch batch;
     bool flush = false;
     /// Fulfilled by the driver once the flush (and everything queued
     /// before it) is applied and published.
     std::shared_ptr<std::promise<void>> ack;
+    bool checkpoint = false;
+    /// Fulfilled with the checkpoint's outcome.
+    std::shared_ptr<std::promise<Status>> checkpoint_ack;
   };
 
   /// Per-shard mutable state, owned by the driver.
@@ -218,6 +261,12 @@ class FusionService {
                 int32_t num_objects, int32_t num_values);
 
   void DriverLoop();
+  /// Restores checkpoint + WAL tail from the durability directory and
+  /// opens the WAL writer. Runs on the Create thread, before the driver
+  /// starts.
+  Status RecoverFromDir(const FeatureSpace& features);
+  /// Writes one checkpoint (driver thread only; see Checkpoint()).
+  Status WriteCheckpoint();
   /// Applies one batch to its shards (parallel fan-out); returns whether
   /// any shard ingested data.
   void ApplyBatch(const ObservationBatch& batch);
@@ -241,6 +290,14 @@ class FusionService {
 
   BoundedMpscQueue<Command> queue_;
   std::thread driver_;
+
+  /// Non-null iff durability is enabled. Owned by the driver after
+  /// Create (the recovery path touches it before the driver starts).
+  std::unique_ptr<WalWriter> wal_;
+  /// Batches applied over the service's lifetime, including batches
+  /// replayed during recovery — by construction equal to the WAL
+  /// sequence of the last applied batch. Driver-owned.
+  int64_t applied_batches_ = 0;
 
   mutable std::mutex state_mu_;
   FusionServiceStats stats_;                       // guarded by state_mu_

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/hash.h"
+
 namespace slimfast {
 
 namespace {
@@ -78,9 +80,18 @@ std::string LineProtocol::HandleLine(const std::string& line, bool* quit) {
         static_cast<int64_t>(pending_.observations.size());
     const int64_t truths = static_cast<int64_t>(pending_.truths.size());
     if (observations + truths > 0) {
-      Status status = service_->Submit(std::move(pending_));
+      // Submit a copy: Submit consumes its batch even on failure (the
+      // queue drops pushes after close), so handing over pending_
+      // itself would silently lose the client's buffer on a
+      // backpressure/shutdown ERR with no way to retry.
+      Status status = service_->Submit(pending_);
+      if (!status.ok()) {
+        return "ERR " + status.ToString() + " (" +
+               std::to_string(observations) + " observations + " +
+               std::to_string(truths) +
+               " truths kept buffered for retry)";
+      }
       pending_ = ObservationBatch();
-      if (!status.ok()) return "ERR " + status.ToString();
     }
     return "OK " + std::to_string(observations) + " " +
            std::to_string(truths);
@@ -121,7 +132,9 @@ std::string LineProtocol::HandleLine(const std::string& line, bool* quit) {
   if (command == "STATS") {
     if (!args.empty()) return "ERR usage: STATS";
     const FusionServiceStats stats = service_->stats();
-    int32_t pending = 0;
+    // 64-bit accumulator: the per-shard counters are session-lifetime
+    // values and their sum must not wrap on long-lived services.
+    int64_t pending = 0;
     double last_relearn_seconds = 0.0;
     for (const FusionSession::Stats& shard : service_->SessionStats()) {
       pending += shard.pending_batches;
@@ -129,6 +142,19 @@ std::string LineProtocol::HandleLine(const std::string& line, bool* quit) {
         last_relearn_seconds = shard.last_relearn_seconds;
       }
     }
+    // Order-sensitive fold of the published per-shard store
+    // fingerprints: one hex token that two services can compare to
+    // decide whether they have absorbed the same evidence (the
+    // crash-recovery smoke test's oracle).
+    uint64_t store_fingerprint = 0;
+    for (const FusionSnapshotPtr& snapshot : service_->AllSnapshots()) {
+      store_fingerprint = HashCombine(
+          store_fingerprint,
+          snapshot == nullptr ? 0 : snapshot->store_fingerprint);
+    }
+    char fingerprint_hex[24];
+    std::snprintf(fingerprint_hex, sizeof(fingerprint_hex), "%016llx",
+                  static_cast<unsigned long long>(store_fingerprint));
     return "STATS shards=" + std::to_string(service_->num_shards()) +
            " batches=" + std::to_string(stats.batches_processed) +
            " observations=" + std::to_string(stats.observations_ingested) +
@@ -138,7 +164,15 @@ std::string LineProtocol::HandleLine(const std::string& line, bool* quit) {
            " queries=" + std::to_string(stats.queries) +
            " failures=" + std::to_string(stats.ingest_failures) +
            " pending_batches=" + std::to_string(pending) +
+           " store_fingerprint=" + fingerprint_hex +
            " last_relearn_s=" + FormatDouble(last_relearn_seconds);
+  }
+
+  if (command == "CHECKPOINT") {
+    if (!args.empty()) return "ERR usage: CHECKPOINT";
+    Status status = service_->Checkpoint();
+    if (!status.ok()) return "ERR " + status.ToString();
+    return "OK";
   }
 
   if (command == "DRAIN") {
@@ -154,7 +188,8 @@ std::string LineProtocol::HandleLine(const std::string& line, bool* quit) {
   }
 
   return "ERR unknown command '" + command +
-         "' (OBS TRUTH COMMIT QUERY POSTERIOR STATS DRAIN QUIT)";
+         "' (OBS TRUTH COMMIT QUERY POSTERIOR STATS CHECKPOINT DRAIN "
+         "QUIT)";
 }
 
 }  // namespace slimfast

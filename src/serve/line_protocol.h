@@ -23,6 +23,8 @@ namespace slimfast {
 ///   POSTERIOR <object>              posterior distribution   -> POSTERIOR
 ///                                   v:p v:p ... or NONE
 ///   STATS                           service counters         -> STATS ...
+///   CHECKPOINT                      durable checkpoint + WAL -> OK
+///                                   truncation (needs wal_dir)
 ///   DRAIN                           block until applied      -> OK
 ///   QUIT                            end the session          -> BYE
 ///

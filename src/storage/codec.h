@@ -1,0 +1,152 @@
+#ifndef SLIMFAST_STORAGE_CODEC_H_
+#define SLIMFAST_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace slimfast {
+
+/// Fixed-width little-endian append/read primitives shared by the WAL
+/// record format and the snapshot section format. Explicit byte-at-a-time
+/// encoding: the on-disk layout must not depend on host endianness or
+/// struct padding.
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFFu);
+  b[1] = static_cast<char>((v >> 8) & 0xFFu);
+  b[2] = static_cast<char>((v >> 16) & 0xFFu);
+  b[3] = static_cast<char>((v >> 24) & 0xFFu);
+  out->append(b, 4);
+}
+
+inline void AppendU64(std::string* out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline void AppendI32(std::string* out, int32_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+inline void AppendI64(std::string* out, int64_t v) {
+  AppendU64(out, static_cast<uint64_t>(v));
+}
+
+inline void AppendF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+/// Bounds-checked sequential reader over an in-memory byte span. Every
+/// Read* returns false instead of reading past the end, so a truncated
+/// payload surfaces as a decode failure, never as garbage values.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::string& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    const unsigned char* b =
+        reinterpret_cast<const unsigned char*>(data_ + pos_);
+    *v = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+    return true;
+  }
+
+  bool ReadI32(int32_t* v) {
+    uint32_t u = 0;
+    if (!ReadU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+
+  bool ReadI64(int64_t* v) {
+    uint64_t u = 0;
+    if (!ReadU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool ReadF64(double* v) {
+    uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Array sections: a u64 element count followed by the packed
+/// little-endian elements. The readers reject counts larger than the
+/// remaining bytes could hold before allocating.
+
+inline void AppendArray(std::string* out, const std::vector<int32_t>& v) {
+  AppendU64(out, v.size());
+  for (int32_t x : v) AppendI32(out, x);
+}
+
+inline void AppendArray(std::string* out, const std::vector<int64_t>& v) {
+  AppendU64(out, v.size());
+  for (int64_t x : v) AppendI64(out, x);
+}
+
+inline void AppendArray(std::string* out, const std::vector<double>& v) {
+  AppendU64(out, v.size());
+  for (double x : v) AppendF64(out, x);
+}
+
+inline bool ReadArray(ByteReader* in, std::vector<int32_t>* v) {
+  uint64_t n = 0;
+  if (!in->ReadU64(&n) || n > in->remaining() / 4) return false;
+  v->resize(static_cast<size_t>(n));
+  for (int32_t& x : *v) {
+    if (!in->ReadI32(&x)) return false;
+  }
+  return true;
+}
+
+inline bool ReadArray(ByteReader* in, std::vector<int64_t>* v) {
+  uint64_t n = 0;
+  if (!in->ReadU64(&n) || n > in->remaining() / 8) return false;
+  v->resize(static_cast<size_t>(n));
+  for (int64_t& x : *v) {
+    if (!in->ReadI64(&x)) return false;
+  }
+  return true;
+}
+
+inline bool ReadArray(ByteReader* in, std::vector<double>* v) {
+  uint64_t n = 0;
+  if (!in->ReadU64(&n) || n > in->remaining() / 8) return false;
+  v->resize(static_cast<size_t>(n));
+  for (double& x : *v) {
+    if (!in->ReadF64(&x)) return false;
+  }
+  return true;
+}
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_STORAGE_CODEC_H_

@@ -1,0 +1,36 @@
+#ifndef SLIMFAST_STORAGE_CRC32_H_
+#define SLIMFAST_STORAGE_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace slimfast {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `size` bytes.
+/// Every WAL record and snapshot file carries one so a torn or corrupted
+/// write is detected before any of its content is trusted. Table-driven;
+/// the 1 KiB table is built on first use.
+inline uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace slimfast
+
+#endif  // SLIMFAST_STORAGE_CRC32_H_

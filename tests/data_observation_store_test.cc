@@ -5,6 +5,8 @@
 
 #include "data/observation_store.h"
 
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "data/dataset.h"
@@ -201,6 +203,139 @@ TEST(ObservationStoreAppendTest, EmptyBatchIsIdentity) {
   ObservationStore store = ObservationStore::FromDataset(dataset);
   ObservationStore same = store.AppendBatch(ObservationBatch{}).ValueOrDie();
   EXPECT_TRUE(store == same);
+}
+
+// Regression for the quadratic duplicate-source scan: a hot object with
+// a long claim history must accept/reject appends exactly as before
+// (the hashed rewrite changes cost, never behavior).
+TEST(ObservationStoreAppendTest, HotObjectDuplicateChecksStayExact) {
+  const int32_t num_sources = 300;
+  DatasetBuilder builder("hot", num_sources, 2, 2);
+  // Every even source already claims object 0.
+  for (SourceId s = 0; s < num_sources; s += 2) {
+    SLIMFAST_CHECK_OK(builder.AddObservation(0, s, s % 4 == 0 ? 0 : 1));
+  }
+  Dataset dataset = std::move(builder).Build().ValueOrDie();
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+
+  // All remaining (odd) sources arrive in one batch on the same object.
+  ObservationBatch fresh;
+  for (SourceId s = 1; s < num_sources; s += 2) {
+    fresh.observations.push_back(Observation{0, s, 1});
+  }
+  ObservationStore grown = store.AppendBatch(fresh).ValueOrDie();
+  EXPECT_EQ(grown.ObjectRange(0).size(), num_sources);
+
+  // Every single already-claiming source is still rejected, and a
+  // history-duplicate is reported even when the batch also carries an
+  // intra-batch duplicate later (precedence: scan order).
+  for (SourceId s = 0; s < num_sources; s += 2) {
+    ObservationBatch duplicate;
+    duplicate.observations.push_back(Observation{0, s, 0});
+    EXPECT_TRUE(store.AppendBatch(duplicate).status().IsAlreadyExists())
+        << "source " << s;
+  }
+  ObservationBatch mixed;
+  mixed.observations.push_back(Observation{0, 0, 0});  // vs history
+  mixed.observations.push_back(Observation{0, 1, 0});
+  mixed.observations.push_back(Observation{0, 1, 1});  // within batch
+  Status status = store.AppendBatch(mixed).status();
+  EXPECT_TRUE(status.IsAlreadyExists());
+
+  // The grown store is still bit-identical to a from-scratch build over
+  // the same claims.
+  DatasetBuilder all("hot-all", num_sources, 2, 2);
+  for (SourceId s = 0; s < num_sources; s += 2) {
+    SLIMFAST_CHECK_OK(all.AddObservation(0, s, s % 4 == 0 ? 0 : 1));
+  }
+  for (SourceId s = 1; s < num_sources; s += 2) {
+    SLIMFAST_CHECK_OK(all.AddObservation(0, s, 1));
+  }
+  ObservationStore rebuilt = ObservationStore::FromDataset(
+      std::move(all).Build().ValueOrDie());
+  EXPECT_TRUE(grown == rebuilt);
+}
+
+// Re-asserting a truth the store already has is a no-op all the way
+// down to the fingerprint — so a replayed TRUTH command cannot make a
+// recovered store diverge from the original.
+TEST(ObservationStoreAppendTest, RepeatedIdenticalTruthIsFingerprintNoOp) {
+  Dataset dataset = MakeFigure1Dataset();  // object 0's truth is 0
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+
+  ObservationBatch reassert;
+  reassert.truths.push_back(TruthLabel{0, 0});
+  ObservationStore same = store.AppendBatch(reassert).ValueOrDie();
+  EXPECT_TRUE(same == store);
+  EXPECT_EQ(same.content_fingerprint(), store.content_fingerprint());
+
+  // Asserting it twice within one batch is equally idempotent.
+  reassert.truths.push_back(TruthLabel{0, 0});
+  ObservationStore still_same = store.AppendBatch(reassert).ValueOrDie();
+  EXPECT_TRUE(still_same == store);
+}
+
+// ---- ToColumns / FromColumns: the snapshot serialization surface. ----
+
+TEST(ObservationStoreColumnsTest, RoundTripsBitwise) {
+  const std::vector<double> planted = {0.9, 0.7, 0.6, 0.8};
+  Dataset dataset = MakePlantedDataset(planted, 50, 0.5, 13, 3);
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+
+  ObservationStore loaded =
+      ObservationStore::FromColumns(store.ToColumns()).ValueOrDie();
+  // Equality covers the rebuilt derived state too: by-source index,
+  // domains, fingerprint.
+  EXPECT_TRUE(loaded == store);
+
+  // An empty store round-trips as well (the fresh-service checkpoint).
+  Dataset empty = std::move(DatasetBuilder("empty", 4, 50, 3))
+                      .Build()
+                      .ValueOrDie();
+  ObservationStore empty_store = ObservationStore::FromDataset(empty);
+  EXPECT_TRUE(ObservationStore::FromColumns(empty_store.ToColumns())
+                  .ValueOrDie() == empty_store);
+}
+
+TEST(ObservationStoreColumnsTest, RejectsTamperedContent) {
+  Dataset dataset = MakeFigure1Dataset();
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+
+  // Content changed but the serialized fingerprint kept: the recomputed
+  // fingerprint catches it — a snapshot cannot smuggle altered claims.
+  ObservationStore::Columns tampered = store.ToColumns();
+  tampered.values[0] = 1 - tampered.values[0];
+  auto result = ObservationStore::FromColumns(tampered);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().ToString().find("fingerprint"),
+            std::string::npos);
+
+  ObservationStore::Columns bad_truth = store.ToColumns();
+  bad_truth.truth[0] = 99;  // out of the value universe
+  EXPECT_FALSE(ObservationStore::FromColumns(bad_truth).ok());
+}
+
+TEST(ObservationStoreColumnsTest, RejectsStructuralDamage) {
+  Dataset dataset = MakeFigure1Dataset();
+  ObservationStore store = ObservationStore::FromDataset(dataset);
+
+  ObservationStore::Columns short_offsets = store.ToColumns();
+  short_offsets.object_offsets.pop_back();
+  EXPECT_TRUE(ObservationStore::FromColumns(short_offsets)
+                  .status()
+                  .IsInvalidArgument());
+
+  ObservationStore::Columns bad_object = store.ToColumns();
+  bad_object.objects[0] = 1;  // disagrees with the offsets
+  EXPECT_FALSE(ObservationStore::FromColumns(bad_object).ok());
+
+  ObservationStore::Columns bad_source = store.ToColumns();
+  bad_source.sources[0] = 99;
+  EXPECT_FALSE(ObservationStore::FromColumns(bad_source).ok());
+
+  ObservationStore::Columns nonmonotone = store.ToColumns();
+  std::swap(nonmonotone.object_offsets[1], nonmonotone.object_offsets[2]);
+  EXPECT_FALSE(ObservationStore::FromColumns(nonmonotone).ok());
 }
 
 TEST(ChunkDatasetForReplayTest, ChunksPartitionTheDataset) {

@@ -3,6 +3,7 @@
 // mixed ingest/query workload on a small planted instance, including the
 // offline-replay verification, plus the latency percentile math.
 
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -65,6 +66,97 @@ TEST(LineProtocolTest, IngestQueryFlowRecoversFigure1) {
   EXPECT_EQ(protocol.HandleLine("QUIT", &quit), "BYE");
   EXPECT_TRUE(quit);
   service->Stop();
+}
+
+// A failed COMMIT must keep the client's buffered batch: the ERR reply
+// is the retry signal, not a data-loss notification. (Regression: the
+// buffer used to be handed to Submit by move and silently dropped when
+// the queue was closed.)
+TEST(LineProtocolTest, FailedCommitKeepsTheBufferedBatch) {
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+
+  EXPECT_EQ(protocol.HandleLine("OBS 0 0 0"), "OK");
+  EXPECT_EQ(protocol.HandleLine("OBS 0 1 1"), "OK");
+  EXPECT_EQ(protocol.HandleLine("TRUTH 1 1"), "OK");
+  EXPECT_EQ(protocol.buffered(), 3);
+
+  service->Stop();  // every Submit now fails
+
+  std::string reply = protocol.HandleLine("COMMIT");
+  EXPECT_EQ(reply.rfind("ERR ", 0), 0u);
+  EXPECT_NE(reply.find("kept buffered"), std::string::npos);
+  EXPECT_EQ(protocol.buffered(), 3);  // nothing was lost
+
+  // Still there on the next attempt too — a retry would resubmit the
+  // same 2 observations + 1 truth.
+  EXPECT_EQ(protocol.HandleLine("COMMIT").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(protocol.buffered(), 3);
+}
+
+TEST(LineProtocolTest, StatsReportsTheFoldedStoreFingerprint) {
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+
+  std::string before = protocol.HandleLine("STATS");
+  EXPECT_NE(before.find(" store_fingerprint="), std::string::npos);
+
+  EXPECT_EQ(protocol.HandleLine("OBS 0 0 0"), "OK");
+  EXPECT_EQ(protocol.HandleLine("OBS 1 2 1"), "OK");
+  EXPECT_EQ(protocol.HandleLine("COMMIT"), "OK 2 0");
+  EXPECT_EQ(protocol.HandleLine("DRAIN"), "OK");
+  std::string after = protocol.HandleLine("STATS");
+
+  // New evidence moved the fingerprint; a second identical STATS call
+  // reports the same value (it is a pure function of the snapshots).
+  auto fingerprint_of = [](const std::string& stats) {
+    size_t begin = stats.find(" store_fingerprint=");
+    EXPECT_NE(begin, std::string::npos);
+    begin += std::string(" store_fingerprint=").size();
+    return stats.substr(begin, 16);
+  };
+  EXPECT_NE(fingerprint_of(before), fingerprint_of(after));
+  EXPECT_EQ(fingerprint_of(after),
+            fingerprint_of(protocol.HandleLine("STATS")));
+  service->Stop();
+}
+
+TEST(LineProtocolTest, CheckpointVerbRequiresDurability) {
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+  std::string reply = protocol.HandleLine("CHECKPOINT");
+  EXPECT_EQ(reply.rfind("ERR ", 0), 0u);
+  EXPECT_NE(reply.find("durability is disabled"), std::string::npos);
+  EXPECT_EQ(protocol.HandleLine("CHECKPOINT now").rfind("ERR usage", 0),
+            0u);
+  service->Stop();
+}
+
+TEST(LineProtocolTest, CheckpointVerbWritesACheckpoint) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "slimfast-protocol-checkpoint-test")
+          .string();
+  fs::remove_all(dir);
+
+  Dataset dataset = MakeFigure1Dataset();
+  FusionServiceOptions options;
+  options.num_shards = 2;
+  options.relearn_every_batches = 1;
+  options.durability.wal_dir = dir;
+  std::unique_ptr<FusionService> service =
+      FusionService::Create(dataset.num_sources(), dataset.num_objects(),
+                            dataset.num_values(), options,
+                            dataset.features())
+          .ValueOrDie();
+  LineProtocol protocol(service.get());
+
+  EXPECT_EQ(protocol.HandleLine("OBS 0 0 0"), "OK");
+  EXPECT_EQ(protocol.HandleLine("COMMIT"), "OK 1 0");
+  EXPECT_EQ(protocol.HandleLine("CHECKPOINT"), "OK");
+  EXPECT_TRUE(fs::exists(dir + "/MANIFEST"));
+  service->Stop();
+  fs::remove_all(dir);
 }
 
 TEST(LineProtocolTest, MalformedAndOutOfUniverseInputGetsErr) {

@@ -6,9 +6,11 @@
 //   slimfast_cli bench [--quick] [--threads N] [--seed N] [--out FILE]
 //   slimfast_cli replay (<dataset_dir> | --demo NAME) [--chunks K] [options]
 //   slimfast_cli serve (<dataset_dir> | --demo NAME | --dims S O V)
-//                [--shards N] [--relearn-every K] [--preload] [options]
+//                [--shards N] [--relearn-every K] [--preload]
+//                [--wal-dir DIR] [--fsync-every N] [options]
 //   slimfast_cli loadgen (<dataset_dir> | --demo NAME) [--quick]
 //                [--shards N] [--chunks K] [--readers R] [--out FILE]
+//   slimfast_cli storagebench [--quick] [--seed N] [--out FILE]
 //
 // The dataset directory uses the CSV layout of data/io.h (meta.csv,
 // observations.csv, truth.csv, features.csv, source_features.csv) — the
@@ -47,7 +49,11 @@
 // The `serve` subcommand runs a sharded FusionService and speaks the
 // serve line protocol (src/serve/line_protocol.h) over stdin/stdout:
 // OBS/TRUTH/COMMIT feed the background ingest pipeline, QUERY/POSTERIOR
-// are wait-free snapshot reads, DRAIN synchronizes, QUIT exits.
+// are wait-free snapshot reads, DRAIN synchronizes, QUIT exits. With
+// --wal-dir the service logs every batch to an observation WAL before
+// applying it, CHECKPOINT persists per-shard snapshots there, and a
+// restart with the same --wal-dir recovers the exact pre-crash state
+// (snapshot + WAL tail replay) — kill -9 included.
 //
 // The `loadgen` subcommand replays a dataset through a FusionService as
 // a mixed ingest/query workload (reader threads hammer queries during
@@ -56,6 +62,15 @@
 // (the sharded-replay determinism contract), and writes the serve_qps /
 // query_latency phases as BENCH JSON (--out, default BENCH_serve.json,
 // schema-checked by scripts/check_bench_schema.py).
+//
+// The `storagebench` subcommand measures the durability layer on a
+// synthetic stream: WAL append throughput (wal_append), full-log replay
+// into a store (wal_replay), and the snapshot bulk-load that replaces
+// replay after a checkpoint (snapshot_load) — every path cross-checked
+// against direct in-memory ingestion by store fingerprint. Writes
+// BENCH_storage.json (--out), schema-checked like the other benches.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -82,6 +97,8 @@
 #include "serve/fusion_service.h"
 #include "serve/line_protocol.h"
 #include "serve/loadgen.h"
+#include "storage/snapshot_io.h"
+#include "storage/wal.h"
 #include "synth/simulators.h"
 #include "synth/synthetic.h"
 #include "util/csv.h"
@@ -129,7 +146,28 @@ struct CliOptions {
   bool preload = false;
   /// loadgen: skip the offline-replay cross-check.
   bool no_verify = false;
+  /// `storagebench` subcommand: WAL/snapshot durability micro-bench.
+  bool storagebench = false;
+  /// serve: durability directory ("" = in-memory only).
+  std::string wal_dir;
+  /// serve/storagebench WAL fsync cadence: 1 = every batch (default),
+  /// 0 = never (OS-crash durable only), N > 1 = every N batches.
+  int32_t fsync_every = 1;
 };
+
+/// Maps the --fsync-every knob onto WalOptions.
+WalOptions WalOptionsFor(int32_t fsync_every) {
+  WalOptions wal;
+  if (fsync_every <= 0) {
+    wal.fsync = WalFsync::kNone;
+  } else if (fsync_every == 1) {
+    wal.fsync = WalFsync::kEveryBatch;
+  } else {
+    wal.fsync = WalFsync::kEveryN;
+    wal.fsync_every_n = fsync_every;
+  }
+  return wal;
+}
 
 /// One-line parse-error reporter: the message plus a usage hint, never
 /// the full help dump (satisfying "fail fast, point at --help").
@@ -154,9 +192,12 @@ void PrintUsage(std::FILE* stream) {
                "--dims S O V)\n"
                "                    [--shards N] [--relearn-every K] "
                "[--preload]\n"
+               "                    [--wal-dir DIR] [--fsync-every N]\n"
                "       slimfast_cli loadgen (<dataset_dir> | --demo NAME) "
                "[--quick]\n"
                "                    [--shards N] [--chunks K] [--readers R] "
+               "[--out FILE]\n"
+               "       slimfast_cli storagebench [--quick] [--seed N] "
                "[--out FILE]\n"
                "\n"
                "options:\n"
@@ -190,6 +231,14 @@ void PrintUsage(std::FILE* stream) {
                "dataset is given\n"
                "  --preload            serve: ingest the whole dataset "
                "before reading stdin\n"
+               "  --wal-dir DIR        serve: log batches to an observation "
+               "WAL in DIR and\n"
+               "                       recover checkpoint + WAL tail from "
+               "it on startup\n"
+               "  --fsync-every N      serve/storagebench: fsync the WAL "
+               "every N batches\n"
+               "                       (default 1 = every batch; 0 = "
+               "never)\n"
                "  --no-verify          loadgen: skip the offline-replay "
                "cross-check\n"
                "  --help, -h           show this message and exit\n"
@@ -225,7 +274,15 @@ void PrintUsage(std::FILE* stream) {
                "                       verify the sharded-replay "
                "determinism contract,\n"
                "                       and write serve_qps/query_latency "
-               "BENCH phases\n");
+               "BENCH phases\n"
+               "  storagebench         measure WAL append, WAL replay, and "
+               "snapshot\n"
+               "                       bulk-load on a synthetic stream "
+               "(fingerprint\n"
+               "                       cross-checked) and write "
+               "wal_append/wal_replay/\n"
+               "                       snapshot_load BENCH phases to "
+               "BENCH_storage.json\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -289,6 +346,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->dim_values = std::atoi(d);
     } else if (arg == "--preload") {
       options->preload = true;
+    } else if (arg == "--wal-dir") {
+      if (!value_of(&v)) return false;
+      options->wal_dir = v;
+    } else if (arg == "--fsync-every") {
+      if (!value_of(&v)) return false;
+      options->fsync_every = std::atoi(v);
     } else if (arg == "--no-verify") {
       options->no_verify = true;
     } else if (arg == "--stats") {
@@ -309,14 +372,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->serve = true;
     } else if (arg == "loadgen" && i == 1) {
       options->loadgen = true;
+    } else if (arg == "storagebench" && i == 1) {
+      options->storagebench = true;
     } else {
       options->dataset_dir = arg;
     }
   }
-  // bench generates its own data; serve can run on bare --dims; replay,
-  // loadgen, and plain runs need a dataset.
-  if (options->bench || !options->dataset_dir.empty() ||
-      !options->demo.empty() ||
+  // bench and storagebench generate their own data; serve can run on
+  // bare --dims; replay, loadgen, and plain runs need a dataset.
+  if (options->bench || options->storagebench ||
+      !options->dataset_dir.empty() || !options->demo.empty() ||
       (options->serve && options->dim_sources >= 0)) {
     return true;
   }
@@ -941,6 +1006,10 @@ int RunServe(const CliOptions& options) {
   service_options.relearn_every_batches = options.relearn_every;
   service_options.session.seed = options.seed;
   service_options.shard_exec.threads = options.threads;
+  if (!options.wal_dir.empty()) {
+    service_options.durability.wal_dir = options.wal_dir;
+    service_options.durability.wal = WalOptionsFor(options.fsync_every);
+  }
   auto created = FusionService::Create(num_sources, num_objects, num_values,
                                        service_options, features);
   if (!created.ok()) {
@@ -949,6 +1018,12 @@ int RunServe(const CliOptions& options) {
     return 1;
   }
   std::unique_ptr<FusionService> service = std::move(created).ValueOrDie();
+  if (!options.wal_dir.empty()) {
+    std::fprintf(stderr,
+                 "durable: WAL + checkpoints in %s (recovered state is "
+                 "bit-identical to the acknowledged prefix)\n",
+                 options.wal_dir.c_str());
+  }
 
   if (options.preload && have_dataset) {
     std::vector<ObservationBatch> all = ChunkDatasetForReplay(dataset, 1);
@@ -962,8 +1037,8 @@ int RunServe(const CliOptions& options) {
   std::fprintf(stderr,
                "slimfast serve: %d sources, %d objects, %d values across "
                "%d shard(s); relearn every %d batch(es)\n"
-               "commands: OBS TRUTH COMMIT QUERY POSTERIOR STATS DRAIN "
-               "QUIT\n",
+               "commands: OBS TRUTH COMMIT QUERY POSTERIOR STATS "
+               "CHECKPOINT DRAIN QUIT\n",
                num_sources, num_objects, num_values, service->num_shards(),
                options.relearn_every);
 
@@ -975,6 +1050,174 @@ int RunServe(const CliOptions& options) {
     std::fflush(stdout);
   }
   service->Stop();
+  return 0;
+}
+
+/// The `storagebench` subcommand: the durability layer's three costs on
+/// one synthetic stream. wal_append is the logging overhead every
+/// durable ingest pays; wal_replay is recovery from a bare log (decode +
+/// re-ingest every batch); snapshot_load is recovery from a checkpoint
+/// (one bulk column load) — the speedup between the last two is exactly
+/// what Checkpoint() buys. Every path is cross-checked against direct
+/// in-memory ingestion: the bench fails unless the replayed and loaded
+/// stores are bitwise equal to the reference (fingerprint included).
+int RunStorageBench(const CliOptions& options) {
+  const bool quick = options.quick;
+  SyntheticConfig config;
+  config.name = "bench-storage";
+  config.num_sources = quick ? 40 : 120;
+  config.num_objects = quick ? 1500 : 8000;
+  config.density = quick ? 0.08 : 0.05;
+  auto synth = GenerateSynthetic(config, options.seed);
+  if (!synth.ok()) {
+    std::fprintf(stderr, "cannot generate dataset: %s\n",
+                 synth.status().ToString().c_str());
+    return 1;
+  }
+  Dataset dataset = std::move(synth).ValueOrDie().dataset;
+  const int32_t num_batches = quick ? 32 : 128;
+  std::vector<ObservationBatch> batches =
+      ChunkDatasetForReplay(dataset, num_batches);
+
+  std::printf("slimfast storagebench%s: %lld observations in %d batches "
+              "(seed %llu, fsync every %d)\n",
+              quick ? " [quick]" : "",
+              static_cast<long long>(dataset.num_observations()),
+              num_batches,
+              static_cast<unsigned long long>(options.seed),
+              options.fsync_every);
+
+  // Scratch directory; removed on every exit path below.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("slimfast-storagebench-" + std::to_string(::getpid())))
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  auto cleanup = [&] { std::filesystem::remove_all(dir, ec); };
+  auto fail = [&](const std::string& what, const Status& status) {
+    std::fprintf(stderr, "storagebench: %s: %s\n", what.c_str(),
+                 status.ToString().c_str());
+    cleanup();
+    return 1;
+  };
+
+  // --- Phase 1: WAL append (the per-batch durable-ingest overhead). ---
+  const WalOptions wal_options = WalOptionsFor(options.fsync_every);
+  double wal_append_seconds = 0.0;
+  {
+    auto opened = WalWriter::Open(dir, wal_options);
+    if (!opened.ok()) return fail("cannot open WAL", opened.status());
+    std::unique_ptr<WalWriter> writer = std::move(opened).ValueOrDie();
+    Status append_status;
+    wal_append_seconds = bench::TimeSeconds([&] {
+      for (const ObservationBatch& batch : batches) {
+        auto logged = writer->Append(batch);
+        if (!logged.ok()) {
+          append_status = logged.status();
+          return;
+        }
+      }
+      append_status = writer->Sync();
+    });
+    if (!append_status.ok()) return fail("WAL append", append_status);
+  }
+  std::printf("  wal_append         %7.3fs (%d batches -> %s)\n",
+              wal_append_seconds, num_batches, dir.c_str());
+
+  // The reference the durable paths must reproduce: the same batches
+  // ingested directly in memory (untimed).
+  DatasetBuilder empty_builder("bench-storage-empty", dataset.num_sources(),
+                               dataset.num_objects(), dataset.num_values());
+  Dataset empty_twin = std::move(empty_builder).Build().ValueOrDie();
+  ObservationStore reference = ObservationStore::FromDataset(empty_twin);
+  for (const ObservationBatch& batch : batches) {
+    auto appended = reference.AppendBatch(batch);
+    if (!appended.ok()) return fail("reference ingest", appended.status());
+    reference = std::move(appended).ValueOrDie();
+  }
+
+  // --- Phase 2: recovery from a bare log — decode + re-ingest all. ---
+  ObservationStore replayed = ObservationStore::FromDataset(empty_twin);
+  Status replay_status;
+  double wal_replay_seconds = bench::TimeSeconds([&] {
+    replay_status = ReplayWal(dir, 0, [&](const WalRecord& record) {
+      SLIMFAST_ASSIGN_OR_RETURN(replayed,
+                                replayed.AppendBatch(record.batch));
+      return Status::OK();
+    });
+  });
+  if (!replay_status.ok()) return fail("WAL replay", replay_status);
+  if (!(replayed == reference)) {
+    std::fprintf(stderr,
+                 "storagebench: replayed store differs from direct "
+                 "ingestion (fingerprint %016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(
+                     replayed.content_fingerprint()),
+                 static_cast<unsigned long long>(
+                     reference.content_fingerprint()));
+    cleanup();
+    return 1;
+  }
+  std::printf("  wal_replay         %7.3fs (store fingerprint %016llx, "
+              "bit-identical)\n",
+              wal_replay_seconds,
+              static_cast<unsigned long long>(
+                  replayed.content_fingerprint()));
+
+  // --- Phase 3: recovery from a checkpoint — one bulk column load. ---
+  const std::string snap_path = dir + "/store.snap";
+  std::string payload;
+  AppendStoreColumns(reference, &payload);
+  Status written = WriteSnapshotFile(snap_path, payload);
+  if (!written.ok()) return fail("snapshot write", written);
+  ObservationStore loaded;
+  Status load_status;
+  double snapshot_load_seconds = bench::TimeSeconds([&] {
+    load_status = [&]() -> Status {
+      SLIMFAST_ASSIGN_OR_RETURN(std::string bytes,
+                                ReadSnapshotFile(snap_path));
+      ByteReader in(bytes);
+      SLIMFAST_ASSIGN_OR_RETURN(loaded, ReadStoreColumns(&in));
+      if (in.remaining() != 0) {
+        return Status::IOError("trailing bytes after store columns");
+      }
+      return Status::OK();
+    }();
+  });
+  if (!load_status.ok()) return fail("snapshot load", load_status);
+  if (!(loaded == reference)) {
+    std::fprintf(stderr,
+                 "storagebench: snapshot-loaded store differs from direct "
+                 "ingestion\n");
+    cleanup();
+    return 1;
+  }
+  double load_speedup = snapshot_load_seconds > 0.0
+                            ? wal_replay_seconds / snapshot_load_seconds
+                            : 0.0;
+  std::printf("  snapshot_load      %7.3fs (%.2fx faster than replaying "
+              "the log, bit-identical)\n",
+              snapshot_load_seconds, load_speedup);
+  cleanup();
+
+  // Sub-resolution phases record the 1ns floor, not a dead-timer 0 (the
+  // schema checker rejects non-positive seconds for required phases).
+  auto floored = [](double seconds) {
+    return seconds > 0.0 ? seconds : 1e-9;
+  };
+  bench::BenchReporter reporter("storage");
+  reporter.set_threads(1);
+  reporter.AddPhase("wal_append", floored(wal_append_seconds), 1);
+  reporter.AddPhase("wal_replay", floored(wal_replay_seconds), 1);
+  reporter.AddPhase("snapshot_load", floored(snapshot_load_seconds), 1);
+  reporter.AddSpeedup("snapshot_load_vs_wal_replay", 1, 1, load_speedup);
+  std::string out_path =
+      options.out_file.empty() ? "BENCH_storage.json" : options.out_file;
+  if (!reporter.WriteJson(out_path)) return 1;
+  std::printf("Storage bench JSON written to %s (git %s)\n",
+              out_path.c_str(),
+              bench::BenchReporter::GitDescribe().c_str());
   return 0;
 }
 
@@ -1087,6 +1330,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (options.bench) return RunBench(options);
+  if (options.storagebench) return RunStorageBench(options);
   // A first positional that names no existing path is a typoed
   // subcommand (or a missing dataset directory) — fail fast with a hint
   // instead of falling through to "cannot load dataset".
