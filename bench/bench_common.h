@@ -63,7 +63,11 @@ inline double TimeSeconds(Fn&& fn) {
 ///     "git": "<git describe>",
 ///     "phases": [{"name": "...", "seconds": S, "threads": N}, ...],
 ///     "speedups": [{"phase": "...", "baseline_threads": 1,
-///                   "threads": N, "speedup": X}, ...]
+///                   "threads": N, "speedup": X}, ...],
+///     "metrics": {                      // optional; present once any
+///       "counters": {"name": 123, ...}, // AddCounter/AddGauge was called
+///       "gauges": {"name": 0.5, ...}
+///     }
 ///   }
 class BenchReporter {
  public:
@@ -110,6 +114,18 @@ class BenchReporter {
     speedups_.push_back(Speedup{phase, baseline_threads, threads, speedup});
   }
 
+  /// Records a monotonic counter value (observability metrics carried
+  /// alongside the phase timings). Emitted under "metrics"/"counters".
+  void AddCounter(const std::string& name, int64_t value) {
+    counters_.emplace_back(name, value);
+  }
+
+  /// Records a point-in-time gauge value. Emitted under
+  /// "metrics"/"gauges".
+  void AddGauge(const std::string& name, double value) {
+    gauges_.emplace_back(name, value);
+  }
+
   std::string ToJson() const {
     std::string out = "{\n";
     out += "  \"bench\": \"" + JsonEscape(bench_name_) + "\",\n";
@@ -142,7 +158,24 @@ class BenchReporter {
              ", \"threads\": " + std::to_string(speedups_[i].threads) +
              ", \"speedup\": " + FormatSeconds(speedups_[i].speedup) + "}";
     }
-    out += speedups_.empty() ? "]\n" : "\n  ]\n";
+    const bool have_metrics = !counters_.empty() || !gauges_.empty();
+    out += speedups_.empty() ? "]" : "\n  ]";
+    out += have_metrics ? ",\n" : "\n";
+    if (have_metrics) {
+      out += "  \"metrics\": {\n    \"counters\": {";
+      for (size_t i = 0; i < counters_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + JsonEscape(counters_[i].first) +
+               "\": " + std::to_string(counters_[i].second);
+      }
+      out += "},\n    \"gauges\": {";
+      for (size_t i = 0; i < gauges_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + JsonEscape(gauges_[i].first) +
+               "\": " + FormatSeconds(gauges_[i].second);
+      }
+      out += "}\n  }\n";
+    }
     out += "}\n";
     return out;
   }
@@ -226,6 +259,8 @@ class BenchReporter {
   int32_t threads_ = 1;
   std::vector<Phase> phases_;
   std::vector<Speedup> speedups_;
+  std::vector<std::pair<std::string, int64_t>> counters_;
+  std::vector<std::pair<std::string, double>> gauges_;
 };
 
 }  // namespace bench

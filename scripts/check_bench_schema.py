@@ -15,6 +15,13 @@ percentiles), "storage" is the durability scenario (wal_append /
 wal_replay / snapshot_load plus the snapshot_load_vs_wal_replay speedup);
 anything else is held to the runtime scenario's phase list.
 
+Benches may also carry an optional top-level "metrics" object — the
+observability layer's counters and gauges ({"counters": {...},
+"gauges": {...}}). Counter values must be non-negative integers, gauge
+values finite numbers; the serve scenario must carry its lifetime
+counters (queries_total / relearns_total / publishes_total) so the
+trajectory records work done, not just latency.
+
 Usage: check_bench_schema.py BENCH_runtime.json
 """
 
@@ -82,6 +89,22 @@ TOP_LEVEL = {
     "speedups": list,
 }
 
+# Optional top-level keys: the observability metrics object, emitted only
+# when the bench recorded counters or gauges (bench/bench_common.h
+# AddCounter/AddGauge).
+OPTIONAL_TOP_LEVEL = {
+    "metrics": dict,
+}
+
+# Counters the serve scenario must record under metrics.counters: the
+# loadgen derives them from its own report (not the obs registry), so
+# they are present even in SLIMFAST_OBS=0 builds.
+SERVE_REQUIRED_COUNTERS = [
+    "queries_total",
+    "relearns_total",
+    "publishes_total",
+]
+
 
 def fail(message):
     print(f"check_bench_schema: FAIL: {message}", file=sys.stderr)
@@ -120,6 +143,37 @@ def check_entry(kind, index, entry, fields, optional=None):
     extra = set(entry) - set(fields) - set(optional)
     if extra:
         fail(f"{kind}[{index}] has unexpected keys {sorted(extra)}")
+
+
+def check_metrics(metrics, bench_name):
+    """Validates the optional top-level observability "metrics" object."""
+    extra = set(metrics) - {"counters", "gauges"}
+    if extra:
+        fail(f"metrics has unexpected keys {sorted(extra)}")
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    if not isinstance(counters, dict):
+        fail(f"metrics.counters is not an object: {counters!r}")
+    if not isinstance(gauges, dict):
+        fail(f"metrics.gauges is not an object: {gauges!r}")
+    for name, value in counters.items():
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            fail(
+                f"metrics.counters['{name}'] must be a non-negative "
+                f"integer: {value!r}"
+            )
+    for name, value in gauges.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            fail(f"metrics.gauges['{name}'] must be a number: {value!r}")
+        if value != value or value in (float("inf"), float("-inf")):
+            fail(f"metrics.gauges['{name}'] must be finite: {value!r}")
+    if bench_name == "serve":
+        missing = [n for n in SERVE_REQUIRED_COUNTERS if n not in counters]
+        if missing:
+            fail(
+                f"serve metrics.counters missing required keys {missing} "
+                f"(have {sorted(counters)})"
+            )
 
 
 def check_percentiles(index, phase):
@@ -170,7 +224,16 @@ def main(argv):
                 f"top-level '{name}' should be {type_name(expected)}, "
                 f"got {type(value).__name__}"
             )
-    extra = set(data) - set(TOP_LEVEL)
+    for name, expected in OPTIONAL_TOP_LEVEL.items():
+        if name not in data:
+            continue
+        value = data[name]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            fail(
+                f"top-level '{name}' should be {type_name(expected)}, "
+                f"got {type(value).__name__}"
+            )
+    extra = set(data) - set(TOP_LEVEL) - set(OPTIONAL_TOP_LEVEL)
     if extra:
         fail(f"unexpected top-level keys {sorted(extra)}")
 
@@ -192,6 +255,14 @@ def main(argv):
         required_phases = RUNTIME_REQUIRED_PHASES
         required_speedups = RUNTIME_REQUIRED_SPEEDUPS
     percentile_phases = PERCENTILE_PHASES.get(bench_name, [])
+
+    if "metrics" in data:
+        check_metrics(data["metrics"], bench_name)
+    elif bench_name == "serve":
+        fail(
+            "serve bench is missing the top-level 'metrics' object "
+            "(the loadgen always records its lifetime counters)"
+        )
 
     with_percentiles = set()
     for i, phase in enumerate(data["phases"]):
@@ -259,8 +330,12 @@ def main(argv):
             f"(have {sorted(speedup_names)})"
         )
 
+    num_metrics = sum(
+        len(data.get("metrics", {}).get(k, {})) for k in ("counters", "gauges")
+    )
     print(
         f"check_bench_schema: OK: {path} ('{bench_name}', "
+        f"{num_metrics} metrics, "
         f"{len(data['phases'])} phases, "
         f"{len(data['speedups'])} speedups, threads={data['threads']}, "
         f"cores={data['cores']}, git={data['git']})"

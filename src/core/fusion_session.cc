@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "data/store_view.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace slimfast {
@@ -157,6 +159,7 @@ Result<FusionSession> FusionSession::Restore(const ObservationStore& store,
 }
 
 Result<IngestStats> FusionSession::Ingest(const ObservationBatch& batch) {
+  obs::TraceSpan span("core.ingest");
   Stopwatch watch;
   std::vector<ObjectId> recompiled_rows;
   // DeltaCompile validates the batch via AppendBatch and leaves the
@@ -182,6 +185,11 @@ Result<IngestStats> FusionSession::Ingest(const ObservationBatch& batch) {
   stats.batch_truths = static_cast<int64_t>(batch.truths.size());
   stats.touched_objects = static_cast<int32_t>(recompiled_rows.size());
   stats.seconds = watch.ElapsedSeconds();
+  if (obs::Enabled()) {
+    static obs::LatencyHistogram* delta_hist =
+        obs::GetHistogram("slimfast_core_delta_compile_seconds");
+    delta_hist->RecordSeconds(stats.seconds);
+  }
   return stats;
 }
 
@@ -211,6 +219,7 @@ Result<RelearnStats> FusionSession::Relearn() {
         "nothing ingested yet: Ingest at least one observation before "
         "relearning");
   }
+  obs::TraceSpan span("core.relearn");
   Stopwatch watch;
   SLIMFAST_RETURN_NOT_OK(RefreshDataset());
 
@@ -243,6 +252,11 @@ Result<RelearnStats> FusionSession::Relearn() {
   stats.num_train_objects =
       static_cast<int32_t>(split.train_objects.size());
   stats.seconds = watch.ElapsedSeconds();
+  if (obs::Enabled()) {
+    static obs::LatencyHistogram* relearn_hist =
+        obs::GetHistogram("slimfast_core_relearn_seconds");
+    relearn_hist->RecordSeconds(stats.seconds);
+  }
   last_relearn_seconds_ = stats.seconds;
   return stats;
 }

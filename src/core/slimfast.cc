@@ -5,8 +5,11 @@
 #include "core/factor_graph_compile.h"
 #include "factorgraph/gibbs.h"
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace slimfast {
@@ -50,6 +53,21 @@ Result<SlimFastFit> SlimFast::Fit(const Dataset& dataset,
     compiled = std::make_shared<const CompiledModel>(std::move(dense));
   }
   double compile_seconds = compile_watch.ElapsedSeconds();
+  if (obs::Enabled()) {
+    static obs::LatencyHistogram* compile_hist =
+        obs::GetHistogram("slimfast_core_compile_seconds");
+    compile_hist->RecordSeconds(compile_seconds);
+  }
+  if (obs::TraceRecorder::Global().enabled()) {
+    // Reconstruct the span from the stopwatch reading: a scoped
+    // TraceSpan here would also cover the learning stages below.
+    const auto end = std::chrono::steady_clock::now();
+    obs::TraceRecorder::Global().RecordComplete(
+        "core.compile",
+        end - std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(compile_seconds)),
+        end);
+  }
   return FitWithStructure(dataset, split, seed, std::move(instance),
                           std::move(compiled), /*warm_weights=*/nullptr,
                           exec, compile_seconds);
@@ -74,6 +92,7 @@ Result<SlimFastFit> SlimFast::FitWithStructure(
     std::shared_ptr<const CompiledModel> compiled,
     const std::vector<double>* warm_weights, Executor* exec,
     double compile_seconds) const {
+  obs::TraceSpan learn_span("core.learn");
   OptimizerDecision decision;
   Algorithm algorithm = options_.algorithm;
   if (algorithm == Algorithm::kAuto) {
@@ -133,8 +152,20 @@ Result<SlimFastFit> SlimFast::FitWithStructure(
     (void)em_stats;
   }
 
+  const double learn_seconds = learn_watch.ElapsedSeconds();
+  if (obs::Enabled()) {
+    // Per-algorithm learn timings: EM runs ~200x longer than a warm ERM
+    // relearn, so folding them into one histogram would bury the signal
+    // the relearn scheduler needs.
+    static obs::LatencyHistogram* erm_hist = obs::GetHistogram(
+        "slimfast_core_learn_seconds{algorithm=\"erm\"}");
+    static obs::LatencyHistogram* em_hist = obs::GetHistogram(
+        "slimfast_core_learn_seconds{algorithm=\"em\"}");
+    (algorithm == Algorithm::kErm ? erm_hist : em_hist)
+        ->RecordSeconds(learn_seconds);
+  }
   SlimFastFit fit{std::move(model), decision, algorithm, compile_seconds,
-                  learn_watch.ElapsedSeconds(), std::move(instance), warm};
+                  learn_seconds, std::move(instance), warm};
   return fit;
 }
 

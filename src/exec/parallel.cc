@@ -1,10 +1,13 @@
 #include "exec/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+
+#include "obs/registry.h"
 
 namespace slimfast {
 
@@ -51,6 +54,14 @@ void Executor::RunShards(int32_t num_shards,
   }
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
 
+  // Per-shard wall times feed the pool task-latency histogram and the
+  // imbalance gauge (slowest shard / mean shard). Only the pool path is
+  // instrumented — the inline path above has no scheduling to observe —
+  // and when observability is off no clocks are read at all.
+  const bool obs_on = obs::Enabled();
+  std::vector<int64_t> shard_ns;
+  if (obs_on) shard_ns.assign(static_cast<size_t>(num_shards), 0);
+
   std::vector<std::exception_ptr> errors(static_cast<size_t>(num_shards));
   // The completion count must be decremented *under* the mutex: if a
   // worker decremented first and locked afterwards, a spurious wakeup
@@ -65,10 +76,18 @@ void Executor::RunShards(int32_t num_shards,
   int32_t remaining = num_shards;  // guarded by done_mu
   for (int32_t s = 0; s < num_shards; ++s) {
     pool_->Submit([&, s] {
+      std::chrono::steady_clock::time_point start;
+      if (obs_on) start = std::chrono::steady_clock::now();
       try {
         body(s);
       } catch (...) {
         errors[static_cast<size_t>(s)] = std::current_exception();
+      }
+      if (obs_on) {
+        shard_ns[static_cast<size_t>(s)] =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
       }
       std::lock_guard<std::mutex> lock(done_mu);
       if (--remaining == 0) done_cv.notify_one();
@@ -77,6 +96,24 @@ void Executor::RunShards(int32_t num_shards,
   {
     std::unique_lock<std::mutex> lock(done_mu);
     done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  if (obs_on) {
+    static obs::LatencyHistogram* task_hist =
+        obs::GetHistogram("slimfast_exec_task_seconds");
+    static obs::Gauge* imbalance =
+        obs::GetGauge("slimfast_exec_shard_imbalance_ratio");
+    int64_t total_ns = 0;
+    int64_t max_ns = 0;
+    for (int64_t ns : shard_ns) {
+      task_hist->Record(ns);
+      total_ns += ns;
+      max_ns = std::max(max_ns, ns);
+    }
+    if (total_ns > 0) {
+      const double mean_ns =
+          static_cast<double>(total_ns) / static_cast<double>(num_shards);
+      imbalance->Set(static_cast<double>(max_ns) / mean_ns);
+    }
   }
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);

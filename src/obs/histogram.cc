@@ -1,0 +1,100 @@
+#include "obs/histogram.h"
+
+#include <bit>
+
+namespace slimfast {
+namespace obs {
+
+namespace {
+/// Octaves narrower than 16 integers (values 1..15) cannot fill 16
+/// sub-buckets; below this octave each sub-bucket holds exactly one
+/// integer value.
+constexpr uint32_t kLinearOctaves = 4;  // log2(kHistSubBuckets)
+}  // namespace
+
+uint32_t LatencyHistogram::BucketIndex(int64_t nanos) {
+  if (nanos <= 0) return 0;
+  const auto value = static_cast<uint64_t>(nanos);
+  const uint32_t octave = std::bit_width(value) - 1;  // value in [2^o, 2^(o+1))
+  if (octave >= kHistOctaves) return kHistBuckets - 1;
+  uint64_t sub = value - (uint64_t{1} << octave);
+  if (octave > kLinearOctaves) sub >>= (octave - kLinearOctaves);
+  return 1 + octave * kHistSubBuckets + static_cast<uint32_t>(sub);
+}
+
+int64_t LatencyHistogram::BucketUpperBound(uint32_t index) {
+  if (index == 0) return 0;
+  if (index >= kHistBuckets - 1) {
+    // Overflow bucket: report its lower bound (~34s). "At least this
+    // much" is more useful in a latency report than INT64_MAX.
+    return int64_t{1} << kHistOctaves;
+  }
+  const uint32_t octave = (index - 1) / kHistSubBuckets;
+  const uint32_t sub = (index - 1) % kHistSubBuckets;
+  const int64_t base = int64_t{1} << octave;
+  if (octave <= kLinearOctaves) {
+    // Narrow octaves leave their tail sub-buckets unused (octave o has
+    // only 2^o integer values); clamp the reported bound to the octave
+    // maximum so bucket upper bounds stay monotone across the gap.
+    const int64_t octave_max = (base << 1) - 1;
+    const int64_t bound = base + sub;
+    return bound < octave_max ? bound : octave_max;
+  }
+  const int64_t width = int64_t{1} << (octave - kLinearOctaves);
+  return base + static_cast<int64_t>(sub + 1) * width - 1;
+}
+
+int64_t LatencyHistogram::Count() const {
+  int64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+int64_t LatencyHistogram::SumNanos() const {
+  return sum_ns_.load(std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::PercentileNanos(double q) const {
+  const int64_t total = Count();
+  if (total <= 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the smallest value whose cumulative count reaches
+  // ceil(q * total), with rank clamped to [1, total].
+  auto rank = static_cast<int64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  int64_t cumulative = 0;
+  for (uint32_t i = 0; i < kHistBuckets; ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kHistBuckets - 1);
+}
+
+int64_t LatencyHistogram::MaxNanos() const {
+  for (uint32_t i = kHistBuckets; i-- > 0;) {
+    if (counts_[i].load(std::memory_order_relaxed) > 0) {
+      return BucketUpperBound(i);
+    }
+  }
+  return 0;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (uint32_t i = 0; i < kHistBuckets; ++i) {
+    const int64_t c = other.counts_[i].load(std::memory_order_relaxed);
+    if (c != 0) counts_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace slimfast

@@ -1,0 +1,99 @@
+#ifndef SLIMFAST_OBS_HISTOGRAM_H_
+#define SLIMFAST_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace slimfast {
+namespace obs {
+
+/// Sub-buckets per power-of-two octave. 16 sub-buckets bound the
+/// relative bucket width (and therefore the percentile quantization
+/// error) at 1/16 ≈ 6.25% of the value, while keeping the whole
+/// histogram a few KB of atomics.
+inline constexpr uint32_t kHistSubBuckets = 16;
+
+/// Octaves covered: values from 1ns up to 2^35 ns (~34s). Anything
+/// above lands in the overflow bucket, anything at 0 in the underflow
+/// bucket, so Record never drops a sample.
+inline constexpr uint32_t kHistOctaves = 35;
+
+/// Total bucket count including the underflow ([0]) and overflow
+/// (last) buckets.
+inline constexpr uint32_t kHistBuckets = 2 + kHistOctaves * kHistSubBuckets;
+
+/// Fixed-bucket log-scale latency histogram over nanoseconds.
+///
+/// Buckets are laid out as 35 power-of-two octaves, each split into 16
+/// linear sub-buckets, plus an underflow bucket (value 0) and an
+/// overflow bucket (> ~34s). Recording is a single relaxed atomic
+/// increment — bounded memory, no allocation, safe from any thread —
+/// which makes it fit for per-reader latency capture at millions of
+/// records per second.
+///
+/// Percentiles are exact nearest-rank over the recorded *bucket*
+/// distribution: the returned value is the upper bound of the bucket
+/// holding the nearest-rank sample, so it is deterministic, monotone in
+/// q, and within one sub-bucket width (≤ 6.25% relative) of the true
+/// sample percentile. Merge is a commutative, associative bucket-wise
+/// sum, so merging per-thread histograms in any order yields identical
+/// results — the deterministic cross-reader merge loadgen relies on.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one sample of `nanos` nanoseconds (negative values clamp
+  /// to the underflow bucket). Wait-free: one relaxed fetch_add.
+  void Record(int64_t nanos) {
+    counts_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(nanos > 0 ? nanos : 0, std::memory_order_relaxed);
+  }
+
+  /// Records a sample given in seconds (converted to ns).
+  void RecordSeconds(double seconds) {
+    Record(static_cast<int64_t>(seconds * 1e9));
+  }
+
+  /// Total number of recorded samples.
+  int64_t Count() const;
+
+  /// Sum of all recorded sample values, in nanoseconds.
+  int64_t SumNanos() const;
+
+  /// Nearest-rank percentile in nanoseconds for q in [0, 1]: the upper
+  /// bound of the bucket containing the ceil(q * count)-th smallest
+  /// sample. Returns 0 when empty.
+  int64_t PercentileNanos(double q) const;
+
+  /// Upper bound (ns) of the highest non-empty bucket; 0 when empty.
+  int64_t MaxNanos() const;
+
+  /// Adds every bucket count and the running sum of `other` into this
+  /// histogram. Bucket-wise integer sums commute, so any merge order
+  /// over a set of histograms produces the same result.
+  void Merge(const LatencyHistogram& other);
+
+  /// Resets all buckets and the sum to zero. Not safe concurrently
+  /// with Record; for reuse between bench rounds.
+  void Reset();
+
+  /// Maps a nanosecond value to its bucket index; exposed for the
+  /// bucket-boundary unit tests.
+  static uint32_t BucketIndex(int64_t nanos);
+
+  /// Inclusive upper bound (ns) of bucket `index`; the value
+  /// percentiles report. The overflow bucket reports the largest
+  /// representable bound.
+  static int64_t BucketUpperBound(uint32_t index);
+
+ private:
+  std::atomic<int64_t> counts_[kHistBuckets] = {};
+  std::atomic<int64_t> sum_ns_{0};
+};
+
+}  // namespace obs
+}  // namespace slimfast
+
+#endif  // SLIMFAST_OBS_HISTOGRAM_H_

@@ -1,0 +1,62 @@
+#include "obs/metrics.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "util/hash.h"
+
+namespace slimfast {
+namespace obs {
+
+namespace internal {
+
+std::atomic<int> g_enabled{-1};
+
+bool ResolveEnabled() {
+  const char* env = std::getenv("SLIMFAST_OBS");
+  const bool on = (env == nullptr || std::strcmp(env, "0") != 0);
+  int expected = -1;
+  internal::g_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                              std::memory_order_relaxed);
+  // If another thread raced us the latched value wins; re-read it so
+  // every caller agrees from the first call onward.
+  return internal::g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace internal
+
+bool SetEnabledForTest(bool enabled) {
+  const int prev =
+      internal::g_enabled.exchange(enabled ? 1 : 0, std::memory_order_relaxed);
+  if (prev >= 0) return prev != 0;
+  // Previous state was "unresolved"; report what Enabled() would have
+  // returned had it been called, without clobbering the new setting.
+  const char* env = std::getenv("SLIMFAST_OBS");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+uint32_t ShardedCounter::SlotIndex() {
+  static thread_local const uint32_t slot = [] {
+    const uint64_t tid =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return static_cast<uint32_t>(SplitMix64(tid) & (kCounterSlots - 1));
+  }();
+  return slot;
+}
+
+uint64_t Gauge::ToBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::FromBits(uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace obs
+}  // namespace slimfast

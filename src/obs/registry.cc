@@ -1,0 +1,159 @@
+#include "obs/registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slimfast {
+namespace obs {
+
+namespace {
+
+/// Formats a double with enough digits to round-trip typical latency
+/// values without trailing-zero noise.
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string FormatInt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+/// Splits `name` into the metric family (before the first '{') and the
+/// label body (inside the braces, empty when unlabeled).
+void SplitName(const std::string& name, std::string* family,
+               std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+    return;
+  }
+  *family = name.substr(0, brace);
+  size_t end = name.size();
+  if (end > brace && name.back() == '}') --end;
+  *labels = name.substr(brace + 1, end - brace - 1);
+}
+
+/// Joins an existing label body with one extra label.
+std::string WithLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return extra;
+  return labels + "," + extra;
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  // Leaked on purpose: metrics are updated from detached service
+  // threads that may outlive static destruction order.
+  static Registry* global = new Registry();
+  return *global;
+}
+
+ShardedCounter* Registry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  if (!entry.counter) entry.counter = std::make_unique<ShardedCounter>();
+  return entry.counter.get();
+}
+
+Gauge* Registry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  if (!entry.gauge) entry.gauge = std::make_unique<class Gauge>();
+  return entry.gauge.get();
+}
+
+LatencyHistogram* Registry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  if (!entry.histogram) entry.histogram = std::make_unique<LatencyHistogram>();
+  return entry.histogram.get();
+}
+
+std::string Registry::RenderPrometheus() const {
+  // Group rendered lines by metric family so each family gets exactly
+  // one # TYPE header; std::map keeps both families and the entries
+  // within a family deterministically sorted.
+  std::map<std::string, std::pair<std::string, std::vector<std::string>>>
+      families;  // family -> (type, lines)
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, entry] : metrics_) {
+      std::string family;
+      std::string labels;
+      SplitName(name, &family, &labels);
+      const std::string label_suffix =
+          labels.empty() ? "" : "{" + labels + "}";
+      if (entry.counter) {
+        auto& bucket = families[family];
+        bucket.first = "counter";
+        bucket.second.push_back(family + label_suffix + " " +
+                                FormatInt(entry.counter->Value()));
+      }
+      if (entry.gauge) {
+        auto& bucket = families[family];
+        bucket.first = "gauge";
+        bucket.second.push_back(family + label_suffix + " " +
+                                FormatValue(entry.gauge->Value()));
+      }
+      if (entry.histogram) {
+        auto& bucket = families[family];
+        bucket.first = "summary";
+        const LatencyHistogram& hist = *entry.histogram;
+        constexpr std::pair<double, const char*> kQuantiles[] = {
+            {0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}};
+        for (const auto& [q, qname] : kQuantiles) {
+          const double seconds =
+              static_cast<double>(hist.PercentileNanos(q)) * 1e-9;
+          bucket.second.push_back(
+              family + "{" +
+              WithLabel(labels, std::string("quantile=\"") + qname + "\"") +
+              "} " + FormatValue(seconds));
+        }
+        bucket.second.push_back(family + "_sum" + label_suffix + " " +
+                                FormatValue(
+                                    static_cast<double>(hist.SumNanos()) *
+                                    1e-9));
+        bucket.second.push_back(family + "_count" + label_suffix + " " +
+                                FormatInt(hist.Count()));
+      }
+    }
+  }
+  std::string out;
+  for (const auto& [family, bucket] : families) {
+    out += "# TYPE " + family + " " + bucket.first + "\n";
+    for (const std::string& line : bucket.second) {
+      out += line;
+      out += '\n';
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.clear();
+}
+
+ShardedCounter* GetCounter(const std::string& name) {
+  return Registry::Global().Counter(name);
+}
+
+Gauge* GetGauge(const std::string& name) {
+  return Registry::Global().Gauge(name);
+}
+
+LatencyHistogram* GetHistogram(const std::string& name) {
+  return Registry::Global().Histogram(name);
+}
+
+}  // namespace obs
+}  // namespace slimfast

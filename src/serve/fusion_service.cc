@@ -5,6 +5,8 @@
 #include <future>
 #include <utility>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "serve/durability.h"
 
 namespace slimfast {
@@ -25,6 +27,21 @@ FusionSessionOptions ShardSessionOptions(const FusionServiceOptions& options,
 /// batches, so live and offline replays fire at identical points.
 bool RelearnDue(int64_t applied_batches, int32_t every_batches) {
   return every_batches > 0 && applied_batches % every_batches == 0;
+}
+
+/// steady_clock nanos since its (arbitrary) epoch; the unit the
+/// snapshot-age gauge works in.
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Registers the per-shard stage timer for (`stage`, `shard`).
+obs::LatencyHistogram* StageHistogram(const char* stage, int32_t shard) {
+  return obs::GetHistogram(
+      std::string("slimfast_serve_stage_seconds{stage=\"") + stage +
+      "\",shard=\"" + std::to_string(shard) + "\"}");
 }
 
 }  // namespace
@@ -62,6 +79,12 @@ Result<std::unique_ptr<FusionService>> FusionService::Create(
                               features));
     Shard shard;
     shard.session = std::make_unique<FusionSession>(std::move(session));
+    // Registered unconditionally (registration is one mutexed map
+    // lookup per shard per service); recording stays behind
+    // obs::Enabled() so a disabled process never touches them.
+    shard.ingest_hist = StageHistogram("ingest", s);
+    shard.relearn_hist = StageHistogram("relearn", s);
+    shard.publish_hist = StageHistogram("publish", s);
     service->shards_.push_back(std::move(shard));
     service->slots_.push_back(std::make_unique<SnapshotSlot>());
   }
@@ -90,6 +113,7 @@ Result<std::unique_ptr<FusionService>> FusionService::Recover(
 }
 
 Status FusionService::RecoverFromDir(const FeatureSpace& features) {
+  obs::TraceSpan span("serve.recover");
   const std::string& dir = options_.durability.wal_dir;
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -109,6 +133,7 @@ Status FusionService::RecoverFromDir(const FeatureSpace& features) {
           " was written by a service with a different topology");
     }
     applied_batches_ = static_cast<int64_t>(manifest->applied_batches);
+    recovered_ = true;
     for (int32_t s = 0; s < router_.num_shards(); ++s) {
       SLIMFAST_ASSIGN_OR_RETURN(
           ShardCheckpoint checkpoint,
@@ -139,6 +164,7 @@ Status FusionService::RecoverFromDir(const FeatureSpace& features) {
   SLIMFAST_RETURN_NOT_OK(ReplayWal(
       dir, static_cast<uint64_t>(applied_batches_),
       [&](const WalRecord& record) -> Status {
+        recovered_ = true;
         ApplyBatch(record.batch);
         ++applied_batches_;
         if (RelearnDue(applied_batches_, options_.relearn_every_batches)) {
@@ -162,6 +188,7 @@ void FusionService::PublishInitialSnapshots() {
     shards_[s].last_published_fingerprint =
         shards_[s].session->instance()->store.content_fingerprint();
   }
+  last_publish_ns_.store(NowNanos(), std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(state_mu_);
   stats_.publishes += static_cast<int64_t>(shards_.size());
 }
@@ -183,6 +210,11 @@ Status FusionService::TrySubmit(ObservationBatch batch) {
   if (!queue_.TryPush(std::move(command))) {
     if (queue_.closed()) {
       return Status::FailedPrecondition("FusionService is stopped");
+    }
+    if (obs::Enabled()) {
+      static obs::ShardedCounter* shed =
+          obs::GetCounter("slimfast_serve_shed_total");
+      shed->Increment();
     }
     return Status::OutOfRange("ingest queue is full");
   }
@@ -227,6 +259,7 @@ Status FusionService::Checkpoint() {
 }
 
 Status FusionService::WriteCheckpoint() {
+  obs::TraceSpan span("serve.checkpoint");
   const std::string& dir = options_.durability.wal_dir;
   const uint64_t applied = static_cast<uint64_t>(applied_batches_);
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -338,6 +371,7 @@ void FusionService::DriverLoop() {
 }
 
 void FusionService::ApplyBatch(const ObservationBatch& batch) {
+  obs::TraceSpan span("serve.apply_batch");
   const std::vector<ObservationBatch> subs = router_.Split(batch);
   const int32_t num_shards = router_.num_shards();
   std::vector<Status> statuses(static_cast<size_t>(num_shards),
@@ -346,6 +380,8 @@ void FusionService::ApplyBatch(const ObservationBatch& batch) {
     const ObservationBatch& sub = subs[static_cast<size_t>(s)];
     if (sub.empty()) return;
     Shard& shard = shards_[static_cast<size_t>(s)];
+    obs::TraceSpan shard_span("serve.shard_ingest");
+    obs::ScopedTimer timer(shard.ingest_hist);
     Result<IngestStats> ingested = shard.session->Ingest(sub);
     if (!ingested.ok()) {
       statuses[static_cast<size_t>(s)] = ingested.status();
@@ -371,6 +407,11 @@ void FusionService::ApplyBatch(const ObservationBatch& batch) {
       if (first_failure.ok()) first_failure = status;
     }
   }
+  if (obs::Enabled()) {
+    static obs::ShardedCounter* applied =
+        obs::GetCounter("slimfast_serve_batches_applied_total");
+    applied->Increment();
+  }
   std::lock_guard<std::mutex> lock(state_mu_);
   ++stats_.batches_processed;
   stats_.observations_ingested += observations;
@@ -382,6 +423,7 @@ void FusionService::ApplyBatch(const ObservationBatch& batch) {
 }
 
 void FusionService::RelearnPending(const char* reason) {
+  obs::TraceSpan span("serve.relearn");
   const int32_t num_shards = router_.num_shards();
   std::vector<Status> statuses(static_cast<size_t>(num_shards),
                                Status::OK());
@@ -390,8 +432,10 @@ void FusionService::RelearnPending(const char* reason) {
   RunSharded(&shard_exec_, num_shards, [&](int32_t s) {
     Shard& shard = shards_[static_cast<size_t>(s)];
     if (shard.pending == 0) return;
+    obs::TraceSpan shard_span("serve.shard_relearn");
     const bool can_fit = shard.session->num_observations() > 0;
     if (can_fit) {
+      obs::ScopedTimer timer(shard.relearn_hist);
       Result<RelearnStats> stats = shard.session->Relearn();
       if (!stats.ok()) {
         statuses[static_cast<size_t>(s)] = stats.status();
@@ -407,6 +451,7 @@ void FusionService::RelearnPending(const char* reason) {
     const uint64_t fingerprint =
         shard.session->instance()->store.content_fingerprint();
     if (can_fit || fingerprint != shard.last_published_fingerprint) {
+      obs::ScopedTimer timer(shard.publish_hist);
       slots_[static_cast<size_t>(s)]->Store(
           shard.session->ExportSnapshot());
       shard.last_published_fingerprint = fingerprint;
@@ -423,6 +468,17 @@ void FusionService::RelearnPending(const char* reason) {
     if (!statuses[static_cast<size_t>(s)].ok() && first_failure.ok()) {
       first_failure = statuses[static_cast<size_t>(s)];
     }
+  }
+  if (publishes > 0) {
+    last_publish_ns_.store(NowNanos(), std::memory_order_relaxed);
+  }
+  if (obs::Enabled()) {
+    static obs::ShardedCounter* relearns_total =
+        obs::GetCounter("slimfast_serve_relearns_total");
+    static obs::ShardedCounter* publishes_total =
+        obs::GetCounter("slimfast_serve_publishes_total");
+    relearns_total->Add(relearns);
+    publishes_total->Add(publishes);
   }
   std::lock_guard<std::mutex> lock(state_mu_);
   stats_.relearns += relearns;
@@ -448,7 +504,7 @@ bool FusionService::StalenessExceeded() const {
 }
 
 ValueId FusionService::Query(ObjectId object) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.Increment();
   if (object < 0 || object >= num_objects_) return kNoValue;
   FusionSnapshotPtr snapshot =
       slots_[static_cast<size_t>(router_.ShardOf(object))]->Load();
@@ -456,7 +512,7 @@ ValueId FusionService::Query(ObjectId object) const {
 }
 
 double FusionService::QueryConfidence(ObjectId object) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.Increment();
   if (object < 0 || object >= num_objects_) return 0.0;
   FusionSnapshotPtr snapshot =
       slots_[static_cast<size_t>(router_.ShardOf(object))]->Load();
@@ -466,7 +522,7 @@ double FusionService::QueryConfidence(ObjectId object) const {
 bool FusionService::QueryPosterior(ObjectId object,
                                    std::vector<ValueId>* values,
                                    std::vector<double>* probs) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.Increment();
   if (object < 0 || object >= num_objects_) return false;
   FusionSnapshotPtr snapshot =
       slots_[static_cast<size_t>(router_.ShardOf(object))]->Load();
@@ -475,7 +531,7 @@ bool FusionService::QueryPosterior(ObjectId object,
 }
 
 FusionSnapshotPtr FusionService::SnapshotFor(ObjectId object) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.Increment();
   if (object < 0 || object >= num_objects_) return nullptr;
   return slots_[static_cast<size_t>(router_.ShardOf(object))]->Load();
 }
@@ -508,13 +564,44 @@ std::vector<ValueId> FusionService::MergedPredictions() const {
 FusionServiceStats FusionService::stats() const {
   std::lock_guard<std::mutex> lock(state_mu_);
   FusionServiceStats copy = stats_;
-  copy.queries = queries_.load(std::memory_order_relaxed);
+  copy.queries = queries_.Value();
+  copy.uptime_seconds = uptime_.ElapsedSeconds();
+  copy.recovered = recovered_;
+  copy.lifetime_batches = applied_batches_.load(std::memory_order_relaxed);
+  // The per-shard session state survives checkpoint/Restore, so these
+  // sums are stream-lifetime values even right after a Recover().
+  for (const FusionSession::Stats& shard : session_stats_) {
+    copy.lifetime_relearns += shard.num_relearns;
+    copy.lifetime_observations += shard.num_observations;
+  }
   return copy;
 }
 
 std::vector<FusionSession::Stats> FusionService::SessionStats() const {
   std::lock_guard<std::mutex> lock(state_mu_);
   return session_stats_;
+}
+
+void FusionService::UpdateObsGauges() const {
+  if (!obs::Enabled()) return;
+  static obs::Gauge* queue_depth =
+      obs::GetGauge("slimfast_serve_queue_depth");
+  static obs::Gauge* snapshot_age =
+      obs::GetGauge("slimfast_serve_snapshot_age_seconds");
+  static obs::Gauge* snapshot_version =
+      obs::GetGauge("slimfast_serve_snapshot_version");
+  static obs::Gauge* uptime = obs::GetGauge("slimfast_serve_uptime_seconds");
+  static obs::Gauge* queries = obs::GetGauge("slimfast_serve_queries");
+  queue_depth->Set(static_cast<double>(queue_.size()));
+  const int64_t published_ns = last_publish_ns_.load(std::memory_order_relaxed);
+  snapshot_age->Set(
+      published_ns == 0
+          ? 0.0
+          : static_cast<double>(NowNanos() - published_ns) * 1e-9);
+  snapshot_version->Set(
+      static_cast<double>(applied_batches_.load(std::memory_order_relaxed)));
+  uptime->Set(uptime_.ElapsedSeconds());
+  queries->Set(static_cast<double>(queries_.Value()));
 }
 
 void FusionService::UpdateSessionStatsLocked() {

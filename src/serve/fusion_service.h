@@ -17,6 +17,8 @@
 #include "exec/mpsc_queue.h"
 #include "exec/options.h"
 #include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
 #include "serve/router.h"
 #include "serve/snapshot_slot.h"
 #include "storage/wal.h"
@@ -93,10 +95,36 @@ struct FusionServiceStats {
   /// Batches whose ingest failed validation on some shard (the shard is
   /// left unchanged; see last_error).
   int64_t ingest_failures = 0;
-  /// Queries served since Create (wait-free relaxed counter).
+  /// Queries served since Create (wait-free sharded counter).
   int64_t queries = 0;
   /// Message of the most recent ingest/relearn failure ("" when none).
   std::string last_error;
+
+  // --- Recovery-aware fields ---------------------------------------------
+  //
+  // The counters above are *process-scoped*: they count work done by
+  // this FusionService object, which after a Recover() includes the
+  // replayed WAL tail but not the checkpointed prefix. The `lifetime_*`
+  // counters below are *stream-scoped*: they are reconstructed from
+  // durable state (the WAL sequence and the per-shard session state the
+  // checkpoint carries), so they keep counting monotonically across
+  // crash/recover cycles instead of silently restarting near zero.
+
+  /// Seconds since this service object was created (includes any
+  /// recovery replay time).
+  double uptime_seconds = 0.0;
+  /// True when Create restored a checkpoint and/or replayed WAL records.
+  bool recovered = false;
+  /// Batches applied over the stream's lifetime — equal to the WAL
+  /// sequence of the last applied batch, so it survives Recover() by
+  /// construction.
+  int64_t lifetime_batches = 0;
+  /// Relearns completed over the stream's lifetime (summed from the
+  /// per-shard session state, which checkpoints carry).
+  int64_t lifetime_relearns = 0;
+  /// Observations absorbed over the stream's lifetime (summed from the
+  /// per-shard stores, which checkpoints carry).
+  int64_t lifetime_observations = 0;
 };
 
 /// A concurrent fusion serving layer: sharded ingest/relearn behind a
@@ -228,6 +256,12 @@ class FusionService {
   /// Per-shard session counters as of the last completed driver step.
   std::vector<FusionSession::Stats> SessionStats() const;
 
+  /// Refreshes the registry gauges that are cheaper to compute on
+  /// demand than to maintain on the hot path (queue depth, snapshot
+  /// age/version, uptime, query count). The METRICS verb calls this
+  /// right before rendering; no-op when observability is off.
+  void UpdateObsGauges() const;
+
  private:
   /// One queue entry: a batch, a flush marker Drain waits on, or a
   /// checkpoint request.
@@ -255,6 +289,12 @@ class FusionService {
     /// updates that cannot relearn yet (truth-only shards) publish
     /// exactly once per change.
     uint64_t last_published_fingerprint = 0;
+    /// Registry-owned per-shard stage timers
+    /// (slimfast_serve_stage_seconds{stage=...,shard=...}); registered
+    /// at Create, recorded only while obs::Enabled().
+    obs::LatencyHistogram* ingest_hist = nullptr;
+    obs::LatencyHistogram* relearn_hist = nullptr;
+    obs::LatencyHistogram* publish_hist = nullptr;
   };
 
   FusionService(FusionServiceOptions options, int32_t num_sources,
@@ -296,8 +336,18 @@ class FusionService {
   std::unique_ptr<WalWriter> wal_;
   /// Batches applied over the service's lifetime, including batches
   /// replayed during recovery — by construction equal to the WAL
-  /// sequence of the last applied batch. Driver-owned.
-  int64_t applied_batches_ = 0;
+  /// sequence of the last applied batch. Written only by the driver
+  /// (and the Create-thread recovery path before the driver starts);
+  /// atomic so stats()/UpdateObsGauges can read it from any thread.
+  std::atomic<int64_t> applied_batches_{0};
+  /// Started at construction; feeds FusionServiceStats::uptime_seconds.
+  Stopwatch uptime_;
+  /// Set during RecoverFromDir (before the driver starts, so plain
+  /// bool): a checkpoint was restored and/or WAL records were replayed.
+  bool recovered_ = false;
+  /// steady_clock nanos of the most recent snapshot publication (any
+  /// shard); 0 before the first. Feeds the snapshot-age gauge.
+  mutable std::atomic<int64_t> last_publish_ns_{0};
 
   mutable std::mutex state_mu_;
   FusionServiceStats stats_;                       // guarded by state_mu_
@@ -309,7 +359,10 @@ class FusionService {
   /// until the driver is gone instead of returning early.
   std::mutex stop_mu_;
 
-  mutable std::atomic<int64_t> queries_{0};
+  /// Query counter: sharded so concurrent readers do not contend on
+  /// one cache line (the query path must stay wait-free). Always on —
+  /// it backs stats().queries, not just METRICS.
+  mutable obs::ShardedCounter queries_;
 };
 
 /// The determinism oracle for the service: replays `batches`, in order,

@@ -1,11 +1,15 @@
 #include "serve/line_protocol.h"
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <iterator>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/registry.h"
 #include "util/hash.h"
 
 namespace slimfast {
@@ -31,9 +35,62 @@ std::string FormatDouble(double v) {
   return buffer;
 }
 
+/// Per-verb latency histogram, cached per known verb so the hot path
+/// skips the registry mutex. Unknown commands share one "OTHER" series
+/// so a misbehaving client cannot grow the registry without bound.
+obs::LatencyHistogram* VerbHistogram(const std::string& verb) {
+  static const struct {
+    const char* verb;
+    obs::LatencyHistogram* hist;
+  } kVerbs[] = {
+      {"OBS", obs::GetHistogram(
+                  "slimfast_serve_verb_latency_seconds{verb=\"OBS\"}")},
+      {"TRUTH", obs::GetHistogram(
+                    "slimfast_serve_verb_latency_seconds{verb=\"TRUTH\"}")},
+      {"COMMIT", obs::GetHistogram(
+                     "slimfast_serve_verb_latency_seconds{verb=\"COMMIT\"}")},
+      {"QUERY", obs::GetHistogram(
+                    "slimfast_serve_verb_latency_seconds{verb=\"QUERY\"}")},
+      {"POSTERIOR",
+       obs::GetHistogram(
+           "slimfast_serve_verb_latency_seconds{verb=\"POSTERIOR\"}")},
+      {"STATS", obs::GetHistogram(
+                    "slimfast_serve_verb_latency_seconds{verb=\"STATS\"}")},
+      {"METRICS",
+       obs::GetHistogram(
+           "slimfast_serve_verb_latency_seconds{verb=\"METRICS\"}")},
+      {"CHECKPOINT",
+       obs::GetHistogram(
+           "slimfast_serve_verb_latency_seconds{verb=\"CHECKPOINT\"}")},
+      {"DRAIN", obs::GetHistogram(
+                    "slimfast_serve_verb_latency_seconds{verb=\"DRAIN\"}")},
+      {"QUIT", obs::GetHistogram(
+                   "slimfast_serve_verb_latency_seconds{verb=\"QUIT\"}")},
+      {"OTHER", obs::GetHistogram(
+                    "slimfast_serve_verb_latency_seconds{verb=\"OTHER\"}")},
+  };
+  for (const auto& entry : kVerbs) {
+    if (verb == entry.verb) return entry.hist;
+  }
+  return kVerbs[std::size(kVerbs) - 1].hist;
+}
+
 }  // namespace
 
 std::string LineProtocol::HandleLine(const std::string& line, bool* quit) {
+  if (!obs::Enabled()) return HandleLineInner(line, quit);
+  const auto start = std::chrono::steady_clock::now();
+  std::string reply = HandleLineInner(line, quit);
+  const size_t verb_end = line.find(' ');
+  VerbHistogram(line.substr(0, verb_end))
+      ->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+  return reply;
+}
+
+std::string LineProtocol::HandleLineInner(const std::string& line,
+                                          bool* quit) {
   std::istringstream in(line);
   std::string command;
   in >> command;
@@ -129,6 +186,19 @@ std::string LineProtocol::HandleLine(const std::string& line, bool* quit) {
     return reply;
   }
 
+  if (command == "METRICS") {
+    if (!args.empty()) return "ERR usage: METRICS";
+    if (!obs::Enabled()) {
+      return "# observability disabled (SLIMFAST_OBS=0)\n# EOF";
+    }
+    service_->UpdateObsGauges();
+    std::string text = obs::Registry::Global().RenderPrometheus();
+    // The transport appends the terminating newline; the "# EOF" line
+    // is how clients find the end of this multi-line reply.
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    return text;
+  }
+
   if (command == "STATS") {
     if (!args.empty()) return "ERR usage: STATS";
     const FusionServiceStats stats = service_->stats();
@@ -165,7 +235,13 @@ std::string LineProtocol::HandleLine(const std::string& line, bool* quit) {
            " failures=" + std::to_string(stats.ingest_failures) +
            " pending_batches=" + std::to_string(pending) +
            " store_fingerprint=" + fingerprint_hex +
-           " last_relearn_s=" + FormatDouble(last_relearn_seconds);
+           " last_relearn_s=" + FormatDouble(last_relearn_seconds) +
+           " uptime_s=" + FormatDouble(stats.uptime_seconds) +
+           " recovered=" + (stats.recovered ? "1" : "0") +
+           " lifetime_batches=" + std::to_string(stats.lifetime_batches) +
+           " lifetime_relearns=" + std::to_string(stats.lifetime_relearns) +
+           " lifetime_observations=" +
+           std::to_string(stats.lifetime_observations);
   }
 
   if (command == "CHECKPOINT") {
@@ -188,8 +264,8 @@ std::string LineProtocol::HandleLine(const std::string& line, bool* quit) {
   }
 
   return "ERR unknown command '" + command +
-         "' (OBS TRUTH COMMIT QUERY POSTERIOR STATS CHECKPOINT DRAIN "
-         "QUIT)";
+         "' (OBS TRUTH COMMIT QUERY POSTERIOR STATS METRICS CHECKPOINT "
+         "DRAIN QUIT)";
 }
 
 }  // namespace slimfast

@@ -37,13 +37,19 @@ class LineProtocol {
   explicit LineProtocol(FusionService* service) : service_(service) {}
 
   /// Executes one command line and returns the reply (no trailing
-  /// newline). Sets `*quit` to true on QUIT when `quit` is non-null.
+  /// newline; METRICS replies span multiple lines, terminated by a
+  /// "# EOF" line). Sets `*quit` to true on QUIT when `quit` is
+  /// non-null. When observability is enabled the verb's wall time is
+  /// recorded into slimfast_serve_verb_latency_seconds{verb=...}.
   std::string HandleLine(const std::string& line, bool* quit = nullptr);
 
   /// Observations + truths buffered toward the next COMMIT.
   int64_t buffered() const { return pending_.size(); }
 
  private:
+  /// HandleLine minus the verb-latency envelope.
+  std::string HandleLineInner(const std::string& line, bool* quit);
+
   FusionService* service_;
   ObservationBatch pending_;
 };

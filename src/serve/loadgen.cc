@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "data/observation_store.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "serve/fusion_service.h"
 #include "util/hash.h"
 #include "util/random.h"
@@ -24,6 +26,26 @@ double NearestRank(const std::vector<double>& sorted, double quantile) {
   if (rank == 0) rank = 1;
   if (rank > n) rank = n;
   return sorted[rank - 1];
+}
+
+/// One single-threaded calibration round: `queries` timed queries,
+/// exact p99 by sample sort. Used only by the overhead gate, where
+/// histogram bucket quantization (~6%) would swamp the 5% margin.
+double CalibrationP99(FusionService* service, int32_t num_objects,
+                      uint64_t seed, int64_t queries) {
+  Rng rng(SplitMix64(seed));
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(queries));
+  for (int64_t i = 0; i < queries; ++i) {
+    const ObjectId object =
+        num_objects > 0 ? static_cast<ObjectId>(rng.UniformInt(num_objects))
+                        : 0;
+    Stopwatch watch;
+    (void)service->Query(object);
+    samples.push_back(watch.ElapsedSeconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return NearestRank(samples, 0.99);
 }
 
 }  // namespace
@@ -69,14 +91,16 @@ Result<LoadgenReport> RunLoadgen(const Dataset& dataset,
   const int32_t num_values = dataset.num_values();
   std::atomic<bool> ingest_done{false};
   std::atomic<int64_t> invalid_reads{0};
-  // Per-reader latency *reservoirs*: a long run at millions of QPS would
-  // otherwise accumulate hundreds of MB of samples, and the allocation
-  // traffic would distort the very numbers being measured. Reservoir
-  // replacement keeps an unbiased fixed-size sample of the whole run;
-  // per-reader query counts stay exact.
-  constexpr size_t kMaxSamplesPerReader = size_t{1} << 18;
-  std::vector<std::vector<double>> latencies(
-      static_cast<size_t>(options.reader_threads));
+  // Per-reader latency *histograms*: bounded log-scale buckets replace
+  // the earlier sampling reservoirs, so every query of the run is in
+  // the percentiles (exact nearest-rank over the bucket distribution at
+  // any QPS, a few KB per reader) and the cross-reader merge is a
+  // deterministic bucket-wise sum instead of a sample shuffle.
+  std::vector<std::unique_ptr<obs::LatencyHistogram>> latencies;
+  latencies.reserve(static_cast<size_t>(options.reader_threads));
+  for (int32_t r = 0; r < options.reader_threads; ++r) {
+    latencies.push_back(std::make_unique<obs::LatencyHistogram>());
+  }
   std::vector<int64_t> query_counts(
       static_cast<size_t>(options.reader_threads), 0);
   std::vector<std::thread> readers;
@@ -86,9 +110,8 @@ Result<LoadgenReport> RunLoadgen(const Dataset& dataset,
     readers.emplace_back([&, r] {
       Rng rng(SplitMix64(options.seed ^
                          (0x7ea0e2u + static_cast<uint64_t>(r))));
-      std::vector<double>& my_latencies =
-          latencies[static_cast<size_t>(r)];
-      my_latencies.reserve(kMaxSamplesPerReader);
+      obs::LatencyHistogram& my_latencies =
+          *latencies[static_cast<size_t>(r)];
       std::vector<double> probs;
       int64_t count = 0;
       while (!ingest_done.load(std::memory_order_acquire) ||
@@ -99,15 +122,7 @@ Result<LoadgenReport> RunLoadgen(const Dataset& dataset,
                 : 0;
         Stopwatch query_watch;
         const ValueId value = service->Query(object);
-        const double seconds = query_watch.ElapsedSeconds();
-        if (my_latencies.size() < kMaxSamplesPerReader) {
-          my_latencies.push_back(seconds);
-        } else {
-          const int64_t slot = rng.UniformInt(count + 1);
-          if (slot < static_cast<int64_t>(kMaxSamplesPerReader)) {
-            my_latencies[static_cast<size_t>(slot)] = seconds;
-          }
-        }
+        my_latencies.RecordSeconds(query_watch.ElapsedSeconds());
         if (value != kNoValue && (value < 0 || value >= num_values)) {
           invalid_reads.fetch_add(1, std::memory_order_relaxed);
         }
@@ -150,13 +165,18 @@ Result<LoadgenReport> RunLoadgen(const Dataset& dataset,
     report.truths += static_cast<int64_t>(chunk.truths.size());
   }
 
-  std::vector<double> merged_latencies;
-  for (const std::vector<double>& reader : latencies) {
-    merged_latencies.insert(merged_latencies.end(), reader.begin(),
-                            reader.end());
-  }
+  obs::LatencyHistogram merged_latencies;
+  for (const auto& reader : latencies) merged_latencies.Merge(*reader);
   for (int64_t count : query_counts) report.total_queries += count;
-  report.query_latency = SummarizeLatencies(&merged_latencies);
+  report.query_latency.count = merged_latencies.Count();
+  report.query_latency.p50 =
+      static_cast<double>(merged_latencies.PercentileNanos(0.50)) * 1e-9;
+  report.query_latency.p95 =
+      static_cast<double>(merged_latencies.PercentileNanos(0.95)) * 1e-9;
+  report.query_latency.p99 =
+      static_cast<double>(merged_latencies.PercentileNanos(0.99)) * 1e-9;
+  report.query_latency.max =
+      static_cast<double>(merged_latencies.MaxNanos()) * 1e-9;
   report.qps = run_wall > 0.0
                    ? static_cast<double>(report.total_queries) / run_wall
                    : 0.0;
@@ -178,6 +198,35 @@ Result<LoadgenReport> RunLoadgen(const Dataset& dataset,
   const FusionServiceStats stats = service->stats();
   report.relearns = stats.relearns;
   report.publishes = stats.publishes;
+
+  // --- Observability overhead gate: alternate metrics off/on over
+  // single-threaded calibration rounds and compare exact p99s. Min of
+  // rounds on both sides rejects one-off scheduler noise; the absolute
+  // 100ns floor keeps timer granularity at ~0.1us latencies from
+  // failing the gate without a real regression. ---
+  if (options.measure_overhead && options.overhead_queries_per_round > 0) {
+    report.overhead_ran = true;
+    const bool was_enabled = obs::SetEnabledForTest(false);
+    double base_p99 = 0.0;
+    double obs_p99 = 0.0;
+    for (int round = 0; round < 3; ++round) {
+      obs::SetEnabledForTest(false);
+      const double base = CalibrationP99(
+          service.get(), num_objects, options.seed + 101 * round,
+          options.overhead_queries_per_round);
+      obs::SetEnabledForTest(true);
+      const double with_obs = CalibrationP99(
+          service.get(), num_objects, options.seed + 101 * round + 7,
+          options.overhead_queries_per_round);
+      base_p99 = round == 0 ? base : std::min(base_p99, base);
+      obs_p99 = round == 0 ? with_obs : std::min(obs_p99, with_obs);
+    }
+    obs::SetEnabledForTest(was_enabled);
+    report.overhead_base_p99_seconds = base_p99;
+    report.overhead_obs_p99_seconds = obs_p99;
+    report.overhead_gate_passed =
+        obs_p99 <= std::max(1.05 * base_p99, base_p99 + 100e-9);
+  }
 
   if (options.verify) {
     report.verify_ran = true;

@@ -29,6 +29,12 @@ struct LoadgenOptions {
   /// Cross-check the final service snapshots against OfflineShardedReplay
   /// (the sharded-replay determinism contract) after the run.
   bool verify = true;
+  /// After the mixed run, measure the observability layer's query-path
+  /// overhead: single-threaded calibration rounds alternating metrics
+  /// off/on, gated at p99 (see LoadgenReport::overhead_gate_passed).
+  bool measure_overhead = true;
+  /// Queries per calibration round (overhead measurement).
+  int64_t overhead_queries_per_round = 20000;
   /// Thread budget for the service's shard fan-out.
   ExecOptions exec;
 };
@@ -68,14 +74,16 @@ struct LoadgenReport {
   double ingest_wall_seconds = 0.0;
   /// Wall-clock of the whole mixed run (readers start → readers joined).
   double run_wall_seconds = 0.0;
-  /// Queries issued across all readers (exact count; the latency
-  /// sample below is reservoir-bounded per reader).
+  /// Queries issued across all readers (exact count).
   int64_t total_queries = 0;
   /// total_queries / run_wall_seconds.
   double qps = 0.0;
-  /// Per-query latency percentiles, in seconds, over an unbiased
-  /// fixed-size reservoir sample of the run (bounded memory at any
-  /// QPS; `count` is the sample size, not the query count).
+  /// Per-query latency percentiles, in seconds, over *every* query of
+  /// the run: each reader records into a bounded log-scale histogram
+  /// (obs::LatencyHistogram — fixed memory at any QPS, exact
+  /// nearest-rank bucket percentiles) and the per-reader histograms are
+  /// merged deterministically (bucket-wise sums commute, so reader join
+  /// order cannot change the reported numbers).
   LatencySummary query_latency;
   /// Queries that returned an out-of-universe value (must be 0).
   int64_t invalid_reads = 0;
@@ -93,6 +101,21 @@ struct LoadgenReport {
   bool verified = false;
   /// Whether the offline cross-check ran.
   bool verify_ran = false;
+
+  // --- Observability overhead gate (when options.measure_overhead) ------
+
+  /// Whether the overhead calibration ran.
+  bool overhead_ran = false;
+  /// Single-threaded query p99 (seconds) with instrumentation disabled:
+  /// min over the alternating calibration rounds, exact sample sort
+  /// (not histogram buckets, so quantization cannot eat the margin).
+  double overhead_base_p99_seconds = 0.0;
+  /// Same measurement with instrumentation enabled.
+  double overhead_obs_p99_seconds = 0.0;
+  /// True when the instrumented p99 stayed within 5% of baseline (with
+  /// a 100ns absolute floor so timer noise at ~0.1us latencies cannot
+  /// fail the gate spuriously).
+  bool overhead_gate_passed = true;
 };
 
 /// Replays `dataset` through a FusionService as a mixed ingest/query

@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/registry.h"
 #include "storage/codec.h"
 #include "storage/crc32.h"
 
@@ -284,6 +285,13 @@ Result<WalScan> ScanWal(const std::string& dir) {
 
 Status ReplayWal(const std::string& dir, uint64_t after_sequence,
                  const std::function<Status(const WalRecord&)>& fn) {
+  static obs::LatencyHistogram* replay_hist =
+      obs::GetHistogram("slimfast_storage_wal_replay_seconds");
+  obs::ScopedTimer timer(replay_hist);
+  obs::ShardedCounter* replayed =
+      obs::Enabled()
+          ? obs::GetCounter("slimfast_storage_wal_replay_records_total")
+          : nullptr;
   bool saw_record = false;
   std::function<Status(WalRecord)> deliver =
       [&](WalRecord record) -> Status {
@@ -297,6 +305,7 @@ Status ReplayWal(const std::string& dir, uint64_t after_sequence,
       }
     }
     if (record.sequence <= after_sequence) return Status::OK();
+    if (replayed != nullptr) replayed->Increment();
     return fn(record);
   };
   return WalkWal(dir, &deliver).status();
@@ -428,6 +437,11 @@ Status WalWriter::MaybeFsync() {
 }
 
 Result<uint64_t> WalWriter::Append(const ObservationBatch& batch) {
+  static obs::LatencyHistogram* append_hist =
+      obs::GetHistogram("slimfast_storage_wal_append_seconds");
+  static obs::ShardedCounter* bytes_total =
+      obs::GetCounter("slimfast_storage_wal_bytes_written_total");
+  obs::ScopedTimer timer(append_hist);
   if (poisoned_) {
     return Status::IOError(
         "wal writer is poisoned by an earlier write failure");
@@ -449,6 +463,7 @@ Result<uint64_t> WalWriter::Append(const ObservationBatch& batch) {
     return written;
   }
   segment_bytes_written_ += static_cast<int64_t>(record.size());
+  if (obs::Enabled()) bytes_total->Add(static_cast<int64_t>(record.size()));
   ++segment_records_;
   ++next_sequence_;
   SLIMFAST_RETURN_NOT_OK(MaybeFsync());
@@ -457,6 +472,9 @@ Result<uint64_t> WalWriter::Append(const ObservationBatch& batch) {
 
 Status WalWriter::Sync() {
   if (fd_ < 0) return Status::OK();
+  static obs::LatencyHistogram* fsync_hist =
+      obs::GetHistogram("slimfast_storage_wal_fsync_seconds");
+  obs::ScopedTimer timer(fsync_hist);
   if (::fsync(fd_) != 0) {
     return Status::IOError(std::string("fsync wal segment: ") +
                            std::strerror(errno));
@@ -471,6 +489,11 @@ Status WalWriter::Rotate() {
         "wal writer is poisoned by an earlier write failure");
   }
   if (segment_records_ == 0) return Status::OK();  // already fresh
+  if (obs::Enabled()) {
+    static obs::ShardedCounter* rotations =
+        obs::GetCounter("slimfast_storage_wal_rotate_total");
+    rotations->Increment();
+  }
   SLIMFAST_RETURN_NOT_OK(CloseSegment());
   records_since_sync_ = 0;
   return CreateSegment(next_sequence_);

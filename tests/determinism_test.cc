@@ -7,6 +7,7 @@
 
 #include "baselines/registry.h"
 #include "core/slimfast.h"
+#include "obs/metrics.h"
 #include "data/split.h"
 #include "eval/metrics.h"
 #include "synth/synthetic.h"
@@ -107,6 +108,35 @@ TEST(DeterminismTest, Threads1VsThreads4BitIdenticalAllPresets) {
       ExpectSameFusionOutput(first, second);
     }
   }
+}
+
+/// Observability is read-only: running with metrics enabled and with
+/// them disabled must produce bit-identical FusionOutput for every
+/// preset, at 1 and at 4 threads. Instrumentation sites may time and
+/// count, but must never branch the numeric path ("zero cost when off"
+/// also means "zero effect when on").
+TEST(DeterminismTest, ObsOnVsOffBitIdenticalAllPresets) {
+  const std::vector<double> planted = {0.9, 0.8, 0.7, 0.85, 0.75, 0.65};
+  Dataset dataset = MakePlantedDataset(planted, 150, 0.4, 29);
+  Rng rng(4);
+  TrainTestSplit split = MakeSplit(dataset, 0.15, &rng).ValueOrDie();
+  const bool prior = obs::SetEnabledForTest(true);
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    for (const auto& preset : AllSlimFastPresets()) {
+      SCOPED_TRACE(preset.name);
+      SlimFastOptions options;
+      options.exec.threads = threads;
+      obs::SetEnabledForTest(true);
+      auto with_obs =
+          preset.make_with(options)->Run(dataset, split, 123).ValueOrDie();
+      obs::SetEnabledForTest(false);
+      auto without_obs =
+          preset.make_with(options)->Run(dataset, split, 123).ValueOrDie();
+      ExpectSameFusionOutput(with_obs, without_obs);
+    }
+  }
+  obs::SetEnabledForTest(prior);
 }
 
 /// Same contract for the sharded batch-ERM gradient, which the default

@@ -1,0 +1,99 @@
+// Unit tests for the trace recorder: span capture, nesting, the
+// disabled fast path, and the chrome://tracing JSON document shape.
+
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace slimfast {
+namespace obs {
+namespace {
+
+/// Clears and disables the global recorder around each test so the
+/// process-wide singleton cannot leak spans between tests.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  { TraceSpan span("never"); }
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansRecordInnerFirst) {
+  TraceRecorder::Global().Enable();
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+    }
+  }
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 2u);
+  // Destruction order: the inner span completes (and records) before
+  // the outer one, and the outer span's interval contains the inner's.
+  const std::string json = TraceRecorder::Global().ToChromeJson();
+  const size_t inner_pos = json.find("\"name\":\"inner\"");
+  const size_t outer_pos = json.find("\"name\":\"outer\"");
+  ASSERT_NE(inner_pos, std::string::npos) << json;
+  ASSERT_NE(outer_pos, std::string::npos) << json;
+  EXPECT_LT(inner_pos, outer_pos) << json;
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  TraceRecorder::Global().Enable();
+  { TraceSpan span("stage.a"); }
+  const std::string json = TraceRecorder::Global().ToChromeJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos)
+      << json;
+}
+
+TEST_F(TraceTest, SpansFromDifferentThreadsGetDistinctTids) {
+  TraceRecorder::Global().Enable();
+  { TraceSpan span("main-thread"); }
+  std::thread worker([] { TraceSpan span("worker-thread"); });
+  worker.join();
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 2u);
+  const std::string json = TraceRecorder::Global().ToChromeJson();
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, DisableKeepsRecordedEventsAndStopsNewOnes) {
+  TraceRecorder::Global().Enable();
+  { TraceSpan span("kept"); }
+  TraceRecorder::Global().Disable();
+  { TraceSpan span("dropped"); }
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 1u);
+  const std::string json = TraceRecorder::Global().ToChromeJson();
+  EXPECT_NE(json.find("kept"), std::string::npos);
+  EXPECT_EQ(json.find("dropped"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearEmptiesTheBuffer) {
+  TraceRecorder::Global().Enable();
+  { TraceSpan span("gone"); }
+  TraceRecorder::Global().Clear();
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 0u);
+  EXPECT_EQ(TraceRecorder::Global().DroppedCount(), 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace slimfast

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "serve/fusion_service.h"
 #include "serve/line_protocol.h"
 #include "serve/loadgen.h"
@@ -61,6 +62,13 @@ TEST(LineProtocolTest, IngestQueryFlowRecoversFigure1) {
   EXPECT_NE(stats.find("observations=5"), std::string::npos);
   EXPECT_NE(stats.find("truths=2"), std::string::npos);
   EXPECT_NE(stats.find("pending_batches=0"), std::string::npos);
+  // Recovery-aware fields: a fresh service has not recovered, and its
+  // lifetime counters equal the process-scoped ones.
+  EXPECT_NE(stats.find(" recovered=0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" uptime_s="), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" lifetime_batches=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" lifetime_observations=5"), std::string::npos)
+      << stats;
 
   bool quit = false;
   EXPECT_EQ(protocol.HandleLine("QUIT", &quit), "BYE");
@@ -177,6 +185,59 @@ TEST(LineProtocolTest, MalformedAndOutOfUniverseInputGetsErr) {
   EXPECT_EQ(protocol.buffered(), 0);
   EXPECT_EQ(protocol.HandleLine("COMMIT"), "OK 0 0");
   service->Stop();
+}
+
+TEST(LineProtocolTest, MetricsDumpFormatIsPinned) {
+  // Pins the METRICS reply format clients and the CI smoke rely on:
+  // Prometheus-style "# TYPE" + "name value" lines, deterministically
+  // sorted, ending in a bare "# EOF" line with no trailing newline
+  // (the transport adds the final newline).
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  const bool prior = obs::SetEnabledForTest(true);
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+  EXPECT_EQ(protocol.HandleLine("OBS 0 0 0"), "OK");
+  EXPECT_EQ(protocol.HandleLine("TRUTH 0 0"), "OK");
+  EXPECT_EQ(protocol.HandleLine("COMMIT"), "OK 1 1");
+  EXPECT_EQ(protocol.HandleLine("DRAIN"), "OK");
+
+  const std::string reply = protocol.HandleLine("METRICS");
+  // Counters are process-global and cumulative across tests in this
+  // binary, so pin the family/TYPE/value-line shape, not the count.
+  EXPECT_NE(reply.find("# TYPE slimfast_serve_batches_applied_total "
+                       "counter\nslimfast_serve_batches_applied_total "),
+            std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("# TYPE slimfast_serve_queue_depth gauge\n"),
+            std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("# TYPE slimfast_serve_stage_seconds summary\n"),
+            std::string::npos)
+      << reply;
+  EXPECT_NE(
+      reply.find("slimfast_serve_stage_seconds{stage=\"ingest\",shard=\"0\","
+                 "quantile=\"0.5\"} "),
+      std::string::npos)
+      << reply;
+  // Sorted families, EOF-terminated without a trailing newline.
+  EXPECT_LT(reply.find("slimfast_serve_batches_applied_total"),
+            reply.find("slimfast_serve_queue_depth"))
+      << reply;
+  EXPECT_GE(reply.size(), 5u);
+  EXPECT_EQ(reply.substr(reply.size() - 6), "\n# EOF") << reply;
+  EXPECT_EQ(protocol.HandleLine("METRICS now").rfind("ERR usage", 0), 0u);
+  service->Stop();
+  obs::SetEnabledForTest(prior);
+}
+
+TEST(LineProtocolTest, MetricsWhenDisabledSaysSo) {
+  const bool prior = obs::SetEnabledForTest(false);
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+  EXPECT_EQ(protocol.HandleLine("METRICS"),
+            "# observability disabled (SLIMFAST_OBS=0)\n# EOF");
+  service->Stop();
+  obs::SetEnabledForTest(prior);
 }
 
 TEST(LineProtocolTest, QueryOutsideUniverseIsNone) {

@@ -9,7 +9,9 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -191,6 +193,92 @@ TEST_F(RecoveryTest, WalOnlyRecoveryMatchesOfflineShardedReplay) {
                             dataset.features())
           .ValueOrDie();
   ExpectSnapshotsBitIdentical(recovered->AllSnapshots(), offline);
+  recovered->Stop();
+}
+
+TEST_F(RecoveryTest, LifetimeCountersSurviveRecovery) {
+  // The STATS/METRICS contract after a crash: `recovered` flips to
+  // true, process-scoped uptime restarts, and the stream-lifetime
+  // counters (batches = WAL sequence, relearns and observations from
+  // the recovered session state) continue where the first life left
+  // off instead of resetting to zero.
+  Dataset dataset = MakePlantedDataset({0.9, 0.8, 0.7}, 24, 0.7, 11);
+  std::vector<ObservationBatch> batches = ChunkDatasetForReplay(dataset, 4);
+
+  FusionServiceOptions options;
+  options.num_shards = 2;
+  options.relearn_every_batches = 2;
+  options.durability.wal_dir = dir_;
+
+  FusionServiceStats first_life;
+  {
+    std::unique_ptr<FusionService> service =
+        FusionService::Create(dataset.num_sources(), dataset.num_objects(),
+                              dataset.num_values(), options,
+                              dataset.features())
+            .ValueOrDie();
+    for (const ObservationBatch& batch : batches) {
+      SLIMFAST_CHECK_OK(service->Submit(batch));
+    }
+    SLIMFAST_CHECK_OK(service->Drain());
+    // Checkpoint half-way through the stream's durability story: the
+    // second life must restore these counts from the checkpointed
+    // session state, not recount a replayed prefix.
+    SLIMFAST_CHECK_OK(service->Checkpoint());
+    first_life = service->stats();
+    service->Stop();
+  }
+  EXPECT_FALSE(first_life.recovered);
+  EXPECT_GE(first_life.uptime_seconds, 0.0);
+  EXPECT_EQ(first_life.lifetime_batches,
+            static_cast<int64_t>(batches.size()));
+  EXPECT_GT(first_life.lifetime_relearns, 0);
+  EXPECT_GT(first_life.lifetime_observations, 0);
+
+  std::unique_ptr<FusionService> recovered =
+      FusionService::Create(dataset.num_sources(), dataset.num_objects(),
+                            dataset.num_values(), options,
+                            dataset.features())
+          .ValueOrDie();
+  const FusionServiceStats second_life = recovered->stats();
+  EXPECT_TRUE(second_life.recovered);
+  // Process-scoped counters reset with the process...
+  EXPECT_EQ(second_life.batches_processed, 0);
+  // ...while the stream-lifetime counters survive the restart.
+  EXPECT_EQ(second_life.lifetime_batches, first_life.lifetime_batches);
+  EXPECT_EQ(second_life.lifetime_relearns, first_life.lifetime_relearns);
+  EXPECT_EQ(second_life.lifetime_observations,
+            first_life.lifetime_observations);
+
+  // The stream keeps advancing after recovery: one more batch bumps
+  // the lifetime counters past the first life's totals. The new
+  // observation must use an (object, source) pair the planted dataset
+  // left empty — the store rejects duplicate claims.
+  std::set<std::pair<int32_t, int32_t>> claimed;
+  for (const ObservationBatch& batch : batches) {
+    for (const Observation& observation : batch.observations) {
+      claimed.emplace(observation.object, observation.source);
+    }
+  }
+  ObservationBatch extra;
+  for (int32_t object = 0;
+       object < dataset.num_objects() && extra.observations.empty();
+       ++object) {
+    for (int32_t source = 0; source < dataset.num_sources(); ++source) {
+      if (claimed.count({object, source}) == 0) {
+        extra.observations.push_back(Observation{object, source, 0});
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(extra.observations.size(), 1u);
+  SLIMFAST_CHECK_OK(recovered->Submit(extra));
+  SLIMFAST_CHECK_OK(recovered->Drain());
+  const FusionServiceStats advanced = recovered->stats();
+  EXPECT_EQ(advanced.lifetime_batches, first_life.lifetime_batches + 1);
+  EXPECT_EQ(advanced.lifetime_observations,
+            first_life.lifetime_observations + 1);
+  EXPECT_EQ(advanced.batches_processed, 1);
   recovered->Stop();
 }
 

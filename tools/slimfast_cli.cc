@@ -31,6 +31,8 @@
 //                         (default: SLIMFAST_THREADS or 1); results are
 //                         bit-identical for every thread count
 //   --chunks K            replay: number of ingest batches (default 8)
+//   --trace-out FILE      serve/loadgen/replay: write stage spans as a
+//                         chrome://tracing JSON timeline to FILE on exit
 //
 // The `bench` subcommand runs the Table-5-style runtime scenario (synthetic
 // generation, compilation cold vs cached, dense vs sparse ERM + EM
@@ -94,6 +96,7 @@
 #include "eval/metrics.h"
 #include "exec/parallel.h"
 #include "factorgraph/gibbs.h"
+#include "obs/trace.h"
 #include "serve/fusion_service.h"
 #include "serve/line_protocol.h"
 #include "serve/loadgen.h"
@@ -153,6 +156,9 @@ struct CliOptions {
   /// serve/storagebench WAL fsync cadence: 1 = every batch (default),
   /// 0 = never (OS-crash durable only), N > 1 = every N batches.
   int32_t fsync_every = 1;
+  /// serve/loadgen/replay: write a chrome://tracing JSON timeline of the
+  /// run's stage spans here ("" = tracing off).
+  std::string trace_out;
 };
 
 /// Maps the --fsync-every knob onto WalOptions.
@@ -241,6 +247,10 @@ void PrintUsage(std::FILE* stream) {
                "never)\n"
                "  --no-verify          loadgen: skip the offline-replay "
                "cross-check\n"
+               "  --trace-out FILE     serve/loadgen/replay: write stage "
+               "spans as a\n"
+               "                       chrome://tracing JSON timeline to "
+               "FILE on exit\n"
                "  --help, -h           show this message and exit\n"
                "\n"
                "subcommands:\n"
@@ -352,6 +362,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--fsync-every") {
       if (!value_of(&v)) return false;
       options->fsync_every = std::atoi(v);
+    } else if (arg == "--trace-out") {
+      if (!value_of(&v)) return false;
+      options->trace_out = v;
     } else if (arg == "--no-verify") {
       options->no_verify = true;
     } else if (arg == "--stats") {
@@ -1037,7 +1050,7 @@ int RunServe(const CliOptions& options) {
   std::fprintf(stderr,
                "slimfast serve: %d sources, %d objects, %d values across "
                "%d shard(s); relearn every %d batch(es)\n"
-               "commands: OBS TRUTH COMMIT QUERY POSTERIOR STATS "
+               "commands: OBS TRUTH COMMIT QUERY POSTERIOR STATS METRICS "
                "CHECKPOINT DRAIN QUIT\n",
                num_sources, num_objects, num_values, service->num_shards(),
                options.relearn_every);
@@ -1289,6 +1302,13 @@ int RunLoadgenCli(const CliOptions& options) {
     std::fprintf(stderr, "loadgen: %lld out-of-universe reads\n",
                  static_cast<long long>(report.invalid_reads));
   }
+  if (report.overhead_ran) {
+    std::printf("  obs overhead: query p99 %.2fus metrics-off vs %.2fus "
+                "metrics-on (gate: <5%% or 100ns — %s)\n",
+                report.overhead_base_p99_seconds * 1e6,
+                report.overhead_obs_p99_seconds * 1e6,
+                report.overhead_gate_passed ? "passed" : "FAILED");
+  }
 
   // Percentiles below the clock's resolution record the 1ns floor rather
   // than a dead-timer 0 (the schema checker rejects non-positive values
@@ -1304,6 +1324,20 @@ int RunLoadgenCli(const CliOptions& options) {
       "query_latency", floored(report.query_latency.p50),
       report.reader_threads, floored(report.query_latency.p50),
       floored(report.query_latency.p95), floored(report.query_latency.p99));
+  // Observability fields: lifetime counters plus the overhead-gate
+  // gauges, carried in the optional "metrics" object the schema checker
+  // validates for serve benches.
+  reporter.AddCounter("queries_total", report.total_queries);
+  reporter.AddCounter("relearns_total", report.relearns);
+  reporter.AddCounter("publishes_total", report.publishes);
+  if (report.overhead_ran) {
+    reporter.AddGauge("obs_overhead_base_p99_seconds",
+                      floored(report.overhead_base_p99_seconds));
+    reporter.AddGauge("obs_overhead_obs_p99_seconds",
+                      floored(report.overhead_obs_p99_seconds));
+    reporter.AddGauge("obs_overhead_gate_passed",
+                      report.overhead_gate_passed ? 1.0 : 0.0);
+  }
   // Default to a serve-specific file: the committed BENCH_runtime.json
   // baseline is the *runtime* scenario, and a serve-schema document
   // would still pass the schema checker (required phases key off the
@@ -1314,8 +1348,16 @@ int RunLoadgenCli(const CliOptions& options) {
   std::printf("Serve bench JSON written to %s (git %s)\n", out_path.c_str(),
               bench::BenchReporter::GitDescribe().c_str());
 
+  if (report.overhead_ran && !report.overhead_gate_passed) {
+    std::fprintf(stderr,
+                 "loadgen: observability overhead gate FAILED (p99 %.3fus "
+                 "-> %.3fus, budget 5%% + 100ns floor)\n",
+                 report.overhead_base_p99_seconds * 1e6,
+                 report.overhead_obs_p99_seconds * 1e6);
+  }
   const bool ok = (!report.verify_ran || report.verified) &&
-                  report.invalid_reads == 0;
+                  report.invalid_reads == 0 &&
+                  (!report.overhead_ran || report.overhead_gate_passed);
   return ok ? 0 : 1;
 }
 
@@ -1342,9 +1384,29 @@ int main(int argc, char** argv) {
                  options.dataset_dir.c_str());
     return 2;
   }
-  if (options.serve) return RunServe(options);
-  if (options.loadgen) return RunLoadgenCli(options);
-  if (options.replay) return RunReplay(options);
+  if (options.serve || options.loadgen || options.replay) {
+    // --trace-out: record stage spans for the whole run and dump the
+    // chrome://tracing timeline on the way out (load it via
+    // chrome://tracing or https://ui.perfetto.dev).
+    const bool tracing = !options.trace_out.empty();
+    if (tracing) obs::TraceRecorder::Global().Enable();
+    int rc = options.serve      ? RunServe(options)
+             : options.loadgen  ? RunLoadgenCli(options)
+                                : RunReplay(options);
+    if (tracing) {
+      obs::TraceRecorder::Global().Disable();
+      if (obs::TraceRecorder::Global().WriteChromeTrace(options.trace_out)) {
+        std::fprintf(stderr, "trace: %zu spans written to %s\n",
+                     obs::TraceRecorder::Global().EventCount(),
+                     options.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     options.trace_out.c_str());
+        if (rc == 0) rc = 1;
+      }
+    }
+    return rc;
+  }
 
   // --- Load or generate the dataset. ---
   auto loaded = LoadCliDataset(options);
