@@ -10,8 +10,9 @@ malformed latency percentiles (each of p50/p95/p99 must be a positive
 number and the percentile order p50 <= p95 <= p99 must hold).
 
 The required phases depend on the emitter, keyed by the top-level "bench"
-name: "serve" is the loadgen scenario (serve_qps + query_latency with
-percentiles), "storage" is the durability scenario (wal_append /
+name: "serve" is the loadgen scenario (serve_qps + query_latency plus
+the Zipfian scheduler gate's flat/sched hot-shard staleness phases, all
+latency phases with percentiles), "storage" is the durability scenario (wal_append /
 wal_replay / snapshot_load plus the snapshot_load_vs_wal_replay speedup);
 anything else is held to the runtime scenario's phase list.
 
@@ -19,8 +20,9 @@ Benches may also carry an optional top-level "metrics" object — the
 observability layer's counters and gauges ({"counters": {...},
 "gauges": {...}}). Counter values must be non-negative integers, gauge
 values finite numbers; the serve scenario must carry its lifetime
-counters (queries_total / relearns_total / publishes_total) so the
-trajectory records work done, not just latency.
+counters (queries_total / relearns_total / publishes_total /
+sheds_total) so the trajectory records work done — and load shed — not
+just latency.
 
 Usage: check_bench_schema.py BENCH_runtime.json
 """
@@ -57,11 +59,15 @@ RUNTIME_REQUIRED_SPEEDUPS = [
     "relearn_warm_vs_cold",
 ]
 
-# The serving scenario (`slimfast_cli loadgen`): throughput plus the query
-# latency distribution. query_latency must carry the percentile keys.
+# The serving scenario (`slimfast_cli loadgen`): throughput, the query
+# latency distribution, and the skewed-scenario hot-shard staleness of
+# both relearn policies (the scheduler's perf gate). Every latency phase
+# must carry the percentile keys.
 SERVE_REQUIRED_PHASES = [
     "serve_qps",
     "query_latency",
+    "flat_hot_staleness_p99",
+    "sched_hot_staleness_p99",
 ]
 SERVE_REQUIRED_SPEEDUPS = []
 
@@ -78,7 +84,13 @@ STORAGE_REQUIRED_SPEEDUPS = [
 ]
 
 # Phases that must carry p50/p95/p99, per bench name.
-PERCENTILE_PHASES = {"serve": ["query_latency"]}
+PERCENTILE_PHASES = {
+    "serve": [
+        "query_latency",
+        "flat_hot_staleness_p99",
+        "sched_hot_staleness_p99",
+    ]
+}
 
 TOP_LEVEL = {
     "bench": str,
@@ -103,6 +115,7 @@ SERVE_REQUIRED_COUNTERS = [
     "queries_total",
     "relearns_total",
     "publishes_total",
+    "sheds_total",
 ]
 
 

@@ -104,15 +104,28 @@ class FusionSession {
   /// primitives so the storage layer can serialize it without knowing
   /// any model type. Wall-clock fields are deliberately excluded.
   struct State {
+    /// Learned model weights — the warm-start seed of the next relearn
+    /// (empty until the first relearn; layout is learner-defined).
     std::vector<double> weights;
+    /// Per-object MAP estimates (kNoValue where unknown).
     std::vector<ValueId> predictions;
+    /// Per-source accuracy estimates of the last relearn.
     std::vector<double> source_accuracies;
+    /// CSR-style offsets into posterior_values/posterior_probs: object
+    /// o's posterior spans [posterior_begin[o], posterior_begin[o+1]).
     std::vector<int64_t> posterior_begin;
+    /// Candidate values, concatenated per object (see posterior_begin).
     std::vector<ValueId> posterior_values;
+    /// Posterior probabilities, parallel to posterior_values.
     std::vector<double> posterior_probs;
+    /// Per-object top posterior probability (0 where unknown).
     std::vector<double> max_posterior;
+    /// Batches ingested over the session's lifetime (keeps the serving
+    /// layer's every-K relearn phase aligned across Restore()).
     int32_t num_ingested_batches = 0;
+    /// Relearns completed over the session's lifetime.
     int32_t num_relearns = 0;
+    /// Batches ingested since the last relearn (unabsorbed evidence).
     int32_t pending_batches = 0;
 
     bool operator==(const State&) const = default;

@@ -28,10 +28,17 @@ namespace slimfast {
 /// sequence of the last batch the snapshots cover; recovery replays the
 /// WAL strictly after it.
 struct CheckpointManifest {
+  /// WAL sequence of the last batch the shard snapshots cover; recovery
+  /// replays the WAL strictly after it.
   uint64_t applied_batches = 0;
+  /// Shard count the snapshots were written under — recovery refuses a
+  /// mismatch (resharding would silently reroute objects).
   int32_t num_shards = 0;
+  /// Id-universe dimensions, validated against the recovering service.
   int32_t num_sources = 0;
+  /// See num_sources.
   int32_t num_objects = 0;
+  /// See num_sources.
   int32_t num_values = 0;
 };
 

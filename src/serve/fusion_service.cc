@@ -1,5 +1,6 @@
 #include "serve/fusion_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <future>
@@ -66,6 +67,15 @@ Result<std::unique_ptr<FusionService>> FusionService::Create(
   }
   if (options.queue_capacity == 0) options.queue_capacity = 1;
   if (options.max_coalesced_batches == 0) options.max_coalesced_batches = 1;
+  if (options.scheduler.warm_budget_per_cycle < 0) {
+    options.scheduler.warm_budget_per_cycle = 0;
+  }
+  if (options.scheduler.cold_budget_per_cycle < 0) {
+    options.scheduler.cold_budget_per_cycle = 0;
+  }
+  if (options.scheduler.max_deferred_cycles < 0) {
+    options.scheduler.max_deferred_cycles = 0;
+  }
 
   std::unique_ptr<FusionService> service(new FusionService(
       std::move(options), num_sources, num_objects, num_values));
@@ -87,6 +97,24 @@ Result<std::unique_ptr<FusionService>> FusionService::Create(
     shard.publish_hist = StageHistogram("publish", s);
     service->shards_.push_back(std::move(shard));
     service->slots_.push_back(std::make_unique<SnapshotSlot>());
+  }
+  // Value-initialized (all zero): nothing is pending at creation.
+  service->pending_since_ns_.reset(new std::atomic<int64_t>[
+      static_cast<size_t>(num_shards)]());
+  service->sched_state_.resize(static_cast<size_t>(num_shards));
+  const SchedulerOptions& sched = service->options_.scheduler;
+  if (sched.enabled) {
+    service->scheduler_ =
+        std::make_unique<RelearnScheduler>(sched, num_shards);
+    service->traffic_.reset(
+        new obs::ShardedCounter[static_cast<size_t>(num_shards)]);
+    service->last_traffic_.assign(static_cast<size_t>(num_shards), 0);
+  }
+  if (sched.shed_queue_watermark > 0.0) {
+    double batches = sched.shed_queue_watermark *
+                     static_cast<double>(service->options_.queue_capacity);
+    service->shed_queue_batches_ =
+        std::max<size_t>(1, static_cast<size_t>(batches));
   }
   if (service->options_.durability.enabled()) {
     SLIMFAST_RETURN_NOT_OK(service->RecoverFromDir(features));
@@ -157,19 +185,19 @@ Status FusionService::RecoverFromDir(const FeatureSpace& features) {
   }
 
   // Replay the acknowledged tail with the live driver's schedule: apply
-  // in sequence order, relearn on the same every-K boundaries, then run
-  // the drain-equivalent final relearn — so the recovered snapshots are
-  // exactly what OfflineShardedReplay computes for the acknowledged
-  // prefix.
+  // in sequence order, relearn on the same every-K boundaries (with the
+  // scheduler enabled, the same budgeted decisions — recovery serves no
+  // queries, so the traffic signal is zero, exactly like the offline
+  // oracle), then run the drain-equivalent final relearn — so the
+  // recovered snapshots are exactly what OfflineShardedReplay computes
+  // for the acknowledged prefix.
   SLIMFAST_RETURN_NOT_OK(ReplayWal(
       dir, static_cast<uint64_t>(applied_batches_),
       [&](const WalRecord& record) -> Status {
         recovered_ = true;
         ApplyBatch(record.batch);
         ++applied_batches_;
-        if (RelearnDue(applied_batches_, options_.relearn_every_batches)) {
-          RelearnPending("recover");
-        }
+        CountTriggerRelearn("recover");
         return Status::OK();
       }));
   RelearnPending("recover");
@@ -196,6 +224,7 @@ void FusionService::PublishInitialSnapshots() {
 Status FusionService::Submit(ObservationBatch batch) {
   Command command;
   command.batch = std::move(batch);
+  command.arrival_ns = NowNanos();
   if (!queue_.Push(std::move(command))) {
     return Status::FailedPrecondition("FusionService is stopped");
   }
@@ -207,6 +236,7 @@ Status FusionService::Submit(ObservationBatch batch) {
 Status FusionService::TrySubmit(ObservationBatch batch) {
   Command command;
   command.batch = std::move(batch);
+  command.arrival_ns = NowNanos();
   if (!queue_.TryPush(std::move(command))) {
     if (queue_.closed()) {
       return Status::FailedPrecondition("FusionService is stopped");
@@ -216,11 +246,63 @@ Status FusionService::TrySubmit(ObservationBatch batch) {
           obs::GetCounter("slimfast_serve_shed_total");
       shed->Increment();
     }
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++stats_.sheds;
     return Status::OutOfRange("ingest queue is full");
   }
   std::lock_guard<std::mutex> lock(state_mu_);
   ++stats_.batches_submitted;
   return Status::OK();
+}
+
+Status FusionService::SubmitWithBackpressure(ObservationBatch batch,
+                                             int64_t* retry_after_ms) {
+  if (retry_after_ms != nullptr) *retry_after_ms = 0;
+  const SchedulerOptions& sched = options_.scheduler;
+  if (!sched.admission_enabled()) return Submit(std::move(batch));
+  const bool over_queue =
+      shed_queue_batches_ > 0 && queue_.size() >= shed_queue_batches_;
+  const bool over_backlog =
+      sched.shed_backlog_watermark > 0 &&
+      relearn_backlog_.load(std::memory_order_relaxed) >=
+          sched.shed_backlog_watermark;
+  if (!over_queue && !over_backlog) {
+    Status tried = TrySubmit(std::move(batch));
+    if (!tried.IsOutOfRange()) return tried;  // accepted, or stopped
+    if (retry_after_ms != nullptr) *retry_after_ms = RetryHintMs();
+    return tried;
+  }
+  if (queue_.closed()) {
+    return Status::FailedPrecondition("FusionService is stopped");
+  }
+  if (obs::Enabled()) {
+    static obs::ShardedCounter* busy_sheds =
+        obs::GetCounter("slimfast_serve_busy_sheds_total");
+    busy_sheds->Increment();
+  }
+  if (retry_after_ms != nullptr) *retry_after_ms = RetryHintMs();
+  std::lock_guard<std::mutex> lock(state_mu_);
+  ++stats_.sheds;
+  return Status::OutOfRange(
+      over_queue ? "ingest shed: queue watermark crossed"
+                 : "ingest shed: relearn backlog watermark crossed");
+}
+
+int64_t FusionService::RetryHintMs() const {
+  // ETA until the service works off its current load: one observed
+  // relearn-cycle time per queued/pending batch (plus one for the cycle
+  // possibly in flight). Deliberately coarse — it is a backoff hint,
+  // not a promise.
+  const int64_t cycle_ns = ewma_cycle_ns_.load(std::memory_order_relaxed);
+  const int64_t pressure =
+      static_cast<int64_t>(queue_.size()) +
+      relearn_backlog_.load(std::memory_order_relaxed);
+  const double eta_ms =
+      static_cast<double>(cycle_ns) * static_cast<double>(pressure + 1) * 1e-6;
+  int64_t hint = static_cast<int64_t>(eta_ms) + 1;
+  if (hint < 1) hint = 1;
+  if (hint > 30000) hint = 30000;
+  return hint;
 }
 
 Status FusionService::Drain() {
@@ -353,11 +435,9 @@ void FusionService::DriverLoop() {
           continue;
         }
       }
-      ApplyBatch(command.batch);
+      ApplyBatch(command.batch, command.arrival_ns);
       ++applied_batches_;
-      if (RelearnDue(applied_batches_, options_.relearn_every_batches)) {
-        RelearnPending("policy");
-      }
+      CountTriggerRelearn("policy");
     }
     if (timed && StalenessExceeded()) RelearnPending("staleness");
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -370,8 +450,10 @@ void FusionService::DriverLoop() {
   UpdateSessionStatsLocked();
 }
 
-void FusionService::ApplyBatch(const ObservationBatch& batch) {
+void FusionService::ApplyBatch(const ObservationBatch& batch,
+                               int64_t arrival_ns) {
   obs::TraceSpan span("serve.apply_batch");
+  if (arrival_ns == 0) arrival_ns = NowNanos();
   const std::vector<ObservationBatch> subs = router_.Split(batch);
   const int32_t num_shards = router_.num_shards();
   std::vector<Status> statuses(static_cast<size_t>(num_shards),
@@ -387,7 +469,13 @@ void FusionService::ApplyBatch(const ObservationBatch& batch) {
       statuses[static_cast<size_t>(s)] = ingested.status();
       return;
     }
-    if (shard.pending == 0) shard.oldest_pending.Restart();
+    if (shard.pending == 0) {
+      shard.oldest_pending.Restart();
+      // Submit-time anchor: the batch may have queued behind a slow
+      // relearn cycle, and that wait is staleness the client saw.
+      pending_since_ns_[static_cast<size_t>(s)].store(
+          arrival_ns, std::memory_order_relaxed);
+    }
     ++shard.pending;
   });
 
@@ -412,6 +500,9 @@ void FusionService::ApplyBatch(const ObservationBatch& batch) {
         obs::GetCounter("slimfast_serve_batches_applied_total");
     applied->Increment();
   }
+  int64_t backlog = 0;
+  for (const Shard& shard : shards_) backlog += shard.pending;
+  relearn_backlog_.store(backlog, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(state_mu_);
   ++stats_.batches_processed;
   stats_.observations_ingested += observations;
@@ -423,13 +514,80 @@ void FusionService::ApplyBatch(const ObservationBatch& batch) {
 }
 
 void FusionService::RelearnPending(const char* reason) {
+  // The flush path: every pending shard, no budget. Keep the
+  // scheduler's bookkeeping in step — after a flush everything is
+  // freshly relearned, so deferral counters and staleness baselines
+  // reset.
+  std::vector<int32_t> all(shards_.size());
+  for (size_t s = 0; s < all.size(); ++s) {
+    all[s] = static_cast<int32_t>(s);
+  }
+  RelearnShards(all, reason);
+  if (scheduler_ != nullptr) {
+    scheduler_->NoteFlush(applied_batches_.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(state_mu_);
+    sched_state_ = scheduler_->shard_state();
+  }
+}
+
+void FusionService::CountTriggerRelearn(const char* reason) {
+  if (!RelearnDue(applied_batches_.load(std::memory_order_relaxed),
+                  options_.relearn_every_batches)) {
+    return;
+  }
+  if (scheduler_ != nullptr) {
+    ScheduledRelearn();
+  } else {
+    RelearnPending(reason);
+  }
+}
+
+void FusionService::ScheduledRelearn() {
+  const int32_t num_shards = router_.num_shards();
+  std::vector<ShardSchedInput> inputs(static_cast<size_t>(num_shards));
+  for (int32_t s = 0; s < num_shards; ++s) {
+    const Shard& shard = shards_[static_cast<size_t>(s)];
+    ShardSchedInput& in = inputs[static_cast<size_t>(s)];
+    in.pending = shard.pending;
+    in.can_fit = shard.session->num_observations() > 0;
+    in.has_model = shard.session->has_model();
+    const int64_t total = traffic_[static_cast<size_t>(s)].Value();
+    in.traffic = total - last_traffic_[static_cast<size_t>(s)];
+    last_traffic_[static_cast<size_t>(s)] = total;
+  }
+  const std::vector<int32_t> selected = scheduler_->DecideCycle(
+      applied_batches_.load(std::memory_order_relaxed), inputs);
+  // Drained in the scheduler's priority order: under a serial executor
+  // the hottest shard's refreshed snapshot is live before the cheaper
+  // candidates (or an expensive forced cold fit) even start.
+  if (!selected.empty()) RelearnShards(selected, "sched");
+  if (obs::Enabled()) {
+    static obs::ShardedCounter* cycles =
+        obs::GetCounter("slimfast_serve_sched_cycles_total");
+    cycles->Increment();
+    for (int32_t s = 0; s < num_shards; ++s) {
+      obs::GetGauge("slimfast_serve_sched_priority{shard=\"" +
+                    std::to_string(s) + "\"}")
+          ->Set(scheduler_->shard_state()[static_cast<size_t>(s)].priority);
+    }
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  sched_state_ = scheduler_->shard_state();
+  sched_cycles_ = scheduler_->cycles();
+}
+
+void FusionService::RelearnShards(const std::vector<int32_t>& order,
+                                  const char* reason) {
   obs::TraceSpan span("serve.relearn");
+  Stopwatch cycle_watch;
   const int32_t num_shards = router_.num_shards();
   std::vector<Status> statuses(static_cast<size_t>(num_shards),
                                Status::OK());
   std::vector<uint8_t> relearned(static_cast<size_t>(num_shards), 0);
   std::vector<uint8_t> published(static_cast<size_t>(num_shards), 0);
-  RunSharded(&shard_exec_, num_shards, [&](int32_t s) {
+  RunSharded(&shard_exec_, static_cast<int32_t>(order.size()),
+             [&](int32_t i) {
+    const int32_t s = order[static_cast<size_t>(i)];
     Shard& shard = shards_[static_cast<size_t>(s)];
     if (shard.pending == 0) return;
     obs::TraceSpan shard_span("serve.shard_relearn");
@@ -443,6 +601,8 @@ void FusionService::RelearnPending(const char* reason) {
       }
       relearned[static_cast<size_t>(s)] = 1;
       shard.pending = 0;
+      pending_since_ns_[static_cast<size_t>(s)].store(
+          0, std::memory_order_relaxed);
     }
     // A shard whose pending batches carried only truth labels has
     // nothing to fit yet: its pending count stays up (the labels are
@@ -480,9 +640,34 @@ void FusionService::RelearnPending(const char* reason) {
     relearns_total->Add(relearns);
     publishes_total->Add(publishes);
   }
+  int64_t backlog = 0;
+  for (const Shard& shard : shards_) backlog += shard.pending;
+  relearn_backlog_.store(backlog, std::memory_order_relaxed);
+  if (relearns > 0) {
+    // EWMA of the relearn-cycle wall time (the ERR BUSY hint's unit).
+    const int64_t cycle_ns =
+        static_cast<int64_t>(cycle_watch.ElapsedSeconds() * 1e9);
+    const int64_t previous =
+        ewma_cycle_ns_.load(std::memory_order_relaxed);
+    ewma_cycle_ns_.store(
+        previous == 0 ? cycle_ns : (3 * previous + cycle_ns) / 4,
+        std::memory_order_relaxed);
+  }
+  const int64_t batch_index =
+      applied_batches_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(state_mu_);
   stats_.relearns += relearns;
   stats_.publishes += publishes;
+  if (options_.scheduler.record_schedule) {
+    // Recorded in drain order: shards are independent, so any fixed
+    // order is a faithful serialization of the cycle, and this one
+    // matches what a serial executor actually did.
+    for (int32_t s : order) {
+      if (relearned[static_cast<size_t>(s)] != 0) {
+        schedule_log_.push_back(RelearnEvent{batch_index, s});
+      }
+    }
+  }
   if (!first_failure.ok()) {
     stats_.last_error =
         std::string(reason) + " relearn: " + first_failure.ToString();
@@ -503,19 +688,27 @@ bool FusionService::StalenessExceeded() const {
   return false;
 }
 
+void FusionService::RecordShardTraffic(int32_t shard) const {
+  // Allocated only when the scheduler is on: the flat policy's query
+  // path stays exactly one sharded-counter increment + one atomic load.
+  if (traffic_ != nullptr) traffic_[static_cast<size_t>(shard)].Increment();
+}
+
 ValueId FusionService::Query(ObjectId object) const {
   queries_.Increment();
   if (object < 0 || object >= num_objects_) return kNoValue;
-  FusionSnapshotPtr snapshot =
-      slots_[static_cast<size_t>(router_.ShardOf(object))]->Load();
+  const int32_t shard = router_.ShardOf(object);
+  RecordShardTraffic(shard);
+  FusionSnapshotPtr snapshot = slots_[static_cast<size_t>(shard)]->Load();
   return snapshot == nullptr ? kNoValue : snapshot->Prediction(object);
 }
 
 double FusionService::QueryConfidence(ObjectId object) const {
   queries_.Increment();
   if (object < 0 || object >= num_objects_) return 0.0;
-  FusionSnapshotPtr snapshot =
-      slots_[static_cast<size_t>(router_.ShardOf(object))]->Load();
+  const int32_t shard = router_.ShardOf(object);
+  RecordShardTraffic(shard);
+  FusionSnapshotPtr snapshot = slots_[static_cast<size_t>(shard)]->Load();
   return snapshot == nullptr ? 0.0 : snapshot->Confidence(object);
 }
 
@@ -524,8 +717,9 @@ bool FusionService::QueryPosterior(ObjectId object,
                                    std::vector<double>* probs) const {
   queries_.Increment();
   if (object < 0 || object >= num_objects_) return false;
-  FusionSnapshotPtr snapshot =
-      slots_[static_cast<size_t>(router_.ShardOf(object))]->Load();
+  const int32_t shard = router_.ShardOf(object);
+  RecordShardTraffic(shard);
+  FusionSnapshotPtr snapshot = slots_[static_cast<size_t>(shard)]->Load();
   return snapshot != nullptr &&
          snapshot->PosteriorOf(object, values, probs);
 }
@@ -533,7 +727,19 @@ bool FusionService::QueryPosterior(ObjectId object,
 FusionSnapshotPtr FusionService::SnapshotFor(ObjectId object) const {
   queries_.Increment();
   if (object < 0 || object >= num_objects_) return nullptr;
-  return slots_[static_cast<size_t>(router_.ShardOf(object))]->Load();
+  const int32_t shard = router_.ShardOf(object);
+  RecordShardTraffic(shard);
+  return slots_[static_cast<size_t>(shard)]->Load();
+}
+
+int64_t FusionService::ShardPendingAgeNanos(int32_t shard) const {
+  if (shard < 0 || shard >= router_.num_shards()) return 0;
+  const int64_t since =
+      pending_since_ns_[static_cast<size_t>(shard)].load(
+          std::memory_order_relaxed);
+  if (since == 0) return 0;
+  const int64_t now = NowNanos();
+  return now > since ? now - since : 0;
 }
 
 FusionSnapshotPtr FusionService::ShardSnapshot(int32_t shard) const {
@@ -582,6 +788,38 @@ std::vector<FusionSession::Stats> FusionService::SessionStats() const {
   return session_stats_;
 }
 
+SchedulerInspection FusionService::SchedStats() const {
+  SchedulerInspection out;
+  out.enabled = scheduler_ != nullptr;
+  if (out.enabled) {
+    out.warm_budget = options_.scheduler.warm_budget_per_cycle;
+    out.cold_budget = options_.scheduler.cold_budget_per_cycle;
+    out.max_deferred_cycles = options_.scheduler.max_deferred_cycles;
+  }
+  out.queue_depth = queue_.size();
+  out.queue_capacity = queue_.capacity();
+  out.backlog = relearn_backlog_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  out.sheds = stats_.sheds;
+  out.cycles = sched_cycles_;
+  out.shards = sched_state_;
+  if (!out.enabled) {
+    // Flat policy: the priority machinery is off, but pending counts
+    // are still worth reporting.
+    for (size_t s = 0; s < out.shards.size() && s < session_stats_.size();
+         ++s) {
+      out.shards[s].pending =
+          static_cast<int32_t>(session_stats_[s].pending_batches);
+    }
+  }
+  return out;
+}
+
+std::vector<RelearnEvent> FusionService::RelearnSchedule() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return schedule_log_;
+}
+
 void FusionService::UpdateObsGauges() const {
   if (!obs::Enabled()) return;
   static obs::Gauge* queue_depth =
@@ -592,7 +830,11 @@ void FusionService::UpdateObsGauges() const {
       obs::GetGauge("slimfast_serve_snapshot_version");
   static obs::Gauge* uptime = obs::GetGauge("slimfast_serve_uptime_seconds");
   static obs::Gauge* queries = obs::GetGauge("slimfast_serve_queries");
+  static obs::Gauge* backlog =
+      obs::GetGauge("slimfast_serve_relearn_backlog");
   queue_depth->Set(static_cast<double>(queue_.size()));
+  backlog->Set(static_cast<double>(
+      relearn_backlog_.load(std::memory_order_relaxed)));
   const int64_t published_ns = last_publish_ns_.load(std::memory_order_relaxed);
   snapshot_age->Set(
       published_ns == 0
@@ -611,12 +853,14 @@ void FusionService::UpdateSessionStatsLocked() {
   }
 }
 
-Result<std::vector<FusionSnapshotPtr>> OfflineShardedReplay(
+namespace {
+
+/// Builds the offline per-shard sessions both replay oracles run over —
+/// configured exactly like the live service's shards.
+Result<std::vector<FusionSession>> MakeOfflineShardSessions(
     int32_t num_sources, int32_t num_objects, int32_t num_values,
-    const FusionServiceOptions& options,
-    const std::vector<ObservationBatch>& batches, FeatureSpace features) {
-  ShardRouter router(options.num_shards);
-  const int32_t num_shards = router.num_shards();
+    const FusionServiceOptions& options, const FeatureSpace& features,
+    int32_t num_shards) {
   std::vector<FusionSession> sessions;
   sessions.reserve(static_cast<size_t>(num_shards));
   for (int32_t s = 0; s < num_shards; ++s) {
@@ -626,21 +870,49 @@ Result<std::vector<FusionSnapshotPtr>> OfflineShardedReplay(
                               ShardSessionOptions(options, s), features));
     sessions.push_back(std::move(session));
   }
+  return sessions;
+}
+
+}  // namespace
+
+Result<std::vector<FusionSnapshotPtr>> OfflineShardedReplay(
+    int32_t num_sources, int32_t num_objects, int32_t num_values,
+    const FusionServiceOptions& options,
+    const std::vector<ObservationBatch>& batches, FeatureSpace features) {
+  ShardRouter router(options.num_shards);
+  const int32_t num_shards = router.num_shards();
+  SLIMFAST_ASSIGN_OR_RETURN(
+      std::vector<FusionSession> sessions,
+      MakeOfflineShardSessions(num_sources, num_objects, num_values,
+                               options, features, num_shards));
 
   std::vector<int32_t> pending(static_cast<size_t>(num_shards), 0);
-  auto relearn_pending = [&]() -> Status {
-    for (int32_t s = 0; s < num_shards; ++s) {
-      if (pending[static_cast<size_t>(s)] == 0) continue;
-      // Mirrors the live driver: truth-only shards stay pending until
-      // they have observations to fit against.
-      if (sessions[static_cast<size_t>(s)].num_observations() > 0) {
-        SLIMFAST_RETURN_NOT_OK(
-            sessions[static_cast<size_t>(s)].Relearn().status());
-        pending[static_cast<size_t>(s)] = 0;
-      }
+  auto relearn_shard = [&](int32_t s) -> Status {
+    if (pending[static_cast<size_t>(s)] == 0) return Status::OK();
+    // Mirrors the live driver: truth-only shards stay pending until
+    // they have observations to fit against.
+    if (sessions[static_cast<size_t>(s)].num_observations() > 0) {
+      SLIMFAST_RETURN_NOT_OK(
+          sessions[static_cast<size_t>(s)].Relearn().status());
+      pending[static_cast<size_t>(s)] = 0;
     }
     return Status::OK();
   };
+  auto relearn_pending = [&]() -> Status {
+    for (int32_t s = 0; s < num_shards; ++s) {
+      SLIMFAST_RETURN_NOT_OK(relearn_shard(s));
+    }
+    return Status::OK();
+  };
+
+  // The same decision engine the live driver runs, fed a zero traffic
+  // signal — what a live scheduler-driven service that served no
+  // queries decides.
+  std::unique_ptr<RelearnScheduler> scheduler;
+  if (options.scheduler.enabled) {
+    scheduler = std::make_unique<RelearnScheduler>(options.scheduler,
+                                                   num_shards);
+  }
 
   int64_t applied = 0;
   for (const ObservationBatch& batch : batches) {
@@ -654,10 +926,88 @@ Result<std::vector<FusionSnapshotPtr>> OfflineShardedReplay(
     }
     ++applied;
     if (RelearnDue(applied, options.relearn_every_batches)) {
-      SLIMFAST_RETURN_NOT_OK(relearn_pending());
+      if (scheduler != nullptr) {
+        std::vector<ShardSchedInput> inputs(
+            static_cast<size_t>(num_shards));
+        for (int32_t s = 0; s < num_shards; ++s) {
+          ShardSchedInput& in = inputs[static_cast<size_t>(s)];
+          in.pending = pending[static_cast<size_t>(s)];
+          in.can_fit =
+              sessions[static_cast<size_t>(s)].num_observations() > 0;
+          in.has_model = sessions[static_cast<size_t>(s)].has_model();
+          in.traffic = 0;
+        }
+        for (int32_t s : scheduler->DecideCycle(applied, inputs)) {
+          SLIMFAST_RETURN_NOT_OK(relearn_shard(s));
+        }
+      } else {
+        SLIMFAST_RETURN_NOT_OK(relearn_pending());
+      }
     }
   }
   SLIMFAST_RETURN_NOT_OK(relearn_pending());  // the Drain/Stop flush
+
+  std::vector<FusionSnapshotPtr> snapshots;
+  snapshots.reserve(static_cast<size_t>(num_shards));
+  for (int32_t s = 0; s < num_shards; ++s) {
+    snapshots.push_back(sessions[static_cast<size_t>(s)].ExportSnapshot());
+  }
+  return snapshots;
+}
+
+Result<std::vector<FusionSnapshotPtr>> OfflineReplayWithSchedule(
+    int32_t num_sources, int32_t num_objects, int32_t num_values,
+    const FusionServiceOptions& options,
+    const std::vector<ObservationBatch>& batches,
+    const std::vector<RelearnEvent>& schedule, FeatureSpace features) {
+  ShardRouter router(options.num_shards);
+  const int32_t num_shards = router.num_shards();
+  SLIMFAST_ASSIGN_OR_RETURN(
+      std::vector<FusionSession> sessions,
+      MakeOfflineShardSessions(num_sources, num_objects, num_values,
+                               options, features, num_shards));
+
+  // Execute every recorded event whose batch index is <= `applied`, in
+  // log order. The log only records relearns that actually ran, so a
+  // replayed event's shard is guaranteed fittable at its batch index —
+  // the num_observations guard just keeps a corrupted log from
+  // aborting on an unfittable session.
+  size_t next = 0;
+  auto run_due = [&](int64_t applied) -> Status {
+    while (next < schedule.size() &&
+           schedule[next].batch_index <= applied) {
+      const int32_t s = schedule[next].shard;
+      if (s < 0 || s >= num_shards) {
+        return Status::InvalidArgument(
+            "relearn schedule names shard " + std::to_string(s) +
+            " outside the " + std::to_string(num_shards) +
+            "-shard topology");
+      }
+      if (sessions[static_cast<size_t>(s)].num_observations() > 0) {
+        SLIMFAST_RETURN_NOT_OK(
+            sessions[static_cast<size_t>(s)].Relearn().status());
+      }
+      ++next;
+    }
+    return Status::OK();
+  };
+
+  int64_t applied = 0;
+  SLIMFAST_RETURN_NOT_OK(run_due(applied));
+  for (const ObservationBatch& batch : batches) {
+    const std::vector<ObservationBatch> subs = router.Split(batch);
+    for (int32_t s = 0; s < num_shards; ++s) {
+      const ObservationBatch& sub = subs[static_cast<size_t>(s)];
+      if (sub.empty()) continue;
+      SLIMFAST_RETURN_NOT_OK(
+          sessions[static_cast<size_t>(s)].Ingest(sub).status());
+    }
+    ++applied;
+    SLIMFAST_RETURN_NOT_OK(run_due(applied));
+  }
+  // Tail events beyond the last batch (impossible for a well-formed
+  // log, harmless to honor).
+  SLIMFAST_RETURN_NOT_OK(run_due(INT64_MAX));
 
   std::vector<FusionSnapshotPtr> snapshots;
   snapshots.reserve(static_cast<size_t>(num_shards));

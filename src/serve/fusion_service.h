@@ -20,6 +20,7 @@
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "serve/router.h"
+#include "serve/scheduler.h"
 #include "serve/snapshot_slot.h"
 #include "storage/wal.h"
 #include "util/result.h"
@@ -74,6 +75,11 @@ struct FusionServiceOptions {
   ExecOptions shard_exec;
   /// WAL + checkpoint configuration (disabled by default).
   FusionServiceDurability durability;
+  /// Relearn policy, part 3: the traffic-aware scheduler + ingest
+  /// admission control (both disabled by default — the flat every-K
+  /// policy above then drains every pending shard per trigger). See
+  /// SchedulerOptions.
+  SchedulerOptions scheduler;
 };
 
 /// Operational counters of a FusionService (see stats()).
@@ -97,6 +103,9 @@ struct FusionServiceStats {
   int64_t ingest_failures = 0;
   /// Queries served since Create (wait-free sharded counter).
   int64_t queries = 0;
+  /// Batches rejected by admission control or a full-queue TrySubmit
+  /// (the producer kept its data; see SubmitWithBackpressure).
+  int64_t sheds = 0;
   /// Message of the most recent ingest/relearn failure ("" when none).
   std::string last_error;
 
@@ -127,6 +136,34 @@ struct FusionServiceStats {
   int64_t lifetime_observations = 0;
 };
 
+/// Consistent snapshot of the scheduler + admission-control state, as
+/// reported by the SCHED verb: the configured budgets, the live queue
+/// depth and relearn backlog, the shed count, and the per-shard
+/// priority state of the most recent decision cycle.
+struct SchedulerInspection {
+  /// True when the traffic-aware scheduler drives relearns (otherwise
+  /// the flat policy does and the per-shard priorities stay 0).
+  bool enabled = false;
+  /// Warm-queue relearn budget per decision cycle (0 = unlimited).
+  int32_t warm_budget = 0;
+  /// Cold-queue (first-fit) relearn budget per cycle (0 = unlimited).
+  int32_t cold_budget = 0;
+  /// Decisions a pending shard can lose before it is forced.
+  int32_t max_deferred_cycles = 0;
+  /// Decision cycles run so far.
+  int64_t cycles = 0;
+  /// Batches waiting in the ingest queue right now.
+  size_t queue_depth = 0;
+  /// Capacity of the ingest queue, in batches.
+  size_t queue_capacity = 0;
+  /// Sum of per-shard pending batches (the relearn backlog).
+  int64_t backlog = 0;
+  /// Batches shed by admission control / full-queue TrySubmit.
+  int64_t sheds = 0;
+  /// Per-shard priority/pending/traffic/deferral state.
+  std::vector<ShardSchedState> shards;
+};
+
 /// A concurrent fusion serving layer: sharded ingest/relearn behind a
 /// bounded queue, wait-free snapshot queries in front.
 ///
@@ -149,8 +186,14 @@ struct FusionServiceStats {
 /// stream on one thread, computes — bit for bit, at any thread count and
 /// under any concurrent query load (`OfflineShardedReplay` is the
 /// oracle; with num_shards = 1 it *is* the plain offline single-session
-/// run of the full stream). The wall-clock staleness trigger is the one
-/// knob that trades this bitwise replay guarantee for freshness.
+/// run of the full stream). The traffic-aware scheduler preserves the
+/// contract: its decisions are a deterministic function of (batch
+/// index, per-shard pending/model state, traffic samples, config), so a
+/// run without queries matches the zero-traffic oracle directly, and
+/// any run re-verifies against its recorded relearn schedule
+/// (`OfflineReplayWithSchedule`). The wall-clock staleness trigger is
+/// the one knob that trades the *a-priori* replay guarantee for
+/// freshness — though even its relearns land in the recorded schedule.
 ///
 /// Thread roles: any number of producers (Submit/TrySubmit/Drain), any
 /// number of query threads (Query*/ShardSnapshot — wait-free), one
@@ -195,6 +238,17 @@ class FusionService {
 
   /// Non-blocking Submit; OutOfRange when the queue is full (shed load).
   Status TrySubmit(ObservationBatch batch);
+
+  /// Submit with admission control: when a configured watermark
+  /// (SchedulerOptions::shed_queue_watermark / shed_backlog_watermark)
+  /// is crossed — or the queue is outright full — the batch is shed
+  /// with OutOfRange and `*retry_after_ms` (if non-null) is set to a
+  /// backoff hint derived from the observed relearn-cycle time and the
+  /// current queue + backlog depth. With admission control disabled
+  /// this is exactly Submit (blocking backpressure, no hint). The
+  /// COMMIT verb's ERR BUSY reply is built on this.
+  Status SubmitWithBackpressure(ObservationBatch batch,
+                                int64_t* retry_after_ms);
 
   /// Blocks until everything submitted before this call is applied,
   /// relearned (pending shards), and published. A drain is an ordered
@@ -242,6 +296,15 @@ class FusionService {
   /// accuracy evaluation.
   std::vector<ValueId> MergedPredictions() const;
 
+  /// Wall-clock nanoseconds the oldest unabsorbed batch of `shard` has
+  /// been waiting for a relearn, measured from the moment the batch was
+  /// *accepted* by Submit — so queueing delay behind a slow relearn
+  /// cycle counts, exactly like a client's view of snapshot staleness.
+  /// 0 when nothing is pending or the shard index is out of range.
+  /// Wait-free — one relaxed atomic load — so load generators can
+  /// sample snapshot staleness from reader threads.
+  int64_t ShardPendingAgeNanos(int32_t shard) const;
+
   // --- Introspection ----------------------------------------------------
 
   const ShardRouter& router() const { return router_; }
@@ -256,6 +319,20 @@ class FusionService {
   /// Per-shard session counters as of the last completed driver step.
   std::vector<FusionSession::Stats> SessionStats() const;
 
+  /// Scheduler + admission-control state for the SCHED verb: config,
+  /// queue depth, relearn backlog, shed count, and the per-shard
+  /// priorities of the most recent decision cycle (all zero under the
+  /// flat policy).
+  SchedulerInspection SchedStats() const;
+
+  /// The recorded relearn schedule: every (batch index, shard) relearn
+  /// the driver executed, in execution order. Empty unless
+  /// SchedulerOptions::record_schedule is set. Feeding this to
+  /// OfflineReplayWithSchedule over the same batches reproduces this
+  /// service's snapshots bit for bit — the determinism re-assertion for
+  /// runs whose decisions were shaped by live query traffic.
+  std::vector<RelearnEvent> RelearnSchedule() const;
+
   /// Refreshes the registry gauges that are cheaper to compute on
   /// demand than to maintain on the hot path (queue depth, snapshot
   /// age/version, uptime, query count). The METRICS verb calls this
@@ -267,6 +344,9 @@ class FusionService {
   /// checkpoint request.
   struct Command {
     ObservationBatch batch;
+    /// NowNanos() at the accepting Submit — the staleness clock's
+    /// anchor for this batch (see ShardPendingAgeNanos).
+    int64_t arrival_ns = 0;
     bool flush = false;
     /// Fulfilled by the driver once the flush (and everything queued
     /// before it) is applied and published.
@@ -307,14 +387,37 @@ class FusionService {
   Status RecoverFromDir(const FeatureSpace& features);
   /// Writes one checkpoint (driver thread only; see Checkpoint()).
   Status WriteCheckpoint();
-  /// Applies one batch to its shards (parallel fan-out); returns whether
-  /// any shard ingested data.
-  void ApplyBatch(const ObservationBatch& batch);
+  /// Applies one batch to its shards (parallel fan-out). `arrival_ns`
+  /// is the batch's Submit-time timestamp (0 = "now", used by recovery
+  /// replay); it anchors the shard staleness clock so queueing delay is
+  /// part of the reported snapshot staleness.
+  void ApplyBatch(const ObservationBatch& batch, int64_t arrival_ns = 0);
   /// Relearns + publishes every shard with pending data (parallel
-  /// fan-out); `reason` feeds error messages.
+  /// fan-out); `reason` feeds error messages. This is the flush path
+  /// (drain, stop, staleness, recovery) — it ignores the scheduler's
+  /// budgets but keeps its bookkeeping consistent via NoteFlush.
   void RelearnPending(const char* reason);
+  /// Relearns + publishes exactly the shards in `order`, draining them
+  /// in that order: under a serial executor the first entry's refreshed
+  /// snapshot is live before the second entry's relearn starts, which
+  /// is how a scheduler cycle gets the hottest shard fresh first. (With
+  /// a parallel executor the entries fan out in task-creation order.)
+  void RelearnShards(const std::vector<int32_t>& order, const char* reason);
+  /// One scheduler decision cycle: sample per-shard traffic, rank, and
+  /// relearn the selected shards under the configured budgets.
+  void ScheduledRelearn();
+  /// Count trigger dispatch: scheduler decision when enabled, flat
+  /// RelearnPending otherwise. Shared by the driver loop and recovery.
+  void CountTriggerRelearn(const char* reason);
   /// True when the staleness budget forces a relearn now.
   bool StalenessExceeded() const;
+  /// Backoff hint for shed producers: the observed relearn-cycle time
+  /// scaled by the current queue + backlog pressure, clamped to
+  /// [1ms, 30s].
+  int64_t RetryHintMs() const;
+  /// Feeds the per-shard traffic counter behind Query* (no-op under the
+  /// flat policy).
+  void RecordShardTraffic(int32_t shard) const;
   void PublishInitialSnapshots();
   void UpdateSessionStatsLocked();
 
@@ -349,9 +452,41 @@ class FusionService {
   /// shard); 0 before the first. Feeds the snapshot-age gauge.
   mutable std::atomic<int64_t> last_publish_ns_{0};
 
+  /// Non-null iff the traffic-aware scheduler is enabled. Owned by the
+  /// driver after Create (recovery touches it before the driver starts).
+  std::unique_ptr<RelearnScheduler> scheduler_;
+  /// Per-shard query counters feeding the scheduler's traffic signal;
+  /// allocated only when the scheduler is enabled. Sharded so the
+  /// query path stays wait-free and contention-free.
+  std::unique_ptr<obs::ShardedCounter[]> traffic_;
+  /// Driver-side baseline of `traffic_` at the previous decision cycle,
+  /// so each cycle sees the traffic delta, not the lifetime count.
+  std::vector<int64_t> last_traffic_;
+  /// Sum of per-shard pending batches, maintained by the driver after
+  /// every apply/relearn step; read by admission control and SCHED.
+  std::atomic<int64_t> relearn_backlog_{0};
+  /// EWMA of the relearn-cycle wall time, feeding the ERR BUSY retry
+  /// hint (0 until the first relearn).
+  std::atomic<int64_t> ewma_cycle_ns_{0};
+  /// steady_clock nanos when each shard's pending count went 0 -> 1
+  /// (0 = nothing pending): the wait-free per-shard staleness signal
+  /// behind ShardPendingAgeNanos.
+  std::unique_ptr<std::atomic<int64_t>[]> pending_since_ns_;
+  /// Queue depth at which admission control starts shedding, in batches
+  /// (0 = queue watermark disabled). Precomputed from
+  /// scheduler.shed_queue_watermark at Create.
+  size_t shed_queue_batches_ = 0;
+
   mutable std::mutex state_mu_;
   FusionServiceStats stats_;                       // guarded by state_mu_
   std::vector<FusionSession::Stats> session_stats_;  // guarded by state_mu_
+  /// Copy of the scheduler's per-shard state as of the last decision
+  /// cycle, exported to SchedStats(). Guarded by state_mu_.
+  std::vector<ShardSchedState> sched_state_;
+  int64_t sched_cycles_ = 0;  // guarded by state_mu_
+  /// The recorded relearn schedule (record_schedule only). Guarded by
+  /// state_mu_.
+  std::vector<RelearnEvent> schedule_log_;
 
   /// Serializes driver join: every path that needs shutdown to have
   /// completed (Stop, Drain-after-stop, the destructor) joins under
@@ -367,17 +502,35 @@ class FusionService {
 
 /// The determinism oracle for the service: replays `batches`, in order,
 /// through one *offline* FusionSession per shard — same router, same
-/// every-K relearn schedule, one final flush at the end (exactly what
+/// relearn schedule, one final flush at the end (exactly what
 /// Submit… + Drain + Stop produces) — and returns the final per-shard
 /// snapshots. `FusionService` must match these bit for bit; with
 /// `options.num_shards == 1` the result is the plain single-session
-/// offline run of the whole stream. The staleness budget is ignored
-/// here (its wall-clock trigger is the documented exception to the
-/// bitwise contract).
+/// offline run of the whole stream. With `options.scheduler.enabled`
+/// the oracle runs the same RelearnScheduler with a zero traffic
+/// signal, which is exactly what a live scheduler-driven service that
+/// served no queries computes (a run *with* queries is verified via its
+/// recorded schedule — see OfflineReplayWithSchedule). The staleness
+/// budget is ignored here (its wall-clock trigger is the documented
+/// exception to the bitwise contract).
 Result<std::vector<FusionSnapshotPtr>> OfflineShardedReplay(
     int32_t num_sources, int32_t num_objects, int32_t num_values,
     const FusionServiceOptions& options,
     const std::vector<ObservationBatch>& batches,
+    FeatureSpace features = FeatureSpace());
+
+/// Replays `batches` through offline per-shard sessions, executing a
+/// relearn for shard `e.shard` right after the `e.batch_index`-th batch
+/// for every event `e` of `schedule` (in log order), with no other
+/// relearn triggers. Feeding a live run's RelearnSchedule() back in
+/// reproduces that run's final snapshots bit for bit even when the
+/// live decisions were shaped by query traffic or wall-clock staleness
+/// sweeps — the schedule, once recorded, is a pure input.
+Result<std::vector<FusionSnapshotPtr>> OfflineReplayWithSchedule(
+    int32_t num_sources, int32_t num_objects, int32_t num_values,
+    const FusionServiceOptions& options,
+    const std::vector<ObservationBatch>& batches,
+    const std::vector<RelearnEvent>& schedule,
     FeatureSpace features = FeatureSpace());
 
 }  // namespace slimfast

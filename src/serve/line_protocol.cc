@@ -62,6 +62,8 @@ obs::LatencyHistogram* VerbHistogram(const std::string& verb) {
       {"CHECKPOINT",
        obs::GetHistogram(
            "slimfast_serve_verb_latency_seconds{verb=\"CHECKPOINT\"}")},
+      {"SCHED", obs::GetHistogram(
+                    "slimfast_serve_verb_latency_seconds{verb=\"SCHED\"}")},
       {"DRAIN", obs::GetHistogram(
                     "slimfast_serve_verb_latency_seconds{verb=\"DRAIN\"}")},
       {"QUIT", obs::GetHistogram(
@@ -141,7 +143,18 @@ std::string LineProtocol::HandleLineInner(const std::string& line,
       // queue drops pushes after close), so handing over pending_
       // itself would silently lose the client's buffer on a
       // backpressure/shutdown ERR with no way to retry.
-      Status status = service_->Submit(pending_);
+      int64_t retry_after_ms = 0;
+      Status status =
+          service_->SubmitWithBackpressure(pending_, &retry_after_ms);
+      if (status.IsOutOfRange()) {
+        // Admission control shed the batch: tell the client how long to
+        // back off instead of blocking it.
+        return "ERR BUSY retry_after_ms=" +
+               std::to_string(retry_after_ms) + " (" +
+               std::to_string(observations) + " observations + " +
+               std::to_string(truths) +
+               " truths kept buffered for retry)";
+      }
       if (!status.ok()) {
         return "ERR " + status.ToString() + " (" +
                std::to_string(observations) + " observations + " +
@@ -244,6 +257,31 @@ std::string LineProtocol::HandleLineInner(const std::string& line,
            std::to_string(stats.lifetime_observations);
   }
 
+  if (command == "SCHED") {
+    if (!args.empty()) return "ERR usage: SCHED";
+    const SchedulerInspection sched = service_->SchedStats();
+    std::string reply = "SCHED mode=";
+    reply += sched.enabled ? "sched" : "flat";
+    reply += " warm_budget=" + std::to_string(sched.warm_budget);
+    reply += " cold_budget=" + std::to_string(sched.cold_budget);
+    reply += " max_defer=" + std::to_string(sched.max_deferred_cycles);
+    reply += " cycles=" + std::to_string(sched.cycles);
+    reply += " queue_depth=" + std::to_string(sched.queue_depth);
+    reply += " queue_capacity=" + std::to_string(sched.queue_capacity);
+    reply += " backlog=" + std::to_string(sched.backlog);
+    reply += " sheds=" + std::to_string(sched.sheds);
+    for (size_t s = 0; s < sched.shards.size(); ++s) {
+      const ShardSchedState& shard = sched.shards[s];
+      reply += " shard" + std::to_string(s) +
+               "=prio:" + FormatDouble(shard.priority) +
+               ",pending:" + std::to_string(shard.pending) +
+               ",traffic:" + std::to_string(shard.traffic) +
+               ",deferred:" + std::to_string(shard.deferred_cycles) +
+               ",selections:" + std::to_string(shard.selections);
+    }
+    return reply;
+  }
+
   if (command == "CHECKPOINT") {
     if (!args.empty()) return "ERR usage: CHECKPOINT";
     Status status = service_->Checkpoint();
@@ -264,8 +302,8 @@ std::string LineProtocol::HandleLineInner(const std::string& line,
   }
 
   return "ERR unknown command '" + command +
-         "' (OBS TRUTH COMMIT QUERY POSTERIOR STATS METRICS CHECKPOINT "
-         "DRAIN QUIT)";
+         "' (OBS TRUTH COMMIT QUERY POSTERIOR STATS METRICS SCHED "
+         "CHECKPOINT DRAIN QUIT)";
 }
 
 }  // namespace slimfast

@@ -23,14 +23,24 @@ namespace slimfast {
 ///   POSTERIOR <object>              posterior distribution   -> POSTERIOR
 ///                                   v:p v:p ... or NONE
 ///   STATS                           service counters         -> STATS ...
+///   METRICS                         Prometheus dump          -> multi-line,
+///                                   "# EOF" terminated
+///   SCHED                           scheduler + admission    -> SCHED ...
+///                                   state (per-shard priorities)
 ///   CHECKPOINT                      durable checkpoint + WAL -> OK
 ///                                   truncation (needs wal_dir)
 ///   DRAIN                           block until applied      -> OK
 ///   QUIT                            end the session          -> BYE
 ///
 /// Malformed or unknown input gets a single `ERR <reason>` reply and
-/// leaves all state unchanged. Queries go straight to the wait-free
-/// snapshot path; only COMMIT/DRAIN touch the ingest pipeline.
+/// leaves all state unchanged. When admission control is configured
+/// (see SchedulerOptions) an over-watermark COMMIT is shed with
+/// `ERR BUSY retry_after_ms=<hint> ...` and the client's buffer is
+/// kept for retry. Queries go straight to the wait-free snapshot path;
+/// only COMMIT/DRAIN touch the ingest pipeline.
+///
+/// The full protocol reference (grammar, reply shapes, ordering and
+/// ack semantics, a worked transcript) lives in docs/PROTOCOL.md.
 class LineProtocol {
  public:
   /// Binds the protocol to `service` (borrowed; must outlive this).

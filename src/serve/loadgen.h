@@ -6,6 +6,7 @@
 
 #include "data/dataset.h"
 #include "exec/options.h"
+#include "serve/scheduler.h"
 #include "util/result.h"
 
 namespace slimfast {
@@ -127,6 +128,104 @@ struct LoadgenReport {
 /// merged predictions are scored against the dataset truth.
 Result<LoadgenReport> RunLoadgen(const Dataset& dataset,
                                  const LoadgenOptions& options);
+
+/// Configuration of the skewed (Zipfian) scheduler comparison scenario
+/// (see RunSkewedLoadgen).
+struct SkewedLoadgenOptions {
+  /// Shards of the services under test. More shards widen the gap
+  /// between the flat policy (relearns all of them per trigger) and the
+  /// scheduler (relearns a budget's worth).
+  int32_t num_shards = 12;
+  /// Ingest batches the dataset is replayed as (each one is a relearn
+  /// trigger when relearn_every_batches == 1).
+  int32_t num_chunks = 16;
+  /// Concurrent Zipfian query threads. Their queries feed the
+  /// scheduler's per-shard traffic counters.
+  int32_t reader_threads = 2;
+  /// Zipf exponent of the readers' object popularity (1.0–1.5 is the
+  /// usual skew range; higher concentrates more mass on the hot shard).
+  double zipf_exponent = 1.1;
+  /// Relearn trigger period, in batches, for both phases.
+  int32_t relearn_every_batches = 1;
+  /// Pause between writer chunks, in milliseconds. The pacing gives the
+  /// single-core readers guaranteed slices of the ingest window (their
+  /// staleness samples cover it) and lets relearn cycles land between
+  /// batches.
+  int32_t writer_pause_ms = 5;
+  /// After each chunk the writer additionally waits (bounded, ~1s) until
+  /// the readers issued this many further queries, so a starved reader
+  /// pool on a loaded box cannot leave a phase without staleness
+  /// samples. 0 disables the wait.
+  int64_t min_queries_per_chunk = 200;
+  /// Seed for the shard sessions and the readers' Zipf streams.
+  uint64_t seed = 42;
+  /// Cross-check both phases against their offline oracles: the flat
+  /// phase against OfflineShardedReplay, the scheduler phase against
+  /// OfflineReplayWithSchedule over its recorded relearn schedule.
+  bool verify = true;
+  /// Scheduler phase policy. `enabled` and `record_schedule` are forced
+  /// on by the runner; budgets/watermarks are taken as given.
+  SchedulerOptions scheduler;
+  /// Thread budget for the services' shard fan-out (equal for both
+  /// phases — the comparison is at equal CPU).
+  ExecOptions exec;
+};
+
+/// What one policy phase (flat or scheduler) of the skewed scenario
+/// measured.
+struct PolicyPhaseReport {
+  /// Wall-clock of submit-first-chunk → drain-complete.
+  double wall_seconds = 0.0;
+  /// Queries issued across all readers during the ingest window.
+  int64_t total_queries = 0;
+  /// The subset of total_queries that routed to the hot shard.
+  int64_t hot_queries = 0;
+  /// Relearns the service performed.
+  int64_t relearns = 0;
+  /// Hot-shard snapshot staleness percentiles, in seconds: every reader
+  /// query samples the age of the hot shard's oldest unabsorbed batch
+  /// (0 when the shard is fully absorbed), so the percentiles describe
+  /// how stale the hot shard's served snapshot was across the ingest
+  /// window.
+  LatencySummary hot_staleness;
+  /// Whether the phase's offline cross-check ran / passed.
+  bool verify_ran = false;
+  /// See verify_ran.
+  bool verified = false;
+};
+
+/// What RunSkewedLoadgen measured (see the per-field docs).
+struct SkewedLoadgenReport {
+  /// Shard receiving the largest share of the Zipfian query mass.
+  int32_t hot_shard = 0;
+  /// That shard's share of the query mass, in [0, 1].
+  double hot_shard_mass = 0.0;
+  /// The flat-policy phase (relearn everything every trigger).
+  PolicyPhaseReport flat;
+  /// The scheduler phase (traffic-aware budgeted relearns).
+  PolicyPhaseReport sched;
+  /// Batches shed by the deterministic admission-control exercise.
+  int64_t admission_sheds = 0;
+  /// The retry hint (ms) the last shed reply carried.
+  int64_t shed_retry_hint_ms = 0;
+  /// The scenario's headline gate: the scheduler phase's hot-shard
+  /// staleness p99 was strictly below the flat phase's.
+  bool gate_passed = false;
+};
+
+/// The scheduler's proof-of-value scenario: replays `dataset` twice with
+/// an identical chunk schedule, pacing, and thread budget — once under
+/// the flat relearn policy, once under the traffic-aware scheduler —
+/// while Zipfian readers concentrate query traffic on one hot shard and
+/// sample that shard's snapshot staleness on every query. At equal CPU
+/// the scheduler must keep the hot shard fresher: the report's
+/// `gate_passed` asserts sched hot-staleness p99 < flat hot-staleness
+/// p99. Both phases are cross-checked against their offline replay
+/// oracles (the determinism contract), and a final deterministic
+/// admission-control exercise drives a COMMIT-path shed to prove the
+/// ERR BUSY backpressure path end to end.
+Result<SkewedLoadgenReport> RunSkewedLoadgen(
+    const Dataset& dataset, const SkewedLoadgenOptions& options);
 
 }  // namespace slimfast
 

@@ -1,0 +1,100 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+namespace slimfast {
+
+RelearnScheduler::RelearnScheduler(SchedulerOptions options,
+                                   int32_t num_shards)
+    : options_(options),
+      last_relearn_batch_(static_cast<size_t>(num_shards), 0),
+      state_(static_cast<size_t>(num_shards)) {}
+
+std::vector<int32_t> RelearnScheduler::DecideCycle(
+    int64_t batch_index, const std::vector<ShardSchedInput>& inputs) {
+  ++cycles_;
+  const int32_t num_shards = static_cast<int32_t>(state_.size());
+
+  struct Candidate {
+    double priority;
+    int32_t shard;
+  };
+  std::vector<Candidate> warm;
+  std::vector<Candidate> cold;
+  std::vector<int32_t> forced;
+  for (int32_t s = 0; s < num_shards; ++s) {
+    const ShardSchedInput& in = inputs[static_cast<size_t>(s)];
+    ShardSchedState& st = state_[static_cast<size_t>(s)];
+    st.pending = in.pending;
+    st.traffic = in.traffic;
+    if (in.pending == 0) {
+      // Nothing to absorb: the shard is fresh by definition.
+      st.priority = 0.0;
+      st.deferred_cycles = 0;
+      continue;
+    }
+    const int64_t staleness =
+        std::max<int64_t>(1, batch_index -
+                                 last_relearn_batch_[static_cast<size_t>(s)]);
+    st.priority = (1.0 + static_cast<double>(in.traffic)) *
+                  static_cast<double>(staleness) *
+                  static_cast<double>(in.pending);
+    if (st.deferred_cycles >= options_.max_deferred_cycles) {
+      forced.push_back(s);
+    } else if (in.has_model) {
+      warm.push_back(Candidate{st.priority, s});
+    } else {
+      cold.push_back(Candidate{st.priority, s});
+    }
+  }
+
+  // Deterministic total order: priority descending, shard id ascending.
+  auto by_priority = [](const Candidate& a, const Candidate& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.shard < b.shard;
+  };
+  std::sort(warm.begin(), warm.end(), by_priority);
+  std::sort(cold.begin(), cold.end(), by_priority);
+
+  std::vector<int32_t> selected;
+  auto take = [&selected](const std::vector<Candidate>& queue,
+                          int32_t budget) {
+    const size_t limit = budget <= 0 ? queue.size()
+                                     : std::min(queue.size(),
+                                                static_cast<size_t>(budget));
+    for (size_t i = 0; i < limit; ++i) selected.push_back(queue[i].shard);
+  };
+  take(warm, options_.warm_budget_per_cycle);
+  take(cold, options_.cold_budget_per_cycle);
+  // Forced shards ride outside the budgets: they already waited
+  // max_deferred_cycles decisions, which is the policy's staleness
+  // bound.
+  selected.insert(selected.end(), forced.begin(), forced.end());
+
+  std::vector<uint8_t> picked(static_cast<size_t>(num_shards), 0);
+  for (int32_t s : selected) picked[static_cast<size_t>(s)] = 1;
+  for (int32_t s = 0; s < num_shards; ++s) {
+    ShardSchedState& st = state_[static_cast<size_t>(s)];
+    if (picked[static_cast<size_t>(s)] != 0) {
+      last_relearn_batch_[static_cast<size_t>(s)] = batch_index;
+      st.deferred_cycles = 0;
+      ++st.selections;
+    } else if (inputs[static_cast<size_t>(s)].pending > 0) {
+      ++st.deferred_cycles;
+    }
+  }
+  return selected;
+}
+
+void RelearnScheduler::NoteFlush(int64_t batch_index) {
+  for (size_t s = 0; s < state_.size(); ++s) {
+    ShardSchedState& st = state_[s];
+    if (st.pending > 0) ++st.selections;
+    st.pending = 0;
+    st.priority = 0.0;
+    st.deferred_cycles = 0;
+    last_relearn_batch_[s] = batch_index;
+  }
+}
+
+}  // namespace slimfast

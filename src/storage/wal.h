@@ -28,7 +28,11 @@ enum class WalFsync {
   kEveryN,
 };
 
+/// Durability/rotation policy of an observation WAL. The defaults are
+/// the safe ones: fsync every batch (a COMMIT ack implies on-disk) and
+/// 4 MiB segments so checkpoint truncation reclaims space promptly.
 struct WalOptions {
+  /// When appended records reach stable storage (see WalFsync).
   WalFsync fsync = WalFsync::kEveryBatch;
   /// Records between fsyncs under WalFsync::kEveryN (>= 1).
   int32_t fsync_every_n = 8;

@@ -248,6 +248,81 @@ TEST(LineProtocolTest, QueryOutsideUniverseIsNone) {
   service->Stop();
 }
 
+TEST(LineProtocolTest, SchedVerbReportsPolicyAndPerShardState) {
+  // Flat-policy service: mode=flat, priorities stay zero.
+  {
+    std::unique_ptr<FusionService> service = MakeFigure1Service();
+    LineProtocol protocol(service.get());
+    const std::string reply = protocol.HandleLine("SCHED");
+    EXPECT_EQ(reply.rfind("SCHED mode=flat ", 0), 0u) << reply;
+    EXPECT_NE(reply.find(" queue_depth="), std::string::npos) << reply;
+    EXPECT_NE(reply.find(" backlog="), std::string::npos) << reply;
+    EXPECT_NE(reply.find(" sheds=0"), std::string::npos) << reply;
+    EXPECT_NE(reply.find(" shard0=prio:"), std::string::npos) << reply;
+    EXPECT_NE(reply.find(" shard1=prio:"), std::string::npos) << reply;
+    EXPECT_EQ(protocol.HandleLine("SCHED now"), "ERR usage: SCHED");
+    service->Stop();
+  }
+  // Scheduler-enabled service: mode=sched, configured budgets echoed,
+  // cycles advance once ingest triggers decision cycles.
+  Dataset dataset = MakeFigure1Dataset();
+  FusionServiceOptions options;
+  options.num_shards = 2;
+  options.relearn_every_batches = 1;
+  options.scheduler.enabled = true;
+  options.scheduler.warm_budget_per_cycle = 3;
+  options.scheduler.cold_budget_per_cycle = 2;
+  auto service = FusionService::Create(dataset.num_sources(),
+                                       dataset.num_objects(),
+                                       dataset.num_values(), options,
+                                       dataset.features())
+                     .ValueOrDie();
+  LineProtocol protocol(service.get());
+  EXPECT_EQ(protocol.HandleLine("OBS 0 0 0"), "OK");
+  EXPECT_EQ(protocol.HandleLine("COMMIT"), "OK 1 0");
+  EXPECT_EQ(protocol.HandleLine("DRAIN"), "OK");
+  const std::string reply = protocol.HandleLine("SCHED");
+  EXPECT_EQ(reply.rfind("SCHED mode=sched ", 0), 0u) << reply;
+  EXPECT_NE(reply.find(" warm_budget=3 "), std::string::npos) << reply;
+  EXPECT_NE(reply.find(" cold_budget=2 "), std::string::npos) << reply;
+  EXPECT_NE(reply.find(" cycles=1 "), std::string::npos) << reply;
+  EXPECT_NE(reply.find(",selections:"), std::string::npos) << reply;
+  service->Stop();
+}
+
+TEST(LineProtocolTest, CommitShedsWithErrBusyAndKeepsTheBuffer) {
+  Dataset dataset = MakeFigure1Dataset();
+  FusionServiceOptions options;
+  options.num_shards = 2;
+  options.relearn_every_batches = 1;
+  // Backlog watermark 1: any standing relearn backlog sheds new ingest.
+  options.scheduler.shed_backlog_watermark = 1;
+  auto service = FusionService::Create(dataset.num_sources(),
+                                       dataset.num_objects(),
+                                       dataset.num_values(), options,
+                                       dataset.features())
+                     .ValueOrDie();
+  LineProtocol protocol(service.get());
+  // A truth-only batch parks its shard at pending=1 (no observations to
+  // fit yet), so the backlog deterministically sits at the watermark.
+  EXPECT_EQ(protocol.HandleLine("TRUTH 0 0"), "OK");
+  EXPECT_EQ(protocol.HandleLine("COMMIT"), "OK 0 1");
+  EXPECT_EQ(protocol.HandleLine("DRAIN"), "OK");
+
+  EXPECT_EQ(protocol.HandleLine("OBS 0 0 0"), "OK");
+  const std::string reply = protocol.HandleLine("COMMIT");
+  EXPECT_EQ(reply.rfind("ERR BUSY retry_after_ms=", 0), 0u) << reply;
+  EXPECT_NE(reply.find("1 observations + 0 truths kept buffered"),
+            std::string::npos)
+      << reply;
+  // The shed kept the client's batch buffered for retry, and the shed
+  // is visible through SCHED.
+  EXPECT_EQ(protocol.buffered(), 1);
+  const std::string sched = protocol.HandleLine("SCHED");
+  EXPECT_NE(sched.find(" sheds=1"), std::string::npos) << sched;
+  service->Stop();
+}
+
 TEST(SummarizeLatenciesTest, NearestRankPercentiles) {
   // 1..100 milliseconds: nearest-rank p50 = 50th value, p95 = 95th,
   // p99 = 99th.

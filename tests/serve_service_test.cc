@@ -220,6 +220,16 @@ TEST(FusionServiceTest, ConcurrentReadersDuringIngestRelearnPublish) {
     (void)service->SessionStats();
   }
   SLIMFAST_CHECK_OK(service->Drain());
+  // On a loaded single-core box the readers may not have been scheduled
+  // at all yet — give them a bounded window to issue at least one query
+  // before stopping, so EXPECT_GT(reads, 0) tests the query path rather
+  // than the OS scheduler.
+  const auto reads_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (reads.load() == 0 &&
+         std::chrono::steady_clock::now() < reads_deadline) {
+    std::this_thread::yield();
+  }
   stop.store(true, std::memory_order_release);
   for (std::thread& reader : readers) reader.join();
 

@@ -159,6 +159,21 @@ struct CliOptions {
   /// serve/loadgen/replay: write a chrome://tracing JSON timeline of the
   /// run's stage spans here ("" = tracing off).
   std::string trace_out;
+  /// serve: enable the traffic-aware relearn scheduler (default: flat
+  /// policy). loadgen always compares both.
+  bool sched = false;
+  /// serve/loadgen: warm-queue relearn budget per decision cycle.
+  int32_t sched_warm_budget = 2;
+  /// serve/loadgen: cold-queue (first-fit) relearn budget per cycle.
+  int32_t sched_cold_budget = 1;
+  /// serve/loadgen: cycles a pending shard may lose before it is forced.
+  int32_t sched_max_defer = 4;
+  /// serve: shed COMMITs once the ingest queue holds this fraction of
+  /// its capacity (0 = no queue watermark).
+  double shed_queue_watermark = 0.0;
+  /// serve: shed COMMITs once the relearn backlog reaches this many
+  /// batches (0 = no backlog watermark).
+  int64_t shed_backlog = 0;
 };
 
 /// Maps the --fsync-every knob onto WalOptions.
@@ -198,7 +213,10 @@ void PrintUsage(std::FILE* stream) {
                "--dims S O V)\n"
                "                    [--shards N] [--relearn-every K] "
                "[--preload]\n"
-               "                    [--wal-dir DIR] [--fsync-every N]\n"
+               "                    [--wal-dir DIR] [--fsync-every N] "
+               "[--sched]\n"
+               "                    [--shed-queue-watermark F] "
+               "[--shed-backlog N]\n"
                "       slimfast_cli loadgen (<dataset_dir> | --demo NAME) "
                "[--quick]\n"
                "                    [--shards N] [--chunks K] [--readers R] "
@@ -245,6 +263,25 @@ void PrintUsage(std::FILE* stream) {
                "every N batches\n"
                "                       (default 1 = every batch; 0 = "
                "never)\n"
+               "  --sched              serve: traffic-aware relearn "
+               "scheduler instead of\n"
+               "                       the flat relearn-everything policy\n"
+               "  --sched-warm-budget N  warm (has-model) relearns per "
+               "decision cycle\n"
+               "                       (default 2; 0 = unlimited)\n"
+               "  --sched-cold-budget N  cold (first-fit) relearns per "
+               "decision cycle\n"
+               "                       (default 1; 0 = unlimited)\n"
+               "  --sched-max-defer N  cycles a pending shard may lose "
+               "before it is\n"
+               "                       forced past the budget (default 4)\n"
+               "  --shed-queue-watermark F  serve: shed COMMITs (ERR BUSY) "
+               "once the ingest\n"
+               "                       queue holds >= F of its capacity "
+               "(0 = off)\n"
+               "  --shed-backlog N     serve: shed COMMITs once the relearn "
+               "backlog\n"
+               "                       reaches N batches (0 = off)\n"
                "  --no-verify          loadgen: skip the offline-replay "
                "cross-check\n"
                "  --trace-out FILE     serve/loadgen/replay: write stage "
@@ -365,6 +402,23 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--trace-out") {
       if (!value_of(&v)) return false;
       options->trace_out = v;
+    } else if (arg == "--sched") {
+      options->sched = true;
+    } else if (arg == "--sched-warm-budget") {
+      if (!value_of(&v)) return false;
+      options->sched_warm_budget = std::atoi(v);
+    } else if (arg == "--sched-cold-budget") {
+      if (!value_of(&v)) return false;
+      options->sched_cold_budget = std::atoi(v);
+    } else if (arg == "--sched-max-defer") {
+      if (!value_of(&v)) return false;
+      options->sched_max_defer = std::atoi(v);
+    } else if (arg == "--shed-queue-watermark") {
+      if (!value_of(&v)) return false;
+      options->shed_queue_watermark = std::atof(v);
+    } else if (arg == "--shed-backlog") {
+      if (!value_of(&v)) return false;
+      options->shed_backlog = std::atoll(v);
     } else if (arg == "--no-verify") {
       options->no_verify = true;
     } else if (arg == "--stats") {
@@ -1019,6 +1073,15 @@ int RunServe(const CliOptions& options) {
   service_options.relearn_every_batches = options.relearn_every;
   service_options.session.seed = options.seed;
   service_options.shard_exec.threads = options.threads;
+  service_options.scheduler.enabled = options.sched;
+  service_options.scheduler.warm_budget_per_cycle =
+      options.sched_warm_budget;
+  service_options.scheduler.cold_budget_per_cycle =
+      options.sched_cold_budget;
+  service_options.scheduler.max_deferred_cycles = options.sched_max_defer;
+  service_options.scheduler.shed_queue_watermark =
+      options.shed_queue_watermark;
+  service_options.scheduler.shed_backlog_watermark = options.shed_backlog;
   if (!options.wal_dir.empty()) {
     service_options.durability.wal_dir = options.wal_dir;
     service_options.durability.wal = WalOptionsFor(options.fsync_every);
@@ -1049,11 +1112,20 @@ int RunServe(const CliOptions& options) {
 
   std::fprintf(stderr,
                "slimfast serve: %d sources, %d objects, %d values across "
-               "%d shard(s); relearn every %d batch(es)\n"
+               "%d shard(s); relearn every %d batch(es), %s policy\n"
                "commands: OBS TRUTH COMMIT QUERY POSTERIOR STATS METRICS "
-               "CHECKPOINT DRAIN QUIT\n",
+               "SCHED CHECKPOINT DRAIN QUIT\n",
                num_sources, num_objects, num_values, service->num_shards(),
-               options.relearn_every);
+               options.relearn_every,
+               options.sched ? "scheduled relearn" : "flat relearn");
+  if (service_options.scheduler.admission_enabled()) {
+    std::fprintf(stderr,
+                 "admission control: shedding COMMITs at queue watermark "
+                 "%.2f / backlog %lld (ERR BUSY + retry hint)\n",
+                 service_options.scheduler.shed_queue_watermark,
+                 static_cast<long long>(
+                     service_options.scheduler.shed_backlog_watermark));
+  }
 
   LineProtocol protocol(service.get());
   std::string line;
@@ -1310,6 +1382,56 @@ int RunLoadgenCli(const CliOptions& options) {
                 report.overhead_gate_passed ? "passed" : "FAILED");
   }
 
+  // --- Skewed (Zipfian) scheduler scenario: same chunks, same pacing,
+  // same thread budget, flat policy vs traffic-aware scheduler; the
+  // gate is hot-shard staleness p99. ---
+  SkewedLoadgenOptions skew_options;
+  skew_options.num_shards = options.quick ? 8 : 12;
+  skew_options.num_chunks = options.quick ? 8 : 16;
+  skew_options.reader_threads = 2;
+  skew_options.writer_pause_ms = options.quick ? 3 : 5;
+  skew_options.min_queries_per_chunk = options.quick ? 100 : 200;
+  skew_options.seed = options.seed;
+  skew_options.verify = !options.no_verify;
+  skew_options.scheduler.warm_budget_per_cycle = options.sched_warm_budget;
+  skew_options.scheduler.cold_budget_per_cycle = options.sched_cold_budget;
+  skew_options.scheduler.max_deferred_cycles = options.sched_max_defer;
+  skew_options.exec.threads = options.threads;
+  auto skew_run = RunSkewedLoadgen(dataset, skew_options);
+  if (!skew_run.ok()) {
+    std::fprintf(stderr, "skewed scenario failed: %s\n",
+                 skew_run.status().ToString().c_str());
+    return 1;
+  }
+  const SkewedLoadgenReport& skew = skew_run.ValueOrDie();
+  std::printf("  skewed scenario: hot shard %d holds %.0f%% of the Zipf "
+              "query mass (%d shards, %d chunks)\n",
+              skew.hot_shard, skew.hot_shard_mass * 100.0,
+              skew_options.num_shards, skew_options.num_chunks);
+  auto print_phase = [](const char* name, const PolicyPhaseReport& phase) {
+    std::printf("    %-6s hot staleness p50/p99 %.2f/%.2f ms over %lld "
+                "samples (%lld relearns, %lld queries, %.3fs)\n",
+                name, phase.hot_staleness.p50 * 1e3,
+                phase.hot_staleness.p99 * 1e3,
+                static_cast<long long>(phase.hot_staleness.count),
+                static_cast<long long>(phase.relearns),
+                static_cast<long long>(phase.total_queries),
+                phase.wall_seconds);
+  };
+  print_phase("flat:", skew.flat);
+  print_phase("sched:", skew.sched);
+  std::printf("    gate (sched p99 < flat p99): %s\n",
+              skew.gate_passed ? "passed" : "FAILED");
+  std::printf("    admission: %lld batch(es) shed, retry hint %lld ms\n",
+              static_cast<long long>(skew.admission_sheds),
+              static_cast<long long>(skew.shed_retry_hint_ms));
+  if (skew.flat.verify_ran || skew.sched.verify_ran) {
+    std::printf("    offline cross-check: flat %s, sched (recorded "
+                "schedule) %s\n",
+                skew.flat.verified ? "bit-identical" : "DIFFERS",
+                skew.sched.verified ? "bit-identical" : "DIFFERS");
+  }
+
   // Percentiles below the clock's resolution record the 1ns floor rather
   // than a dead-timer 0 (the schema checker rejects non-positive values
   // for required phases).
@@ -1327,9 +1449,21 @@ int RunLoadgenCli(const CliOptions& options) {
   // Observability fields: lifetime counters plus the overhead-gate
   // gauges, carried in the optional "metrics" object the schema checker
   // validates for serve benches.
+  reporter.AddLatencyPhase(
+      "flat_hot_staleness_p99", floored(skew.flat.wall_seconds),
+      skew_options.reader_threads, floored(skew.flat.hot_staleness.p50),
+      floored(skew.flat.hot_staleness.p95),
+      floored(skew.flat.hot_staleness.p99));
+  reporter.AddLatencyPhase(
+      "sched_hot_staleness_p99", floored(skew.sched.wall_seconds),
+      skew_options.reader_threads, floored(skew.sched.hot_staleness.p50),
+      floored(skew.sched.hot_staleness.p95),
+      floored(skew.sched.hot_staleness.p99));
   reporter.AddCounter("queries_total", report.total_queries);
   reporter.AddCounter("relearns_total", report.relearns);
   reporter.AddCounter("publishes_total", report.publishes);
+  reporter.AddCounter("sheds_total", skew.admission_sheds);
+  reporter.AddGauge("sched_gate_passed", skew.gate_passed ? 1.0 : 0.0);
   if (report.overhead_ran) {
     reporter.AddGauge("obs_overhead_base_p99_seconds",
                       floored(report.overhead_base_p99_seconds));
@@ -1355,9 +1489,21 @@ int RunLoadgenCli(const CliOptions& options) {
                  report.overhead_base_p99_seconds * 1e6,
                  report.overhead_obs_p99_seconds * 1e6);
   }
+  if (!skew.gate_passed) {
+    std::fprintf(stderr,
+                 "loadgen: skewed scheduler gate FAILED (hot staleness "
+                 "p99: sched %.3fms vs flat %.3fms — the scheduler must "
+                 "beat the flat policy on the hot shard)\n",
+                 skew.sched.hot_staleness.p99 * 1e3,
+                 skew.flat.hot_staleness.p99 * 1e3);
+  }
+  const bool skew_verified =
+      (!skew.flat.verify_ran || skew.flat.verified) &&
+      (!skew.sched.verify_ran || skew.sched.verified);
   const bool ok = (!report.verify_ran || report.verified) &&
                   report.invalid_reads == 0 &&
-                  (!report.overhead_ran || report.overhead_gate_passed);
+                  (!report.overhead_ran || report.overhead_gate_passed) &&
+                  skew.gate_passed && skew_verified;
   return ok ? 0 : 1;
 }
 
