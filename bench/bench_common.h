@@ -64,6 +64,8 @@ inline double TimeSeconds(Fn&& fn) {
 ///     "phases": [{"name": "...", "seconds": S, "threads": N}, ...],
 ///     "speedups": [{"phase": "...", "baseline_threads": 1,
 ///                   "threads": N, "speedup": X}, ...],
+///     "scaling": [{"phase": "...", "threads": T,      // optional; the
+///                  "seconds": S}, ...],               // per-core curve
 ///     "metrics": {                      // optional; present once any
 ///       "counters": {"name": 123, ...}, // AddCounter/AddGauge was called
 ///       "gauges": {"name": 0.5, ...}
@@ -111,7 +113,27 @@ class BenchReporter {
   /// Records a measured parallel speedup for a phase.
   void AddSpeedup(const std::string& phase, int32_t baseline_threads,
                   int32_t threads, double speedup) {
-    speedups_.push_back(Speedup{phase, baseline_threads, threads, speedup});
+    speedups_.push_back(
+        Speedup{phase, baseline_threads, threads, speedup, false});
+  }
+
+  /// Records that a phase's baseline-vs-parallel pair was verified
+  /// bit-identical but its wall-clock ratio is meaningless (a single
+  /// hardware core serializes both runs). Emitted as a speedups[] entry
+  /// carrying "bit_identity_verified": true instead of a "speedup"
+  /// number, so the trajectory never records a fake 1.0x.
+  void AddBitIdentity(const std::string& phase, int32_t baseline_threads,
+                      int32_t threads) {
+    speedups_.push_back(Speedup{phase, baseline_threads, threads, 0.0, true});
+  }
+
+  /// Records one point of the per-core scaling curve: `phase` measured
+  /// wall-clock at `threads` threads. Points are emitted under the
+  /// top-level "scaling" key in insertion order; callers record
+  /// threads = 1..HardwareCores() ascending.
+  void AddScalingPoint(const std::string& phase, int32_t threads,
+                       double seconds) {
+    scaling_.push_back(ScalingPoint{phase, threads, seconds});
   }
 
   /// Records a monotonic counter value (observability metrics carried
@@ -155,11 +177,25 @@ class BenchReporter {
       out += "\n    {\"phase\": \"" + JsonEscape(speedups_[i].phase) +
              "\", \"baseline_threads\": " +
              std::to_string(speedups_[i].baseline_threads) +
-             ", \"threads\": " + std::to_string(speedups_[i].threads) +
-             ", \"speedup\": " + FormatSeconds(speedups_[i].speedup) + "}";
+             ", \"threads\": " + std::to_string(speedups_[i].threads);
+      if (speedups_[i].bit_identity_only) {
+        out += ", \"bit_identity_verified\": true}";
+      } else {
+        out += ", \"speedup\": " + FormatSeconds(speedups_[i].speedup) + "}";
+      }
     }
     const bool have_metrics = !counters_.empty() || !gauges_.empty();
     out += speedups_.empty() ? "]" : "\n  ]";
+    if (!scaling_.empty()) {
+      out += ",\n  \"scaling\": [";
+      for (size_t i = 0; i < scaling_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\n    {\"phase\": \"" + JsonEscape(scaling_[i].phase) +
+               "\", \"threads\": " + std::to_string(scaling_[i].threads) +
+               ", \"seconds\": " + FormatSeconds(scaling_[i].seconds) + "}";
+      }
+      out += "\n  ]";
+    }
     out += have_metrics ? ",\n" : "\n";
     if (have_metrics) {
       out += "  \"metrics\": {\n    \"counters\": {";
@@ -233,6 +269,14 @@ class BenchReporter {
     int32_t baseline_threads;
     int32_t threads;
     double speedup;
+    /// True for AddBitIdentity entries: the JSON carries
+    /// "bit_identity_verified": true and no "speedup" number.
+    bool bit_identity_only;
+  };
+  struct ScalingPoint {
+    std::string phase;
+    int32_t threads;
+    double seconds;
   };
 
   static std::string JsonEscape(const std::string& s) {
@@ -259,6 +303,7 @@ class BenchReporter {
   int32_t threads_ = 1;
   std::vector<Phase> phases_;
   std::vector<Speedup> speedups_;
+  std::vector<ScalingPoint> scaling_;
   std::vector<std::pair<std::string, int64_t>> counters_;
   std::vector<std::pair<std::string, double>> gauges_;
 };

@@ -9,6 +9,20 @@ phase/speedup entries, a required phase disappearing from a scenario, or
 malformed latency percentiles (each of p50/p95/p99 must be a positive
 number and the percentile order p50 <= p95 <= p99 must hold).
 
+Speedup entries carry exactly one result key: either "speedup" (a
+number — the measured ratio) or "bit_identity_verified" (the literal
+true — the comparison ran and the outputs matched bitwise, but the box
+could not measure a meaningful ratio). The "gibbs_marginals" entry is
+held to the machine: on a multi-core box (top-level "cores" > 1) it must
+record a "speedup"; on a single-core box it must record
+"bit_identity_verified" instead — a "speedup" measured at one core is
+noise and must not enter the trajectory.
+
+The runtime scenario must also carry a non-empty top-level "scaling"
+array — the per-core scaling curve of the SIMD EM phase, one
+{"phase", "threads", "seconds"} point per thread count from 1 up to the
+box's core count, threads strictly ascending from 1.
+
 The required phases depend on the emitter, keyed by the top-level "bench"
 name: "serve" is the loadgen scenario (serve_qps + query_latency plus
 the Zipfian scheduler gate's flat/sched hot-shard staleness phases, all
@@ -41,6 +55,8 @@ RUNTIME_REQUIRED_PHASES = [
     "learn_erm_sparse",
     "learn_em",
     "learn_em_sparse",
+    "learn_em_simd",
+    "learn_erm_simd",
     "gibbs_marginals",
     "eval_grid",
     "ingest_delta",
@@ -48,12 +64,15 @@ RUNTIME_REQUIRED_PHASES = [
 ]
 
 # Speedup entries the runtime scenario must measure: compilation caching,
-# the dense-to-sparse representation change, the exec-layer Gibbs scaling,
-# and the incremental engine (delta-compile ingest, warm relearning).
+# the dense-to-sparse representation change, the SIMD kernel tables over
+# both learners, the exec-layer Gibbs scaling, and the incremental engine
+# (delta-compile ingest, warm relearning).
 RUNTIME_REQUIRED_SPEEDUPS = [
     "compile_cached_vs_cold",
     "learn_erm_sparse_vs_dense",
     "learn_em_sparse_vs_dense",
+    "learn_em_simd_vs_scalar",
+    "learn_erm_simd_vs_scalar",
     "gibbs_marginals",
     "ingest_delta_vs_recompile",
     "relearn_warm_vs_cold",
@@ -103,9 +122,11 @@ TOP_LEVEL = {
 
 # Optional top-level keys: the observability metrics object, emitted only
 # when the bench recorded counters or gauges (bench/bench_common.h
-# AddCounter/AddGauge).
+# AddCounter/AddGauge), and the per-core scaling curve (AddScalingPoint;
+# required non-empty for the runtime scenario, see check_scaling).
 OPTIONAL_TOP_LEVEL = {
     "metrics": dict,
+    "scaling": list,
 }
 
 # Counters the serve scenario must record under metrics.counters: the
@@ -130,6 +151,14 @@ def type_name(expected):
     return expected.__name__
 
 
+def type_mismatch(value, expected):
+    # bool is an int subclass in Python; reject it unless bool is what the
+    # schema actually asks for (bit_identity_verified).
+    if isinstance(value, bool):
+        return expected is not bool
+    return not isinstance(value, expected)
+
+
 def check_entry(kind, index, entry, fields, optional=None):
     if not isinstance(entry, dict):
         fail(f"{kind}[{index}] is not an object: {entry!r}")
@@ -137,8 +166,7 @@ def check_entry(kind, index, entry, fields, optional=None):
         if name not in entry:
             fail(f"{kind}[{index}] is missing key '{name}': {entry!r}")
         value = entry[name]
-        # bool is an int subclass in Python; reject it explicitly.
-        if isinstance(value, bool) or not isinstance(value, expected):
+        if type_mismatch(value, expected):
             fail(
                 f"{kind}[{index}].{name} should be {type_name(expected)}, "
                 f"got {type(value).__name__}: {entry!r}"
@@ -148,7 +176,7 @@ def check_entry(kind, index, entry, fields, optional=None):
         if name not in entry:
             continue
         value = entry[name]
-        if isinstance(value, bool) or not isinstance(value, expected):
+        if type_mismatch(value, expected):
             fail(
                 f"{kind}[{index}].{name} should be {type_name(expected)}, "
                 f"got {type(value).__name__}: {entry!r}"
@@ -187,6 +215,77 @@ def check_metrics(metrics, bench_name):
                 f"serve metrics.counters missing required keys {missing} "
                 f"(have {sorted(counters)})"
             )
+
+
+def check_speedup(index, entry, cores):
+    """Validates one speedups[] entry, including its result key.
+
+    Every entry names a phase and the thread counts it compared, plus
+    exactly one result key: "speedup" (a measured ratio) or
+    "bit_identity_verified" (the literal true — the cross-check ran and
+    matched bitwise, but no meaningful ratio exists on this box). The
+    "gibbs_marginals" entry additionally must match the machine: a ratio
+    on a multi-core box, bit-identity on a single-core box.
+    """
+    check_entry(
+        "speedups", index, entry,
+        {"phase": str, "baseline_threads": int, "threads": int},
+        optional={
+            "speedup": (int, float),
+            "bit_identity_verified": bool,
+        },
+    )
+    has_ratio = "speedup" in entry
+    has_identity = "bit_identity_verified" in entry
+    if has_ratio == has_identity:
+        fail(
+            f"speedups[{index}] ('{entry['phase']}') must carry exactly one "
+            f"of 'speedup' or 'bit_identity_verified': {entry!r}"
+        )
+    if has_identity and entry["bit_identity_verified"] is not True:
+        fail(
+            f"speedups[{index}] ('{entry['phase']}').bit_identity_verified "
+            f"must be the literal true: {entry!r}"
+        )
+    if entry["phase"] == "gibbs_marginals":
+        if cores > 1 and not has_ratio:
+            fail(
+                f"speedups[{index}] ('gibbs_marginals'): multi-core run "
+                f"(cores={cores}) must record a 'speedup' ratio, not "
+                f"bit_identity_verified"
+            )
+        if cores == 1 and not has_identity:
+            fail(
+                f"speedups[{index}] ('gibbs_marginals'): single-core run "
+                f"must record bit_identity_verified, not a 'speedup' "
+                f"(a 1-core ratio is noise)"
+            )
+
+
+def check_scaling(scaling):
+    """Validates the top-level per-core scaling curve."""
+    prev_threads = 0
+    for i, point in enumerate(scaling):
+        check_entry(
+            "scaling", i, point,
+            {"phase": str, "threads": int, "seconds": (int, float)},
+        )
+        if point["seconds"] <= 0:
+            fail(
+                f"scaling[{i}] ('{point['phase']}') has seconds <= 0: "
+                f"{point['seconds']}"
+            )
+        if i == 0 and point["threads"] != 1:
+            fail(
+                f"scaling[0] must start the curve at threads=1, got "
+                f"{point['threads']}"
+            )
+        if point["threads"] <= prev_threads:
+            fail(
+                f"scaling[{i}].threads must be strictly ascending: "
+                f"{point['threads']} after {prev_threads}"
+            )
+        prev_threads = point["threads"]
 
 
 def check_percentiles(index, phase):
@@ -309,14 +408,15 @@ def main(argv):
             fail(f"phases[{i}].qps must be > 0: {phase['qps']}")
 
     for i, speedup in enumerate(data["speedups"]):
-        check_entry(
-            "speedups", i, speedup,
-            {
-                "phase": str,
-                "baseline_threads": int,
-                "threads": int,
-                "speedup": (int, float),
-            },
+        check_speedup(i, speedup, data["cores"])
+
+    if "scaling" in data:
+        check_scaling(data["scaling"])
+    is_runtime = bench_name not in ("serve", "storage")
+    if is_runtime and not data.get("scaling"):
+        fail(
+            "runtime bench must carry a non-empty top-level 'scaling' "
+            "array (the per-core learn_em_simd scaling curve)"
         )
 
     phase_names = {phase["name"] for phase in data["phases"]}
@@ -350,7 +450,9 @@ def main(argv):
         f"check_bench_schema: OK: {path} ('{bench_name}', "
         f"{num_metrics} metrics, "
         f"{len(data['phases'])} phases, "
-        f"{len(data['speedups'])} speedups, threads={data['threads']}, "
+        f"{len(data['speedups'])} speedups, "
+        f"{len(data.get('scaling', []))} scaling points, "
+        f"threads={data['threads']}, "
         f"cores={data['cores']}, git={data['git']})"
     )
     return 0

@@ -32,6 +32,8 @@ void FlattenInstance(CompiledInstance* instance) {
   instance->cand_offsets.reserve(static_cast<size_t>(total_cands));
   instance->term_begin.reserve(static_cast<size_t>(total_cands) + 1);
   instance->terms.reserve(static_cast<size_t>(total_terms));
+  instance->term_coeff.reserve(static_cast<size_t>(total_terms));
+  instance->term_param.reserve(static_cast<size_t>(total_terms));
 
   instance->row_begin.push_back(0);
   instance->term_begin.push_back(0);
@@ -41,6 +43,10 @@ void FlattenInstance(CompiledInstance* instance) {
       instance->cand_offsets.push_back(row.offsets[di]);
       instance->terms.insert(instance->terms.end(), row.terms[di].begin(),
                              row.terms[di].end());
+      for (const ParamTerm& t : row.terms[di]) {
+        instance->term_coeff.push_back(t.coeff);
+        instance->term_param.push_back(t.param);
+      }
       instance->term_begin.push_back(
           static_cast<int64_t>(instance->terms.size()));
     }
@@ -216,7 +222,8 @@ bool BitwiseEqual(const CompiledInstance& a, const CompiledInstance& b) {
   return *a.model == *b.model && a.store == b.store &&
          a.row_begin == b.row_begin && a.cand_values == b.cand_values &&
          a.cand_offsets == b.cand_offsets && a.term_begin == b.term_begin &&
-         a.terms == b.terms && a.sigma_begin == b.sigma_begin &&
+         a.terms == b.terms && a.term_coeff == b.term_coeff &&
+         a.term_param == b.term_param && a.sigma_begin == b.sigma_begin &&
          a.sigma_terms == b.sigma_terms && a.claim_begin == b.claim_begin &&
          a.claim_sources == b.claim_sources &&
          a.claim_cand == b.claim_cand && a.truth_cand == b.truth_cand;

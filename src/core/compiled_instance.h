@@ -8,6 +8,7 @@
 
 #include "core/compilation.h"
 #include "data/observation_store.h"
+#include "simd/simd.h"
 #include "util/math.h"
 #include "util/result.h"
 
@@ -47,6 +48,12 @@ struct CompiledInstance {
   // --- Posterior terms (flattened CompiledObject::terms) ---
   std::vector<int64_t> term_begin;  ///< size num_candidates + 1
   std::vector<ParamTerm> terms;
+  /// SoA mirrors of `terms`, split so the SIMD kernels can stream
+  /// coefficients and gather weights without striding over the AoS pairs.
+  /// Filled by the same flattening pass; always element-aligned with
+  /// `terms`.
+  std::vector<double> term_coeff;
+  std::vector<ParamId> term_param;
 
   // --- Trust-score terms (flattened CompiledModel::sigma_terms) ---
   std::vector<int64_t> sigma_begin;  ///< size num_sources + 1
@@ -77,16 +84,18 @@ struct CompiledInstance {
 };
 
 /// Linear score of global candidate `cand` under weights `w` — the same
-/// accumulation order as SlimFastModel::ValueScore on the dense rows.
+/// lane-stable accumulation as SlimFastModel::ValueScore on the dense
+/// rows and as the batched TermProducts + FoldRanges kernel pipeline.
 inline double SparseValueScore(const CompiledInstance& inst, int64_t cand,
                                const std::vector<double>& w) {
-  double score = inst.cand_offsets[static_cast<size_t>(cand)];
-  const int64_t end = inst.term_begin[static_cast<size_t>(cand) + 1];
-  for (int64_t t = inst.term_begin[static_cast<size_t>(cand)]; t < end; ++t) {
-    const ParamTerm& term = inst.terms[static_cast<size_t>(t)];
-    score += term.coeff * w[static_cast<size_t>(term.param)];
-  }
-  return score;
+  const int64_t begin = inst.term_begin[static_cast<size_t>(cand)];
+  const int64_t n = inst.term_begin[static_cast<size_t>(cand) + 1] - begin;
+  const double* coeff = inst.term_coeff.data() + begin;
+  const ParamId* param = inst.term_param.data() + begin;
+  return inst.cand_offsets[static_cast<size_t>(cand)] +
+         simd::LaneStableSum(n, [&](int64_t i) {
+           return coeff[i] * w[static_cast<size_t>(param[i])];
+         });
 }
 
 /// Posterior over row `r`'s candidates (softmax of SparseValueScore);

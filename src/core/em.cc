@@ -5,6 +5,7 @@
 #include "core/row_access.h"
 #include "exec/parallel.h"
 #include "opt/convergence.h"
+#include "simd/simd.h"
 #include "util/math.h"
 
 namespace slimfast {
@@ -18,42 +19,127 @@ struct EStepAcc {
   double nll = 0.0;
 };
 
-/// One E-step pass over the unclamped rows of shard `range`, written once
-/// against the row-access policy (dense nested vectors or flat sparse
-/// ranges — same claims in the same order, so the imputed example sequence
-/// is identical; see core/row_access.h).
-template <typename Rows>
-void EStepShard(const Rows& rows, const EmOptions& options,
-                const std::vector<uint8_t>& clamped, const ShardRange& range,
-                EStepAcc* acc) {
-  std::vector<double> shard_probs;
+/// Emits one unclamped row's imputed examples and NLL contribution.
+/// Shared by the dense per-row and sparse batched shard passes so both
+/// produce the identical example sequence from identical posteriors.
+/// `probs` is the row's posterior; `soft_entropy` is its precomputed
+/// entropy (ignored on the hard path); claims arrive as parallel arrays
+/// of source and within-row candidate index (-1 = claimed value outside
+/// the domain).
+inline void EmitRow(const double* probs, int64_t domain_size, bool soft,
+                    double soft_entropy, const SourceId* claim_src,
+                    const int32_t* claim_di, int64_t num_claims,
+                    EStepAcc* acc) {
+  if (domain_size == 0) return;  // degenerate row: nothing to impute
+  if (soft) {
+    // Soft target per claim: q = P(To = claimed value).
+    for (int64_t i = 0; i < num_claims; ++i) {
+      const int32_t di = claim_di[i];
+      const double q = di >= 0 ? probs[di] : 0.0;
+      acc->examples.push_back(ObservationExample{claim_src[i], q, 1.0});
+    }
+    acc->nll += soft_entropy;
+  } else {
+    int32_t map_index = 0;
+    for (int64_t di = 1; di < domain_size; ++di) {
+      if (probs[di] > probs[map_index]) map_index = static_cast<int32_t>(di);
+    }
+    for (int64_t i = 0; i < num_claims; ++i) {
+      acc->examples.push_back(ObservationExample{
+          claim_src[i], claim_di[i] == map_index ? 1.0 : 0.0, 1.0});
+    }
+    acc->nll += -std::log(std::max(probs[map_index], 1e-300));
+  }
+}
+
+/// Per-row entropy Σ -p log p through the same kernels the batched sparse
+/// pass uses (BatchEntropyTerms + a lane-stable fold), so dense and
+/// sparse NLLs agree bitwise.
+inline double RowEntropy(const std::vector<double>& probs,
+                         std::vector<double>* scratch) {
+  const int64_t n = static_cast<int64_t>(probs.size());
+  scratch->resize(probs.size());
+  simd::BatchEntropyTerms(probs.data(), scratch->data(), n);
+  return simd::Sum(scratch->data(), n);
+}
+
+/// One E-step pass over the unclamped rows of shard `range`, row at a
+/// time against the dense row-access policy (kept for equivalence
+/// testing; see core/row_access.h).
+void EStepShardDense(const DenseRowAccess& rows, const EmOptions& options,
+                     const std::vector<uint8_t>& clamped,
+                     const ShardRange& range, EStepAcc* acc) {
+  std::vector<double> shard_probs, ent_scratch;
+  std::vector<SourceId> claim_src;
+  std::vector<int32_t> claim_di;
   for (int64_t r = range.begin; r < range.end; ++r) {
     if (clamped[static_cast<size_t>(r)]) continue;
     int32_t row = static_cast<int32_t>(r);
     rows.Posterior(row, &shard_probs);
-    if (options.soft) {
-      // Soft target per claim: q = P(To = claimed value).
-      rows.ForEachClaim(row, [&](SourceId source, int32_t di) {
-        double q = di >= 0 ? shard_probs[static_cast<size_t>(di)] : 0.0;
-        acc->examples.push_back(ObservationExample{source, q, 1.0});
-      });
-      for (double p : shard_probs) {
-        if (p > 1e-12) acc->nll += -p * std::log(p);
-      }
-    } else {
-      int32_t map_index = 0;
-      for (size_t di = 1; di < shard_probs.size(); ++di) {
-        if (shard_probs[di] > shard_probs[static_cast<size_t>(map_index)]) {
-          map_index = static_cast<int32_t>(di);
-        }
-      }
-      rows.ForEachClaim(row, [&](SourceId source, int32_t di) {
-        acc->examples.push_back(ObservationExample{
-            source, di == map_index ? 1.0 : 0.0, 1.0});
-      });
-      acc->nll += -std::log(
-          std::max(shard_probs[static_cast<size_t>(map_index)], 1e-300));
-    }
+    claim_src.clear();
+    claim_di.clear();
+    rows.ForEachClaim(row, [&](SourceId source, int32_t di) {
+      claim_src.push_back(source);
+      claim_di.push_back(di);
+    });
+    const double entropy =
+        options.soft ? RowEntropy(shard_probs, &ent_scratch) : 0.0;
+    EmitRow(shard_probs.data(), static_cast<int64_t>(shard_probs.size()),
+            options.soft, entropy, claim_src.data(), claim_di.data(),
+            static_cast<int64_t>(claim_src.size()), acc);
+  }
+}
+
+/// The batched sparse E-step over shard `range`: instead of one posterior
+/// at a time, the whole shard's flat CSR span runs as four kernel passes —
+/// TermProducts over every term, FoldRanges into per-candidate scores,
+/// SoftmaxRows over every row at once, and (soft mode) BatchEntropyTerms
+/// + FoldRanges for the per-row entropies — before a scalar emission walk
+/// over the claims. Clamped rows' posteriors are computed and discarded:
+/// keeping the spans contiguous beats compacting them (clamped rows are a
+/// small training fraction), and emission skips them exactly as the dense
+/// pass does. Bit-identical to EStepShardDense by the lane-stable kernel
+/// contract (see src/simd/simd.h).
+void EStepShardSparse(const SparseRowAccess& rows, const EmOptions& options,
+                      const std::vector<uint8_t>& clamped,
+                      const ShardRange& range, EStepAcc* acc) {
+  const int64_t num_rows = range.end - range.begin;
+  if (num_rows <= 0) return;
+  const int64_t cand_b = rows.row_begin[range.begin];
+  const int64_t ncand = rows.row_begin[range.end] - cand_b;
+  if (ncand == 0) return;
+  const int64_t term_b = rows.term_begin[cand_b];
+  const int64_t nterms = rows.term_begin[rows.row_begin[range.end]] - term_b;
+  const std::vector<double>& w = rows.model->weights();
+
+  std::vector<double> prod(static_cast<size_t>(nterms));
+  std::vector<double> scores(static_cast<size_t>(ncand));
+  simd::TermProducts(rows.term_coeff + term_b, rows.term_param + term_b,
+                     w.data(), prod.data(), nterms);
+  simd::FoldRanges(rows.term_begin + cand_b, ncand, term_b, prod.data(),
+                   rows.cand_offsets + cand_b, scores.data());
+  simd::SoftmaxRows(rows.row_begin + range.begin, num_rows, cand_b,
+                    scores.data());
+
+  std::vector<double> row_ent;
+  if (options.soft) {
+    std::vector<double> ent_terms(static_cast<size_t>(ncand));
+    simd::BatchEntropyTerms(scores.data(), ent_terms.data(), ncand);
+    row_ent.resize(static_cast<size_t>(num_rows));
+    simd::FoldRanges(rows.row_begin + range.begin, num_rows, cand_b,
+                     ent_terms.data(), nullptr, row_ent.data());
+  }
+
+  for (int64_t r = range.begin; r < range.end; ++r) {
+    if (clamped[static_cast<size_t>(r)]) continue;
+    const int64_t row_base = rows.row_begin[r];
+    const int64_t cb = rows.claim_begin[r];
+    EmitRow(scores.data() + (row_base - cand_b),
+            rows.row_begin[r + 1] - row_base, options.soft,
+            options.soft ? row_ent[static_cast<size_t>(r - range.begin)]
+                         : 0.0,
+            rows.claim_sources + cb, rows.claim_cand + cb,
+            rows.claim_begin[r + 1] - cb, acc);
   }
 }
 
@@ -197,11 +283,11 @@ Result<EmStats> EmLearner::FitOnce(const Dataset& dataset,
         exec, static_cast<int64_t>(compiled.objects.size()), EStepAcc{},
         [&](const ShardRange& range, EStepAcc* acc) {
           if (instance != nullptr) {
-            EStepShard(SparseRowAccess{instance, model}, options_, clamped,
-                       range, acc);
+            EStepShardSparse(SparseRowAccess{instance, model}, options_,
+                             clamped, range, acc);
           } else {
-            EStepShard(DenseRowAccess{&dataset, model}, options_, clamped,
-                       range, acc);
+            EStepShardDense(DenseRowAccess{&dataset, model}, options_,
+                            clamped, range, acc);
           }
         },
         [](EStepAcc* total, const EStepAcc& shard) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/row_access.h"
+#include "simd/simd.h"
 #include "opt/adagrad.h"
 #include "opt/convergence.h"
 #include "opt/proximal.h"
@@ -130,6 +131,25 @@ struct BatchGradAcc {
 };
 
 /// The full-batch proximal-descent loop, against the same policy.
+///
+/// The epoch is organized around the rows the examples touch, not the
+/// examples themselves. Per-example work factors by row: every example
+/// on row r reads the same posterior, and its gradient contribution to
+/// candidate di is weight·(p_di − [di == target]). Summing the bracketed
+/// terms over a row's examples once, up front, turns the epoch into
+///
+///   per used row:  scores → softmax → one scatter of
+///                  (row_weight·p_di − target_mass_di)·terms(di)
+///
+/// which visits each row's terms once per epoch instead of once per
+/// example (soft EM attaches one example per claim, so this is the
+/// difference between one and a per-row claim count of scatter passes),
+/// and batches every softmax/log through the SIMD kernels over a packed
+/// candidate buffer. Sharding is over used rows; the shard-order fold
+/// keeps the epoch gradient bit-identical for any thread count, and both
+/// row-access policies produce bit-identical packed scores (the
+/// row-access contract), so dense and sparse fits still agree to the
+/// last bit.
 template <typename Rows>
 Result<FitStats> FitObjectLossBatchImpl(
     const ErmOptions& options, const std::vector<LabeledExample>& examples,
@@ -143,16 +163,51 @@ Result<FitStats> FitObjectLossBatchImpl(
   double total_weight = 0.0;
   for (const LabeledExample& ex : examples) total_weight += ex.weight;
 
+  // ---- Fixed per-fit structure (the example set never changes). ----
+  // Used rows in first-appearance order; their candidate domains are
+  // packed back to back, so a shard of used rows owns one contiguous
+  // slice of the packed buffers.
+  std::vector<int32_t> slice_of_row(static_cast<size_t>(rows.NumRows()),
+                                    -1);
+  std::vector<int32_t> used_rows;
+  for (const LabeledExample& ex : examples) {
+    if (slice_of_row[static_cast<size_t>(ex.row)] < 0) {
+      slice_of_row[static_cast<size_t>(ex.row)] =
+          static_cast<int32_t>(used_rows.size());
+      used_rows.push_back(ex.row);
+    }
+  }
+  const int32_t num_used = static_cast<int32_t>(used_rows.size());
+  std::vector<int64_t> packed_begin(static_cast<size_t>(num_used) + 1, 0);
+  for (int32_t s = 0; s < num_used; ++s) {
+    packed_begin[static_cast<size_t>(s) + 1] =
+        packed_begin[static_cast<size_t>(s)] +
+        static_cast<int64_t>(
+            rows.DomainSize(used_rows[static_cast<size_t>(s)]));
+  }
+  const int64_t num_packed = packed_begin[static_cast<size_t>(num_used)];
+  // Grouped example constants: total example weight per used row, and
+  // summed target weight per packed candidate.
+  std::vector<double> row_weight(static_cast<size_t>(num_used), 0.0);
+  std::vector<double> target_mass(static_cast<size_t>(num_packed), 0.0);
+  for (const LabeledExample& ex : examples) {
+    const int32_t s = slice_of_row[static_cast<size_t>(ex.row)];
+    row_weight[static_cast<size_t>(s)] += ex.weight;
+    target_mass[static_cast<size_t>(
+        packed_begin[static_cast<size_t>(s)] + ex.target_index)] +=
+        ex.weight;
+  }
+
   // Per-shard accumulators persist across epochs (cleared in place by each
   // shard body, O(nnz) per clear) so the epoch loop allocates nothing. The
   // shard structure and the shard-order fold below are exactly
   // DeterministicReduce's contract: bit-identical for any thread count.
   const std::vector<ShardRange> shards =
-      StaticShards(static_cast<int64_t>(examples.size()),
-                   FixedShardCount(static_cast<int64_t>(examples.size())));
+      StaticShards(num_used, FixedShardCount(num_used));
   std::vector<BatchGradAcc> partial(shards.size(),
                                     BatchGradAcc(layout.num_params));
-  std::vector<std::vector<double>> shard_probs(shards.size());
+  std::vector<double> probs(static_cast<size_t>(num_packed));
+  std::vector<double> logp(static_cast<size_t>(num_packed));
   std::vector<double> grad(static_cast<size_t>(layout.num_params), 0.0);
 
   FitStats stats;
@@ -161,23 +216,41 @@ Result<FitStats> FitObjectLossBatchImpl(
         exec, static_cast<int32_t>(shards.size()), [&](int32_t s) {
           const ShardRange& range = shards[static_cast<size_t>(s)];
           BatchGradAcc& acc = partial[static_cast<size_t>(s)];
-          std::vector<double>& probs = shard_probs[static_cast<size_t>(s)];
           acc.grad.Clear();
           acc.loss = 0.0;
+          const int64_t pb = packed_begin[static_cast<size_t>(range.begin)];
+          const int64_t pe = packed_begin[static_cast<size_t>(range.end)];
+          // 1. Scores for every used row of the shard, packed.
           for (int64_t i = range.begin; i < range.end; ++i) {
-            const LabeledExample& ex = examples[static_cast<size_t>(i)];
-            rows.Posterior(ex.row, &probs);
-            double p_target =
-                std::max(probs[static_cast<size_t>(ex.target_index)], 1e-300);
-            acc.loss += -ex.weight * std::log(p_target);
-            rows.ForEachTerm(ex.row, static_cast<size_t>(ex.target_index),
-                             [&](const ParamTerm& t) {
-                               acc.grad.Add(t.param, t.coeff, -ex.weight);
-                             });
-            const size_t domain_size = rows.DomainSize(ex.row);
+            rows.Scores(used_rows[static_cast<size_t>(i)],
+                        probs.data() + packed_begin[static_cast<size_t>(i)]);
+          }
+          // 2. One softmax pass over the shard's packed rows.
+          simd::SoftmaxRows(packed_begin.data() + range.begin,
+                            range.end - range.begin, pb, probs.data() + pb);
+          // 3. Loss: -Σ target_mass·log(max(p, 1e-300)), with the log
+          // batched. Candidates that are never a target carry mass 0 and
+          // contribute nothing (the clamp keeps every log finite).
+          for (int64_t c = pb; c < pe; ++c) {
+            const double p = probs[static_cast<size_t>(c)];
+            logp[static_cast<size_t>(c)] = p > 1e-300 ? p : 1e-300;
+          }
+          simd::BatchLog(logp.data() + pb, logp.data() + pb, pe - pb);
+          for (int64_t c = pb; c < pe; ++c) {
+            acc.loss += -target_mass[static_cast<size_t>(c)] *
+                        logp[static_cast<size_t>(c)];
+          }
+          // 4. One gradient scatter per candidate.
+          for (int64_t i = range.begin; i < range.end; ++i) {
+            const int32_t row = used_rows[static_cast<size_t>(i)];
+            const int64_t base = packed_begin[static_cast<size_t>(i)];
+            const double rw = row_weight[static_cast<size_t>(i)];
+            const size_t domain_size = rows.DomainSize(row);
             for (size_t di = 0; di < domain_size; ++di) {
-              double coeff = ex.weight * probs[di];
-              rows.ForEachTerm(ex.row, di, [&](const ParamTerm& t) {
+              const double coeff =
+                  rw * probs[static_cast<size_t>(base) + di] -
+                  target_mass[static_cast<size_t>(base) + di];
+              rows.ForEachTerm(row, di, [&](const ParamTerm& t) {
                 acc.grad.Add(t.param, t.coeff, coeff);
               });
             }
@@ -280,6 +353,168 @@ Result<FitStats> FitAccuracyLossImpl(
   return stats;
 }
 
+/// Full-batch accuracy log-loss: the example stream is lowered once into
+/// SoA arrays and every epoch runs as batched kernel passes — trust
+/// scores via TermProducts + FoldRanges over the sigma CSR, then one
+/// BatchSigmoid and one BatchSoftplusNeg over all examples at once, a
+/// per-source gradient scatter, and a fused AdaGradProx update over the
+/// compact set of touched parameters. This is where learn_erm_simd's
+/// wide-vs-scalar speedup lives: the SGD loop above interleaves one
+/// sigmoid with one parameter update per example, while this loop gives
+/// the vectorizer tens of thousands of independent transcendentals per
+/// epoch.
+///
+/// The sigma structure is gathered from the dense compiled model in both
+/// policies (it is tiny — one short term list per source), so the sparse
+/// and dense routes run literally the same code on the same values and
+/// the bit-identical policy contract holds trivially. Serial by design,
+/// like every M-step: each epoch reads the previous epoch's weights.
+///
+/// Loss per example uses the algebraic form of binary cross-entropy,
+///   -y·log a - (1-y)·log(1-a)  =  log(1+exp(-σ)) + (1-y)·σ,
+/// which never needs the 1e-300 clamps of the SGD loop. Like the batch
+/// object loss, the gradient is normalized to mean (dataset-size
+/// independent steps) and L2/L1 apply once per epoch.
+Result<FitStats> FitAccuracyLossBatchImpl(
+    const ErmOptions& options,
+    const std::vector<ObservationExample>& examples, SlimFastModel* model) {
+  std::vector<double>& w = *model->mutable_weights();
+  const ParamLayout& layout = model->layout();
+  const CompiledModel& compiled = model->compiled();
+  const int64_t num_sources =
+      static_cast<int64_t>(compiled.sigma_terms.size());
+
+  // Sigma-term CSR in SoA form, gathered once per fit.
+  std::vector<int64_t> sg_begin;
+  sg_begin.reserve(static_cast<size_t>(num_sources) + 1);
+  sg_begin.push_back(0);
+  std::vector<double> sg_coeff;
+  std::vector<ParamId> sg_param;
+  for (const auto& source_terms : compiled.sigma_terms) {
+    for (const ParamTerm& t : source_terms) {
+      sg_coeff.push_back(t.coeff);
+      sg_param.push_back(t.param);
+    }
+    sg_begin.push_back(static_cast<int64_t>(sg_coeff.size()));
+  }
+  const int64_t num_sg = static_cast<int64_t>(sg_coeff.size());
+
+  // Compact parameter set touched by sigma terms, in first-touch order,
+  // plus each term's index into it.
+  std::vector<ParamId> params;
+  std::vector<int32_t> pidx(static_cast<size_t>(layout.num_params), -1);
+  std::vector<int32_t> term_cidx(static_cast<size_t>(num_sg));
+  for (int64_t t = 0; t < num_sg; ++t) {
+    const ParamId p = sg_param[static_cast<size_t>(t)];
+    if (pidx[static_cast<size_t>(p)] < 0) {
+      pidx[static_cast<size_t>(p)] = static_cast<int32_t>(params.size());
+      params.push_back(p);
+    }
+    term_cidx[static_cast<size_t>(t)] = pidx[static_cast<size_t>(p)];
+  }
+  const int64_t num_cparams = static_cast<int64_t>(params.size());
+
+  // Example stream in SoA form.
+  const int64_t n = static_cast<int64_t>(examples.size());
+  std::vector<int32_t> ex_src(static_cast<size_t>(n));
+  std::vector<double> ex_y(static_cast<size_t>(n)), ex_w(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const ObservationExample& ex = examples[static_cast<size_t>(i)];
+    ex_src[static_cast<size_t>(i)] = ex.source;
+    ex_y[static_cast<size_t>(i)] = ex.label;
+    ex_w[static_cast<size_t>(i)] = ex.weight;
+  }
+  const double total_weight = simd::Sum(ex_w.data(), n);
+
+  // Compact optimizer state (synced back to w after every epoch).
+  std::vector<double> w_c(static_cast<size_t>(num_cparams));
+  std::vector<double> accum_c(static_cast<size_t>(num_cparams), 0.0);
+  std::vector<double> g_c(static_cast<size_t>(num_cparams));
+  std::vector<double> l1_c(static_cast<size_t>(num_cparams), 0.0);
+  for (int64_t j = 0; j < num_cparams; ++j) {
+    const ParamId p = params[static_cast<size_t>(j)];
+    w_c[static_cast<size_t>(j)] = w[static_cast<size_t>(p)];
+    if (options.l1 > 0.0 &&
+        (layout.IsFeatureParam(p) || layout.IsCopyParam(p))) {
+      l1_c[static_cast<size_t>(j)] = options.l1;
+    }
+  }
+
+  std::vector<double> sg_prod(static_cast<size_t>(num_sg));
+  std::vector<double> sigma(static_cast<size_t>(num_sources));
+  std::vector<double> sig_ex(static_cast<size_t>(n));
+  std::vector<double> a_ex(static_cast<size_t>(n));
+  std::vector<double> sp_ex(static_cast<size_t>(n));
+  std::vector<double> loss_terms(static_cast<size_t>(n));
+  std::vector<double> gsrc(static_cast<size_t>(num_sources));
+
+  LearningRateSchedule schedule(options.learning_rate, options.decay);
+  ConvergenceTracker tracker(options.tolerance, options.patience);
+  const double inv = 1.0 / total_weight;
+
+  FitStats stats;
+  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    // Trust score per source.
+    simd::TermProducts(sg_coeff.data(), sg_param.data(), w.data(),
+                       sg_prod.data(), num_sg);
+    simd::FoldRanges(sg_begin.data(), num_sources, 0, sg_prod.data(),
+                     nullptr, sigma.data());
+    // Broadcast to the example stream, then batch the transcendentals.
+    for (int64_t i = 0; i < n; ++i) {
+      sig_ex[static_cast<size_t>(i)] =
+          sigma[static_cast<size_t>(ex_src[static_cast<size_t>(i)])];
+    }
+    simd::BatchSigmoid(sig_ex.data(), a_ex.data(), n);
+    simd::BatchSoftplusNeg(sig_ex.data(), sp_ex.data(), n);
+    for (int64_t i = 0; i < n; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      loss_terms[si] = ex_w[si] * (sp_ex[si] + (1.0 - ex_y[si]) * sig_ex[si]);
+    }
+    const double loss_sum = simd::Sum(loss_terms.data(), n);
+    // dL/dσ_s = Σ_i w_i (a_i - y_i), scattered per source then per param.
+    std::fill(gsrc.begin(), gsrc.end(), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      gsrc[static_cast<size_t>(ex_src[si])] += ex_w[si] * (a_ex[si] - ex_y[si]);
+    }
+    std::fill(g_c.begin(), g_c.end(), 0.0);
+    for (int64_t s = 0; s < num_sources; ++s) {
+      const double gs = gsrc[static_cast<size_t>(s)];
+      const int64_t end = sg_begin[static_cast<size_t>(s) + 1];
+      for (int64_t t = sg_begin[static_cast<size_t>(s)]; t < end; ++t) {
+        g_c[static_cast<size_t>(term_cidx[static_cast<size_t>(t)])] +=
+            gs * sg_coeff[static_cast<size_t>(t)];
+      }
+    }
+    for (int64_t j = 0; j < num_cparams; ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      g_c[sj] = g_c[sj] * inv + options.l2 * w_c[sj];
+    }
+    const double eta = schedule.At(epoch);
+    if (options.use_adagrad) {
+      simd::AdaGradProx(w_c.data(), accum_c.data(), g_c.data(), l1_c.data(),
+                        num_cparams, eta, 1e-8);
+    } else {
+      for (int64_t j = 0; j < num_cparams; ++j) {
+        const size_t sj = static_cast<size_t>(j);
+        w_c[sj] -= eta * g_c[sj];
+        if (l1_c[sj] > 0.0) w_c[sj] = SoftThreshold(w_c[sj], eta * l1_c[sj]);
+      }
+    }
+    for (int64_t j = 0; j < num_cparams; ++j) {
+      w[static_cast<size_t>(params[static_cast<size_t>(j)])] =
+          w_c[static_cast<size_t>(j)];
+    }
+    stats.epochs = epoch + 1;
+    stats.final_loss = loss_sum * inv;
+    if (tracker.Update(stats.final_loss)) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
 }  // namespace
 
 Result<FitStats> ErmLearner::FitObjectLoss(
@@ -311,6 +546,11 @@ Result<FitStats> ErmLearner::FitAccuracyLoss(
   if (examples.empty()) {
     return Status::FailedPrecondition(
         "accuracy-loss ERM requires at least one labeled observation");
+  }
+  if (options_.batch) {
+    // The batch fit reads the sigma structure from the compiled model in
+    // both policies (identical values either way), so it takes no policy.
+    return FitAccuracyLossBatchImpl(options_, examples, model);
   }
   if (instance != nullptr) {
     return FitAccuracyLossImpl(options_, examples, model, rng,

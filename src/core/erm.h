@@ -78,6 +78,12 @@ class ErmLearner {
 
   /// Fits `model` in place on accuracy log-loss examples (Definition 7).
   /// `instance` selects the sparse sigma-term ranges (same contract).
+  /// With options().batch set, runs the full-batch fit instead of SGD:
+  /// every epoch batches the per-example sigmoids/softplus through the
+  /// SIMD kernels and applies one fused AdaGrad + proximal update per
+  /// touched parameter (`rng` is unused — no shuffling). Batch and SGD
+  /// optimize the same objective but take different paths to it; each is
+  /// bit-deterministic on its own.
   Result<FitStats> FitAccuracyLoss(
       const std::vector<ObservationExample>& examples, SlimFastModel* model,
       Rng* rng, const CompiledInstance* instance = nullptr) const;

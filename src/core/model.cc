@@ -2,10 +2,16 @@
 
 #include <cmath>
 
+#include "simd/simd.h"
 #include "util/logging.h"
 #include "util/math.h"
 
 namespace slimfast {
+
+// All score accumulations fold through simd::LaneStableSum — the one
+// accumulation contract shared with the batched CSR kernels — so a score
+// computed row-at-a-time here is bit-identical to the same score computed
+// by the TermProducts + FoldRanges pipeline in the E-step and batch ERM.
 
 SlimFastModel::SlimFastModel(CompiledModel compiled)
     : SlimFastModel(
@@ -25,12 +31,13 @@ void SlimFastModel::SetWeights(std::vector<double> weights) {
 double SlimFastModel::SourceScore(SourceId source) const {
   SLIMFAST_DCHECK(source >= 0 && source < compiled_->num_sources,
                   "source id out of range");
-  double score = 0.0;
-  for (const ParamTerm& t :
-       compiled_->sigma_terms[static_cast<size_t>(source)]) {
-    score += t.coeff * weights_[static_cast<size_t>(t.param)];
-  }
-  return score;
+  const std::vector<ParamTerm>& terms =
+      compiled_->sigma_terms[static_cast<size_t>(source)];
+  return simd::LaneStableSum(
+      static_cast<int64_t>(terms.size()), [&](int64_t i) {
+        const ParamTerm& t = terms[static_cast<size_t>(i)];
+        return t.coeff * weights_[static_cast<size_t>(t.param)];
+      });
 }
 
 double SlimFastModel::SourceAccuracy(SourceId source) const {
@@ -46,11 +53,13 @@ std::vector<double> SlimFastModel::AllSourceAccuracies() const {
 }
 
 double SlimFastModel::ValueScore(const CompiledObject& row, size_t di) const {
-  double score = row.offsets[di];
-  for (const ParamTerm& t : row.terms[di]) {
-    score += t.coeff * weights_[static_cast<size_t>(t.param)];
-  }
-  return score;
+  const std::vector<ParamTerm>& terms = row.terms[di];
+  return row.offsets[di] +
+         simd::LaneStableSum(
+             static_cast<int64_t>(terms.size()), [&](int64_t i) {
+               const ParamTerm& t = terms[static_cast<size_t>(i)];
+               return t.coeff * weights_[static_cast<size_t>(t.param)];
+             });
 }
 
 void SlimFastModel::Posterior(const CompiledObject& row,

@@ -37,6 +37,21 @@ struct DenseRowAccess {
     model->Posterior(compiled->objects[static_cast<size_t>(r)], probs);
   }
 
+  /// Raw candidate scores of row `r` (the pre-softmax part of Posterior),
+  /// written to `out[0..DomainSize)`. Bit-identical to the scores
+  /// SlimFastModel::Posterior softmaxes, so a caller batching the softmax
+  /// over many rows reproduces Posterior's bits exactly.
+  void Scores(int32_t r, double* out) const {
+    const CompiledObject& row = compiled->objects[static_cast<size_t>(r)];
+    for (size_t di = 0; di < row.domain.size(); ++di) {
+      out[di] = model->ValueScore(row, di);
+    }
+  }
+
+  int32_t NumRows() const {
+    return static_cast<int32_t>(compiled->objects.size());
+  }
+
   size_t DomainSize(int32_t r) const {
     return compiled->objects[static_cast<size_t>(r)].domain.size();
   }
@@ -91,6 +106,8 @@ struct SparseRowAccess {
         terms(inst->terms.data()),
         sigma_begin(inst->sigma_begin.data()),
         sigma_terms(inst->sigma_terms.data()),
+        term_coeff(inst->term_coeff.data()),
+        term_param(inst->term_param.data()),
         claim_begin(inst->claim_begin.data()),
         claim_sources(inst->claim_sources.data()),
         claim_cand(inst->claim_cand.data()) {}
@@ -103,24 +120,57 @@ struct SparseRowAccess {
   const ParamTerm* terms;
   const int64_t* sigma_begin;
   const ParamTerm* sigma_terms;
+  /// SoA mirrors of `terms` (see CompiledInstance), the layout the
+  /// batched SIMD pipelines stream.
+  const double* term_coeff;
+  const ParamId* term_param;
   const int64_t* claim_begin;
   const SourceId* claim_sources;
   const int32_t* claim_cand;
 
+  /// Per-row posterior with the lane-stable score fold: bit-identical to
+  /// SlimFastModel::Posterior on the matching dense row AND to the
+  /// whole-shard TermProducts + FoldRanges + SoftmaxRows kernel pipeline
+  /// the batched E-step runs over these same ranges.
   void Posterior(int32_t r, std::vector<double>* probs) const {
     const int64_t begin = row_begin[r];
     const int64_t end = row_begin[r + 1];
     const std::vector<double>& w = model->weights();
     probs->resize(static_cast<size_t>(end - begin));
     for (int64_t c = begin; c < end; ++c) {
-      double score = cand_offsets[c];
-      const int64_t term_end = term_begin[c + 1];
-      for (int64_t t = term_begin[c]; t < term_end; ++t) {
-        score += terms[t].coeff * w[static_cast<size_t>(terms[t].param)];
-      }
-      (*probs)[static_cast<size_t>(c - begin)] = score;
+      const int64_t tb = term_begin[c];
+      const double* coeff = term_coeff + tb;
+      const ParamId* param = term_param + tb;
+      (*probs)[static_cast<size_t>(c - begin)] =
+          cand_offsets[c] +
+          simd::LaneStableSum(term_begin[c + 1] - tb, [&](int64_t i) {
+            return coeff[i] * w[static_cast<size_t>(param[i])];
+          });
     }
     SoftmaxInPlace(probs);
+  }
+
+  /// Raw candidate scores of row `r` — the same lane-stable fold as
+  /// Posterior, without the softmax. Bit-identical to DenseRowAccess::
+  /// Scores on the matching row.
+  void Scores(int32_t r, double* out) const {
+    const int64_t begin = row_begin[r];
+    const int64_t end = row_begin[r + 1];
+    const std::vector<double>& w = model->weights();
+    for (int64_t c = begin; c < end; ++c) {
+      const int64_t tb = term_begin[c];
+      const double* coeff = term_coeff + tb;
+      const ParamId* param = term_param + tb;
+      out[c - begin] =
+          cand_offsets[c] +
+          simd::LaneStableSum(term_begin[c + 1] - tb, [&](int64_t i) {
+            return coeff[i] * w[static_cast<size_t>(param[i])];
+          });
+    }
+  }
+
+  int32_t NumRows() const {
+    return static_cast<int32_t>(instance->num_rows());
   }
 
   size_t DomainSize(int32_t r) const {

@@ -9,7 +9,13 @@ namespace slimfast {
 
 /// Sparse gradient accumulator: a dense scratch vector plus the list of
 /// parameters touched since the last Clear, so per-example SGD updates and
-/// per-shard batch accumulators pay O(nnz) instead of O(num_params).
+/// per-shard batch accumulators pay O(nnz) instead of O(num_params). The
+/// row-grouped batch objectives (core/erm.cc) scatter one coefficient per
+/// candidate per epoch through Add after computing posteriors with the
+/// batched SIMD pipelines (docs/ARCHITECTURE.md, "SIMD kernels &
+/// lane-stable reductions"); the scatter itself stays scalar — it is a
+/// data-dependent indexed write — and determinism comes from the
+/// discipline below, not from vector width.
 ///
 /// The accumulation discipline matches what the learners need for
 /// bit-identical results under DeterministicReduce: terms are added in the

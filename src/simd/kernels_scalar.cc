@@ -1,0 +1,15 @@
+// Scalar (width-1) kernel table. This translation unit is compiled with
+// auto-vectorization explicitly disabled (see src/simd/CMakeLists.txt) so
+// it is a true scalar reference: the bench cross-checks and
+// simd_kernels_test compare the wide table against these exact bits.
+#include "simd/kernels_impl.h"
+
+namespace slimfast {
+namespace simd {
+namespace internal {
+
+const KernelTable kScalarTable = MakeTable<1>();
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace slimfast

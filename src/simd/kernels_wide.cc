@@ -1,0 +1,30 @@
+// Wide kernel table: the same template code as the scalar table,
+// instantiated at kWideWidth and compiled with the best -march the
+// toolchain accepts (see src/simd/CMakeLists.txt) so the W-blocked loops
+// vectorize. Not compiled at all under -DSLIMFAST_SIMD=OFF.
+//
+// kWideIsaLevel is derived from predefined macros — no instruction from
+// the target ISA executes to compute it, so it is safe to read on any
+// CPU; simd.cc checks __builtin_cpu_supports against it before ever
+// dispatching into this TU.
+#include "simd/kernels_impl.h"
+
+namespace slimfast {
+namespace simd {
+namespace internal {
+
+const KernelTable kWideTable = MakeTable<kWideWidth>();
+
+#if defined(__AVX512F__)
+const int kWideIsaLevel = 3;
+#elif defined(__AVX2__)
+const int kWideIsaLevel = 2;
+#elif defined(__AVX__)
+const int kWideIsaLevel = 1;
+#else
+const int kWideIsaLevel = 0;
+#endif
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace slimfast

@@ -1,0 +1,90 @@
+#include "simd/simd.h"
+
+#include <cstdlib>
+
+namespace slimfast {
+namespace simd {
+namespace internal {
+namespace {
+
+// Active table pointer, resolved lazily on first kernel call. Both
+// candidate tables are immutable namespace-scope constants, so a racing
+// first resolution publishes the same pointer; relaxed ordering suffices.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+bool CpuSupportsWideIsa() {
+#ifdef SLIMFAST_SIMD_DISABLED
+  return false;
+#else
+#if defined(__x86_64__) || defined(__i386__)
+  switch (kWideIsaLevel) {
+    case 3:
+      return __builtin_cpu_supports("avx512f");
+    case 2:
+      return __builtin_cpu_supports("avx2");
+    case 1:
+      return __builtin_cpu_supports("avx");
+    default:
+      return true;  // baseline ISA, nothing extra to probe
+  }
+#else
+  // Non-x86: the wide TU was compiled for the build target itself.
+  return true;
+#endif
+#endif
+}
+
+// SLIMFAST_SIMD=0 disables the wide table at process start; any other
+// value (or unset) leaves it on. Mirrors SLIMFAST_OBS.
+bool EnvEnabled() {
+  const char* v = std::getenv("SLIMFAST_SIMD");
+  return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+}
+
+const KernelTable* ResolveTable() {
+#ifndef SLIMFAST_SIMD_DISABLED
+  if (EnvEnabled() && CpuSupportsWideIsa()) return &kWideTable;
+#endif
+  return &kScalarTable;
+}
+
+}  // namespace
+
+const KernelTable& Active() {
+  const KernelTable* t = g_active.load(std::memory_order_relaxed);
+  if (t == nullptr) {
+    t = ResolveTable();
+    g_active.store(t, std::memory_order_relaxed);
+  }
+  return *t;
+}
+
+}  // namespace internal
+
+bool WideEnabled() {
+  if constexpr (!kWideCompiledIn) return false;
+  return &internal::Active() != &internal::kScalarTable;
+}
+
+int ActiveWidth() { return WideEnabled() ? kWideWidth : 1; }
+
+int WideIsaLevel() {
+#ifdef SLIMFAST_SIMD_DISABLED
+  return 0;
+#else
+  return internal::kWideIsaLevel;
+#endif
+}
+
+void SetWideEnabledForTest(bool enabled) {
+  const internal::KernelTable* t = &internal::kScalarTable;
+#ifndef SLIMFAST_SIMD_DISABLED
+  if (enabled && internal::CpuSupportsWideIsa()) t = &internal::kWideTable;
+#else
+  (void)enabled;
+#endif
+  internal::g_active.store(t, std::memory_order_relaxed);
+}
+
+}  // namespace simd
+}  // namespace slimfast

@@ -4,18 +4,19 @@
 #include <cmath>
 #include <limits>
 
+#include "simd/simd.h"
 #include "util/logging.h"
 
 namespace slimfast {
 
-double Sigmoid(double x) {
-  if (x >= 0.0) {
-    double z = std::exp(-x);
-    return 1.0 / (1.0 + z);
-  }
-  double z = std::exp(x);
-  return z / (1.0 + z);
-}
+// Sigmoid, LogSumExp, SoftmaxInPlace and Dot route through src/simd so
+// every caller — per-row model scores, batched E-step pipelines, Gibbs,
+// baselines — computes the exact same bits regardless of vector width or
+// thread count. SoftmaxInPlace dispatches to the batched kernel (it is
+// the single-row case of simd::SoftmaxRows); the reductions use the
+// lane-stable fold described in simd/simd.h.
+
+double Sigmoid(double x) { return simd::SigmoidElem(x); }
 
 double Logit(double p, double eps) {
   p = Clamp(p, eps, 1.0 - eps);
@@ -28,17 +29,18 @@ double Clamp(double x, double lo, double hi) {
 
 double LogSumExp(const std::vector<double>& xs) {
   if (xs.empty()) return -std::numeric_limits<double>::infinity();
-  double max_x = *std::max_element(xs.begin(), xs.end());
+  const int64_t n = static_cast<int64_t>(xs.size());
+  const double max_x = simd::MaxVal(xs.data(), n);
   if (!std::isfinite(max_x)) return max_x;
-  double sum = 0.0;
-  for (double x : xs) sum += std::exp(x - max_x);
-  return max_x + std::log(sum);
+  const double sum =
+      simd::LaneStableSum(n, [&](int64_t i) { return simd::ExpElem(xs[i] - max_x); });
+  return max_x + simd::LogElem(sum);
 }
 
 void SoftmaxInPlace(std::vector<double>* xs) {
   if (xs->empty()) return;
-  double lse = LogSumExp(*xs);
-  for (double& x : *xs) x = std::exp(x - lse);
+  const int64_t begins[2] = {0, static_cast<int64_t>(xs->size())};
+  simd::SoftmaxRows(begins, 1, 0, xs->data());
 }
 
 namespace {
@@ -202,9 +204,7 @@ double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   SLIMFAST_DCHECK(a.size() == b.size(), "Dot requires equal lengths");
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return simd::Dot(a.data(), b.data(), static_cast<int64_t>(a.size()));
 }
 
 double L2Norm(const std::vector<double>& xs) {

@@ -59,6 +59,48 @@ inline Dataset MakePlantedDataset(const std::vector<double>& accuracies,
   return std::move(builder).Build().ValueOrDie();
 }
 
+/// A randomized small universe for property-based invariant checking
+/// (tests/property_test.cc): dimensions, sparsity, domain sizes, and the
+/// labeled fraction all vary with the seed, and the generator
+/// deliberately produces the degenerate shapes the compiler and learners
+/// must survive — objects with zero claims (skipped outright or missed
+/// by every source), single-source instances (one-shard learning), and
+/// universes whose truth labels sit on claimless objects. Object 0
+/// always carries a truth label and one claim from source 0, so every
+/// universe admits a non-empty training split and satisfies the
+/// learners' at-least-one-observation precondition.
+inline Dataset RandomUniverse(uint64_t seed) {
+  Rng rng(seed);
+  const int32_t num_sources = 1 + static_cast<int32_t>(rng.UniformInt(10));
+  const int32_t num_objects = 1 + static_cast<int32_t>(rng.UniformInt(40));
+  const int32_t num_values = 2 + static_cast<int32_t>(rng.UniformInt(5));
+  const double density = rng.Uniform(0.05, 0.9);
+  const double truth_fraction = rng.Uniform(0.2, 1.0);
+  const double skip_object = 0.15;  // 0-claim objects, on purpose
+  std::vector<double> accuracy(static_cast<size_t>(num_sources));
+  for (double& a : accuracy) a = rng.Uniform(0.5, 0.95);
+  DatasetBuilder builder("universe" + std::to_string(seed), num_sources,
+                         num_objects, num_values);
+  for (ObjectId o = 0; o < num_objects; ++o) {
+    const ValueId truth = static_cast<ValueId>(rng.UniformInt(num_values));
+    const bool claimless = o != 0 && rng.Bernoulli(skip_object);
+    if (!claimless) {
+      for (SourceId s = 0; s < num_sources; ++s) {
+        if (!(o == 0 && s == 0) && !rng.Bernoulli(density)) continue;
+        ValueId v = truth;
+        if (!rng.Bernoulli(accuracy[static_cast<size_t>(s)])) {
+          v = static_cast<ValueId>(rng.UniformInt(num_values));
+        }
+        SLIMFAST_CHECK_OK(builder.AddObservation(o, s, v));
+      }
+    }
+    if (o == 0 || rng.Bernoulli(truth_fraction)) {
+      SLIMFAST_CHECK_OK(builder.SetTruth(o, truth));
+    }
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
 /// A split revealing the first `k` labeled objects as training data
 /// (deterministic, for tests that need a specific split).
 inline TrainTestSplit MakePrefixSplit(const Dataset& dataset, int32_t k) {

@@ -1,4 +1,6 @@
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -18,6 +20,31 @@ TEST(SigmoidTest, SaturatesWithoutOverflow) {
   EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
   EXPECT_TRUE(std::isfinite(Sigmoid(709.0)));
   EXPECT_TRUE(std::isfinite(Sigmoid(-709.0)));
+}
+
+TEST(SigmoidTest, ExactSaturationBeyondExpRange) {
+  // Past |x| > 709 the underlying exp saturates; the sigmoid must land on
+  // the exact IEEE endpoints, not merely near them.
+  EXPECT_EQ(Sigmoid(710.0), 1.0);
+  EXPECT_EQ(Sigmoid(1000.0), 1.0);
+  EXPECT_EQ(Sigmoid(-746.5), 0.0);
+  EXPECT_EQ(Sigmoid(-1000.0), 0.0);
+}
+
+TEST(SigmoidTest, InfinitiesAndNan) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Sigmoid(inf), 1.0);
+  EXPECT_EQ(Sigmoid(-inf), 0.0);
+  EXPECT_TRUE(std::isnan(Sigmoid(std::nan(""))));
+}
+
+TEST(SigmoidTest, DenormalArguments) {
+  // A denormal logit is indistinguishable from zero at double precision;
+  // the result must be exactly 1/2 and finite, not a flushed garbage
+  // value.
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(Sigmoid(denorm), 0.5);
+  EXPECT_EQ(Sigmoid(-denorm), 0.5);
 }
 
 TEST(SigmoidTest, LogitIsInverse) {
@@ -55,6 +82,46 @@ TEST(LogSumExpTest, StableForLargeInputs) {
 TEST(LogSumExpTest, EmptyIsNegInfinity) {
   EXPECT_TRUE(std::isinf(LogSumExp({})));
   EXPECT_LT(LogSumExp({}), 0);
+}
+
+TEST(LogSumExpTest, SingletonIsIdentity) {
+  // log(exp(x)) must return x bit-exactly (the reduced sum is exactly 1
+  // and log(1) is exactly 0), including at denormal and huge arguments.
+  for (double x : {0.0, -3.5, 1e-300, 800.0, -800.0,
+                   std::numeric_limits<double>::denorm_min()}) {
+    EXPECT_EQ(LogSumExp({x}), x) << "x=" << x;
+  }
+}
+
+TEST(LogSumExpTest, InfinitiesDominateOrVanish) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(LogSumExp({inf}), inf);
+  EXPECT_EQ(LogSumExp({0.0, inf, -4.0}), inf);
+  // -inf terms contribute exp(-inf) = 0 and drop out exactly.
+  EXPECT_EQ(LogSumExp({0.0, -inf}), 0.0);
+  EXPECT_EQ(LogSumExp({-inf, -inf}), -inf);
+}
+
+TEST(LogSumExpTest, NanPropagatesFromAnyPosition) {
+  const double nan = std::nan("");
+  EXPECT_TRUE(std::isnan(LogSumExp({nan})));
+  EXPECT_TRUE(std::isnan(LogSumExp({nan, 1.0, 2.0})));
+  EXPECT_TRUE(std::isnan(LogSumExp({1.0, 2.0, nan})));
+}
+
+TEST(LogSumExpTest, BeyondExpRangeStaysFinite) {
+  // Arguments past the exp overflow/underflow thresholds: the max-shift
+  // keeps every reduced argument <= 0, so no intermediate overflows.
+  EXPECT_NEAR(LogSumExp({800.0, 800.0}), 800.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogSumExp({-800.0, -800.0}), -800.0 + std::log(2.0), 1e-9);
+  // A hopeless underdog underflows to zero weight and drops out.
+  EXPECT_EQ(LogSumExp({0.0, -800.0}), 0.0);
+}
+
+TEST(LogSumExpTest, DenormalInputs) {
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  // Both terms are ~0, so the result is log(2) up to one ulp of denorm.
+  EXPECT_NEAR(LogSumExp({denorm, denorm}), std::log(2.0), 1e-12);
 }
 
 TEST(SoftmaxTest, NormalizesAndOrders) {
@@ -185,6 +252,39 @@ TEST(VectorOpsTest, DotAndNorms) {
   EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 - 18.0);
   EXPECT_DOUBLE_EQ(L2Norm({3.0, 4.0}), 5.0);
   EXPECT_DOUBLE_EQ(L1Norm(a), 6.0);
+}
+
+TEST(VectorOpsTest, DotEmptyAndSingleton) {
+  EXPECT_EQ(Dot({}, {}), 0.0);
+  // A length-1 dot is the bare product, bit-exactly (no accumulator
+  // reordering can apply to one element).
+  EXPECT_EQ(Dot({3.0}, {-7.0}), -21.0);
+  EXPECT_EQ(Dot({1e-300}, {1e300}), 1.0);
+}
+
+TEST(VectorOpsTest, DotInfinitiesAndNan) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Dot({inf}, {2.0}), inf);
+  EXPECT_EQ(Dot({-inf}, {2.0}), -inf);
+  // inf * 0 is NaN by IEEE and must not be masked by the reduction.
+  EXPECT_TRUE(std::isnan(Dot({inf}, {0.0})));
+  EXPECT_TRUE(std::isnan(Dot({1.0, std::nan("")}, {1.0, 1.0})));
+  // NaN survives both the short sequential path and the long lane fold.
+  std::vector<double> long_a(100, 1.0), long_b(100, 1.0);
+  long_a[57] = std::nan("");
+  EXPECT_TRUE(std::isnan(Dot(long_a, long_b)));
+}
+
+TEST(VectorOpsTest, DotDenormals) {
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  // denorm * denorm underflows to exactly +0.
+  EXPECT_EQ(Dot({denorm}, {denorm}), 0.0);
+  // denorm * 1 round-trips exactly.
+  EXPECT_EQ(Dot({denorm}, {1.0}), denorm);
+  // Cancellation at the denormal scale: (d + d) - d - d == 0 in any
+  // left-to-right or laned order.
+  EXPECT_EQ(Dot({denorm, denorm, -denorm, -denorm}, {1.0, 1.0, 1.0, 1.0}),
+            0.0);
 }
 
 /// Property sweep: BinomialCdf agrees with a direct summation of the PMF
