@@ -35,8 +35,9 @@ observability layer's counters and gauges ({"counters": {...},
 "gauges": {...}}). Counter values must be non-negative integers, gauge
 values finite numbers; the serve scenario must carry its lifetime
 counters (queries_total / relearns_total / publishes_total /
-sheds_total) so the trajectory records work done — and load shed — not
-just latency.
+sheds_total / events_dropped_total) and the slo_breached_rules gauge so
+the trajectory records work done — and load shed, event-ring overflow,
+and SLO health — not just latency.
 
 Usage: check_bench_schema.py BENCH_runtime.json
 """
@@ -131,12 +132,23 @@ OPTIONAL_TOP_LEVEL = {
 
 # Counters the serve scenario must record under metrics.counters: the
 # loadgen derives them from its own report (not the obs registry), so
-# they are present even in SLIMFAST_OBS=0 builds.
+# they are present even in SLIMFAST_OBS=0 builds. events_dropped_total
+# is the flight recorder's event-ring overflow count (0 in OBS-off
+# builds — the EventLog stub drops nothing because it records nothing).
 SERVE_REQUIRED_COUNTERS = [
     "queries_total",
     "relearns_total",
     "publishes_total",
     "sheds_total",
+    "events_dropped_total",
+]
+
+# Gauges the serve scenario must record under metrics.gauges:
+# slo_breached_rules is the number of SLO watchdog rules latched at the
+# end of the run (the loadgen configures no ceilings, so a healthy run
+# records 0; the key existing proves the HEALTH plumbing is wired).
+SERVE_REQUIRED_GAUGES = [
+    "slo_breached_rules",
 ]
 
 
@@ -214,6 +226,12 @@ def check_metrics(metrics, bench_name):
             fail(
                 f"serve metrics.counters missing required keys {missing} "
                 f"(have {sorted(counters)})"
+            )
+        missing = [n for n in SERVE_REQUIRED_GAUGES if n not in gauges]
+        if missing:
+            fail(
+                f"serve metrics.gauges missing required keys {missing} "
+                f"(have {sorted(gauges)})"
             )
 
 

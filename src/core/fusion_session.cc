@@ -252,6 +252,9 @@ Result<RelearnStats> FusionSession::Relearn() {
   stats.num_train_objects =
       static_cast<int32_t>(split.train_objects.size());
   stats.seconds = watch.ElapsedSeconds();
+  stats.learn_iterations = fit.learn_iterations;
+  stats.learn_converged = fit.learn_converged;
+  stats.learn_objective = fit.learn_objective;
   if (obs::Enabled()) {
     static obs::LatencyHistogram* relearn_hist =
         obs::GetHistogram("slimfast_core_relearn_seconds");

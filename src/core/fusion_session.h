@@ -55,6 +55,12 @@ struct RelearnStats {
   bool warm_started = false;
   int32_t num_train_objects = 0;
   double seconds = 0.0;
+  /// Learner iterations actually run (ERM epochs or EM iterations).
+  int32_t learn_iterations = 0;
+  /// Whether the learner met its tolerance before exhausting its budget.
+  bool learn_converged = false;
+  /// The learner's final objective (see SlimFastFit::learn_objective).
+  double learn_objective = 0.0;
 };
 
 /// A long-lived incremental fusion engine: `Ingest(batch)` absorbs new

@@ -129,6 +129,9 @@ Result<SlimFastFit> SlimFast::FitWithStructure(
   if (warm) model.SetWeights(*warm_weights);
   const CompiledInstance* inst = instance.get();
   Rng rng(seed);
+  int32_t learn_iterations = 0;
+  bool learn_converged = false;
+  double learn_objective = 0.0;
   if (algorithm == Algorithm::kErm) {
     ErmLearner learner(erm_options);
     auto stats = learner.Fit(dataset, split.train_objects, &model, &rng,
@@ -140,8 +143,15 @@ Result<SlimFastFit> SlimFast::FitWithStructure(
       SLIMFAST_ASSIGN_OR_RETURN(EmStats em_stats,
                                 em.Fit(dataset, split.train_objects, &model,
                                        &rng, exec, inst, warm));
-      (void)em_stats;
+      learn_iterations = em_stats.iterations;
+      learn_converged = em_stats.converged;
+      learn_objective = em_stats.final_expected_nll;
       algorithm = Algorithm::kEm;
+    } else {
+      const FitStats& erm_stats = stats.ValueOrDie();
+      learn_iterations = erm_stats.epochs;
+      learn_converged = erm_stats.converged;
+      learn_objective = erm_stats.final_loss;
     }
   } else {
     EmLearner learner(em_options);
@@ -149,7 +159,9 @@ Result<SlimFastFit> SlimFast::FitWithStructure(
         EmStats em_stats,
         learner.Fit(dataset, split.train_objects, &model, &rng, exec, inst,
                     warm));
-    (void)em_stats;
+    learn_iterations = em_stats.iterations;
+    learn_converged = em_stats.converged;
+    learn_objective = em_stats.final_expected_nll;
   }
 
   const double learn_seconds = learn_watch.ElapsedSeconds();
@@ -166,6 +178,9 @@ Result<SlimFastFit> SlimFast::FitWithStructure(
   }
   SlimFastFit fit{std::move(model), decision, algorithm, compile_seconds,
                   learn_seconds, std::move(instance), warm};
+  fit.learn_iterations = learn_iterations;
+  fit.learn_converged = learn_converged;
+  fit.learn_objective = learn_objective;
   return fit;
 }
 

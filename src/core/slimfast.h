@@ -28,6 +28,15 @@ struct SlimFastFit {
   /// True when the fit seeded from a previous weight vector and ran the
   /// warm refinement schedule instead of the cold-start budget.
   bool warm_started = false;
+  /// Learner convergence, from whichever learner ran: ERM epochs or EM
+  /// iterations actually executed.
+  int32_t learn_iterations = 0;
+  /// Whether the learner met its tolerance before exhausting its budget.
+  bool learn_converged = false;
+  /// The learner's final objective (ERM: regularized loss; EM: expected
+  /// negative log-likelihood). Comparable across relearns of the same
+  /// shard, which is what the flight recorder samples it for.
+  double learn_objective = 0.0;
 };
 
 /// The SLiMFast framework facade (Figure 3): compilation → optimizer →

@@ -1,0 +1,31 @@
+#include "obs/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace slimfast {
+namespace obs {
+
+namespace {
+/// Negative = no override, real clock. A plain atomic (not the obs
+/// enable switch): Clock must work even with observability disabled —
+/// uptime and STATS timestamps are not optional telemetry.
+std::atomic<int64_t> g_now_override{-1};
+}  // namespace
+
+int64_t Clock::NowNanos() {
+  const int64_t override_ns =
+      g_now_override.load(std::memory_order_relaxed);
+  if (override_ns >= 0) return override_ns;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t Clock::SetNowForTest(int64_t nanos) {
+  return g_now_override.exchange(nanos < 0 ? -1 : nanos,
+                                 std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace slimfast

@@ -1,0 +1,39 @@
+#ifndef SLIMFAST_OBS_CLOCK_H_
+#define SLIMFAST_OBS_CLOCK_H_
+
+#include <cstdint>
+
+namespace slimfast {
+namespace obs {
+
+/// The process's one monotonic clock. Every ad-hoc timestamp in the
+/// serving layer (uptime, snapshot age, time-series sample buckets,
+/// watchdog heartbeats) reads this instead of touching
+/// std::chrono directly, for two reasons: the numbers are mutually
+/// consistent (one epoch, one unit — nanoseconds since an arbitrary
+/// steady origin), and tests can freeze or advance time deterministically
+/// via SetNowForTest, which makes time-series bucketing and watchdog
+/// hysteresis testable without sleeps.
+class Clock {
+ public:
+  /// Current monotonic time in nanoseconds. Reads the test override
+  /// when one is set, the steady clock otherwise.
+  static int64_t NowNanos();
+
+  /// Seconds between two NowNanos() readings.
+  static double SecondsBetween(int64_t start_ns, int64_t end_ns) {
+    return static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+
+  /// Test hook: pins NowNanos() to `nanos` until cleared. Pass a
+  /// negative value to restore the real clock. Returns the previous
+  /// override (negative = real clock was active). Call from
+  /// single-threaded test sections only — production code never sets
+  /// this.
+  static int64_t SetNowForTest(int64_t nanos);
+};
+
+}  // namespace obs
+}  // namespace slimfast
+
+#endif  // SLIMFAST_OBS_CLOCK_H_

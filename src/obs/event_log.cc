@@ -1,0 +1,178 @@
+#include "obs/event_log.h"
+
+#include <cstdlib>
+
+#include "obs/clock.h"
+#include "obs/registry.h"
+
+namespace slimfast {
+namespace obs {
+
+namespace {
+constexpr int32_t kDefaultCapacity = 256;
+
+/// Minimal JSON string escaping for the mirror: quotes, backslashes,
+/// and control characters (events carry ASCII key=value text, so this
+/// covers everything Emit can receive).
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+}  // namespace
+
+const char* EventSeverityName(EventSeverity severity) {
+  switch (severity) {
+    case EventSeverity::kInfo:
+      return "INFO";
+    case EventSeverity::kWarn:
+      return "WARN";
+    case EventSeverity::kError:
+      return "ERROR";
+  }
+  return "INFO";
+}
+
+EventLog& EventLog::Global() {
+  static EventLog* log = [] {
+    EventLog* instance = new EventLog();  // leaks by design
+    const char* env = std::getenv("SLIMFAST_EVENT_LOG");
+    if (env != nullptr && env[0] != '\0') instance->SetMirrorFile(env);
+    return instance;
+  }();
+  return *log;
+}
+
+EventLog::EventLog() : EventLog(kDefaultCapacity) {}
+
+EventLog::EventLog(int32_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {
+  ring_.resize(static_cast<size_t>(capacity_));
+}
+
+EventLog::~EventLog() {
+  if (mirror_ != nullptr) std::fclose(mirror_);
+}
+
+void EventLog::Emit(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EmitLocked(std::move(event));
+}
+
+void EventLog::Emit(EventSeverity severity, const std::string& stage,
+                    int32_t shard, std::string message) {
+  Event event;
+  event.ts_ns = Clock::NowNanos();
+  event.severity = severity;
+  event.stage = stage;
+  event.shard = shard;
+  event.message = std::move(message);
+  Emit(std::move(event));
+}
+
+void EventLog::EmitLocked(Event event) {
+  ++total_;
+  if (mirror_ != nullptr) {
+    std::string line = "{\"ts_s\":";
+    char num[32];
+    std::snprintf(num, sizeof(num), "%.6f",
+                  static_cast<double>(event.ts_ns) * 1e-9);
+    line += num;
+    line += ",\"severity\":\"";
+    line += EventSeverityName(event.severity);
+    line += "\",\"stage\":\"";
+    AppendJsonEscaped(&line, event.stage);
+    line += "\",\"shard\":";
+    line += std::to_string(event.shard);
+    line += ",\"message\":\"";
+    AppendJsonEscaped(&line, event.message);
+    line += "\"}\n";
+    std::fwrite(line.data(), 1, line.size(), mirror_);
+    std::fflush(mirror_);
+  }
+  if (size_ == capacity_) {
+    // Drop-oldest: overwrite the head and advance it.
+    ring_[static_cast<size_t>(head_)] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+    if (Enabled()) {
+      static ShardedCounter* dropped_total =
+          GetCounter("slimfast_obs_events_dropped_total");
+      dropped_total->Increment();
+    }
+    return;
+  }
+  ring_[static_cast<size_t>((head_ + size_) % capacity_)] =
+      std::move(event);
+  ++size_;
+}
+
+std::vector<Event> EventLog::Recent(int32_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int32_t count = size_;
+  if (n > 0 && n < count) count = n;
+  std::vector<Event> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int32_t i = size_ - count; i < size_; ++i) {
+    out.push_back(ring_[static_cast<size_t>((head_ + i) % capacity_)]);
+  }
+  return out;
+}
+
+int64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+int64_t EventLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+bool EventLog::SetMirrorFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mirror_ != nullptr) {
+    std::fclose(mirror_);
+    mirror_ = nullptr;
+  }
+  if (path.empty()) return true;
+  mirror_ = std::fopen(path.c_str(), "a");
+  return mirror_ != nullptr;
+}
+
+void EventLog::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  total_ = 0;
+  if (mirror_ != nullptr) {
+    std::fclose(mirror_);
+    mirror_ = nullptr;
+  }
+}
+
+}  // namespace obs
+}  // namespace slimfast

@@ -1,0 +1,181 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+namespace slimfast {
+namespace obs {
+
+namespace {
+std::vector<SeriesResolution> DefaultResolutions() {
+  return {
+      {1'000'000'000LL, 120},    // 1s x 120: the last two minutes
+      {10'000'000'000LL, 180},   // 10s x 180: the last half hour
+      {60'000'000'000LL, 240},   // 60s x 240: the last four hours
+  };
+}
+}  // namespace
+
+TimeSeries::TimeSeries(std::string name, SeriesKind kind)
+    : TimeSeries(std::move(name), kind, DefaultResolutions()) {}
+
+TimeSeries::TimeSeries(std::string name, SeriesKind kind,
+                       std::vector<SeriesResolution> resolutions)
+    : name_(std::move(name)), kind_(kind) {
+  rings_.reserve(resolutions.size());
+  for (const SeriesResolution& res : resolutions) {
+    Ring ring;
+    ring.bucket_ns = std::max<int64_t>(1, res.bucket_ns);
+    ring.slots.assign(
+        static_cast<size_t>(std::max<int32_t>(2, res.capacity)), 0.0);
+    rings_.push_back(std::move(ring));
+  }
+}
+
+void TimeSeries::Record(int64_t now_ns, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latest_ = value;
+  for (Ring& ring : rings_) RecordLocked(&ring, now_ns, value);
+}
+
+void TimeSeries::RecordLocked(Ring* ring, int64_t now_ns, double value) {
+  const int64_t bucket = now_ns / ring->bucket_ns;
+  if (ring->tail_bucket < 0) {
+    ring->tail_bucket = bucket;
+    ring->tail_slot = 0;
+    ring->size = 1;
+    ring->slots[0] = value;
+    return;
+  }
+  if (bucket <= ring->tail_bucket) {
+    // Same bucket (or the clock stepped backwards in a test): last
+    // write wins in the current bucket.
+    ring->slots[static_cast<size_t>(ring->tail_slot)] = value;
+    return;
+  }
+  // Advance bucket by bucket so a sampling gap leaves carried-forward
+  // buckets rather than a discontinuity — but never further than one
+  // full ring (an hours-long gap must not spin the loop).
+  const int32_t capacity = static_cast<int32_t>(ring->slots.size());
+  int64_t steps = bucket - ring->tail_bucket;
+  if (steps > capacity) {
+    // The whole ring is stale: restart it at the new bucket.
+    ring->tail_bucket = bucket;
+    ring->tail_slot = 0;
+    ring->size = 1;
+    ring->slots[0] = value;
+    return;
+  }
+  const double carried = ring->slots[static_cast<size_t>(ring->tail_slot)];
+  while (steps-- > 0) {
+    ring->tail_slot = (ring->tail_slot + 1) % capacity;
+    ring->size = std::min(ring->size + 1, capacity);
+    // Empty intermediate buckets carry the previous value forward (a
+    // gauge keeps its level; a counter's total did not move).
+    ring->slots[static_cast<size_t>(ring->tail_slot)] = carried;
+  }
+  ring->tail_bucket = bucket;
+  ring->slots[static_cast<size_t>(ring->tail_slot)] = value;
+}
+
+std::vector<SeriesSample> TimeSeries::Samples(int32_t r,
+                                              int32_t max_samples) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (r < 0 || r >= static_cast<int32_t>(rings_.size())) return {};
+  return SamplesLocked(rings_[static_cast<size_t>(r)], max_samples);
+}
+
+std::vector<SeriesSample> TimeSeries::SamplesLocked(
+    const Ring& ring, int32_t max_samples) const {
+  std::vector<SeriesSample> out;
+  if (ring.size == 0) return out;
+  int32_t count = ring.size;
+  if (max_samples > 0) count = std::min(count, max_samples);
+  out.reserve(static_cast<size_t>(count));
+  const int32_t capacity = static_cast<int32_t>(ring.slots.size());
+  for (int32_t i = count - 1; i >= 0; --i) {
+    const int32_t slot =
+        ((ring.tail_slot - i) % capacity + capacity) % capacity;
+    SeriesSample sample;
+    sample.bucket_start_ns =
+        (ring.tail_bucket - i) * ring.bucket_ns;
+    sample.value = ring.slots[static_cast<size_t>(slot)];
+    out.push_back(sample);
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::Rates(int32_t r,
+                                      int32_t max_samples) const {
+  // One extra sample: rate i needs samples i-1 and i.
+  const std::vector<SeriesSample> samples =
+      Samples(r, max_samples > 0 ? max_samples + 1 : 0);
+  std::vector<double> rates;
+  if (samples.size() < 2) return rates;
+  const double bucket_seconds =
+      static_cast<double>(bucket_nanos(r)) * 1e-9;
+  rates.reserve(samples.size() - 1);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    const double prev = samples[i - 1].value;
+    const double cur = samples[i].value;
+    // Counter-reset handling: a decrease means the process restarted
+    // (or the counter was reset); the delta since the reset is the new
+    // value itself.
+    const double delta = cur >= prev ? cur - prev : cur;
+    rates.push_back(delta / bucket_seconds);
+  }
+  return rates;
+}
+
+double TimeSeries::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+void TimeSeries::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  latest_ = 0.0;
+  for (Ring& ring : rings_) {
+    ring.tail_bucket = -1;
+    ring.tail_slot = 0;
+    ring.size = 0;
+    std::fill(ring.slots.begin(), ring.slots.end(), 0.0);
+  }
+}
+
+TimeSeriesStore& TimeSeriesStore::Global() {
+  static TimeSeriesStore* store = new TimeSeriesStore();  // leaks by design
+  return *store;
+}
+
+TimeSeries* TimeSeriesStore::Series(const std::string& name,
+                                    SeriesKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, std::make_unique<TimeSeries>(name, kind))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> TimeSeriesStore::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& entry : series_) names.push_back(entry.first);
+  return names;  // std::map iterates sorted
+}
+
+TimeSeries* TimeSeriesStore::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+void TimeSeriesStore::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+}
+
+}  // namespace obs
+}  // namespace slimfast

@@ -1,0 +1,165 @@
+#ifndef SLIMFAST_OBS_TIMESERIES_H_
+#define SLIMFAST_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace slimfast {
+namespace obs {
+
+/// How a series' values combine and render: a gauge samples a level
+/// (queue depth, staleness), a counter samples a monotone total whose
+/// per-bucket *rate* is the interesting number (queries, relearns).
+enum class SeriesKind { kGauge, kCounter };
+
+/// One resolution of a time-series ring: `bucket_ns`-wide buckets,
+/// `capacity` of them, oldest overwritten first.
+struct SeriesResolution {
+  int64_t bucket_ns = 0;
+  int32_t capacity = 0;
+};
+
+/// One (timestamp, value) sample as rendered by Samples(): the bucket's
+/// start time and the last value recorded into it.
+struct SeriesSample {
+  int64_t bucket_start_ns = 0;
+  double value = 0.0;
+};
+
+/// A named in-process time-series: multi-resolution fixed-size ring
+/// buffers of (timestamp, value) samples, written by the serve driver's
+/// once-per-second pull tick (no background threads — the recorder costs
+/// nothing when nothing samples it) and read by the HISTORY verb and the
+/// SLO watchdog.
+///
+/// Downsampling is bucketing, not averaging: a sample lands in the
+/// bucket of each resolution that covers its timestamp, and a second
+/// sample in the same bucket overwrites the first (last-wins). Gauges
+/// therefore keep their most recent level per bucket; counters keep
+/// their most recent running total, from which Rate() derives per-bucket
+/// deltas with Prometheus-style counter-reset handling (a decrease reads
+/// as a reset, and the bucket's delta is the post-reset value, never
+/// negative).
+///
+/// Thread-safety: Record and the readers take a per-series mutex. The
+/// write path is one sampler thread at ~1 Hz and the read path is the
+/// protocol thread, so the lock is never contended in practice; it
+/// exists so HISTORY can't read a half-written bucket.
+class TimeSeries {
+ public:
+  /// A series with the default resolutions: 1s x 120, 10s x 180,
+  /// 60s x 240 (2 minutes of fine detail, 30 minutes of mid, 4 hours of
+  /// coarse).
+  TimeSeries(std::string name, SeriesKind kind);
+
+  /// A series with explicit resolutions (coarsest last); used by tests
+  /// to shrink the rings.
+  TimeSeries(std::string name, SeriesKind kind,
+             std::vector<SeriesResolution> resolutions);
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  const std::string& name() const { return name_; }
+  SeriesKind kind() const { return kind_; }
+  int32_t num_resolutions() const {
+    return static_cast<int32_t>(rings_.size());
+  }
+  /// Bucket width of resolution `r`, in nanoseconds.
+  int64_t bucket_nanos(int32_t r) const {
+    return rings_[static_cast<size_t>(r)].bucket_ns;
+  }
+  /// Ring capacity of resolution `r`, in buckets.
+  int32_t capacity(int32_t r) const {
+    return static_cast<int32_t>(
+        rings_[static_cast<size_t>(r)].slots.size());
+  }
+
+  /// Records `value` at `now_ns` into every resolution: same bucket
+  /// overwrites (last wins), a new bucket advances the ring (dropping
+  /// the oldest once full). Time going backwards (a test rewinding the
+  /// clock) is tolerated by overwriting the current bucket.
+  void Record(int64_t now_ns, double value);
+
+  /// The resolved samples of resolution `r`, oldest first. `max_samples`
+  /// <= 0 returns the whole ring's contents.
+  std::vector<SeriesSample> Samples(int32_t r,
+                                    int32_t max_samples = 0) const;
+
+  /// Per-bucket counter rates (delta per second) aligned with
+  /// Samples(r): rate[i] covers the step from sample i-1 to sample i,
+  /// so the result has one fewer entry than the sample list (empty for
+  /// fewer than two samples). A value drop is treated as a counter
+  /// reset: the delta is the new value itself, never negative.
+  std::vector<double> Rates(int32_t r, int32_t max_samples = 0) const;
+
+  /// The most recently recorded raw value (0.0 before the first
+  /// Record). Used by the watchdog, which wants the live level, not a
+  /// bucket.
+  double Latest() const;
+
+  /// Test-only: forgets every sample.
+  void ResetForTest();
+
+ private:
+  struct Ring {
+    int64_t bucket_ns = 0;
+    /// Bucket index (now_ns / bucket_ns) of slots' logical tail; -1
+    /// until the first record.
+    int64_t tail_bucket = -1;
+    /// Occupied slots, <= slots.size().
+    int32_t size = 0;
+    /// Physical slot of the tail bucket.
+    int32_t tail_slot = 0;
+    std::vector<double> slots;
+  };
+
+  void RecordLocked(Ring* ring, int64_t now_ns, double value);
+  std::vector<SeriesSample> SamplesLocked(const Ring& ring,
+                                          int32_t max_samples) const;
+
+  const std::string name_;
+  const SeriesKind kind_;
+  mutable std::mutex mu_;
+  std::vector<Ring> rings_;
+  double latest_ = 0.0;
+};
+
+/// Process-wide name -> TimeSeries map, mirroring the metric Registry:
+/// registration takes a mutex once per site, the returned pointer is
+/// cached and never dangles (the store leaks by design). The serve
+/// driver registers its series at startup and the HISTORY verb lists /
+/// reads them.
+class TimeSeriesStore {
+ public:
+  static TimeSeriesStore& Global();
+
+  /// Returns the series registered under `name`, creating it (with the
+  /// default resolutions) on first use. A kind mismatch on an existing
+  /// series keeps the original kind.
+  TimeSeries* Series(const std::string& name, SeriesKind kind);
+
+  /// Sorted names of every registered series.
+  std::vector<std::string> Names() const;
+
+  /// The series registered under `name`, or nullptr.
+  TimeSeries* Find(const std::string& name) const;
+
+  /// Test-only: drops every series (invalidates cached pointers).
+  void ResetForTest();
+
+ private:
+  TimeSeriesStore() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> series_;
+};
+
+}  // namespace obs
+}  // namespace slimfast
+
+#endif  // SLIMFAST_OBS_TIMESERIES_H_

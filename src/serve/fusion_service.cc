@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <future>
 #include <utility>
 
+#include "obs/clock.h"
+#include "obs/event_log.h"
 #include "obs/registry.h"
+#include "obs/slow_log.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/durability.h"
 
@@ -30,12 +35,18 @@ bool RelearnDue(int64_t applied_batches, int32_t every_batches) {
   return every_batches > 0 && applied_batches % every_batches == 0;
 }
 
-/// steady_clock nanos since its (arbitrary) epoch; the unit the
-/// snapshot-age gauge works in.
-int64_t NowNanos() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+/// Monotonic nanos; every serve timestamp (uptime, snapshot age,
+/// staleness anchors, heartbeat, recorder buckets) reads the one
+/// obs::Clock so they share an epoch and tests can pin them together.
+int64_t NowNanos() { return obs::Clock::NowNanos(); }
+
+/// The QUERY verb's latency histogram — the watchdog's query_p99 input.
+/// One name shared with the line protocol's per-verb timer, so HEALTH
+/// judges exactly the latency clients see.
+obs::LatencyHistogram* QueryVerbHistogram() {
+  static obs::LatencyHistogram* hist = obs::GetHistogram(
+      "slimfast_serve_verb_latency_seconds{verb=\"QUERY\"}");
+  return hist;
 }
 
 /// Registers the per-shard stage timer for (`stage`, `shard`).
@@ -56,7 +67,10 @@ FusionService::FusionService(FusionServiceOptions options,
       num_values_(num_values),
       router_(options_.num_shards),
       shard_exec_(options_.shard_exec),
-      queue_(options_.queue_capacity) {}
+      queue_(options_.queue_capacity),
+      created_ns_(NowNanos()) {
+  last_tick_ns_.store(created_ns_, std::memory_order_relaxed);
+}
 
 Result<std::unique_ptr<FusionService>> FusionService::Create(
     int32_t num_sources, int32_t num_objects, int32_t num_values,
@@ -116,6 +130,8 @@ Result<std::unique_ptr<FusionService>> FusionService::Create(
     service->shed_queue_batches_ =
         std::max<size_t>(1, static_cast<size_t>(batches));
   }
+  service->watchdog_ =
+      std::make_unique<obs::SloWatchdog>(service->options_.slo);
   if (service->options_.durability.enabled()) {
     SLIMFAST_RETURN_NOT_OK(service->RecoverFromDir(features));
   }
@@ -143,6 +159,10 @@ Result<std::unique_ptr<FusionService>> FusionService::Recover(
 Status FusionService::RecoverFromDir(const FeatureSpace& features) {
   obs::TraceSpan span("serve.recover");
   const std::string& dir = options_.durability.wal_dir;
+  if (obs::Enabled()) {
+    obs::EventLog::Global().Emit(obs::EventSeverity::kInfo, "recovery",
+                                 -1, "started dir=" + dir);
+  }
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -191,12 +211,14 @@ Status FusionService::RecoverFromDir(const FeatureSpace& features) {
   // oracle), then run the drain-equivalent final relearn — so the
   // recovered snapshots are exactly what OfflineShardedReplay computes
   // for the acknowledged prefix.
+  int64_t replayed = 0;
   SLIMFAST_RETURN_NOT_OK(ReplayWal(
       dir, static_cast<uint64_t>(applied_batches_),
       [&](const WalRecord& record) -> Status {
         recovered_ = true;
         ApplyBatch(record.batch);
         ++applied_batches_;
+        ++replayed;
         CountTriggerRelearn("recover");
         return Status::OK();
       }));
@@ -205,6 +227,14 @@ Status FusionService::RecoverFromDir(const FeatureSpace& features) {
   SLIMFAST_ASSIGN_OR_RETURN(
       wal_, WalWriter::Open(dir, options_.durability.wal,
                             static_cast<uint64_t>(applied_batches_) + 1));
+  if (obs::Enabled()) {
+    obs::EventLog::Global().Emit(
+        obs::EventSeverity::kInfo, "recovery", -1,
+        "finished applied_batches=" +
+            std::to_string(applied_batches_.load()) +
+            " replayed=" + std::to_string(replayed) +
+            " from_checkpoint=" + (recovered_ && replayed == 0 ? "1" : "0"));
+  }
   return Status::OK();
 }
 
@@ -268,8 +298,20 @@ Status FusionService::SubmitWithBackpressure(ObservationBatch batch,
           sched.shed_backlog_watermark;
   if (!over_queue && !over_backlog) {
     Status tried = TrySubmit(std::move(batch));
-    if (!tried.IsOutOfRange()) return tried;  // accepted, or stopped
+    if (!tried.IsOutOfRange()) {  // accepted, or stopped
+      if (tried.ok() && obs::Enabled() &&
+          shed_burst_.exchange(false, std::memory_order_relaxed)) {
+        obs::EventLog::Global().Emit(obs::EventSeverity::kInfo,
+                                     "admission", -1, "shed burst exited");
+      }
+      return tried;
+    }
     if (retry_after_ms != nullptr) *retry_after_ms = RetryHintMs();
+    if (obs::Enabled() &&
+        !shed_burst_.exchange(true, std::memory_order_relaxed)) {
+      obs::EventLog::Global().Emit(obs::EventSeverity::kWarn, "admission",
+                                   -1, "shed burst entered reason=queue_full");
+    }
     return tried;
   }
   if (queue_.closed()) {
@@ -279,6 +321,12 @@ Status FusionService::SubmitWithBackpressure(ObservationBatch batch,
     static obs::ShardedCounter* busy_sheds =
         obs::GetCounter("slimfast_serve_busy_sheds_total");
     busy_sheds->Increment();
+    if (!shed_burst_.exchange(true, std::memory_order_relaxed)) {
+      obs::EventLog::Global().Emit(
+          obs::EventSeverity::kWarn, "admission", -1,
+          std::string("shed burst entered reason=") +
+              (over_queue ? "queue_watermark" : "backlog_watermark"));
+    }
   }
   if (retry_after_ms != nullptr) *retry_after_ms = RetryHintMs();
   std::lock_guard<std::mutex> lock(state_mu_);
@@ -364,6 +412,12 @@ Status FusionService::WriteCheckpoint() {
     SLIMFAST_RETURN_NOT_OK(wal_->Rotate());
     SLIMFAST_RETURN_NOT_OK(wal_->RemoveSegmentsBefore(applied + 1));
   }
+  if (obs::Enabled()) {
+    obs::EventLog::Global().Emit(
+        obs::EventSeverity::kInfo, "checkpoint", -1,
+        "written applied_batches=" + std::to_string(applied) +
+            " shards=" + std::to_string(shards_.size()));
+  }
   return Status::OK();
 }
 
@@ -377,7 +431,12 @@ void FusionService::Stop() {
 }
 
 void FusionService::DriverLoop() {
-  const bool timed = options_.staleness_budget_seconds > 0.0;
+  // Timed mode serves two masters: the staleness budget's wall-clock
+  // sweep and the flight recorder's sampling tick (the pull model — the
+  // driver's poll wakeup is the "background thread" the recorder never
+  // spawns). With both off the loop blocks indefinitely, costing zero.
+  const bool timed =
+      options_.staleness_budget_seconds > 0.0 || obs::Enabled();
   const auto poll = std::chrono::milliseconds(10);
   for (;;) {
     std::vector<Command> group =
@@ -392,9 +451,11 @@ void FusionService::DriverLoop() {
       // returns empty only when closed-and-drained, so this condition
       // is then always true.
       if (queue_.closed() && queue_.size() == 0) break;
-      // Timed wakeup with nothing queued: only the staleness budget can
-      // have work for us.
+      // Timed wakeup with nothing queued: only the staleness budget and
+      // the recorder tick can have work for us.
       if (StalenessExceeded()) RelearnPending("staleness");
+      last_tick_ns_.store(NowNanos(), std::memory_order_relaxed);
+      MaybeRecordSample();
       continue;
     }
     for (Command& command : group) {
@@ -440,6 +501,8 @@ void FusionService::DriverLoop() {
       CountTriggerRelearn("policy");
     }
     if (timed && StalenessExceeded()) RelearnPending("staleness");
+    last_tick_ns_.store(NowNanos(), std::memory_order_relaxed);
+    MaybeRecordSample();
     std::lock_guard<std::mutex> lock(state_mu_);
     UpdateSessionStatsLocked();
   }
@@ -523,6 +586,12 @@ void FusionService::RelearnPending(const char* reason) {
     all[s] = static_cast<int32_t>(s);
   }
   RelearnShards(all, reason);
+  if (obs::Enabled() && std::strcmp(reason, "staleness") == 0) {
+    obs::EventLog::Global().Emit(
+        obs::EventSeverity::kInfo, "staleness", -1,
+        "staleness sweep published pending shards budget_s=" +
+            std::to_string(options_.staleness_budget_seconds));
+  }
   if (scheduler_ != nullptr) {
     scheduler_->NoteFlush(applied_batches_.load(std::memory_order_relaxed));
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -585,6 +654,7 @@ void FusionService::RelearnShards(const std::vector<int32_t>& order,
                                Status::OK());
   std::vector<uint8_t> relearned(static_cast<size_t>(num_shards), 0);
   std::vector<uint8_t> published(static_cast<size_t>(num_shards), 0);
+  std::vector<RelearnStats> shard_stats(static_cast<size_t>(num_shards));
   RunSharded(&shard_exec_, static_cast<int32_t>(order.size()),
              [&](int32_t i) {
     const int32_t s = order[static_cast<size_t>(i)];
@@ -600,6 +670,7 @@ void FusionService::RelearnShards(const std::vector<int32_t>& order,
         return;
       }
       relearned[static_cast<size_t>(s)] = 1;
+      shard_stats[static_cast<size_t>(s)] = *stats;
       shard.pending = 0;
       pending_since_ns_[static_cast<size_t>(s)].store(
           0, std::memory_order_relaxed);
@@ -639,6 +710,33 @@ void FusionService::RelearnShards(const std::vector<int32_t>& order,
         obs::GetCounter("slimfast_serve_publishes_total");
     relearns_total->Add(relearns);
     publishes_total->Add(publishes);
+    int32_t max_iterations = 0;
+    for (int32_t s = 0; s < num_shards; ++s) {
+      if (relearned[static_cast<size_t>(s)] == 0) continue;
+      const RelearnStats& rs = shard_stats[static_cast<size_t>(s)];
+      if (rs.learn_iterations > max_iterations) {
+        max_iterations = rs.learn_iterations;
+      }
+      obs::SlowLog::Global().Offer(
+          "relearn", static_cast<int64_t>(rs.seconds * 1e9), s,
+          std::string("algorithm=") +
+              (rs.algorithm_used == Algorithm::kErm ? "erm" : "em") +
+              " iterations=" + std::to_string(rs.learn_iterations) +
+              (rs.warm_started ? " warm=1" : " warm=0"));
+      if (!rs.learn_converged) {
+        obs::EventLog::Global().Emit(
+            obs::EventSeverity::kWarn, "relearn", s,
+            std::string("non-converged algorithm=") +
+                (rs.algorithm_used == Algorithm::kErm ? "erm" : "em") +
+                " iterations=" + std::to_string(rs.learn_iterations) +
+                " objective=" + std::to_string(rs.learn_objective));
+      }
+    }
+    if (relearns > 0) {
+      obs::TimeSeriesStore::Global()
+          .Series("serve.relearn_iterations", obs::SeriesKind::kGauge)
+          ->Record(NowNanos(), static_cast<double>(max_iterations));
+    }
   }
   int64_t backlog = 0;
   for (const Shard& shard : shards_) backlog += shard.pending;
@@ -675,6 +773,9 @@ void FusionService::RelearnShards(const std::vector<int32_t>& order,
 }
 
 bool FusionService::StalenessExceeded() const {
+  // The driver also polls for the recorder tick; with the budget off a
+  // 0.0 threshold must not read every pending batch as "stale".
+  if (options_.staleness_budget_seconds <= 0.0) return false;
   for (const Shard& shard : shards_) {
     // Only fittable shards count: a truth-only shard stays pending
     // until observations arrive, and repeatedly "relearning" it would
@@ -686,6 +787,92 @@ bool FusionService::StalenessExceeded() const {
     }
   }
   return false;
+}
+
+void FusionService::MaybeRecordSample() {
+  if (!obs::Enabled()) return;
+  const int64_t now = NowNanos();
+  if (last_sample_ns_ != 0 && now - last_sample_ns_ < 1'000'000'000) {
+    return;
+  }
+  last_sample_ns_ = now;
+  obs::TimeSeriesStore& store = obs::TimeSeriesStore::Global();
+  store.Series("serve.queue_depth", obs::SeriesKind::kGauge)
+      ->Record(now, static_cast<double>(queue_.size()));
+  store.Series("serve.relearn_backlog", obs::SeriesKind::kGauge)
+      ->Record(now, static_cast<double>(
+                        relearn_backlog_.load(std::memory_order_relaxed)));
+  const int64_t published_ns =
+      last_publish_ns_.load(std::memory_order_relaxed);
+  store.Series("serve.snapshot_age_seconds", obs::SeriesKind::kGauge)
+      ->Record(now, published_ns == 0
+                        ? 0.0
+                        : obs::Clock::SecondsBetween(published_ns, now));
+  store.Series("serve.query_p99_seconds", obs::SeriesKind::kGauge)
+      ->Record(now, static_cast<double>(
+                        QueryVerbHistogram()->PercentileNanos(0.99)) *
+                        1e-9);
+  store.Series("serve.batches_applied", obs::SeriesKind::kCounter)
+      ->Record(now, static_cast<double>(
+                        applied_batches_.load(std::memory_order_relaxed)));
+  store.Series("serve.queries", obs::SeriesKind::kCounter)
+      ->Record(now, static_cast<double>(queries_.Value()));
+  static obs::ShardedCounter* relearns_total =
+      obs::GetCounter("slimfast_serve_relearns_total");
+  store.Series("serve.relearns", obs::SeriesKind::kCounter)
+      ->Record(now, static_cast<double>(relearns_total->Value()));
+  if (watchdog_ != nullptr && watchdog_->active()) EvaluateSlo();
+}
+
+obs::SloVerdict FusionService::EvaluateSlo() const {
+  obs::SloInputs inputs;
+  inputs.query_p99_seconds =
+      static_cast<double>(QueryVerbHistogram()->PercentileNanos(0.99)) *
+      1e-9;
+  for (int32_t s = 0; s < router_.num_shards(); ++s) {
+    const double age =
+        static_cast<double>(ShardPendingAgeNanos(s)) * 1e-9;
+    if (age > inputs.max_staleness_seconds) {
+      inputs.max_staleness_seconds = age;
+    }
+  }
+  const size_t capacity = queue_.capacity();
+  inputs.queue_fraction =
+      capacity == 0 ? 0.0
+                    : static_cast<double>(queue_.size()) /
+                          static_cast<double>(capacity);
+  const double heartbeat_age = obs::Clock::SecondsBetween(
+      last_tick_ns_.load(std::memory_order_relaxed), NowNanos());
+  inputs.heartbeat_age_seconds = heartbeat_age > 0.0 ? heartbeat_age : 0.0;
+  inputs.backlog_nonzero =
+      relearn_backlog_.load(std::memory_order_relaxed) > 0;
+
+  obs::SloVerdict verdict = watchdog_->Evaluate(inputs);
+  for (const obs::SloTransition& t : verdict.transitions) {
+    obs::EventLog::Global().Emit(
+        t.breached ? obs::EventSeverity::kWarn : obs::EventSeverity::kInfo,
+        "slo", -1,
+        "rule=" + t.rule + (t.breached ? " breached" : " cleared") +
+            " value=" + std::to_string(t.value) +
+            " ceiling=" + std::to_string(t.ceiling));
+    obs::GetGauge("slimfast_serve_slo_breached{rule=\"" + t.rule + "\"}")
+        ->Set(t.breached ? 1.0 : 0.0);
+  }
+  return verdict;
+}
+
+std::string FusionService::Health() const {
+  if (!obs::Enabled() || watchdog_ == nullptr || !watchdog_->active()) {
+    return "OK";
+  }
+  const obs::SloVerdict verdict = EvaluateSlo();
+  if (verdict.ok) return "OK";
+  std::string reply = "DEGRADED ";
+  for (size_t i = 0; i < verdict.breached_rules.size(); ++i) {
+    if (i > 0) reply += ",";
+    reply += verdict.breached_rules[i];
+  }
+  return reply;
 }
 
 void FusionService::RecordShardTraffic(int32_t shard) const {
@@ -771,7 +958,7 @@ FusionServiceStats FusionService::stats() const {
   std::lock_guard<std::mutex> lock(state_mu_);
   FusionServiceStats copy = stats_;
   copy.queries = queries_.Value();
-  copy.uptime_seconds = uptime_.ElapsedSeconds();
+  copy.uptime_seconds = obs::Clock::SecondsBetween(created_ns_, NowNanos());
   copy.recovered = recovered_;
   copy.lifetime_batches = applied_batches_.load(std::memory_order_relaxed);
   // The per-shard session state survives checkpoint/Restore, so these
@@ -842,7 +1029,7 @@ void FusionService::UpdateObsGauges() const {
           : static_cast<double>(NowNanos() - published_ns) * 1e-9);
   snapshot_version->Set(
       static_cast<double>(applied_batches_.load(std::memory_order_relaxed)));
-  uptime->Set(uptime_.ElapsedSeconds());
+  uptime->Set(obs::Clock::SecondsBetween(created_ns_, NowNanos()));
   queries->Set(static_cast<double>(queries_.Value()));
 }
 

@@ -19,6 +19,7 @@
 #include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
+#include "obs/watchdog.h"
 #include "serve/router.h"
 #include "serve/scheduler.h"
 #include "serve/snapshot_slot.h"
@@ -80,6 +81,11 @@ struct FusionServiceOptions {
   /// policy above then drains every pending shard per trigger). See
   /// SchedulerOptions.
   SchedulerOptions scheduler;
+  /// SLO rules the flight-recorder watchdog evaluates on the driver's
+  /// sampling tick and on demand via HEALTH (all off by default; see
+  /// SloWatchdogOptions). Purely observational — breaches flip gauges
+  /// and emit events, never change scheduling or results.
+  obs::SloWatchdogOptions slo;
 };
 
 /// Operational counters of a FusionService (see stats()).
@@ -339,6 +345,13 @@ class FusionService {
   /// right before rendering; no-op when observability is off.
   void UpdateObsGauges() const;
 
+  /// The HEALTH verb's answer: "OK" when no SLO rule is latched (or no
+  /// rule is configured / observability is off), otherwise
+  /// "DEGRADED <rule>[,<rule>...]". Evaluates the watchdog against live
+  /// inputs, so a breach shows up here even between driver sampling
+  /// ticks; transitions it causes emit events exactly like the tick's.
+  std::string Health() const;
+
  private:
   /// One queue entry: a batch, a flush marker Drain waits on, or a
   /// checkpoint request.
@@ -409,8 +422,18 @@ class FusionService {
   /// Count trigger dispatch: scheduler decision when enabled, flat
   /// RelearnPending otherwise. Shared by the driver loop and recovery.
   void CountTriggerRelearn(const char* reason);
-  /// True when the staleness budget forces a relearn now.
+  /// True when the staleness budget forces a relearn now (always false
+  /// with the budget disabled — the driver may still poll on a timer
+  /// for the flight recorder's sampling tick).
   bool StalenessExceeded() const;
+  /// The driver's ~1 Hz flight-recorder tick: records the serve
+  /// time-series and evaluates the watchdog. Rate-limited internally;
+  /// no-op when observability is off. Driver thread only.
+  void MaybeRecordSample();
+  /// Gathers live SLO inputs, evaluates the watchdog, and turns any
+  /// rule transitions into events + slo_breached gauge flips. Callers
+  /// must check watchdog_/active()/obs::Enabled() first.
+  obs::SloVerdict EvaluateSlo() const;
   /// Backoff hint for shed producers: the observed relearn-cycle time
   /// scaled by the current queue + backlog pressure, clamped to
   /// [1ms, 30s].
@@ -443,8 +466,10 @@ class FusionService {
   /// (and the Create-thread recovery path before the driver starts);
   /// atomic so stats()/UpdateObsGauges can read it from any thread.
   std::atomic<int64_t> applied_batches_{0};
-  /// Started at construction; feeds FusionServiceStats::uptime_seconds.
-  Stopwatch uptime_;
+  /// obs::Clock::NowNanos() at construction; feeds
+  /// FusionServiceStats::uptime_seconds (through the same clock every
+  /// other serve timestamp reads, so tests can pin it).
+  int64_t created_ns_ = 0;
   /// Set during RecoverFromDir (before the driver starts, so plain
   /// bool): a checkpoint was restored and/or WAL records were replayed.
   bool recovered_ = false;
@@ -476,6 +501,20 @@ class FusionService {
   /// (0 = queue watermark disabled). Precomputed from
   /// scheduler.shed_queue_watermark at Create.
   size_t shed_queue_batches_ = 0;
+
+  /// The SLO watchdog (always constructed; inert unless some ceiling in
+  /// options_.slo is set). Internally synchronized — evaluated from the
+  /// driver tick and from HEALTH concurrently.
+  std::unique_ptr<obs::SloWatchdog> watchdog_;
+  /// obs::Clock nanos of the driver loop's most recent completed
+  /// iteration — the heartbeat behind the relearn_stall rule.
+  std::atomic<int64_t> last_tick_ns_{0};
+  /// Clock nanos of the last flight-recorder sample; driver-only, so
+  /// plain. 0 = never sampled.
+  int64_t last_sample_ns_ = 0;
+  /// True while admission control is inside a shed burst; flips emit
+  /// the burst-entered/exited events exactly once per burst.
+  mutable std::atomic<bool> shed_burst_{false};
 
   mutable std::mutex state_mu_;
   FusionServiceStats stats_;                       // guarded by state_mu_

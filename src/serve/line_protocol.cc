@@ -8,8 +8,11 @@
 #include <utility>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
+#include "obs/slow_log.h"
+#include "obs/timeseries.h"
 #include "util/hash.h"
 
 namespace slimfast {
@@ -64,6 +67,15 @@ obs::LatencyHistogram* VerbHistogram(const std::string& verb) {
            "slimfast_serve_verb_latency_seconds{verb=\"CHECKPOINT\"}")},
       {"SCHED", obs::GetHistogram(
                     "slimfast_serve_verb_latency_seconds{verb=\"SCHED\"}")},
+      {"HEALTH", obs::GetHistogram(
+                     "slimfast_serve_verb_latency_seconds{verb=\"HEALTH\"}")},
+      {"HISTORY",
+       obs::GetHistogram(
+           "slimfast_serve_verb_latency_seconds{verb=\"HISTORY\"}")},
+      {"EVENTS", obs::GetHistogram(
+                     "slimfast_serve_verb_latency_seconds{verb=\"EVENTS\"}")},
+      {"SLOW", obs::GetHistogram(
+                   "slimfast_serve_verb_latency_seconds{verb=\"SLOW\"}")},
       {"DRAIN", obs::GetHistogram(
                     "slimfast_serve_verb_latency_seconds{verb=\"DRAIN\"}")},
       {"QUIT", obs::GetHistogram(
@@ -84,10 +96,17 @@ std::string LineProtocol::HandleLine(const std::string& line, bool* quit) {
   const auto start = std::chrono::steady_clock::now();
   std::string reply = HandleLineInner(line, quit);
   const size_t verb_end = line.find(' ');
-  VerbHistogram(line.substr(0, verb_end))
-      ->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                   std::chrono::steady_clock::now() - start)
-                   .count());
+  const std::string verb = line.substr(0, verb_end);
+  const int64_t elapsed_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  VerbHistogram(verb)->Record(elapsed_ns);
+  if (verb == "QUERY" || verb == "POSTERIOR") {
+    // Slow-query exemplars: the adaptive threshold tracks the EWMA of
+    // every query, so only genuine tail outliers are captured.
+    obs::SlowLog::Global().Offer(verb, elapsed_ns, /*shard=*/-1, line);
+  }
   return reply;
 }
 
@@ -212,6 +231,115 @@ std::string LineProtocol::HandleLineInner(const std::string& line,
     return text;
   }
 
+  if (command == "HEALTH") {
+    if (!args.empty()) return "ERR usage: HEALTH";
+    return service_->Health();
+  }
+
+  if (command == "EVENTS") {
+    int32_t n = 0;
+    if (args.size() > 1 || (args.size() == 1 && !ParseId(args[0], &n))) {
+      return "ERR usage: EVENTS [n]";
+    }
+    if (!obs::Enabled()) {
+      return "# observability disabled (SLIMFAST_OBS=0)\n# EOF";
+    }
+    obs::EventLog& log = obs::EventLog::Global();
+    const std::vector<obs::Event> events = log.Recent(n);
+    std::string reply =
+        "EVENTS n=" + std::to_string(events.size()) +
+        " dropped=" + std::to_string(log.dropped());
+    for (const obs::Event& event : events) {
+      reply += "\n" + FormatDouble(static_cast<double>(event.ts_ns) * 1e-9) +
+               " " + obs::EventSeverityName(event.severity) + " " +
+               event.stage + " shard=" + std::to_string(event.shard) + " " +
+               event.message;
+    }
+    return reply + "\n# EOF";
+  }
+
+  if (command == "HISTORY") {
+    if (args.size() > 2) return "ERR usage: HISTORY [series] [window_s]";
+    if (!obs::Enabled()) {
+      return "# observability disabled (SLIMFAST_OBS=0)\n# EOF";
+    }
+    obs::TimeSeriesStore& store = obs::TimeSeriesStore::Global();
+    if (args.empty()) {
+      const std::vector<std::string> names = store.Names();
+      std::string reply = "HISTORY series=" + std::to_string(names.size());
+      for (const std::string& name : names) reply += "\n" + name;
+      return reply + "\n# EOF";
+    }
+    obs::TimeSeries* series = store.Find(args[0]);
+    if (series == nullptr) {
+      return "ERR unknown series '" + args[0] +
+             "' (bare HISTORY lists them)";
+    }
+    int32_t window_s = 0;
+    if (args.size() == 2 && !ParseId(args[1], &window_s)) {
+      return "ERR usage: HISTORY [series] [window_s]";
+    }
+    // Pick the finest resolution whose ring spans the window (the
+    // coarsest one when nothing does); no window = the finest ring.
+    int32_t r = 0;
+    int32_t max_samples = 0;
+    if (window_s > 0) {
+      const int64_t window_ns = static_cast<int64_t>(window_s) * 1'000'000'000;
+      r = series->num_resolutions() - 1;
+      for (int32_t i = 0; i < series->num_resolutions(); ++i) {
+        if (series->bucket_nanos(i) * series->capacity(i) >= window_ns) {
+          r = i;
+          break;
+        }
+      }
+      max_samples = static_cast<int32_t>(
+          (window_ns + series->bucket_nanos(r) - 1) /
+          series->bucket_nanos(r));
+    }
+    const std::vector<obs::SeriesSample> samples =
+        series->Samples(r, max_samples);
+    const bool counter = series->kind() == obs::SeriesKind::kCounter;
+    const std::vector<double> rates =
+        counter ? series->Rates(r, max_samples) : std::vector<double>();
+    std::string reply =
+        "HISTORY " + args[0] + " kind=" + (counter ? "counter" : "gauge") +
+        " res=" + std::to_string(series->bucket_nanos(r) / 1'000'000'000) +
+        "s samples=" + std::to_string(samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+      reply += "\n" +
+               FormatDouble(static_cast<double>(samples[i].bucket_start_ns) *
+                            1e-9) +
+               " " + FormatDouble(samples[i].value);
+      if (counter) {
+        // rates[i-1] covers the step into sample i; the first bucket has
+        // no predecessor to difference against.
+        reply += i == 0 ? " -" : " " + FormatDouble(rates[i - 1]);
+      }
+    }
+    return reply + "\n# EOF";
+  }
+
+  if (command == "SLOW") {
+    int32_t n = 0;
+    if (args.size() > 1 || (args.size() == 1 && !ParseId(args[0], &n))) {
+      return "ERR usage: SLOW [n]";
+    }
+    if (!obs::Enabled()) {
+      return "# observability disabled (SLIMFAST_OBS=0)\n# EOF";
+    }
+    obs::SlowLog& log = obs::SlowLog::Global();
+    const std::vector<obs::SlowExemplar> exemplars = log.Recent(n);
+    std::string reply =
+        "SLOW n=" + std::to_string(exemplars.size()) +
+        " threshold_ns=" + std::to_string(log.ThresholdNanos());
+    for (const obs::SlowExemplar& e : exemplars) {
+      reply += "\n" + FormatDouble(static_cast<double>(e.ts_ns) * 1e-9) +
+               " " + e.kind + " " + std::to_string(e.duration_ns) +
+               "ns shard=" + std::to_string(e.shard) + " " + e.detail;
+    }
+    return reply + "\n# EOF";
+  }
+
   if (command == "STATS") {
     if (!args.empty()) return "ERR usage: STATS";
     const FusionServiceStats stats = service_->stats();
@@ -302,8 +430,8 @@ std::string LineProtocol::HandleLineInner(const std::string& line,
   }
 
   return "ERR unknown command '" + command +
-         "' (OBS TRUTH COMMIT QUERY POSTERIOR STATS METRICS SCHED "
-         "CHECKPOINT DRAIN QUIT)";
+         "' (OBS TRUTH COMMIT QUERY POSTERIOR STATS METRICS HEALTH "
+         "HISTORY EVENTS SLOW SCHED CHECKPOINT DRAIN QUIT)";
 }
 
 }  // namespace slimfast

@@ -25,6 +25,15 @@ namespace slimfast {
 ///   STATS                           service counters         -> STATS ...
 ///   METRICS                         Prometheus dump          -> multi-line,
 ///                                   "# EOF" terminated
+///   HEALTH                          SLO watchdog verdict     -> OK or
+///                                   DEGRADED <rule>[,<rule>...]
+///   HISTORY [series] [window]       flight-recorder          -> multi-line,
+///                                   time-series (bare HISTORY lists the
+///                                   series names), "# EOF" terminated
+///   EVENTS [n]                      recent structured events -> multi-line,
+///                                   "# EOF" terminated
+///   SLOW [n]                        slow-operation exemplars -> multi-line,
+///                                   "# EOF" terminated
 ///   SCHED                           scheduler + admission    -> SCHED ...
 ///                                   state (per-shard priorities)
 ///   CHECKPOINT                      durable checkpoint + WAL -> OK

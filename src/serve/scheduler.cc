@@ -1,6 +1,10 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 
 namespace slimfast {
 
@@ -70,6 +74,16 @@ std::vector<int32_t> RelearnScheduler::DecideCycle(
   // max_deferred_cycles decisions, which is the policy's staleness
   // bound.
   selected.insert(selected.end(), forced.begin(), forced.end());
+  if (obs::Enabled()) {
+    for (int32_t s : forced) {
+      obs::EventLog::Global().Emit(
+          obs::EventSeverity::kWarn, "scheduler", s,
+          "deferral bound fired after " +
+              std::to_string(options_.max_deferred_cycles) +
+              " deferred cycles batch_index=" +
+              std::to_string(batch_index));
+    }
+  }
 
   std::vector<uint8_t> picked(static_cast<size_t>(num_shards), 0);
   for (int32_t s : selected) picked[static_cast<size_t>(s)] = 1;

@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/event_log.h"
 #include "obs/registry.h"
 #include "storage/codec.h"
 #include "storage/crc32.h"
@@ -348,11 +349,18 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(
       if (fd < 0) {
         return Status::IOError(ErrnoMessage("open wal segment", tail.path));
       }
-      if (scan.tail_torn &&
-          ::ftruncate(fd, static_cast<off_t>(tail.valid_bytes)) != 0) {
-        ::close(fd);
-        return Status::IOError(
-            ErrnoMessage("truncate torn wal tail of", tail.path));
+      if (scan.tail_torn) {
+        if (::ftruncate(fd, static_cast<off_t>(tail.valid_bytes)) != 0) {
+          ::close(fd);
+          return Status::IOError(
+              ErrnoMessage("truncate torn wal tail of", tail.path));
+        }
+        if (obs::Enabled()) {
+          obs::EventLog::Global().Emit(
+              obs::EventSeverity::kWarn, "wal", -1,
+              "torn tail healed segment=" + tail.path + " truncated_to=" +
+                  std::to_string(tail.valid_bytes) + " bytes");
+        }
       }
       if (::lseek(fd, 0, SEEK_END) < 0) {
         ::close(fd);
@@ -493,6 +501,11 @@ Status WalWriter::Rotate() {
     static obs::ShardedCounter* rotations =
         obs::GetCounter("slimfast_storage_wal_rotate_total");
     rotations->Increment();
+    obs::EventLog::Global().Emit(
+        obs::EventSeverity::kInfo, "wal", -1,
+        "segment rotated next_sequence=" +
+            std::to_string(next_sequence_) +
+            " records=" + std::to_string(segment_records_));
   }
   SLIMFAST_RETURN_NOT_OK(CloseSegment());
   records_since_sync_ = 0;

@@ -10,7 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/slow_log.h"
+#include "obs/timeseries.h"
 #include "serve/fusion_service.h"
 #include "serve/line_protocol.h"
 #include "serve/loadgen.h"
@@ -323,6 +326,174 @@ TEST(LineProtocolTest, CommitShedsWithErrBusyAndKeepsTheBuffer) {
   service->Stop();
 }
 
+TEST(LineProtocolTest, HealthVerbReportsOkWithoutSloRules) {
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+  EXPECT_EQ(protocol.HandleLine("HEALTH"), "OK");
+  EXPECT_EQ(protocol.HandleLine("HEALTH now"), "ERR usage: HEALTH");
+  service->Stop();
+}
+
+TEST(LineProtocolTest, EventsVerbFormatIsPinned) {
+  // Pins the EVENTS reply shape: "EVENTS n=<k> dropped=<d>" header, one
+  // "<ts_s> <SEV> <stage> shard=<s> <message>" row per event (oldest
+  // first), "# EOF" terminator.
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  const bool prior = obs::SetEnabledForTest(true);
+  obs::EventLog::Global().ResetForTest();
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+
+  obs::EventLog::Global().Emit(obs::EventSeverity::kWarn, "test", 3,
+                               "hello world");
+  const std::string reply = protocol.HandleLine("EVENTS");
+  EXPECT_EQ(reply.rfind("EVENTS n=1 dropped=0\n", 0), 0u) << reply;
+  EXPECT_NE(reply.find(" WARN test shard=3 hello world\n"),
+            std::string::npos)
+      << reply;
+  EXPECT_EQ(reply.substr(reply.size() - 6), "\n# EOF") << reply;
+  // EVENTS n trims to the newest n.
+  obs::EventLog::Global().Emit(obs::EventSeverity::kInfo, "test", -1,
+                               "second");
+  const std::string trimmed = protocol.HandleLine("EVENTS 1");
+  EXPECT_EQ(trimmed.rfind("EVENTS n=1 ", 0), 0u) << trimmed;
+  EXPECT_NE(trimmed.find("shard=-1 second"), std::string::npos) << trimmed;
+  EXPECT_EQ(protocol.HandleLine("EVENTS x"), "ERR usage: EVENTS [n]");
+
+  service->Stop();
+  obs::EventLog::Global().ResetForTest();
+  obs::SetEnabledForTest(prior);
+}
+
+TEST(LineProtocolTest, HistoryVerbListsAndRendersSeries) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  const bool prior = obs::SetEnabledForTest(true);
+  obs::TimeSeriesStore::Global().ResetForTest();
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+
+  // A gauge with one sample: bare HISTORY lists it, named HISTORY
+  // renders "<bucket_ts_s> <value>" rows under a pinned header.
+  obs::TimeSeriesStore::Global()
+      .Series("test.flight", obs::SeriesKind::kGauge)
+      ->Record(5'000'000'000LL, 1.5);
+  const std::string listing = protocol.HandleLine("HISTORY");
+  EXPECT_EQ(listing.rfind("HISTORY series=", 0), 0u) << listing;
+  EXPECT_NE(listing.find("\ntest.flight"), std::string::npos) << listing;
+  EXPECT_EQ(listing.substr(listing.size() - 6), "\n# EOF") << listing;
+
+  const std::string reply = protocol.HandleLine("HISTORY test.flight");
+  EXPECT_EQ(reply.rfind("HISTORY test.flight kind=gauge res=1s samples=1\n",
+                        0),
+            0u)
+      << reply;
+  EXPECT_NE(reply.find("\n5.000000 1.500000"), std::string::npos) << reply;
+  EXPECT_EQ(reply.substr(reply.size() - 6), "\n# EOF") << reply;
+
+  // Counters render a third rate column ("-" for the first bucket).
+  obs::TimeSeries* counter = obs::TimeSeriesStore::Global().Series(
+      "test.count", obs::SeriesKind::kCounter);
+  counter->Record(5'000'000'000LL, 10.0);
+  counter->Record(6'000'000'000LL, 25.0);
+  const std::string rates = protocol.HandleLine("HISTORY test.count");
+  EXPECT_EQ(rates.rfind("HISTORY test.count kind=counter res=1s samples=2\n",
+                        0),
+            0u)
+      << rates;
+  EXPECT_NE(rates.find("\n5.000000 10.000000 -\n"), std::string::npos)
+      << rates;
+  EXPECT_NE(rates.find("\n6.000000 25.000000 15.000000\n"),
+            std::string::npos)
+      << rates;
+
+  EXPECT_EQ(protocol.HandleLine("HISTORY no.such.series")
+                .rfind("ERR unknown series ", 0),
+            0u);
+  EXPECT_EQ(protocol.HandleLine("HISTORY a b c"),
+            "ERR usage: HISTORY [series] [window_s]");
+
+  service->Stop();
+  obs::TimeSeriesStore::Global().ResetForTest();
+  obs::SetEnabledForTest(prior);
+}
+
+TEST(LineProtocolTest, SlowVerbFormatIsPinned) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  const bool prior = obs::SetEnabledForTest(true);
+  obs::SlowLog::Global().ResetForTest();
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+
+  // Empty log: header with the floor threshold, then EOF.
+  EXPECT_EQ(protocol.HandleLine("SLOW"),
+            "SLOW n=0 threshold_ns=50000\n# EOF");
+  // A captured exemplar renders "<ts_s> <kind> <ns>ns shard=<s> <detail>".
+  obs::SlowLog::Global().Offer("relearn", 80'000'000, 1,
+                               "algorithm=erm iterations=7 warm=1");
+  const std::string reply = protocol.HandleLine("SLOW");
+  EXPECT_EQ(reply.rfind("SLOW n=1 threshold_ns=", 0), 0u) << reply;
+  EXPECT_NE(reply.find(" relearn 80000000ns shard=1 algorithm=erm "
+                       "iterations=7 warm=1"),
+            std::string::npos)
+      << reply;
+  EXPECT_EQ(reply.substr(reply.size() - 6), "\n# EOF") << reply;
+  EXPECT_EQ(protocol.HandleLine("SLOW x"), "ERR usage: SLOW [n]");
+
+  service->Stop();
+  obs::SlowLog::Global().ResetForTest();
+  obs::SetEnabledForTest(prior);
+}
+
+TEST(LineProtocolTest, FlightRecorderVerbsWhenDisabledSaySo) {
+  const bool prior = obs::SetEnabledForTest(false);
+  std::unique_ptr<FusionService> service = MakeFigure1Service();
+  LineProtocol protocol(service.get());
+  const std::string disabled =
+      "# observability disabled (SLIMFAST_OBS=0)\n# EOF";
+  EXPECT_EQ(protocol.HandleLine("HISTORY"), disabled);
+  EXPECT_EQ(protocol.HandleLine("EVENTS"), disabled);
+  EXPECT_EQ(protocol.HandleLine("SLOW"), disabled);
+  // HEALTH stays a health check, not a recorder read: with no watchdog
+  // it reports OK either way.
+  EXPECT_EQ(protocol.HandleLine("HEALTH"), "OK");
+  service->Stop();
+  obs::SetEnabledForTest(prior);
+}
+
+TEST(FusionServiceSloTest, HealthDegradesOnStalenessBreachAndRecovers) {
+  // Engineered staleness breach: a truth-only batch parks its shard
+  // with pending work that no relearn absorbs (nothing to fit), so the
+  // shard's pending age grows past a tiny ceiling — HEALTH must latch
+  // "staleness" — and an observation batch plus a drain absorbs it,
+  // after which HEALTH must clear (0 is under the hysteresis line).
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  const bool prior = obs::SetEnabledForTest(true);
+  Dataset dataset = MakeFigure1Dataset();
+  FusionServiceOptions options;
+  options.num_shards = 2;
+  options.relearn_every_batches = 1;
+  options.slo.staleness_ceiling_seconds = 1e-9;
+  auto service = FusionService::Create(dataset.num_sources(),
+                                       dataset.num_objects(),
+                                       dataset.num_values(), options,
+                                       dataset.features())
+                     .ValueOrDie();
+  LineProtocol protocol(service.get());
+
+  EXPECT_EQ(protocol.HandleLine("TRUTH 0 0"), "OK");
+  EXPECT_EQ(protocol.HandleLine("COMMIT"), "OK 0 1");
+  EXPECT_EQ(protocol.HandleLine("DRAIN"), "OK");
+  EXPECT_EQ(protocol.HandleLine("HEALTH"), "DEGRADED staleness");
+
+  EXPECT_EQ(protocol.HandleLine("OBS 0 0 0"), "OK");
+  EXPECT_EQ(protocol.HandleLine("COMMIT"), "OK 1 0");
+  EXPECT_EQ(protocol.HandleLine("DRAIN"), "OK");
+  EXPECT_EQ(protocol.HandleLine("HEALTH"), "OK");
+
+  service->Stop();
+  obs::SetEnabledForTest(prior);
+}
+
 TEST(SummarizeLatenciesTest, NearestRankPercentiles) {
   // 1..100 milliseconds: nearest-rank p50 = 50th value, p95 = 95th,
   // p99 = 99th.
@@ -396,6 +567,39 @@ TEST(LoadgenTest, RejectsDegenerateConfigs) {
   options.num_chunks = 2;
   options.reader_threads = 0;
   EXPECT_FALSE(RunLoadgen(dataset, options).ok());
+}
+
+TEST(LoadgenTest, SkewedGateIsDeterministicVersionLag) {
+  // The scenario gate must hold on any box at any load: flat hot
+  // version lag is 0 by construction, the scheduler's max lag stays
+  // within its deferral bound, and the scheduler relearns strictly
+  // less. (The wall-clock staleness percentiles are reported but are
+  // deliberately NOT part of the gate — they flaked CI on 1-core
+  // boxes.)
+  Dataset dataset =
+      MakePlantedDataset({0.95, 0.85, 0.8, 0.7}, 48, 0.6, 11);
+  SkewedLoadgenOptions options;
+  options.num_shards = 4;
+  options.num_chunks = 6;
+  options.reader_threads = 2;
+  options.writer_pause_ms = 1;
+  options.min_queries_per_chunk = 50;
+  options.seed = 11;
+  options.verify = true;
+
+  SkewedLoadgenReport report =
+      RunSkewedLoadgen(dataset, options).ValueOrDie();
+  EXPECT_DOUBLE_EQ(report.flat.hot_version_lag_mean, 0.0);
+  EXPECT_DOUBLE_EQ(report.flat.hot_version_lag_max, 0.0);
+  EXPECT_LE(report.sched.hot_version_lag_max,
+            static_cast<double>(options.scheduler.max_deferred_cycles));
+  EXPECT_LT(report.sched.relearns, report.flat.relearns);
+  EXPECT_TRUE(report.gate_passed);
+  // Both phases still honor the determinism contract under the gate.
+  EXPECT_TRUE(report.flat.verify_ran);
+  EXPECT_TRUE(report.flat.verified);
+  EXPECT_TRUE(report.sched.verify_ran);
+  EXPECT_TRUE(report.sched.verified);
 }
 
 }  // namespace

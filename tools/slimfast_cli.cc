@@ -96,6 +96,7 @@
 #include "eval/metrics.h"
 #include "exec/parallel.h"
 #include "factorgraph/gibbs.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 #include "serve/fusion_service.h"
 #include "serve/line_protocol.h"
@@ -175,6 +176,17 @@ struct CliOptions {
   /// serve: shed COMMITs once the relearn backlog reaches this many
   /// batches (0 = no backlog watermark).
   int64_t shed_backlog = 0;
+  /// serve: mirror structured events to this JSONL file ("" defers to
+  /// the SLIMFAST_EVENT_LOG env var; both empty = in-memory ring only).
+  std::string event_log;
+  /// serve SLO watchdog ceilings; 0 disables the rule (see HEALTH).
+  double slo_query_p99 = 0.0;
+  /// Max shard-staleness ceiling, seconds (rule "staleness").
+  double slo_staleness = 0.0;
+  /// Driver-heartbeat stall ceiling, seconds (rule "relearn_stall").
+  double slo_stall = 0.0;
+  /// Ingest-queue high-water fraction in (0, 1] (rule "queue_depth").
+  double slo_queue = 0.0;
 };
 
 /// Maps the --fsync-every knob onto WalOptions.
@@ -218,6 +230,9 @@ void PrintUsage(std::FILE* stream) {
                "[--sched]\n"
                "                    [--shed-queue-watermark F] "
                "[--shed-backlog N]\n"
+               "                    [--event-log FILE] [--slo-query-p99 S] "
+               "[--slo-staleness S]\n"
+               "                    [--slo-stall S] [--slo-queue F]\n"
                "       slimfast_cli loadgen (<dataset_dir> | --demo NAME) "
                "[--quick]\n"
                "                    [--shards N] [--chunks K] [--readers R] "
@@ -283,6 +298,24 @@ void PrintUsage(std::FILE* stream) {
                "  --shed-backlog N     serve: shed COMMITs once the relearn "
                "backlog\n"
                "                       reaches N batches (0 = off)\n"
+               "  --event-log FILE     serve: mirror structured events "
+               "(EVENTS verb) to\n"
+               "                       FILE as JSON lines (default: "
+               "$SLIMFAST_EVENT_LOG)\n"
+               "  --slo-query-p99 S    serve: HEALTH degrades when query "
+               "p99 exceeds S\n"
+               "                       seconds (0 = rule off)\n"
+               "  --slo-staleness S    serve: HEALTH degrades when any "
+               "shard's oldest\n"
+               "                       unabsorbed batch is older than S "
+               "seconds (0 = off)\n"
+               "  --slo-stall S        serve: HEALTH degrades when the "
+               "driver heartbeat\n"
+               "                       is older than S seconds with work "
+               "pending (0 = off)\n"
+               "  --slo-queue F        serve: HEALTH degrades when the "
+               "ingest queue holds\n"
+               "                       >= F of its capacity (0 = off)\n"
                "  --no-verify          loadgen: skip the offline-replay "
                "cross-check\n"
                "  --trace-out FILE     serve/loadgen/replay: write stage "
@@ -420,6 +453,21 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--shed-backlog") {
       if (!value_of(&v)) return false;
       options->shed_backlog = std::atoll(v);
+    } else if (arg == "--event-log") {
+      if (!value_of(&v)) return false;
+      options->event_log = v;
+    } else if (arg == "--slo-query-p99") {
+      if (!value_of(&v)) return false;
+      options->slo_query_p99 = std::atof(v);
+    } else if (arg == "--slo-staleness") {
+      if (!value_of(&v)) return false;
+      options->slo_staleness = std::atof(v);
+    } else if (arg == "--slo-stall") {
+      if (!value_of(&v)) return false;
+      options->slo_stall = std::atof(v);
+    } else if (arg == "--slo-queue") {
+      if (!value_of(&v)) return false;
+      options->slo_queue = std::atof(v);
     } else if (arg == "--no-verify") {
       options->no_verify = true;
     } else if (arg == "--stats") {
@@ -1229,6 +1277,13 @@ int RunServe(const CliOptions& options) {
   service_options.scheduler.shed_queue_watermark =
       options.shed_queue_watermark;
   service_options.scheduler.shed_backlog_watermark = options.shed_backlog;
+  service_options.slo.query_p99_ceiling_seconds = options.slo_query_p99;
+  service_options.slo.staleness_ceiling_seconds = options.slo_staleness;
+  service_options.slo.relearn_stall_seconds = options.slo_stall;
+  service_options.slo.queue_high_water = options.slo_queue;
+  if (!options.event_log.empty()) {
+    obs::EventLog::Global().SetMirrorFile(options.event_log);
+  }
   if (!options.wal_dir.empty()) {
     service_options.durability.wal_dir = options.wal_dir;
     service_options.durability.wal = WalOptionsFor(options.fsync_every);
@@ -1261,7 +1316,7 @@ int RunServe(const CliOptions& options) {
                "slimfast serve: %d sources, %d objects, %d values across "
                "%d shard(s); relearn every %d batch(es), %s policy\n"
                "commands: OBS TRUTH COMMIT QUERY POSTERIOR STATS METRICS "
-               "SCHED CHECKPOINT DRAIN QUIT\n",
+               "HEALTH HISTORY EVENTS SLOW SCHED CHECKPOINT DRAIN QUIT\n",
                num_sources, num_objects, num_values, service->num_shards(),
                options.relearn_every,
                options.sched ? "scheduled relearn" : "flat relearn");
@@ -1272,6 +1327,20 @@ int RunServe(const CliOptions& options) {
                  service_options.scheduler.shed_queue_watermark,
                  static_cast<long long>(
                      service_options.scheduler.shed_backlog_watermark));
+  }
+  {
+    const obs::SloWatchdogOptions& slo = service_options.slo;
+    if (slo.query_p99_ceiling_seconds > 0.0 ||
+        slo.staleness_ceiling_seconds > 0.0 ||
+        slo.relearn_stall_seconds > 0.0 || slo.queue_high_water > 0.0) {
+      std::fprintf(stderr,
+                   "slo watchdog: query_p99 %.3gs, staleness %.3gs, "
+                   "stall %.3gs, queue %.2f (0 = rule off; HEALTH "
+                   "reports breaches)\n",
+                   slo.query_p99_ceiling_seconds,
+                   slo.staleness_ceiling_seconds, slo.relearn_stall_seconds,
+                   slo.queue_high_water);
+    }
   }
 
   LineProtocol protocol(service.get());
@@ -1556,18 +1625,21 @@ int RunLoadgenCli(const CliOptions& options) {
               skew.hot_shard, skew.hot_shard_mass * 100.0,
               skew_options.num_shards, skew_options.num_chunks);
   auto print_phase = [](const char* name, const PolicyPhaseReport& phase) {
-    std::printf("    %-6s hot staleness p50/p99 %.2f/%.2f ms over %lld "
-                "samples (%lld relearns, %lld queries, %.3fs)\n",
-                name, phase.hot_staleness.p50 * 1e3,
+    std::printf("    %-6s hot version lag %.2f mean / %.0f max cycles, "
+                "%lld relearns (staleness p50/p99 %.2f/%.2f ms over %lld "
+                "samples, %lld queries, %.3fs)\n",
+                name, phase.hot_version_lag_mean, phase.hot_version_lag_max,
+                static_cast<long long>(phase.relearns),
+                phase.hot_staleness.p50 * 1e3,
                 phase.hot_staleness.p99 * 1e3,
                 static_cast<long long>(phase.hot_staleness.count),
-                static_cast<long long>(phase.relearns),
                 static_cast<long long>(phase.total_queries),
                 phase.wall_seconds);
   };
   print_phase("flat:", skew.flat);
   print_phase("sched:", skew.sched);
-  std::printf("    gate (sched p99 < flat p99): %s\n",
+  std::printf("    gate (flat lag 0, sched max lag within deferral bound, "
+              "fewer relearns): %s\n",
               skew.gate_passed ? "passed" : "FAILED");
   std::printf("    admission: %lld batch(es) shed, retry hint %lld ms\n",
               static_cast<long long>(skew.admission_sheds),
@@ -1610,6 +1682,14 @@ int RunLoadgenCli(const CliOptions& options) {
   reporter.AddCounter("relearns_total", report.relearns);
   reporter.AddCounter("publishes_total", report.publishes);
   reporter.AddCounter("sheds_total", skew.admission_sheds);
+  // Flight-recorder health fields: the event ring must not be dropping
+  // (a nonzero value means the EVENTS ring overflowed faster than it
+  // was drained) and no SLO rule may be latched at the end of the run
+  // (loadgen configures no watchdog, so this is 0 unless a future
+  // change wires one up — the schema checker requires both fields).
+  reporter.AddCounter("events_dropped_total",
+                      obs::EventLog::Global().dropped());
+  reporter.AddGauge("slo_breached_rules", 0.0);
   reporter.AddGauge("sched_gate_passed", skew.gate_passed ? 1.0 : 0.0);
   if (report.overhead_ran) {
     reporter.AddGauge("obs_overhead_base_p99_seconds",
@@ -1638,11 +1718,14 @@ int RunLoadgenCli(const CliOptions& options) {
   }
   if (!skew.gate_passed) {
     std::fprintf(stderr,
-                 "loadgen: skewed scheduler gate FAILED (hot staleness "
-                 "p99: sched %.3fms vs flat %.3fms — the scheduler must "
-                 "beat the flat policy on the hot shard)\n",
-                 skew.sched.hot_staleness.p99 * 1e3,
-                 skew.flat.hot_staleness.p99 * 1e3);
+                 "loadgen: skewed scheduler gate FAILED (hot version lag: "
+                 "flat mean %.3f [must be 0], sched max %.0f [bound %d], "
+                 "relearns: sched %lld vs flat %lld [must be fewer])\n",
+                 skew.flat.hot_version_lag_mean,
+                 skew.sched.hot_version_lag_max,
+                 skew_options.scheduler.max_deferred_cycles,
+                 static_cast<long long>(skew.sched.relearns),
+                 static_cast<long long>(skew.flat.relearns));
   }
   const bool skew_verified =
       (!skew.flat.verify_ran || skew.flat.verified) &&
